@@ -1,0 +1,81 @@
+// Command neatbench regenerates the tables and figures of the paper's
+// evaluation section (§IV) and prints paper-vs-measured rows.
+//
+// Usage:
+//
+//	neatbench [-scale 0.1] [-out results/] [-exp fig5] [-exp table1] ...
+//
+// With no -exp flags, every experiment runs in the paper's order. The
+// scale factor shrinks maps and datasets together (see
+// internal/experiments); absolute times are machine-dependent, the
+// relationships between systems are the reproduction target.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+type expList []string
+
+func (l *expList) String() string { return fmt.Sprint(*l) }
+func (l *expList) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "neatbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("neatbench", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	var (
+		scale  = fs.Float64("scale", 0.1, "map and dataset scale factor in (0, 1]")
+		out    = fs.String("out", "results", "directory for SVG artifacts")
+		format = fs.String("format", "text", "output format: text or md")
+		exps   expList
+	)
+	fs.Var(&exps, "exp", "experiment id to run (repeatable); default all")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *format != "text" && *format != "md" {
+		return fmt.Errorf("unknown format %q (want text or md)", *format)
+	}
+
+	env, err := experiments.NewEnv(*scale)
+	if err != nil {
+		return err
+	}
+	ids := []string(exps)
+	if len(ids) == 0 {
+		ids = experiments.Order()
+	}
+	fmt.Fprintf(stdout, "NEAT reproduction harness — scale %.3g, %d experiment(s)\n\n", *scale, len(ids))
+	for _, id := range ids {
+		start := time.Now()
+		tab, err := experiments.Run(env, id, *out)
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", id, err)
+		}
+		if *format == "md" {
+			if _, err := tab.WriteMarkdown(stdout); err != nil {
+				return err
+			}
+		} else if _, err := tab.WriteTo(stdout); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "(%s completed in %s)\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

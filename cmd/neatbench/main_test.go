@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBenchRunTables(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-scale", "0.02", "-exp", "table1", "-exp", "table3", "-out", t.TempDir()}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"table1", "table3", "ATL", "SJ", "PaperFlows"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestBenchRunMarkdown(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scale", "0.02", "-format", "md", "-exp", "table1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "| Region |") {
+		t.Errorf("markdown output missing table header:\n%s", out.String())
+	}
+}
+
+func TestBenchRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scale", "7"}, &out); err == nil {
+		t.Error("scale 7 accepted")
+	}
+	if err := run([]string{"-exp", "fig99"}, &out); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-format", "pdf"}, &out); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

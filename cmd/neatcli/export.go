@@ -1,0 +1,73 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/neat"
+	"repro/internal/viz"
+)
+
+// cmdExport writes GeoJSON for GIS tooling: the road network, a
+// trajectory dataset, or a NEAT clustering result.
+func cmdExport(args []string) error {
+	fs := newFlagSet("export")
+	mapPath := fs.String("map", "", "road network file (required)")
+	tracesPath := fs.String("traces", "", "trajectory file (required for traces/flows/clusters)")
+	what := fs.String("what", "network", "what to export: network, traces, flows, or clusters")
+	eps := fs.Float64("eps", 6500, "Phase 3 ε for -what clusters")
+	minCard := fs.Int("mincard", 5, "minCard for -what flows/clusters")
+	out := fs.String("out", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *mapPath == "" {
+		return fmt.Errorf("export: -map is required")
+	}
+	g, err := loadMap(*mapPath)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", *out, err)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *what {
+	case "network":
+		return viz.WriteNetworkGeoJSON(w, g)
+	case "traces", "flows", "clusters":
+		if *tracesPath == "" {
+			return fmt.Errorf("export: -traces is required for -what %s", *what)
+		}
+		ds, err := loadTraces(*tracesPath)
+		if err != nil {
+			return err
+		}
+		if *what == "traces" {
+			return viz.WriteDatasetGeoJSON(w, ds)
+		}
+		cfg := neat.Config{
+			Flow:   neat.FlowConfig{Weights: neat.WeightsFlowOnly, MinCard: *minCard},
+			Refine: neat.RefineConfig{Epsilon: *eps, UseELB: true, Bounded: true},
+		}
+		level := neat.LevelFlow
+		if *what == "clusters" {
+			level = neat.LevelOpt
+		}
+		res, err := neat.NewPipeline(g).Run(ds, cfg, level)
+		if err != nil {
+			return err
+		}
+		if *what == "flows" {
+			return viz.WriteFlowsGeoJSON(w, g, res.Flows)
+		}
+		return viz.WriteClustersGeoJSON(w, g, res.Clusters)
+	default:
+		return fmt.Errorf("export: unknown -what %q", *what)
+	}
+}

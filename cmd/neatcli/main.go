@@ -1,0 +1,78 @@
+// Command neatcli is the operational front end of the NEAT library:
+// it generates synthetic road networks and mobility traces, runs the
+// NEAT clustering pipeline (at any of its three levels) or the TraClus
+// baseline, and renders SVG visualizations.
+//
+// Subcommands:
+//
+//	neatcli genmap    -region ATL -scale 0.1 -out map.csv
+//	neatcli gentraces -map map.csv -objects 500 [-model commute] [-noise 8] -out traces.csv
+//	neatcli match     -map map.csv -raw raw.csv -noise 8 -out matched.csv
+//	neatcli cluster   -map map.csv -traces traces.csv -level opt -eps 2000 -mincard 5 [-svg out.svg]
+//	neatcli traclus   -map map.csv -traces traces.csv -eps 10 -minlns 5 [-svg out.svg]
+//	neatcli export    -map map.csv [-traces traces.csv] -what flows -out flows.geojson
+//	neatcli stats     -map map.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "neatcli:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing subcommand")
+	}
+	switch args[0] {
+	case "genmap":
+		return cmdGenMap(args[1:])
+	case "gentraces":
+		return cmdGenTraces(args[1:])
+	case "cluster":
+		return cmdCluster(args[1:])
+	case "traclus":
+		return cmdTraClus(args[1:])
+	case "stats":
+		return cmdStats(args[1:])
+	case "export":
+		return cmdExport(args[1:])
+	case "match":
+		return cmdMatch(args[1:])
+	case "-h", "--help", "help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: neatcli <subcommand> [flags]
+
+subcommands:
+  genmap      generate a synthetic road network (ATL/SJ/MIA presets)
+  gentraces   simulate mobility traces over a road network
+  cluster     run NEAT (base/flow/opt) over traces
+  traclus     run the TraClus baseline over traces
+  stats       print Table I statistics of a road network
+  export      write GeoJSON (network, traces, flows, or clusters)
+  match       map-match raw GPS traces onto a road network
+
+run 'neatcli <subcommand> -h' for flags`)
+}
+
+func newFlagSet(name string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	return fs
+}

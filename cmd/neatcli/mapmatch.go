@@ -1,0 +1,59 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/mapmatch"
+	"repro/internal/traj"
+)
+
+// cmdMatch map-matches raw GPS-like traces (trid,x,y,t CSV) onto a
+// road network, producing the matched trajectory format the cluster
+// subcommand consumes.
+func cmdMatch(args []string) error {
+	fs := newFlagSet("match")
+	mapPath := fs.String("map", "", "road network file (required)")
+	rawPath := fs.String("raw", "", "raw trace file: trid,x,y,t records (required)")
+	noise := fs.Float64("noise", 10, "expected positioning noise stddev, meters")
+	out := fs.String("out", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *mapPath == "" || *rawPath == "" {
+		return fmt.Errorf("match: -map and -raw are required")
+	}
+	g, err := loadMap(*mapPath)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(*rawPath)
+	if err != nil {
+		return fmt.Errorf("open raw traces: %w", err)
+	}
+	raws, err := traj.ReadRaw(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	m, err := mapmatch.New(g, mapmatch.Config{NoiseStdDev: *noise})
+	if err != nil {
+		return err
+	}
+	ds, dropped := m.MatchAll(raws, *rawPath)
+	w := os.Stdout
+	if *out != "" {
+		of, err := os.Create(*out)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", *out, err)
+		}
+		defer of.Close()
+		w = of
+	}
+	if err := traj.Write(w, ds); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "matched %d of %d traces (%d dropped)\n",
+		len(ds.Trajectories), len(raws), dropped)
+	return nil
+}

@@ -1,0 +1,88 @@
+// Command neatserver runs the NEAT trajectory-clustering service of
+// §II-C over a road network: clients POST trajectories and GET
+// clustering results.
+//
+// Usage:
+//
+//	neatserver -map map.csv [-addr :8080] [-datanodes 4]
+//	neatserver -region ATL -scale 0.1 [-addr :8080]
+//
+// API:
+//
+//	POST /v1/trajectories  {"trajectories":[{"trid":1,"points":[{"sid":0,"x":1,"y":2,"t":0}, ...]}]}
+//	GET  /v1/clusters?level=opt&eps=6500&mincard=5
+//	GET  /v1/stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/mapgen"
+	"repro/internal/roadnet"
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "neatserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("neatserver", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	var (
+		addr      = fs.String("addr", ":8080", "listen address")
+		mapPath   = fs.String("map", "", "road network file (alternative to -region)")
+		region    = fs.String("region", "", "generate a preset map: ATL, SJ, or MIA")
+		scale     = fs.Float64("scale", 0.1, "scale for -region maps")
+		dataNodes = fs.Int("datanodes", 4, "preprocessing data nodes")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var g *roadnet.Graph
+	switch {
+	case *mapPath != "":
+		f, err := os.Open(*mapPath)
+		if err != nil {
+			return fmt.Errorf("open map: %w", err)
+		}
+		defer f.Close()
+		g, err = roadnet.Read(f)
+		if err != nil {
+			return fmt.Errorf("parse map: %w", err)
+		}
+	case *region != "":
+		cfg, ok := mapgen.Presets()[strings.ToUpper(*region)]
+		if !ok {
+			return fmt.Errorf("unknown region %q", *region)
+		}
+		if *scale < 1 {
+			cfg = cfg.Scaled(*scale)
+		}
+		var err error
+		g, err = mapgen.Generate(cfg)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("one of -map or -region is required")
+	}
+
+	srv := server.New(g, server.Config{DataNodes: *dataNodes})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Printf("neatserver listening on %s — %s\n", *addr, roadnet.ComputeStats(g))
+	return httpSrv.ListenAndServe()
+}

@@ -1,0 +1,17 @@
+package main
+
+import "testing"
+
+func TestRunArgValidation(t *testing.T) {
+	cases := [][]string{
+		{},                             // neither -map nor -region
+		{"-region", "XX"},              // unknown region
+		{"-map", "does-not-exist.csv"}, // unreadable map
+		{"-region", "ATL", "-badflag"}, // unknown flag
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("neatserver %v succeeded, want error", args)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+// Server demo: the 3-tier architecture of §II-C in one process. It
+// starts a NEAT server over a scaled map, plays several mobile-device
+// clients that upload their trajectories concurrently, and then
+// queries the clustering results — exactly the
+// record -> send -> request loop the paper describes.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"repro/internal/mapgen"
+	"repro/internal/mobisim"
+	"repro/internal/server"
+	"repro/internal/traj"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	g, err := mapgen.Generate(mapgen.NorthWestAtlanta().Scaled(0.05))
+	if err != nil {
+		return err
+	}
+	// In-process HTTP server; cmd/neatserver runs the same handler
+	// standalone.
+	srv := httptest.NewServer(server.New(g, server.Config{DataNodes: 4}).Handler())
+	defer srv.Close()
+	fmt.Println("NEAT server up at", srv.URL)
+
+	ds, _, err := mobisim.New(g).Simulate(mobisim.DefaultConfig("devices", 120, 5))
+	if err != nil {
+		return err
+	}
+
+	// Each client device uploads its own trajectory.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	client := server.NewClient(srv.URL, srv.Client())
+	var wg sync.WaitGroup
+	errs := make(chan error, len(ds.Trajectories))
+	for _, tr := range ds.Trajectories {
+		wg.Add(1)
+		go func(tr traj.Trajectory) {
+			defer wg.Done()
+			one := traj.Dataset{Trajectories: []traj.Trajectory{tr}}
+			if _, err := client.Ingest(ctx, one); err != nil {
+				errs <- fmt.Errorf("device %d: %w", tr.ID, err)
+			}
+		}(tr)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return err
+	}
+
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("server state: %d trajectories, %d t-fragments, %d data nodes\n",
+		stats.Trajectories, stats.TotalFragments, stats.DataNodes)
+
+	res, err := client.Clusters(ctx, server.ClusterQuery{
+		Level:   "opt",
+		Epsilon: 1500,
+		MinCard: 5,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("clustering (%s, server-side %.1f ms): %d base clusters -> %d flows -> %d clusters\n",
+		res.Level, res.ElapsedMs, res.BaseClusters, len(res.Flows), len(res.Clusters))
+	for i, c := range res.Clusters {
+		fmt.Printf("  cluster %d: %d flows, %d distinct objects\n", i, len(c.Flows), c.Cardinality)
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+// Package core is the top-level entry point to the paper's primary
+// contribution: road-network aware trajectory clustering. It re-exports
+// the NEAT implementation (internal/neat) together with the handful of
+// substrate types an application needs to drive it, so that commands
+// and examples can depend on one package.
+//
+// A minimal end-to-end use looks like:
+//
+//	g, _ := mapgen.Generate(mapgen.NorthWestAtlanta())
+//	ds, _, _ := mobisim.New(g).Simulate(mobisim.DefaultConfig("ATL500", 500, 1))
+//	res, _ := core.NewPipeline(g).Run(ds, core.DefaultConfig(), core.LevelOpt)
+//
+// The three result granularities — base clusters, flow clusters, and
+// refined trajectory clusters — correspond to the paper's base-NEAT,
+// flow-NEAT, and opt-NEAT.
+package core
+
+import (
+	"repro/internal/neat"
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+)
+
+// Clustering levels (§IV-A).
+const (
+	LevelBase = neat.LevelBase
+	LevelFlow = neat.LevelFlow
+	LevelOpt  = neat.LevelOpt
+)
+
+// Re-exported NEAT types; see package neat for full documentation.
+type (
+	// Pipeline runs the three-phase clustering over one road network.
+	Pipeline = neat.Pipeline
+	// Config carries flow-formation and refinement parameters.
+	Config = neat.Config
+	// Result is the output of a run at any level.
+	Result = neat.Result
+	// BaseCluster groups the t-fragments of one road segment.
+	BaseCluster = neat.BaseCluster
+	// FlowCluster is an ordered, route-forming group of base clusters.
+	FlowCluster = neat.FlowCluster
+	// TrajectoryCluster is a final refined cluster of flow clusters.
+	TrajectoryCluster = neat.TrajectoryCluster
+	// Weights are the merging-selectivity coefficients (wq, wk, wv).
+	Weights = neat.Weights
+	// FlowConfig parameterizes Phase 2.
+	FlowConfig = neat.FlowConfig
+	// RefineConfig parameterizes Phase 3.
+	RefineConfig = neat.RefineConfig
+)
+
+// Substrate types commonly needed alongside the pipeline.
+type (
+	// Graph is the road network.
+	Graph = roadnet.Graph
+	// Dataset is a set of trajectories to cluster.
+	Dataset = traj.Dataset
+	// Trajectory is one mobile object trip.
+	Trajectory = traj.Trajectory
+)
+
+// NewPipeline creates a clustering pipeline over g.
+func NewPipeline(g *Graph) *Pipeline { return neat.NewPipeline(g) }
+
+// DefaultConfig returns the paper's main experimental configuration.
+func DefaultConfig() Config { return neat.DefaultConfig() }

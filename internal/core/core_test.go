@@ -1,0 +1,50 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/mapgen"
+	"repro/internal/mobisim"
+	"repro/internal/neat"
+)
+
+// TestFacadeEndToEnd exercises the README's three-line usage through
+// the core facade only.
+func TestFacadeEndToEnd(t *testing.T) {
+	g, err := mapgen.Generate(mapgen.NorthWestAtlanta().Scaled(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, _, err := mobisim.New(g).Simulate(mobisim.DefaultConfig("facade", 30, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Refine.Epsilon = 1000
+	res, err := NewPipeline(g).Run(ds, cfg, LevelOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.BaseClusters) == 0 || res.Clusters == nil {
+		t.Fatalf("facade run produced %d base clusters, clusters=%v",
+			len(res.BaseClusters), res.Clusters)
+	}
+	// Alias types interoperate with the underlying packages.
+	var f *FlowCluster
+	if len(res.Flows) > 0 {
+		f = res.Flows[0]
+		var nf *neat.FlowCluster = f
+		if nf.Cardinality() != f.Cardinality() {
+			t.Error("alias mismatch")
+		}
+	}
+}
+
+func TestDefaultConfigMatchesNeat(t *testing.T) {
+	if DefaultConfig() != neat.DefaultConfig() {
+		t.Error("core.DefaultConfig diverged from neat.DefaultConfig")
+	}
+	if LevelBase != neat.LevelBase || LevelFlow != neat.LevelFlow || LevelOpt != neat.LevelOpt {
+		t.Error("level constants diverged")
+	}
+}

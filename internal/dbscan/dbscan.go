@@ -1,0 +1,125 @@
+// Package dbscan implements the DBSCAN density-based clustering
+// algorithm (Ester et al., SIGKDD'96) over an abstract item set with a
+// caller-supplied neighborhood oracle.
+//
+// Two NEAT-specific requirements shaped the interface. First, the seed
+// order is explicit: NEAT's Phase 3 processes flow clusters "starting
+// each round with the flow cluster whose representative route is the
+// longest" so that results are deterministic, unlike textbook DBSCAN.
+// Second, the neighborhood is an oracle rather than a point set plus
+// metric, because NEAT's ε-neighborhood is defined by a modified
+// Hausdorff distance over shortest paths with Euclidean lower-bound
+// pruning — the oracle owns that machinery.
+package dbscan
+
+import "fmt"
+
+// Noise is the label assigned to items that belong to no cluster.
+const Noise = -1
+
+// Neighborhood returns the indices of all items within ε of item i,
+// excluding i itself. It must be symmetric (j in Neighborhood(i) iff
+// i in Neighborhood(j)) and deterministic for reproducible results.
+type Neighborhood func(i int) []int
+
+// Result is a clustering outcome.
+type Result struct {
+	// Labels assigns each item its cluster index (0-based, in order of
+	// cluster discovery) or Noise.
+	Labels []int
+	// NumClusters is the number of clusters discovered.
+	NumClusters int
+	// NoiseCount is the number of items labeled Noise.
+	NoiseCount int
+}
+
+// Members returns the item indices of cluster c, in ascending order.
+func (r Result) Members(c int) []int {
+	var out []int
+	for i, l := range r.Labels {
+		if l == c {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Cluster runs DBSCAN over n items. Items are visited as seeds in the
+// given order (a permutation of 0..n-1; pass nil for natural order). An
+// item is a core item when it has at least minPts-1 neighbors (i.e. its
+// ε-neighborhood including itself reaches minPts, matching the classic
+// definition). Border items join the first cluster that reaches them;
+// items reached by no cluster are Noise.
+//
+// With minPts = 1 every item is core, and clustering degenerates to
+// connected components of the ε-graph — the behaviour NEAT Phase 3 uses
+// ("no minimum cardinality is set for the resulting cluster").
+func Cluster(n int, order []int, minPts int, neighbors Neighborhood) (Result, error) {
+	if minPts < 1 {
+		return Result{}, fmt.Errorf("dbscan: minPts must be at least 1, got %d", minPts)
+	}
+	if order == nil {
+		order = make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+	}
+	if len(order) != n {
+		return Result{}, fmt.Errorf("dbscan: order has %d entries for %d items", len(order), n)
+	}
+	seen := make([]bool, n)
+	for _, i := range order {
+		if i < 0 || i >= n {
+			return Result{}, fmt.Errorf("dbscan: order entry %d out of range [0,%d)", i, n)
+		}
+		if seen[i] {
+			return Result{}, fmt.Errorf("dbscan: order visits item %d twice", i)
+		}
+		seen[i] = true
+	}
+
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = Noise
+	}
+	visited := make([]bool, n)
+	nextCluster := 0
+
+	for _, seed := range order {
+		if visited[seed] {
+			continue
+		}
+		visited[seed] = true
+		nb := neighbors(seed)
+		if len(nb)+1 < minPts {
+			continue // not core; may later become a border item
+		}
+		c := nextCluster
+		nextCluster++
+		labels[seed] = c
+		// Expand the cluster breadth-first over core items.
+		queue := append([]int(nil), nb...)
+		for qi := 0; qi < len(queue); qi++ {
+			j := queue[qi]
+			if labels[j] == Noise {
+				labels[j] = c // border or core, either way it joins
+			}
+			if visited[j] {
+				continue
+			}
+			visited[j] = true
+			jnb := neighbors(j)
+			if len(jnb)+1 >= minPts {
+				queue = append(queue, jnb...)
+			}
+		}
+	}
+
+	res := Result{Labels: labels, NumClusters: nextCluster}
+	for _, l := range labels {
+		if l == Noise {
+			res.NoiseCount++
+		}
+	}
+	return res, nil
+}

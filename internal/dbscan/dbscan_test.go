@@ -1,0 +1,173 @@
+package dbscan
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// pointNeighborhood builds a Neighborhood over 1-D points with
+// threshold eps.
+func pointNeighborhood(points []float64, eps float64) Neighborhood {
+	return func(i int) []int {
+		var out []int
+		for j := range points {
+			if j != i && math.Abs(points[i]-points[j]) <= eps {
+				out = append(out, j)
+			}
+		}
+		return out
+	}
+}
+
+func TestTwoBlobs(t *testing.T) {
+	points := []float64{0, 1, 2, 100, 101, 102}
+	res, err := Cluster(len(points), nil, 2, pointNeighborhood(points, 1.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != 2 {
+		t.Fatalf("clusters = %d, want 2", res.NumClusters)
+	}
+	if res.NoiseCount != 0 {
+		t.Errorf("noise = %d", res.NoiseCount)
+	}
+	if !reflect.DeepEqual(res.Members(0), []int{0, 1, 2}) {
+		t.Errorf("cluster 0 members = %v", res.Members(0))
+	}
+	if !reflect.DeepEqual(res.Members(1), []int{3, 4, 5}) {
+		t.Errorf("cluster 1 members = %v", res.Members(1))
+	}
+}
+
+func TestNoiseDetection(t *testing.T) {
+	points := []float64{0, 1, 2, 50, 100, 101, 102}
+	res, err := Cluster(len(points), nil, 3, pointNeighborhood(points, 1.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != 2 {
+		t.Fatalf("clusters = %d, want 2", res.NumClusters)
+	}
+	if res.NoiseCount != 1 {
+		t.Errorf("noise = %d, want 1 (the isolated 50)", res.NoiseCount)
+	}
+	if res.Labels[3] != Noise {
+		t.Errorf("label of isolated point = %d", res.Labels[3])
+	}
+}
+
+func TestBorderPointJoinsFirstCluster(t *testing.T) {
+	// 0 and 2 are core (each has 1.5-neighbors: {1}, {1,3}? careful) —
+	// use a classic chain: points 0,1 close; 1,2 close; with minPts 3,
+	// 1 is core (neighbors 0 and 2), 0 and 2 are border.
+	points := []float64{0, 1, 2}
+	res, err := Cluster(len(points), nil, 3, pointNeighborhood(points, 1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != 1 {
+		t.Fatalf("clusters = %d, want 1", res.NumClusters)
+	}
+	for i, l := range res.Labels {
+		if l != 0 {
+			t.Errorf("label[%d] = %d, want 0", i, l)
+		}
+	}
+}
+
+func TestMinPtsOneIsConnectedComponents(t *testing.T) {
+	points := []float64{0, 10, 11, 30}
+	res, err := Cluster(len(points), nil, 1, pointNeighborhood(points, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != 3 {
+		t.Fatalf("clusters = %d, want 3 (singleton, pair, singleton)", res.NumClusters)
+	}
+	if res.NoiseCount != 0 {
+		t.Errorf("minPts=1 produced %d noise items", res.NoiseCount)
+	}
+}
+
+func TestSeedOrderDeterminesClusterNumbering(t *testing.T) {
+	points := []float64{0, 1, 100, 101}
+	natural, err := Cluster(len(points), nil, 2, pointNeighborhood(points, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reversed, err := Cluster(len(points), []int{3, 2, 1, 0}, 2, pointNeighborhood(points, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if natural.Labels[0] != 0 || reversed.Labels[3] != 0 {
+		t.Error("seed order did not determine cluster numbering")
+	}
+	// Same partition regardless of order.
+	if natural.NumClusters != reversed.NumClusters {
+		t.Error("partition changed with seed order")
+	}
+	if (natural.Labels[0] == natural.Labels[1]) != (reversed.Labels[0] == reversed.Labels[1]) {
+		t.Error("co-membership changed with seed order")
+	}
+}
+
+func TestOrderValidation(t *testing.T) {
+	nb := pointNeighborhood([]float64{0, 1}, 2)
+	if _, err := Cluster(2, []int{0}, 1, nb); err == nil {
+		t.Error("short order accepted")
+	}
+	if _, err := Cluster(2, []int{0, 0}, 1, nb); err == nil {
+		t.Error("duplicate order accepted")
+	}
+	if _, err := Cluster(2, []int{0, 5}, 1, nb); err == nil {
+		t.Error("out-of-range order accepted")
+	}
+	if _, err := Cluster(2, nil, 0, nb); err == nil {
+		t.Error("minPts=0 accepted")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	res, err := Cluster(0, nil, 1, func(int) []int { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != 0 || len(res.Labels) != 0 {
+		t.Errorf("empty input result = %+v", res)
+	}
+}
+
+// TestPartitionProperty: with minPts=1, labels form a partition where
+// co-labeled items are connected in the eps-graph and every item is
+// labeled.
+func TestPartitionProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		points := make([]float64, len(raw))
+		for i, r := range raw {
+			points[i] = float64(r)
+		}
+		res, err := Cluster(len(points), nil, 1, pointNeighborhood(points, 3))
+		if err != nil {
+			return false
+		}
+		for _, l := range res.Labels {
+			if l == Noise {
+				return false // minPts=1 never yields noise
+			}
+		}
+		// Neighbors always share a label.
+		for i := range points {
+			for _, j := range pointNeighborhood(points, 3)(i) {
+				if res.Labels[i] != res.Labels[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/neat"
+)
+
+// nowSeconds returns a monotonic timestamp in seconds for coarse
+// experiment timing.
+func nowSeconds() float64 { return float64(time.Now().UnixNano()) / 1e9 }
+
+// AblationWeights runs flow-NEAT on ATL500 under each weight preset of
+// §III-B2 and reports how the flows change (design decision 4 in
+// DESIGN.md).
+func AblationWeights(e *Env) (*Table, error) {
+	t := &Table{
+		ID:     "ablation-weights",
+		Title:  "Merging-selectivity weight presets on ATL500 (paper §III-B2)",
+		Header: []string{"Preset", "(wq,wk,wv)", "Flows", "AvgRouteM", "MaxRouteM", "AvgCard"},
+		Notes: []string{
+			"flow-only follows major traffic streams; density-only concentrates on dense roads; speed-only prefers fast roads",
+		},
+	}
+	g, err := e.Graph("ATL")
+	if err != nil {
+		return nil, err
+	}
+	ds, err := e.Dataset("ATL", 500)
+	if err != nil {
+		return nil, err
+	}
+	p := neat.NewPipeline(g)
+	presets := []struct {
+		name string
+		w    neat.Weights
+	}{
+		{"flow-only", neat.WeightsFlowOnly},
+		{"density-only", neat.WeightsDensityOnly},
+		{"speed-only", neat.WeightsSpeedOnly},
+		{"balanced", neat.WeightsBalanced},
+		{"traffic-monitoring", neat.WeightsTrafficMonitoring},
+	}
+	for _, preset := range presets {
+		cfg := e.NEATConfig()
+		cfg.Flow.Weights = preset.w
+		res, err := p.Run(ds, cfg, neat.LevelFlow)
+		if err != nil {
+			return nil, err
+		}
+		var avg, max, card float64
+		for _, f := range res.Flows {
+			l := f.RouteLength(g)
+			avg += l
+			if l > max {
+				max = l
+			}
+			card += float64(f.Cardinality())
+		}
+		if n := float64(len(res.Flows)); n > 0 {
+			avg /= n
+			card /= n
+		}
+		t.AddRow(preset.name,
+			fmt.Sprintf("(%.2g,%.2g,%.2g)", preset.w.Flow, preset.w.Density, preset.w.Speed),
+			len(res.Flows), avg, max, card)
+	}
+	return t, nil
+}
+
+// AblationBeta varies the domination threshold β (design decision 2):
+// β=+Inf reduces Phase 2 to pure maxFlow-neighbor merging, smaller β
+// values split off dominant cross flows more aggressively.
+func AblationBeta(e *Env) (*Table, error) {
+	t := &Table{
+		ID:     "ablation-beta",
+		Title:  "Domination threshold β on ATL500 (paper §III-B2)",
+		Header: []string{"Beta", "Flows", "AvgRouteM", "AvgCard"},
+	}
+	g, err := e.Graph("ATL")
+	if err != nil {
+		return nil, err
+	}
+	ds, err := e.Dataset("ATL", 500)
+	if err != nil {
+		return nil, err
+	}
+	p := neat.NewPipeline(g)
+	for _, beta := range []float64{0 /* = +Inf */, 20, 10, 5, 2, 1.2} {
+		cfg := e.NEATConfig()
+		cfg.Flow.Beta = beta
+		res, err := p.Run(ds, cfg, neat.LevelFlow)
+		if err != nil {
+			return nil, err
+		}
+		var avg, card float64
+		for _, f := range res.Flows {
+			avg += f.RouteLength(g)
+			card += float64(f.Cardinality())
+		}
+		if n := float64(len(res.Flows)); n > 0 {
+			avg /= n
+			card /= n
+		}
+		label := fmt.Sprintf("%g", beta)
+		if beta == 0 {
+			label = "+Inf"
+		}
+		t.AddRow(label, len(res.Flows), avg, card)
+	}
+	return t, nil
+}
+
+// AblationSP compares the shortest-path kernels available to Phase 3
+// (design decision 5): the paper's Dijkstra, A*, and bidirectional
+// Dijkstra, all with ELB on.
+func AblationSP(e *Env) (*Table, error) {
+	t := &Table{
+		ID:     "ablation-sp",
+		Title:  "Phase 3 shortest-path kernel on ATL500 (ELB on)",
+		Header: []string{"Kernel", "Clusters", "Seconds", "SPQueries", "SettledNodes"},
+	}
+	g, err := e.Graph("ATL")
+	if err != nil {
+		return nil, err
+	}
+	ds, err := e.Dataset("ATL", 500)
+	if err != nil {
+		return nil, err
+	}
+	p := neat.NewPipeline(g)
+	flowRes, err := p.Run(ds, e.NEATConfig(), neat.LevelFlow)
+	if err != nil {
+		return nil, err
+	}
+	for _, algo := range []neat.SPAlgo{neat.SPDijkstra, neat.SPAStar, neat.SPBidirectional, neat.SPALT, neat.SPCH} {
+		cfg := neat.RefineConfig{
+			Epsilon: e.Epsilon(6500),
+			UseELB:  true,
+			Bounded: algo == neat.SPDijkstra,
+			Algo:    algo,
+		}
+		start := nowSeconds()
+		clusters, stats, err := neat.RefineFlows(g, flowRes.Flows, cfg)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(algo.String(), len(clusters), nowSeconds()-start, stats.SPQueries, stats.SettledNodes)
+	}
+	return t, nil
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"repro/internal/neat"
+	"repro/internal/quality"
+	"repro/internal/traclus"
+)
+
+// Accuracy quantifies the paper's effectiveness argument (§IV.C's
+// visual comparison) with the metrics of internal/quality: NEAT's
+// clusters should cover the traffic with far fewer, far longer, and
+// internally consistent representatives, while TraClus fragments the
+// same traffic into short discrete pieces.
+func Accuracy(e *Env) (*Table, error) {
+	t := &Table{
+		ID:    "accuracy",
+		Title: "Clustering effectiveness, NEAT vs TraClus (quantifying §IV.C)",
+		Header: []string{"Dataset", "System", "Clusters", "UnitCov", "TrajCov",
+			"AvgRepM", "MaxRepM", "FlowConsistency"},
+		Notes: []string{
+			"UnitCov/TrajCov: fraction of clustering units / input trajectories captured",
+			"FlowConsistency: median fraction of a flow's route its trajectories traverse (NEAT only)",
+		},
+	}
+	for _, region := range []string{"ATL", "SJ"} {
+		g, err := e.Graph(region)
+		if err != nil {
+			return nil, err
+		}
+		ds, err := e.Dataset(region, 500)
+		if err != nil {
+			return nil, err
+		}
+		p := neat.NewPipeline(g)
+		nres, err := p.Run(ds, e.NEATConfig(), neat.LevelFlow)
+		if err != nil {
+			return nil, err
+		}
+		nm := quality.EvaluateNEAT(g, nres, len(ds.Trajectories))
+		t.AddRow(ds.Name, "flow-NEAT", nm.NumClusters, nm.UnitCoverage, nm.TrajectoryCoverage,
+			nm.AvgRepLength, nm.MaxRepLength, nm.FlowConsistency)
+
+		tres, err := traclus.Run(ds, traclus.Config{Epsilon: 10, MinLns: e.traclusMinLns(30)})
+		if err != nil {
+			return nil, err
+		}
+		tm := quality.EvaluateTraClus(tres, len(ds.Trajectories))
+		t.AddRow(ds.Name, "TraClus", tm.NumClusters, tm.UnitCoverage, tm.TrajectoryCoverage,
+			tm.AvgRepLength, tm.MaxRepLength, "-")
+	}
+	return t, nil
+}

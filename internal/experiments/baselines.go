@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"repro/internal/neat"
+	"repro/internal/toptics"
+	"repro/internal/traclus"
+)
+
+// Baselines compares the three clustering families on one dataset:
+// NEAT (this paper), TraClus (partial trajectories, Euclidean — the
+// paper's §IV baseline), and Trajectory-OPTICS (whole trajectories,
+// time-averaged Euclidean — related work [24]). The contrast shows why
+// the paper dismisses whole-trajectory clustering: it cannot surface
+// shared sub-routes and its output says nothing about the network.
+func Baselines(e *Env) (*Table, error) {
+	t := &Table{
+		ID:     "baselines",
+		Title:  "Three clustering families on ATL500 (NEAT vs TraClus [13] vs T-OPTICS [24])",
+		Header: []string{"System", "Unit", "Clusters", "Noise", "Seconds", "DistanceCalls"},
+		Notes: []string{
+			"T-OPTICS clusters whole trajectories: co-travelling trips group, shared sub-routes are invisible",
+			"TraClus finds dense sub-trajectory regions but no route continuity; NEAT needs no distance calls before Phase 3",
+		},
+	}
+	g, err := e.Graph("ATL")
+	if err != nil {
+		return nil, err
+	}
+	ds, err := e.Dataset("ATL", 500)
+	if err != nil {
+		return nil, err
+	}
+
+	start := nowSeconds()
+	nres, err := neat.NewPipeline(g).Run(ds, e.NEATConfig(), neat.LevelOpt)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("opt-NEAT", "t-fragment", len(nres.Clusters), 0, nowSeconds()-start, nres.RefineStats.SPQueries)
+
+	tres, err := traclus.Run(ds, traclus.Config{Epsilon: 10, MinLns: e.traclusMinLns(30)})
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("TraClus", "line segment", len(tres.Clusters), tres.NoiseSegments,
+		tres.Timing.Total().Seconds(), tres.DistanceCalls)
+
+	ores, err := toptics.Run(ds, toptics.Config{Epsilon: e.Epsilon(800), MinPts: 3})
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("T-OPTICS", "trajectory", ores.NumClusters, ores.Noise,
+		ores.Elapsed.Seconds(), ores.DistanceCalls)
+	return t, nil
+}

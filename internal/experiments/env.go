@@ -1,0 +1,172 @@
+// Package experiments reproduces the paper's evaluation (§IV): every
+// table and figure has a runner that generates the workload, executes
+// the systems under test, and reports paper-vs-measured rows. The
+// runners are shared by cmd/neatbench (human-readable reports) and the
+// repository-level testing.B benchmarks.
+//
+// Scaling: the paper's largest configurations (1.27M points; TraClus at
+// 334,735 s) are impractical to regenerate verbatim against a quadratic
+// baseline, so the environment supports a scale factor that shrinks
+// both the maps and the object counts while preserving the
+// experimental shape. Distance thresholds (ε) are scaled by the map's
+// linear factor. All reports state the scale they ran at.
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mapgen"
+	"repro/internal/mobisim"
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+)
+
+// PaperObjectCounts are the per-map object counts of Table II.
+var PaperObjectCounts = []int{500, 1000, 2000, 3000, 5000}
+
+// Regions in report order.
+var Regions = []string{"ATL", "SJ", "MIA"}
+
+// Env lazily builds and caches the maps, layouts, and datasets the
+// experiments share. An Env is not safe for concurrent use.
+type Env struct {
+	scale    float64
+	graphs   map[string]*roadnet.Graph
+	layouts  map[string]mobisim.Layout
+	sims     map[string]*mobisim.Simulator
+	datasets map[string]traj.Dataset
+}
+
+// NewEnv creates an environment at the given scale in (0, 1]. Scale 1
+// reproduces the paper's full map and dataset sizes.
+func NewEnv(scale float64) (*Env, error) {
+	if scale <= 0 || scale > 1 {
+		return nil, fmt.Errorf("experiments: scale %g out of (0, 1]", scale)
+	}
+	return &Env{
+		scale:    scale,
+		graphs:   make(map[string]*roadnet.Graph),
+		layouts:  make(map[string]mobisim.Layout),
+		sims:     make(map[string]*mobisim.Simulator),
+		datasets: make(map[string]traj.Dataset),
+	}, nil
+}
+
+// Scale returns the environment's scale factor.
+func (e *Env) Scale() float64 { return e.scale }
+
+// LinearScale returns the approximate linear shrink factor of the maps
+// (square root of the areal scale); distance thresholds are multiplied
+// by this to stay proportionate.
+func (e *Env) LinearScale() float64 { return math.Sqrt(e.scale) }
+
+// Epsilon scales a paper distance threshold (meters) to the
+// environment's map size.
+func (e *Env) Epsilon(paperMeters float64) float64 {
+	return paperMeters * e.LinearScale()
+}
+
+// Objects scales a paper object count, keeping at least 5.
+func (e *Env) Objects(paperCount int) int {
+	n := int(float64(paperCount) * e.scale)
+	if n < 5 {
+		n = 5
+	}
+	return n
+}
+
+// Graph returns the (cached) road network for a region code.
+func (e *Env) Graph(region string) (*roadnet.Graph, error) {
+	if g, ok := e.graphs[region]; ok {
+		return g, nil
+	}
+	cfg, ok := mapgen.Presets()[region]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown region %q", region)
+	}
+	if e.scale < 1 {
+		cfg = cfg.Scaled(e.scale)
+	}
+	g, err := mapgen.Generate(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: generate %s: %w", region, err)
+	}
+	e.graphs[region] = g
+	return g, nil
+}
+
+// Layout returns the (cached) hotspot/destination layout for a region,
+// shared by all of the region's datasets as in the paper's setup.
+func (e *Env) Layout(region string) (mobisim.Layout, error) {
+	if l, ok := e.layouts[region]; ok {
+		return l, nil
+	}
+	sim, err := e.simulator(region)
+	if err != nil {
+		return mobisim.Layout{}, err
+	}
+	cfg := e.simConfig(region, 500)
+	l, err := sim.PlanLayout(cfg)
+	if err != nil {
+		return mobisim.Layout{}, fmt.Errorf("experiments: layout %s: %w", region, err)
+	}
+	e.layouts[region] = l
+	return l, nil
+}
+
+func (e *Env) simulator(region string) (*mobisim.Simulator, error) {
+	if s, ok := e.sims[region]; ok {
+		return s, nil
+	}
+	g, err := e.Graph(region)
+	if err != nil {
+		return nil, err
+	}
+	s := mobisim.New(g)
+	e.sims[region] = s
+	return s, nil
+}
+
+// regionSeed gives each region a stable dataset seed.
+func regionSeed(region string) int64 {
+	var h int64
+	for _, r := range region {
+		h = h*31 + int64(r)
+	}
+	return h
+}
+
+func (e *Env) simConfig(region string, paperObjects int) mobisim.Config {
+	name := fmt.Sprintf("%s%d", region, paperObjects)
+	cfg := mobisim.DefaultConfig(name, e.Objects(paperObjects), regionSeed(region)+int64(paperObjects))
+	// Hotspot radius shrinks with the map.
+	cfg.HotspotRadius = 800 * e.LinearScale()
+	if cfg.HotspotRadius < 150 {
+		cfg.HotspotRadius = 150
+	}
+	return cfg
+}
+
+// Dataset returns the (cached) mobility dataset for a region at a
+// paper-scale object count (e.g. "SJ", 2000 reproduces SJ2000 scaled).
+func (e *Env) Dataset(region string, paperObjects int) (traj.Dataset, error) {
+	key := fmt.Sprintf("%s%d", region, paperObjects)
+	if d, ok := e.datasets[key]; ok {
+		return d, nil
+	}
+	sim, err := e.simulator(region)
+	if err != nil {
+		return traj.Dataset{}, err
+	}
+	layout, err := e.Layout(region)
+	if err != nil {
+		return traj.Dataset{}, err
+	}
+	ds, err := sim.SimulateWithLayout(e.simConfig(region, paperObjects), layout)
+	if err != nil {
+		return traj.Dataset{}, fmt.Errorf("experiments: simulate %s: %w", key, err)
+	}
+	e.datasets[key] = ds
+	return ds, nil
+}

@@ -1,0 +1,378 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"repro/internal/neat"
+	"repro/internal/traclus"
+	"repro/internal/viz"
+)
+
+// traclusMinLns scales the paper's MinLns with the object count so the
+// density threshold stays proportionate at reduced scales.
+func (e *Env) traclusMinLns(paperMinLns int) int {
+	m := int(math.Round(float64(paperMinLns) * e.Scale()))
+	if m < 2 {
+		m = 2
+	}
+	return m
+}
+
+// Fig3 regenerates the Fig 3 visualization pipeline on ATL500: the
+// input dataset, the Phase 2 flow clusters, and the refined clusters at
+// ε = 6500 m (scaled). When outDir is non-empty, three SVGs are written
+// there (fig3a-input.svg, fig3b-flows.svg, fig3c-clusters.svg).
+func Fig3(e *Env, outDir string) (*Table, error) {
+	t := &Table{
+		ID:     "fig3",
+		Title:  "NEAT clustering of ATL500 (paper Fig 3: 500 trajectories -> 31 flows -> 2 clusters)",
+		Header: []string{"Stage", "Count", "Paper"},
+	}
+	g, err := e.Graph("ATL")
+	if err != nil {
+		return nil, err
+	}
+	ds, err := e.Dataset("ATL", 500)
+	if err != nil {
+		return nil, err
+	}
+	layout, err := e.Layout("ATL")
+	if err != nil {
+		return nil, err
+	}
+	p := neat.NewPipeline(g)
+	res, err := p.Run(ds, e.NEATConfig(), neat.LevelOpt)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("input trajectories", len(ds.Trajectories), 500)
+	t.AddRow("flow clusters (minCard=5)", len(res.Flows), 31)
+	t.AddRow(fmt.Sprintf("final clusters (eps=%.0fm)", e.Epsilon(6500)), len(res.Clusters), 2)
+	t.Notes = append(t.Notes,
+		"flows concentrate between the two hotspots and the three destinations; refinement merges flows whose routes end near each other")
+
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return nil, fmt.Errorf("experiments: fig3 output dir: %w", err)
+		}
+		write := func(name string, draw func(c *viz.Canvas) error) error {
+			c := viz.NewCanvas(g, 1000)
+			c.DrawNetwork()
+			if err := draw(c); err != nil {
+				return err
+			}
+			c.DrawMarkers(layout.Hotspots, layout.Destinations)
+			f, err := os.Create(filepath.Join(outDir, name))
+			if err != nil {
+				return fmt.Errorf("experiments: fig3 create %s: %w", name, err)
+			}
+			defer f.Close()
+			if _, err := c.WriteTo(f); err != nil {
+				return fmt.Errorf("experiments: fig3 write %s: %w", name, err)
+			}
+			return f.Close()
+		}
+		if err := write("fig3a-input.svg", func(c *viz.Canvas) error { c.DrawDataset(ds); return nil }); err != nil {
+			return nil, err
+		}
+		if err := write("fig3b-flows.svg", func(c *viz.Canvas) error { return c.DrawFlows(res.Flows) }); err != nil {
+			return nil, err
+		}
+		if err := write("fig3c-clusters.svg", func(c *viz.Canvas) error { return c.DrawClusters(res.Clusters) }); err != nil {
+			return nil, err
+		}
+		t.Notes = append(t.Notes, "SVGs written to "+outDir)
+	}
+	return t, nil
+}
+
+// Fig4 regenerates Fig 4: TraClus on ATL500 at the two published
+// parameter settings, optionally writing the representative-trajectory
+// visualizations.
+func Fig4(e *Env, outDir string) (*Table, error) {
+	t := &Table{
+		ID:     "fig4",
+		Title:  "TraClus on ATL500 (paper Fig 4: 81 clusters at eps=10/MinLns=30, 460 at eps=1/MinLns=1)",
+		Header: []string{"Setting", "Clusters", "Paper", "Noise", "AvgRepLenM"},
+		Notes: []string{
+			"TraClus clusters are short, discrete dense regions — they miss the route continuity NEAT captures (compare AvgRepLen with fig5)",
+		},
+	}
+	ds, err := e.Dataset("ATL", 500)
+	if err != nil {
+		return nil, err
+	}
+	settings := []struct {
+		label   string
+		cfg     traclus.Config
+		paper   int
+		svgName string
+	}{
+		{"eps=10 MinLns=30", traclus.Config{Epsilon: 10, MinLns: e.traclusMinLns(30)}, 81, "fig4a-traclus.svg"},
+		{"eps=1 MinLns=1", traclus.Config{Epsilon: 1, MinLns: 1}, 460, "fig4b-traclus.svg"},
+	}
+	for _, s := range settings {
+		res, err := traclus.Run(ds, s.cfg)
+		if err != nil {
+			return nil, err
+		}
+		var avg float64
+		for _, c := range res.Clusters {
+			avg += c.RepresentativeLength()
+		}
+		if len(res.Clusters) > 0 {
+			avg /= float64(len(res.Clusters))
+		}
+		t.AddRow(s.label, len(res.Clusters), s.paper, res.NoiseSegments, avg)
+
+		if outDir != "" {
+			g, err := e.Graph("ATL")
+			if err != nil {
+				return nil, err
+			}
+			c := viz.NewCanvas(g, 1000)
+			c.DrawNetwork()
+			c.DrawTraClus(res.Clusters)
+			if err := os.MkdirAll(outDir, 0o755); err != nil {
+				return nil, fmt.Errorf("experiments: fig4 output dir: %w", err)
+			}
+			f, err := os.Create(filepath.Join(outDir, s.svgName))
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig4 create: %w", err)
+			}
+			if _, err := c.WriteTo(f); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("experiments: fig4 write: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return t, nil
+}
+
+// Fig5 regenerates Fig 5: flow-NEAT vs TraClus on the ATL datasets —
+// average and maximum representative route lengths (5a, 5b), resulting
+// cluster counts (5c), and running times (5d, the semi-log comparison
+// where NEAT wins by orders of magnitude).
+func Fig5(e *Env) (*Table, error) {
+	t := &Table{
+		ID:    "fig5",
+		Title: "flow-NEAT vs TraClus on ATL datasets (paper Fig 5)",
+		Header: []string{"Dataset", "Points",
+			"NEAT#", "NEATAvgM", "NEATMaxM", "NEATSec",
+			"TC#", "TCAvgM", "TCMaxM", "TCSec", "Speedup"},
+		Notes: []string{
+			"paper anchors: TraClus 2573.5 s vs opt-NEAT 1.29 s on ATL500; 334735.1 s vs 59.7 s on ATL5000 (>3 orders of magnitude)",
+			"NEAT representative routes are several times longer than TraClus representatives (5a/5b) and there are fewer of them (5c)",
+		},
+	}
+	g, err := e.Graph("ATL")
+	if err != nil {
+		return nil, err
+	}
+	p := neat.NewPipeline(g)
+	cfg := e.NEATConfig()
+	tcCfg := traclus.Config{Epsilon: 10, MinLns: e.traclusMinLns(30)}
+	for _, paperObjects := range PaperObjectCounts {
+		ds, err := e.Dataset("ATL", paperObjects)
+		if err != nil {
+			return nil, err
+		}
+		res, err := p.Run(ds, cfg, neat.LevelOpt)
+		if err != nil {
+			return nil, err
+		}
+		var nAvg, nMax float64
+		for _, f := range res.Flows {
+			l := f.RouteLength(g)
+			nAvg += l
+			if l > nMax {
+				nMax = l
+			}
+		}
+		if len(res.Flows) > 0 {
+			nAvg /= float64(len(res.Flows))
+		}
+		neatSec := res.Timing.Total().Seconds()
+
+		tcRes, err := traclus.Run(ds, tcCfg)
+		if err != nil {
+			return nil, err
+		}
+		var tAvg, tMax float64
+		for _, c := range tcRes.Clusters {
+			l := c.RepresentativeLength()
+			tAvg += l
+			if l > tMax {
+				tMax = l
+			}
+		}
+		if len(tcRes.Clusters) > 0 {
+			tAvg /= float64(len(tcRes.Clusters))
+		}
+		tcSec := tcRes.Timing.Total().Seconds()
+		speedup := math.Inf(1)
+		if neatSec > 0 {
+			speedup = tcSec / neatSec
+		}
+		t.AddRow(ds.Name, ds.TotalPoints(),
+			len(res.Flows), nAvg, nMax, neatSec,
+			len(tcRes.Clusters), tAvg, tMax, tcSec,
+			fmt.Sprintf("%.0fx", speedup))
+	}
+	return t, nil
+}
+
+// Fig6 regenerates Fig 6: the scaling of base-, flow-, and opt-NEAT on
+// the MIA datasets (6a) and the relative cost of Phase 1 vs Phase 2
+// (6b).
+func Fig6(e *Env) (*Table, error) {
+	t := &Table{
+		ID:    "fig6",
+		Title: "NEAT phase scaling (paper Fig 6: near-linear curves; Phase 1 dominates Phase 2)",
+		Header: []string{"Dataset", "Points",
+			"BaseSec", "FlowSec", "OptSec", "Phase1Sec", "Phase2Sec", "P1/P2"},
+		Notes: []string{
+			"opt-NEAT nearly overlaps flow-NEAT because ELB keeps Phase 3 cheap (6a)",
+			"Phase 1 processes every location point while Phase 2 processes only base clusters, so Phase 1 dominates (6b)",
+		},
+	}
+	for _, region := range []string{"MIA", "ATL"} {
+		g, err := e.Graph(region)
+		if err != nil {
+			return nil, err
+		}
+		p := neat.NewPipeline(g)
+		cfg := e.NEATConfig()
+		for _, paperObjects := range PaperObjectCounts {
+			ds, err := e.Dataset(region, paperObjects)
+			if err != nil {
+				return nil, err
+			}
+			res, err := p.Run(ds, cfg, neat.LevelOpt)
+			if err != nil {
+				return nil, err
+			}
+			p1 := res.Timing.Phase1.Seconds()
+			p2 := res.Timing.Phase2.Seconds()
+			base := p1
+			flow := p1 + p2
+			opt := res.Timing.Total().Seconds()
+			ratio := math.Inf(1)
+			if p2 > 0 {
+				ratio = p1 / p2
+			}
+			t.AddRow(ds.Name, ds.TotalPoints(), base, flow, opt, p1, p2, fmt.Sprintf("%.1fx", ratio))
+		}
+	}
+	return t, nil
+}
+
+// Fig7 regenerates Fig 7: the effectiveness of the Euclidean lower
+// bound — Phase 3 cost with ELB versus full Dijkstra computation, on
+// the ATL (7a) and SJ (7b) datasets. The SJ series demonstrates that
+// refinement cost tracks the number of flows (Table III), not the
+// dataset size.
+func Fig7(e *Env) (*Table, error) {
+	t := &Table{
+		ID:    "fig7",
+		Title: "ELB vs Dijkstra in Phase 3 (paper Fig 7)",
+		Header: []string{"Dataset", "Flows",
+			"ELBSec", "DijkstraSec", "ELBQueries", "DijkstraQueries", "PairsPruned"},
+		Notes: []string{
+			"cost follows the flow count, not dataset size: compare SJ rows against Table III",
+		},
+	}
+	for _, region := range []string{"ATL", "SJ"} {
+		g, err := e.Graph(region)
+		if err != nil {
+			return nil, err
+		}
+		p := neat.NewPipeline(g)
+		for _, paperObjects := range PaperObjectCounts {
+			ds, err := e.Dataset(region, paperObjects)
+			if err != nil {
+				return nil, err
+			}
+			flowRes, err := p.Run(ds, e.NEATConfig(), neat.LevelFlow)
+			if err != nil {
+				return nil, err
+			}
+			elbCfg := neat.RefineConfig{Epsilon: e.Epsilon(6500), UseELB: true, Bounded: true}
+			_, elbStats, err := neat.RefineFlows(g, flowRes.Flows, elbCfg)
+			if err != nil {
+				return nil, err
+			}
+			elbStart := nowSeconds()
+			if _, _, err := neat.RefineFlows(g, flowRes.Flows, elbCfg); err != nil {
+				return nil, err
+			}
+			elbSec := nowSeconds() - elbStart
+
+			djCfg := neat.RefineConfig{Epsilon: e.Epsilon(6500), UseELB: false, Bounded: false}
+			djStart := nowSeconds()
+			_, djStats, err := neat.RefineFlows(g, flowRes.Flows, djCfg)
+			if err != nil {
+				return nil, err
+			}
+			djSec := nowSeconds() - djStart
+
+			t.AddRow(ds.Name, len(flowRes.Flows), elbSec, djSec,
+				elbStats.SPQueries, djStats.SPQueries, elbStats.ELBPruned)
+		}
+	}
+	return t, nil
+}
+
+// Variant regenerates the §IV.C hybrid comparison on SJ2000: TraClus'
+// grouping over NEAT base clusters with the modified Hausdorff
+// distance, versus the full NEAT pipeline.
+func Variant(e *Env) (*Table, error) {
+	t := &Table{
+		ID:     "variant",
+		Title:  "TraClus-on-base-clusters hybrid vs NEAT on SJ2000 (paper §IV.C: 6396.79 s / 117 clusters vs 11.68 s / 42 flows + 14 clusters)",
+		Header: []string{"System", "Input", "Clusters", "Seconds", "SPQueries"},
+	}
+	g, err := e.Graph("SJ")
+	if err != nil {
+		return nil, err
+	}
+	ds, err := e.Dataset("SJ", 2000)
+	if err != nil {
+		return nil, err
+	}
+	p := neat.NewPipeline(g)
+
+	start := nowSeconds()
+	res, err := p.Run(ds, e.NEATConfig(), neat.LevelOpt)
+	if err != nil {
+		return nil, err
+	}
+	neatSec := nowSeconds() - start
+	t.AddRow("opt-NEAT",
+		fmt.Sprintf("%d t-fragments / %d base clusters", res.NumFragments, len(res.BaseClusters)),
+		fmt.Sprintf("%d flows -> %d clusters", len(res.Flows), len(res.Clusters)),
+		neatSec, res.RefineStats.SPQueries)
+
+	// The hybrid's ε is tighter than Phase 3's: it groups individual
+	// base clusters (one segment each), not whole flow routes, so the
+	// paper-scale threshold would connect everything.
+	vres, err := traclus.RunVariant(g, res.BaseClusters, traclus.VariantConfig{
+		Epsilon: e.Epsilon(500),
+		MinLns:  2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("TraClus hybrid",
+		fmt.Sprintf("%d base clusters", vres.NumBaseClusters),
+		len(vres.Clusters), vres.Elapsed.Seconds(), vres.SPQueries)
+	t.Notes = append(t.Notes,
+		"the hybrid pays four full shortest paths per base-cluster pair; NEAT's first two phases need no distance computation at all")
+	return t, nil
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner executes one experiment. outDir receives auxiliary artifacts
+// (SVGs); runners that produce none ignore it.
+type Runner func(e *Env, outDir string) (*Table, error)
+
+// Registry maps experiment ids to their runners, in the order of the
+// paper's evaluation section.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"table1":           func(e *Env, _ string) (*Table, error) { return TableI(e) },
+		"table2":           func(e *Env, _ string) (*Table, error) { return TableII(e) },
+		"table3":           func(e *Env, _ string) (*Table, error) { return TableIII(e) },
+		"fig3":             Fig3,
+		"fig4":             Fig4,
+		"fig5":             func(e *Env, _ string) (*Table, error) { return Fig5(e) },
+		"fig6":             func(e *Env, _ string) (*Table, error) { return Fig6(e) },
+		"fig7":             func(e *Env, _ string) (*Table, error) { return Fig7(e) },
+		"variant":          func(e *Env, _ string) (*Table, error) { return Variant(e) },
+		"accuracy":         func(e *Env, _ string) (*Table, error) { return Accuracy(e) },
+		"baselines":        func(e *Env, _ string) (*Table, error) { return Baselines(e) },
+		"workloads":        func(e *Env, _ string) (*Table, error) { return Workloads(e) },
+		"mapmatch":         func(e *Env, _ string) (*Table, error) { return MapMatch(e) },
+		"traclus-index":    func(e *Env, _ string) (*Table, error) { return TraClusIndex(e) },
+		"scaling":          func(e *Env, _ string) (*Table, error) { return Scaling(e) },
+		"ablation-weights": func(e *Env, _ string) (*Table, error) { return AblationWeights(e) },
+		"ablation-beta":    func(e *Env, _ string) (*Table, error) { return AblationBeta(e) },
+		"ablation-sp":      func(e *Env, _ string) (*Table, error) { return AblationSP(e) },
+	}
+}
+
+// Order returns the canonical run order of all experiment ids.
+func Order() []string {
+	ids := make([]string, 0)
+	for id := range Registry() {
+		ids = append(ids, id)
+	}
+	rank := map[string]int{
+		"table1": 0, "table2": 1, "fig3": 2, "fig4": 3, "fig5": 4,
+		"fig6": 5, "table3": 6, "fig7": 7, "variant": 8, "accuracy": 9,
+		"baselines": 10, "workloads": 11, "mapmatch": 12, "traclus-index": 13,
+		"scaling":          14,
+		"ablation-weights": 15, "ablation-beta": 16, "ablation-sp": 17,
+	}
+	sort.Slice(ids, func(i, j int) bool { return rank[ids[i]] < rank[ids[j]] })
+	return ids
+}
+
+// Run executes the experiment with the given id.
+func Run(e *Env, id, outDir string) (*Table, error) {
+	r, ok := Registry()[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, Order())
+	}
+	return r(e, outDir)
+}

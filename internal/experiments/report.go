@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a formatted experiment result: a titled grid of rows plus
+// free-form notes (scale caveats, paper references).
+type Table struct {
+	ID     string // experiment id, e.g. "table1", "fig5d"
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(values ...any) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = formatFloat(x)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(x float64) string {
+	switch {
+	case x == 0:
+		return "0"
+	case x >= 1000:
+		return fmt.Sprintf("%.0f", x)
+	case x >= 10:
+		return fmt.Sprintf("%.1f", x)
+	default:
+		return fmt.Sprintf("%.3f", x)
+	}
+}
+
+// WriteTo renders the table as aligned plain text.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	var sb strings.Builder
+	sb.WriteString(fmt.Sprintf("== %s: %s ==\n", t.ID, t.Title))
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			if pad := widths[i] - len(cell); pad > 0 && i < len(cells)-1 {
+				sb.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		sb.WriteString("\n")
+	}
+	line(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteString("\n")
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		sb.WriteString("note: " + n + "\n")
+	}
+	sb.WriteString("\n")
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}
+
+// String renders the table for logs and tests.
+func (t *Table) String() string {
+	var sb strings.Builder
+	if _, err := t.WriteTo(&sb); err != nil {
+		return fmt.Sprintf("table %s: %v", t.ID, err)
+	}
+	return sb.String()
+}
+
+// WriteMarkdown renders the table as a GitHub-flavored Markdown
+// section, for pasting into EXPERIMENTS-style documents.
+func (t *Table) WriteMarkdown(w io.Writer) (int64, error) {
+	var sb strings.Builder
+	sb.WriteString(fmt.Sprintf("## %s — %s\n\n", t.ID, t.Title))
+	sb.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	sb.WriteString("|" + strings.Repeat("---|", len(t.Header)) + "\n")
+	for _, row := range t.Rows {
+		cells := make([]string, len(t.Header))
+		for i := range cells {
+			if i < len(row) {
+				cells[i] = row[i]
+			}
+		}
+		sb.WriteString("| " + strings.Join(cells, " | ") + " |\n")
+	}
+	if len(t.Notes) > 0 {
+		sb.WriteString("\n")
+		for _, n := range t.Notes {
+			sb.WriteString("> " + n + "\n")
+		}
+	}
+	sb.WriteString("\n")
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/neat"
+	"repro/internal/roadnet"
+)
+
+// paperTableI holds the published road-network statistics (Table I).
+var paperTableI = map[string]roadnet.Stats{
+	"ATL": {TotalLengthKm: 1384.4, NumSegments: 9187, AvgSegLenM: 150.7, NumJunctions: 6979, AvgDegree: 2.6, MaxDegree: 6},
+	"SJ":  {TotalLengthKm: 1821.2, NumSegments: 14600, AvgSegLenM: 124.7, NumJunctions: 10929, AvgDegree: 2.7, MaxDegree: 6},
+	"MIA": {TotalLengthKm: 26148.3, NumSegments: 154681, AvgSegLenM: 169.0, NumJunctions: 103377, AvgDegree: 3.0, MaxDegree: 9},
+}
+
+// paperTableII holds the published dataset point counts (Table II),
+// keyed by region, indexed parallel to PaperObjectCounts.
+var paperTableII = map[string][]int{
+	"ATL": {114878, 233793, 468738, 669924, 1277521},
+	"SJ":  {131982, 255162, 542598, 794638, 1296739},
+	"MIA": {276711, 452224, 893412, 1302145, 2262313},
+}
+
+// paperTableIII holds the published flow counts of opt-NEAT on the SJ
+// datasets (Table III).
+var paperTableIII = []int{73, 156, 55, 52, 180}
+
+// TableI regenerates Table I: the statistics of the (synthetic
+// stand-in) road networks, against the published values.
+func TableI(e *Env) (*Table, error) {
+	t := &Table{
+		ID:     "table1",
+		Title:  "Road networks used in the experiments (paper Table I)",
+		Header: []string{"Region", "TotalKm", "Segments", "AvgSegM", "Junctions", "AvgDeg", "MaxDeg", "PaperKm", "PaperSegs", "PaperAvgM", "PaperJuncs", "PaperDeg"},
+		Notes: []string{
+			fmt.Sprintf("maps generated synthetically at scale %.3g; scale-invariant columns (AvgSegM, AvgDeg, MaxDeg) are directly comparable", e.Scale()),
+		},
+	}
+	for _, region := range Regions {
+		g, err := e.Graph(region)
+		if err != nil {
+			return nil, err
+		}
+		s := roadnet.ComputeStats(g)
+		p := paperTableI[region]
+		t.AddRow(region, s.TotalLengthKm, s.NumSegments, s.AvgSegLenM, s.NumJunctions, s.AvgDegree, s.MaxDegree,
+			p.TotalLengthKm, p.NumSegments, p.AvgSegLenM, p.NumJunctions,
+			fmt.Sprintf("%.1f/%d", p.AvgDegree, p.MaxDegree))
+	}
+	return t, nil
+}
+
+// TableII regenerates Table II: the number of location points per
+// dataset, against the published counts.
+func TableII(e *Env) (*Table, error) {
+	t := &Table{
+		ID:     "table2",
+		Title:  "Datasets used in the experiments (paper Table II)",
+		Header: []string{"Dataset", "Objects", "Points", "PaperPoints", "PtsPerObject"},
+		Notes: []string{
+			fmt.Sprintf("object counts scaled by %.3g; points-per-object is the scale-invariant comparison", e.Scale()),
+		},
+	}
+	for _, region := range Regions {
+		for i, paperObjects := range PaperObjectCounts {
+			ds, err := e.Dataset(region, paperObjects)
+			if err != nil {
+				return nil, err
+			}
+			perObj := float64(ds.TotalPoints()) / float64(len(ds.Trajectories))
+			t.AddRow(ds.Name, len(ds.Trajectories), ds.TotalPoints(), paperTableII[region][i], perObj)
+		}
+	}
+	return t, nil
+}
+
+// NEATConfig returns the paper's main NEAT configuration at the
+// environment's scale: flow-factor merging, minCard 5, ε = 6500 m
+// (linearly scaled), ELB + bounded expansion on.
+func (e *Env) NEATConfig() neat.Config {
+	return neat.Config{
+		Flow: neat.FlowConfig{Weights: neat.WeightsFlowOnly, MinCard: 5},
+		Refine: neat.RefineConfig{
+			Epsilon: e.Epsilon(6500),
+			UseELB:  true,
+			Bounded: true,
+		},
+	}
+}
+
+// TableIII regenerates Table III: the number of flow clusters produced
+// by opt-NEAT's Phase 2 on the SJ datasets.
+func TableIII(e *Env) (*Table, error) {
+	t := &Table{
+		ID:     "table3",
+		Title:  "Number of flow clusters produced by opt-NEAT (paper Table III, SJ datasets)",
+		Header: []string{"Dataset", "Flows", "PaperFlows", "FilteredByMinCard"},
+		Notes: []string{
+			"the paper's point is the non-monotone relationship between dataset size and flow count, which drives Fig 7(b)",
+		},
+	}
+	g, err := e.Graph("SJ")
+	if err != nil {
+		return nil, err
+	}
+	p := neat.NewPipeline(g)
+	cfg := e.NEATConfig()
+	for i, paperObjects := range PaperObjectCounts {
+		ds, err := e.Dataset("SJ", paperObjects)
+		if err != nil {
+			return nil, err
+		}
+		res, err := p.Run(ds, cfg, neat.LevelFlow)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(ds.Name, len(res.Flows), paperTableIII[i], res.FilteredFlows)
+	}
+	return t, nil
+}

@@ -1,0 +1,255 @@
+// Package geo provides planar geometric primitives used throughout the
+// NEAT reproduction: points, line segments, polylines, and the distance
+// computations (point-segment projection, Hausdorff-style aggregates)
+// that the road-network model, the map matcher, and the TraClus baseline
+// are built on.
+//
+// All coordinates are planar and expressed in meters. Road networks in
+// this repository are generated in a local tangent plane, so Euclidean
+// geometry is exact rather than an approximation of geodesics.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in the plane, in meters.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for constructing a Point.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// Add returns p + q componentwise.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p - q componentwise.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by s.
+func (p Point) Scale(s float64) Point { return Point{p.X * s, p.Y * s} }
+
+// Dot returns the dot product of p and q viewed as vectors.
+func (p Point) Dot(q Point) float64 { return p.X*q.X + p.Y*q.Y }
+
+// Cross returns the z-component of the cross product of p and q viewed
+// as vectors.
+func (p Point) Cross(q Point) float64 { return p.X*q.Y - p.Y*q.X }
+
+// Norm returns the Euclidean length of p viewed as a vector.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 { return math.Hypot(p.X-q.X, p.Y-q.Y) }
+
+// DistSq returns the squared Euclidean distance between p and q. It is
+// cheaper than Dist and sufficient for comparisons.
+func (p Point) DistSq(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Lerp linearly interpolates between p and q; t=0 yields p, t=1 yields q.
+func (p Point) Lerp(q Point, t float64) Point {
+	return Point{p.X + (q.X-p.X)*t, p.Y + (q.Y-p.Y)*t}
+}
+
+// Equal reports whether p and q coincide exactly.
+func (p Point) Equal(q Point) bool { return p.X == q.X && p.Y == q.Y }
+
+// AlmostEqual reports whether p and q are within eps of each other.
+func (p Point) AlmostEqual(q Point, eps float64) bool { return p.Dist(q) <= eps }
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.2f, %.2f)", p.X, p.Y) }
+
+// Segment is a directed straight line segment from A to B.
+type Segment struct {
+	A, B Point
+}
+
+// Seg is shorthand for constructing a Segment.
+func Seg(a, b Point) Segment { return Segment{A: a, B: b} }
+
+// Length returns the Euclidean length of s.
+func (s Segment) Length() float64 { return s.A.Dist(s.B) }
+
+// Midpoint returns the midpoint of s.
+func (s Segment) Midpoint() Point { return s.A.Lerp(s.B, 0.5) }
+
+// Direction returns the unit direction vector of s, or the zero vector
+// when the segment is degenerate.
+func (s Segment) Direction() Point {
+	d := s.B.Sub(s.A)
+	n := d.Norm()
+	if n == 0 {
+		return Point{}
+	}
+	return d.Scale(1 / n)
+}
+
+// Angle returns the orientation of s in radians in (-pi, pi].
+func (s Segment) Angle() float64 {
+	d := s.B.Sub(s.A)
+	return math.Atan2(d.Y, d.X)
+}
+
+// Reverse returns s with endpoints swapped.
+func (s Segment) Reverse() Segment { return Segment{A: s.B, B: s.A} }
+
+// Project returns the parameter t in [0,1] of the point on s closest to
+// p, clamped to the segment, together with that closest point.
+func (s Segment) Project(p Point) (t float64, closest Point) {
+	d := s.B.Sub(s.A)
+	lenSq := d.Dot(d)
+	if lenSq == 0 {
+		return 0, s.A
+	}
+	t = p.Sub(s.A).Dot(d) / lenSq
+	t = clamp01(t)
+	return t, s.A.Lerp(s.B, t)
+}
+
+// DistToPoint returns the minimum Euclidean distance from p to any point
+// on s.
+func (s Segment) DistToPoint(p Point) float64 {
+	_, c := s.Project(p)
+	return p.Dist(c)
+}
+
+// PointAt returns the point at parameter t along s (t is clamped to
+// [0,1]).
+func (s Segment) PointAt(t float64) Point { return s.A.Lerp(s.B, clamp01(t)) }
+
+// PointAtArc returns the point at arc-length offset d from A along s
+// (clamped to the segment).
+func (s Segment) PointAtArc(d float64) Point {
+	l := s.Length()
+	if l == 0 {
+		return s.A
+	}
+	return s.PointAt(d / l)
+}
+
+func clamp01(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	if t > 1 {
+		return 1
+	}
+	return t
+}
+
+// Rect is an axis-aligned bounding rectangle. The zero Rect is the empty
+// rectangle (Min > Max), which Extend and Union treat as the identity.
+type Rect struct {
+	Min, Max Point
+}
+
+// EmptyRect returns a rectangle containing no points; extending it with
+// any point yields the degenerate rectangle at that point.
+func EmptyRect() Rect {
+	inf := math.Inf(1)
+	return Rect{Min: Point{inf, inf}, Max: Point{-inf, -inf}}
+}
+
+// RectFromPoints returns the smallest rectangle containing all pts.
+func RectFromPoints(pts ...Point) Rect {
+	r := EmptyRect()
+	for _, p := range pts {
+		r = r.Extend(p)
+	}
+	return r
+}
+
+// Empty reports whether r contains no points.
+func (r Rect) Empty() bool { return r.Min.X > r.Max.X || r.Min.Y > r.Max.Y }
+
+// Extend returns r grown to include p.
+func (r Rect) Extend(p Point) Rect {
+	return Rect{
+		Min: Point{math.Min(r.Min.X, p.X), math.Min(r.Min.Y, p.Y)},
+		Max: Point{math.Max(r.Max.X, p.X), math.Max(r.Max.Y, p.Y)},
+	}
+}
+
+// Union returns the smallest rectangle containing both r and o.
+func (r Rect) Union(o Rect) Rect {
+	if r.Empty() {
+		return o
+	}
+	if o.Empty() {
+		return r
+	}
+	return Rect{
+		Min: Point{math.Min(r.Min.X, o.Min.X), math.Min(r.Min.Y, o.Min.Y)},
+		Max: Point{math.Max(r.Max.X, o.Max.X), math.Max(r.Max.Y, o.Max.Y)},
+	}
+}
+
+// Contains reports whether p lies inside r (inclusive).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// Intersects reports whether r and o share any point.
+func (r Rect) Intersects(o Rect) bool {
+	if r.Empty() || o.Empty() {
+		return false
+	}
+	return r.Min.X <= o.Max.X && o.Min.X <= r.Max.X &&
+		r.Min.Y <= o.Max.Y && o.Min.Y <= r.Max.Y
+}
+
+// Expand returns r grown by d on every side.
+func (r Rect) Expand(d float64) Rect {
+	if r.Empty() {
+		return r
+	}
+	return Rect{
+		Min: Point{r.Min.X - d, r.Min.Y - d},
+		Max: Point{r.Max.X + d, r.Max.Y + d},
+	}
+}
+
+// Width returns the horizontal extent of r, or 0 when empty.
+func (r Rect) Width() float64 {
+	if r.Empty() {
+		return 0
+	}
+	return r.Max.X - r.Min.X
+}
+
+// Height returns the vertical extent of r, or 0 when empty.
+func (r Rect) Height() float64 {
+	if r.Empty() {
+		return 0
+	}
+	return r.Max.Y - r.Min.Y
+}
+
+// Center returns the center of r. Center of an empty rectangle is the
+// origin.
+func (r Rect) Center() Point {
+	if r.Empty() {
+		return Point{}
+	}
+	return Point{(r.Min.X + r.Max.X) / 2, (r.Min.Y + r.Max.Y) / 2}
+}
+
+// Area returns the area of r, or 0 when empty.
+func (r Rect) Area() float64 { return r.Width() * r.Height() }
+
+// DistToPoint returns the minimum distance from p to r (0 when p lies
+// inside r).
+func (r Rect) DistToPoint(p Point) float64 {
+	if r.Empty() {
+		return math.Inf(1)
+	}
+	dx := math.Max(0, math.Max(r.Min.X-p.X, p.X-r.Max.X))
+	dy := math.Max(0, math.Max(r.Min.Y-p.Y, p.Y-r.Max.Y))
+	return math.Hypot(dx, dy)
+}

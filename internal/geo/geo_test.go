@@ -1,0 +1,215 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestPointArithmetic(t *testing.T) {
+	p, q := Pt(3, 4), Pt(1, -2)
+	if got := p.Add(q); got != Pt(4, 2) {
+		t.Errorf("Add = %v, want (4,2)", got)
+	}
+	if got := p.Sub(q); got != Pt(2, 6) {
+		t.Errorf("Sub = %v, want (2,6)", got)
+	}
+	if got := p.Scale(2); got != Pt(6, 8) {
+		t.Errorf("Scale = %v, want (6,8)", got)
+	}
+	if got := p.Dot(q); got != 3-8 {
+		t.Errorf("Dot = %v, want -5", got)
+	}
+	if got := p.Cross(q); got != -6-4 {
+		t.Errorf("Cross = %v, want -10", got)
+	}
+	if got := p.Norm(); got != 5 {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+}
+
+func TestPointDist(t *testing.T) {
+	tests := []struct {
+		a, b Point
+		want float64
+	}{
+		{Pt(0, 0), Pt(3, 4), 5},
+		{Pt(1, 1), Pt(1, 1), 0},
+		{Pt(-1, 0), Pt(1, 0), 2},
+	}
+	for _, tc := range tests {
+		if got := tc.a.Dist(tc.b); got != tc.want {
+			t.Errorf("Dist(%v,%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+		if got := tc.a.DistSq(tc.b); got != tc.want*tc.want {
+			t.Errorf("DistSq(%v,%v) = %v, want %v", tc.a, tc.b, got, tc.want*tc.want)
+		}
+	}
+}
+
+func TestDistSymmetryProperty(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		a, b := Pt(ax, ay), Pt(bx, by)
+		return a.Dist(b) == b.Dist(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTriangleInequalityProperty(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy int16) bool {
+		a := Pt(float64(ax), float64(ay))
+		b := Pt(float64(bx), float64(by))
+		c := Pt(float64(cx), float64(cy))
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	a, b := Pt(0, 0), Pt(10, 20)
+	if got := a.Lerp(b, 0); got != a {
+		t.Errorf("Lerp(0) = %v, want %v", got, a)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Errorf("Lerp(1) = %v, want %v", got, b)
+	}
+	if got := a.Lerp(b, 0.5); got != Pt(5, 10) {
+		t.Errorf("Lerp(0.5) = %v, want (5,10)", got)
+	}
+}
+
+func TestSegmentProject(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(10, 0))
+	tests := []struct {
+		p     Point
+		wantT float64
+		wantC Point
+	}{
+		{Pt(5, 3), 0.5, Pt(5, 0)},
+		{Pt(-4, 2), 0, Pt(0, 0)},   // clamped to A
+		{Pt(14, -2), 1, Pt(10, 0)}, // clamped to B
+		{Pt(0, 0), 0, Pt(0, 0)},
+	}
+	for _, tc := range tests {
+		gotT, gotC := s.Project(tc.p)
+		if gotT != tc.wantT || gotC != tc.wantC {
+			t.Errorf("Project(%v) = (%v, %v), want (%v, %v)", tc.p, gotT, gotC, tc.wantT, tc.wantC)
+		}
+	}
+}
+
+func TestSegmentDegenerate(t *testing.T) {
+	s := Seg(Pt(2, 2), Pt(2, 2))
+	tt, c := s.Project(Pt(5, 6))
+	if tt != 0 || c != Pt(2, 2) {
+		t.Errorf("degenerate Project = (%v, %v)", tt, c)
+	}
+	if d := s.Direction(); d != (Point{}) {
+		t.Errorf("degenerate Direction = %v, want zero", d)
+	}
+	if d := s.DistToPoint(Pt(5, 6)); !almostEq(d, 5, 1e-12) {
+		t.Errorf("degenerate DistToPoint = %v, want 5", d)
+	}
+}
+
+func TestSegmentDistToPointProperty(t *testing.T) {
+	// The distance to any point on the segment is zero, and the
+	// distance function is bounded above by distance to endpoints.
+	f := func(ax, ay, bx, by, px, py int16) bool {
+		s := Seg(Pt(float64(ax), float64(ay)), Pt(float64(bx), float64(by)))
+		p := Pt(float64(px), float64(py))
+		d := s.DistToPoint(p)
+		return d <= p.Dist(s.A)+1e-9 && d <= p.Dist(s.B)+1e-9 && d >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSegmentPointAtArc(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(10, 0))
+	if got := s.PointAtArc(4); got != Pt(4, 0) {
+		t.Errorf("PointAtArc(4) = %v", got)
+	}
+	if got := s.PointAtArc(-5); got != Pt(0, 0) {
+		t.Errorf("PointAtArc(-5) = %v, want clamp to A", got)
+	}
+	if got := s.PointAtArc(25); got != Pt(10, 0) {
+		t.Errorf("PointAtArc(25) = %v, want clamp to B", got)
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := EmptyRect()
+	if !r.Empty() {
+		t.Fatal("EmptyRect not empty")
+	}
+	r = r.Extend(Pt(1, 2)).Extend(Pt(-3, 5))
+	if r.Empty() {
+		t.Fatal("extended rect still empty")
+	}
+	if r.Min != Pt(-3, 2) || r.Max != Pt(1, 5) {
+		t.Errorf("rect = %+v", r)
+	}
+	if r.Width() != 4 || r.Height() != 3 {
+		t.Errorf("w,h = %v,%v", r.Width(), r.Height())
+	}
+	if r.Center() != Pt(-1, 3.5) {
+		t.Errorf("center = %v", r.Center())
+	}
+	if r.Area() != 12 {
+		t.Errorf("area = %v", r.Area())
+	}
+}
+
+func TestRectContainsIntersects(t *testing.T) {
+	r := RectFromPoints(Pt(0, 0), Pt(10, 10))
+	if !r.Contains(Pt(5, 5)) || !r.Contains(Pt(0, 0)) || !r.Contains(Pt(10, 10)) {
+		t.Error("Contains boundary/interior failed")
+	}
+	if r.Contains(Pt(11, 5)) {
+		t.Error("Contains exterior point")
+	}
+	other := RectFromPoints(Pt(9, 9), Pt(20, 20))
+	if !r.Intersects(other) {
+		t.Error("overlapping rects reported disjoint")
+	}
+	disjoint := RectFromPoints(Pt(11, 11), Pt(20, 20))
+	if r.Intersects(disjoint) {
+		t.Error("disjoint rects reported intersecting")
+	}
+	if r.Intersects(EmptyRect()) || EmptyRect().Intersects(r) {
+		t.Error("empty rect intersects something")
+	}
+}
+
+func TestRectDistToPoint(t *testing.T) {
+	r := RectFromPoints(Pt(0, 0), Pt(10, 10))
+	if d := r.DistToPoint(Pt(5, 5)); d != 0 {
+		t.Errorf("inside dist = %v", d)
+	}
+	if d := r.DistToPoint(Pt(13, 14)); !almostEq(d, 5, 1e-12) {
+		t.Errorf("corner dist = %v, want 5", d)
+	}
+	if d := r.DistToPoint(Pt(-2, 5)); d != 2 {
+		t.Errorf("edge dist = %v, want 2", d)
+	}
+}
+
+func TestRectUnionProperty(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy, dx, dy int16) bool {
+		r1 := RectFromPoints(Pt(float64(ax), float64(ay)), Pt(float64(bx), float64(by)))
+		r2 := RectFromPoints(Pt(float64(cx), float64(cy)), Pt(float64(dx), float64(dy)))
+		u := r1.Union(r2)
+		return u.Contains(r1.Min) && u.Contains(r1.Max) && u.Contains(r2.Min) && u.Contains(r2.Max)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

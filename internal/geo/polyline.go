@@ -1,0 +1,123 @@
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Polyline is an ordered sequence of points describing a path in the
+// plane, e.g. a trajectory's geometry or a flow cluster's representative
+// route.
+type Polyline []Point
+
+// Length returns the total arc length of the polyline.
+func (pl Polyline) Length() float64 {
+	var total float64
+	for i := 1; i < len(pl); i++ {
+		total += pl[i-1].Dist(pl[i])
+	}
+	return total
+}
+
+// Bounds returns the bounding rectangle of the polyline.
+func (pl Polyline) Bounds() Rect { return RectFromPoints(pl...) }
+
+// Segments returns the constituent segments of the polyline. A polyline
+// with fewer than two points has no segments.
+func (pl Polyline) Segments() []Segment {
+	if len(pl) < 2 {
+		return nil
+	}
+	segs := make([]Segment, 0, len(pl)-1)
+	for i := 1; i < len(pl); i++ {
+		segs = append(segs, Segment{A: pl[i-1], B: pl[i]})
+	}
+	return segs
+}
+
+// DistToPoint returns the minimum Euclidean distance from p to the
+// polyline. A single-point polyline behaves as that point; an empty
+// polyline is infinitely far away.
+func (pl Polyline) DistToPoint(p Point) float64 {
+	switch len(pl) {
+	case 0:
+		return math.Inf(1)
+	case 1:
+		return pl[0].Dist(p)
+	}
+	best := math.Inf(1)
+	for i := 1; i < len(pl); i++ {
+		d := Segment{A: pl[i-1], B: pl[i]}.DistToPoint(p)
+		if d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// PointAtArc returns the point at arc-length offset d from the start of
+// the polyline, clamped to [0, Length].
+func (pl Polyline) PointAtArc(d float64) Point {
+	if len(pl) == 0 {
+		return Point{}
+	}
+	if d <= 0 {
+		return pl[0]
+	}
+	for i := 1; i < len(pl); i++ {
+		seg := Segment{A: pl[i-1], B: pl[i]}
+		l := seg.Length()
+		if d <= l {
+			return seg.PointAtArc(d)
+		}
+		d -= l
+	}
+	return pl[len(pl)-1]
+}
+
+// Resample returns the polyline resampled at n points equally spaced in
+// arc length, preserving the endpoints. n must be at least 2.
+func (pl Polyline) Resample(n int) (Polyline, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("geo: resample to %d points, need at least 2", n)
+	}
+	if len(pl) == 0 {
+		return nil, fmt.Errorf("geo: resample empty polyline")
+	}
+	total := pl.Length()
+	out := make(Polyline, n)
+	for i := 0; i < n; i++ {
+		out[i] = pl.PointAtArc(total * float64(i) / float64(n-1))
+	}
+	return out, nil
+}
+
+// Reverse returns a copy of the polyline with the point order reversed.
+func (pl Polyline) Reverse() Polyline {
+	out := make(Polyline, len(pl))
+	for i, p := range pl {
+		out[len(pl)-1-i] = p
+	}
+	return out
+}
+
+// DirectedHausdorff returns the directed Hausdorff distance
+// sup_{a in pl} inf_{b in other} d(a, b), evaluated at the vertices of pl
+// against the full geometry of other. This vertex-sampled form is the
+// standard discrete approximation.
+func (pl Polyline) DirectedHausdorff(other Polyline) float64 {
+	var worst float64
+	for _, p := range pl {
+		d := other.DistToPoint(p)
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// Hausdorff returns the symmetric Hausdorff distance between two
+// polylines: max of both directed distances.
+func (pl Polyline) Hausdorff(other Polyline) float64 {
+	return math.Max(pl.DirectedHausdorff(other), other.DirectedHausdorff(pl))
+}

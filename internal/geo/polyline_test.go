@@ -1,0 +1,144 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPolylineLength(t *testing.T) {
+	tests := []struct {
+		name string
+		pl   Polyline
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", Polyline{Pt(1, 1)}, 0},
+		{"L-shape", Polyline{Pt(0, 0), Pt(3, 0), Pt(3, 4)}, 7},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.pl.Length(); got != tc.want {
+				t.Errorf("Length = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestPolylineDistToPoint(t *testing.T) {
+	pl := Polyline{Pt(0, 0), Pt(10, 0), Pt(10, 10)}
+	if d := pl.DistToPoint(Pt(5, 3)); d != 3 {
+		t.Errorf("dist = %v, want 3", d)
+	}
+	if d := pl.DistToPoint(Pt(12, 5)); d != 2 {
+		t.Errorf("dist = %v, want 2", d)
+	}
+	if d := (Polyline{}).DistToPoint(Pt(0, 0)); !math.IsInf(d, 1) {
+		t.Errorf("empty polyline dist = %v, want +Inf", d)
+	}
+	if d := (Polyline{Pt(1, 0)}).DistToPoint(Pt(4, 4)); d != 5 {
+		t.Errorf("single point dist = %v, want 5", d)
+	}
+}
+
+func TestPolylinePointAtArc(t *testing.T) {
+	pl := Polyline{Pt(0, 0), Pt(10, 0), Pt(10, 10)}
+	tests := []struct {
+		d    float64
+		want Point
+	}{
+		{-1, Pt(0, 0)},
+		{0, Pt(0, 0)},
+		{5, Pt(5, 0)},
+		{10, Pt(10, 0)},
+		{15, Pt(10, 5)},
+		{20, Pt(10, 10)},
+		{99, Pt(10, 10)},
+	}
+	for _, tc := range tests {
+		if got := pl.PointAtArc(tc.d); got != tc.want {
+			t.Errorf("PointAtArc(%v) = %v, want %v", tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestPolylineResample(t *testing.T) {
+	pl := Polyline{Pt(0, 0), Pt(10, 0)}
+	out, err := pl.Resample(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 5 {
+		t.Fatalf("len = %d", len(out))
+	}
+	if out[0] != Pt(0, 0) || out[4] != Pt(10, 0) {
+		t.Errorf("endpoints not preserved: %v", out)
+	}
+	if out[2] != Pt(5, 0) {
+		t.Errorf("midpoint = %v", out[2])
+	}
+	if _, err := pl.Resample(1); err == nil {
+		t.Error("Resample(1) should fail")
+	}
+	if _, err := (Polyline{}).Resample(3); err == nil {
+		t.Error("Resample of empty polyline should fail")
+	}
+}
+
+func TestPolylineReverse(t *testing.T) {
+	pl := Polyline{Pt(0, 0), Pt(1, 0), Pt(2, 5)}
+	rev := pl.Reverse()
+	if rev[0] != Pt(2, 5) || rev[2] != Pt(0, 0) {
+		t.Errorf("Reverse = %v", rev)
+	}
+	if pl[0] != Pt(0, 0) {
+		t.Error("Reverse mutated the original")
+	}
+}
+
+func TestHausdorff(t *testing.T) {
+	a := Polyline{Pt(0, 0), Pt(10, 0)}
+	b := Polyline{Pt(0, 3), Pt(10, 3)}
+	if d := a.Hausdorff(b); d != 3 {
+		t.Errorf("parallel Hausdorff = %v, want 3", d)
+	}
+	// Identical polylines.
+	if d := a.Hausdorff(a); d != 0 {
+		t.Errorf("self Hausdorff = %v, want 0", d)
+	}
+	// One is a sub-polyline: directed distances differ.
+	c := Polyline{Pt(0, 0), Pt(20, 0)}
+	if d := a.DirectedHausdorff(c); d != 0 {
+		t.Errorf("sub DirectedHausdorff = %v, want 0", d)
+	}
+	if d := c.DirectedHausdorff(a); d != 10 {
+		t.Errorf("super DirectedHausdorff = %v, want 10", d)
+	}
+	if d := a.Hausdorff(c); d != 10 {
+		t.Errorf("Hausdorff = %v, want 10", d)
+	}
+}
+
+func TestHausdorffSymmetryProperty(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy, dx, dy int16) bool {
+		a := Polyline{Pt(float64(ax), float64(ay)), Pt(float64(bx), float64(by))}
+		b := Polyline{Pt(float64(cx), float64(cy)), Pt(float64(dx), float64(dy))}
+		return a.Hausdorff(b) == b.Hausdorff(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolylineSegments(t *testing.T) {
+	if segs := (Polyline{Pt(0, 0)}).Segments(); segs != nil {
+		t.Errorf("single-point Segments = %v, want nil", segs)
+	}
+	segs := (Polyline{Pt(0, 0), Pt(1, 0), Pt(1, 1)}).Segments()
+	if len(segs) != 2 {
+		t.Fatalf("len = %d", len(segs))
+	}
+	if segs[1] != Seg(Pt(1, 0), Pt(1, 1)) {
+		t.Errorf("segs[1] = %v", segs[1])
+	}
+}

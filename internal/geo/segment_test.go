@@ -1,0 +1,81 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSegmentAccessors(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(10, 0))
+	if s.Length() != 10 {
+		t.Errorf("Length = %v", s.Length())
+	}
+	if s.Midpoint() != Pt(5, 0) {
+		t.Errorf("Midpoint = %v", s.Midpoint())
+	}
+	if s.Direction() != Pt(1, 0) {
+		t.Errorf("Direction = %v", s.Direction())
+	}
+	if s.Angle() != 0 {
+		t.Errorf("Angle = %v", s.Angle())
+	}
+	r := s.Reverse()
+	if r.A != Pt(10, 0) || r.B != Pt(0, 0) {
+		t.Errorf("Reverse = %v", r)
+	}
+	if r.Angle() != math.Pi {
+		t.Errorf("reversed Angle = %v", r.Angle())
+	}
+	up := Seg(Pt(0, 0), Pt(0, 5))
+	if up.Angle() != math.Pi/2 {
+		t.Errorf("vertical Angle = %v", up.Angle())
+	}
+}
+
+func TestSegmentPointAt(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(10, 20))
+	if got := s.PointAt(0.5); got != Pt(5, 10) {
+		t.Errorf("PointAt(0.5) = %v", got)
+	}
+	if got := s.PointAt(-1); got != Pt(0, 0) {
+		t.Errorf("PointAt(-1) = %v (clamp)", got)
+	}
+	if got := s.PointAt(2); got != Pt(10, 20) {
+		t.Errorf("PointAt(2) = %v (clamp)", got)
+	}
+}
+
+func TestDirectionIsUnitProperty(t *testing.T) {
+	f := func(ax, ay, bx, by int16) bool {
+		s := Seg(Pt(float64(ax), float64(ay)), Pt(float64(bx), float64(by)))
+		d := s.Direction()
+		if s.Length() == 0 {
+			return d == Point{}
+		}
+		return math.Abs(d.Norm()-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProjectionIsClosestProperty(t *testing.T) {
+	// The projected point is at least as close as either endpoint and
+	// as a sample of interior points.
+	f := func(ax, ay, bx, by, px, py int16) bool {
+		s := Seg(Pt(float64(ax), float64(ay)), Pt(float64(bx), float64(by)))
+		p := Pt(float64(px), float64(py))
+		_, c := s.Project(p)
+		d := p.Dist(c)
+		for _, t := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			if p.Dist(s.PointAt(t)) < d-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

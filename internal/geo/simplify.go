@@ -1,0 +1,42 @@
+package geo
+
+// Simplify reduces the polyline with the Douglas-Peucker algorithm:
+// vertices closer than tolerance to the chord of their span are
+// dropped, endpoints are always kept. It is used to keep SVG and
+// GeoJSON exports of long trajectories compact without visible change.
+func (pl Polyline) Simplify(tolerance float64) Polyline {
+	if len(pl) <= 2 || tolerance <= 0 {
+		return append(Polyline(nil), pl...)
+	}
+	keep := make([]bool, len(pl))
+	keep[0] = true
+	keep[len(pl)-1] = true
+	// Iterative stack to avoid recursion on long traces.
+	type span struct{ lo, hi int }
+	stack := []span{{0, len(pl) - 1}}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if s.hi-s.lo < 2 {
+			continue
+		}
+		chord := Seg(pl[s.lo], pl[s.hi])
+		worst, worstIdx := -1.0, -1
+		for i := s.lo + 1; i < s.hi; i++ {
+			if d := chord.DistToPoint(pl[i]); d > worst {
+				worst, worstIdx = d, i
+			}
+		}
+		if worst > tolerance {
+			keep[worstIdx] = true
+			stack = append(stack, span{s.lo, worstIdx}, span{worstIdx, s.hi})
+		}
+	}
+	out := make(Polyline, 0, len(pl))
+	for i, k := range keep {
+		if k {
+			out = append(out, pl[i])
+		}
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSimplifyStraightLine(t *testing.T) {
+	var pl Polyline
+	for i := 0; i <= 20; i++ {
+		pl = append(pl, Pt(float64(i)*10, 0))
+	}
+	got := pl.Simplify(0.5)
+	if len(got) != 2 {
+		t.Errorf("straight line simplified to %d points, want 2", len(got))
+	}
+	if got[0] != pl[0] || got[1] != pl[len(pl)-1] {
+		t.Error("endpoints not preserved")
+	}
+}
+
+func TestSimplifyKeepsCorners(t *testing.T) {
+	pl := Polyline{Pt(0, 0), Pt(50, 0.1), Pt(100, 0), Pt(100, 100)}
+	got := pl.Simplify(1)
+	// The near-collinear interior point is dropped; the corner stays.
+	if len(got) != 3 {
+		t.Fatalf("simplified to %v", got)
+	}
+	if got[1] != Pt(100, 0) {
+		t.Errorf("corner lost: %v", got)
+	}
+}
+
+func TestSimplifyErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var pl Polyline
+	x := 0.0
+	for i := 0; i < 200; i++ {
+		x += rng.Float64() * 10
+		pl = append(pl, Pt(x, math.Sin(x/40)*30+rng.Float64()*2))
+	}
+	const tol = 5.0
+	got := pl.Simplify(tol)
+	if len(got) >= len(pl) {
+		t.Errorf("no reduction: %d -> %d", len(pl), len(got))
+	}
+	// Every original vertex stays within tolerance of the simplified
+	// polyline.
+	for _, p := range pl {
+		if d := got.DistToPoint(p); d > tol+1e-9 {
+			t.Fatalf("vertex %v is %v from simplified polyline (tol %v)", p, d, tol)
+		}
+	}
+}
+
+func TestSimplifyEdgeCases(t *testing.T) {
+	if got := (Polyline{}).Simplify(1); len(got) != 0 {
+		t.Errorf("empty = %v", got)
+	}
+	two := Polyline{Pt(0, 0), Pt(1, 1)}
+	if got := two.Simplify(1); len(got) != 2 {
+		t.Errorf("two points = %v", got)
+	}
+	// Zero tolerance: unchanged copy.
+	pl := Polyline{Pt(0, 0), Pt(1, 5), Pt(2, 0)}
+	got := pl.Simplify(0)
+	if len(got) != 3 {
+		t.Errorf("zero tolerance dropped points: %v", got)
+	}
+	got[0] = Pt(99, 99)
+	if pl[0] == got[0] {
+		t.Error("Simplify returned aliasing slice")
+	}
+}

@@ -1,0 +1,169 @@
+package hotspot
+
+import (
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/mapgen"
+	"repro/internal/mobisim"
+	"repro/internal/traj"
+)
+
+func TestDetectRecoversSimulatedHotspots(t *testing.T) {
+	g, err := mapgen.Generate(mapgen.Config{
+		Name: "hs", TargetJunctions: 400, TargetSegments: 560,
+		AvgSegLenM: 150, MaxDegree: 6, Seed: 18,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := mobisim.New(g)
+	cfg := mobisim.DefaultConfig("hs", 150, 6)
+	ds, layout, err := sim.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found, err := Detect(ds, Config{CellSize: 300, TopK: 4, Source: TripStarts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(found) == 0 {
+		t.Fatal("no hotspots detected")
+	}
+	// Each configured spawn hotspot must have a detected hotspot within
+	// the hotspot radius plus grid resolution.
+	for _, h := range layout.Hotspots {
+		pt := g.Node(h).Pt
+		best := 1e18
+		for _, f := range found {
+			if d := f.Center.Dist(pt); d < best {
+				best = d
+			}
+		}
+		if best > cfg.HotspotRadius+600 {
+			t.Errorf("configured hotspot at %v missed; nearest detection %v m away", pt, best)
+		}
+	}
+}
+
+func TestDetectEndpointsFindDestinations(t *testing.T) {
+	g, err := mapgen.Generate(mapgen.Config{
+		Name: "hs2", TargetJunctions: 400, TargetSegments: 560,
+		AvgSegLenM: 150, MaxDegree: 6, Seed: 18,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := mobisim.New(g)
+	ds, layout, err := sim.Simulate(mobisim.DefaultConfig("hs2", 150, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found, err := Detect(ds, Config{CellSize: 300, TopK: 6, Source: TripEndpoints})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Destinations attract many trips each; at least two of the three
+	// should surface among the top endpoint hotspots.
+	hits := 0
+	for _, d := range layout.Destinations {
+		pt := g.Node(d).Pt
+		for _, f := range found {
+			if f.Center.Dist(pt) < 700 {
+				hits++
+				break
+			}
+		}
+	}
+	if hits < 2 {
+		t.Errorf("only %d of %d destinations detected among %d hotspots", hits, len(layout.Destinations), len(found))
+	}
+}
+
+func TestDetectSyntheticBlobs(t *testing.T) {
+	var ds traj.Dataset
+	mk := func(id traj.ID, at geo.Point) traj.Trajectory {
+		return traj.Trajectory{ID: id, Points: []traj.Location{
+			traj.Sample(0, at, 0),
+			traj.Sample(0, at.Add(geo.Pt(5, 5)), 10),
+		}}
+	}
+	// 10 trips from (0,0)-ish, 5 from (5000,5000)-ish, 1 stray.
+	id := traj.ID(0)
+	for i := 0; i < 10; i++ {
+		ds.Trajectories = append(ds.Trajectories, mk(id, geo.Pt(float64(i)*10, 0)))
+		id++
+	}
+	for i := 0; i < 5; i++ {
+		ds.Trajectories = append(ds.Trajectories, mk(id, geo.Pt(5000+float64(i)*10, 5000)))
+		id++
+	}
+	ds.Trajectories = append(ds.Trajectories, mk(id, geo.Pt(-9000, 9000)))
+
+	found, err := Detect(ds, Config{CellSize: 200, TopK: 2, Source: TripStarts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(found) != 2 {
+		t.Fatalf("hotspots = %d, want 2", len(found))
+	}
+	// Strongest first.
+	if found[0].Weight < found[1].Weight {
+		t.Error("hotspots not sorted by weight")
+	}
+	if found[0].Center.Dist(geo.Pt(45, 0)) > 300 {
+		t.Errorf("strongest hotspot at %v, want near (45,0)", found[0].Center)
+	}
+	if found[1].Center.Dist(geo.Pt(5020, 5000)) > 300 {
+		t.Errorf("second hotspot at %v, want near (5020,5000)", found[1].Center)
+	}
+	if found[0].Share <= found[1].Share || found[0].Share > 1 {
+		t.Errorf("shares = %v, %v", found[0].Share, found[1].Share)
+	}
+}
+
+func TestDetectValidation(t *testing.T) {
+	ds := traj.Dataset{Trajectories: []traj.Trajectory{{
+		ID:     1,
+		Points: []traj.Location{traj.Sample(0, geo.Pt(0, 0), 0)},
+	}}}
+	if _, err := Detect(ds, Config{CellSize: 0}); err == nil {
+		t.Error("zero cell size accepted")
+	}
+	if _, err := Detect(ds, Config{CellSize: 100, TopK: -1}); err == nil {
+		t.Error("negative topK accepted")
+	}
+	if _, err := Detect(traj.Dataset{}, Config{CellSize: 100}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	if _, err := Detect(ds, Config{CellSize: 100, Source: Source(9)}); err == nil {
+		t.Error("unknown source accepted")
+	}
+}
+
+func TestDetectSuppressionRadius(t *testing.T) {
+	// Two nearby blobs merge under a large radius.
+	var ds traj.Dataset
+	for i := 0; i < 10; i++ {
+		ds.Trajectories = append(ds.Trajectories, traj.Trajectory{
+			ID: traj.ID(i),
+			Points: []traj.Location{
+				traj.Sample(0, geo.Pt(float64(i%2)*400, 0), 0),
+			},
+		})
+	}
+	tight, err := Detect(ds, Config{CellSize: 100, Radius: 150, Source: TripStarts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := Detect(ds, Config{CellSize: 100, Radius: 2000, Source: TripStarts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tight) < 2 {
+		t.Errorf("tight radius found %d hotspots, want 2", len(tight))
+	}
+	if len(loose) != 1 {
+		t.Errorf("loose radius found %d hotspots, want 1", len(loose))
+	}
+}

@@ -1,0 +1,349 @@
+// Package mapgen generates deterministic synthetic road networks whose
+// Table I statistics (junction count, segment count, average segment
+// length, degree distribution) match the three real maps the paper
+// evaluates on: North West Atlanta (USGS), West San Jose (USGS), and
+// Miami-Dade (TIGER/Line).
+//
+// This is the repository's substitution for the proprietary map data:
+// NEAT's behaviour depends on graph topology and metric statistics, not
+// on exact geography, so a generator matched to the published
+// statistics preserves the experimental shape while remaining fully
+// reproducible from a seed.
+//
+// The generator lays out a jittered grid of junctions, connects it with
+// a random spanning tree (guaranteeing a single connected component),
+// and then adds grid and diagonal edges, subject to a per-junction
+// degree cap, until the target segment count is reached. Road classes
+// and speed limits follow an arterial/collector hierarchy assigned by
+// grid line.
+package mapgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+)
+
+// Config parameterizes a synthetic road network.
+type Config struct {
+	// Name labels the network in reports (e.g. "ATL").
+	Name string
+	// TargetJunctions is the approximate number of junctions to
+	// generate. The realized count equals Rows*Cols for the nearest
+	// near-square factorization.
+	TargetJunctions int
+	// TargetSegments is the number of physical road segments to
+	// generate. Must be at least TargetJunctions-1 (the spanning tree)
+	// and is capped by the degree limit.
+	TargetSegments int
+	// AvgSegLenM sets the grid spacing so the realized mean segment
+	// length lands near this value, in meters.
+	AvgSegLenM float64
+	// MaxDegree caps the number of segments incident to one junction
+	// (Table I reports 6 for ATL/SJ and 9 for MIA).
+	MaxDegree int
+	// DiagonalFrac is the fraction of extra (non-tree) edges drawn from
+	// the diagonal candidate pool rather than the axis-aligned pool.
+	DiagonalFrac float64
+	// OneWayFrac is the fraction of extra edges made one-way.
+	OneWayFrac float64
+	// Seed drives all randomness; equal configs generate equal maps.
+	Seed int64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.TargetJunctions < 4 {
+		return fmt.Errorf("mapgen: need at least 4 junctions, got %d", c.TargetJunctions)
+	}
+	if c.TargetSegments < c.TargetJunctions-1 {
+		return fmt.Errorf("mapgen: %d segments cannot connect %d junctions", c.TargetSegments, c.TargetJunctions)
+	}
+	if c.AvgSegLenM <= 0 {
+		return fmt.Errorf("mapgen: average segment length must be positive, got %g", c.AvgSegLenM)
+	}
+	if c.MaxDegree < 2 {
+		return fmt.Errorf("mapgen: max degree must be at least 2, got %d", c.MaxDegree)
+	}
+	if c.DiagonalFrac < 0 || c.DiagonalFrac > 1 {
+		return fmt.Errorf("mapgen: diagonal fraction %g out of [0,1]", c.DiagonalFrac)
+	}
+	if c.OneWayFrac < 0 || c.OneWayFrac > 1 {
+		return fmt.Errorf("mapgen: one-way fraction %g out of [0,1]", c.OneWayFrac)
+	}
+	return nil
+}
+
+// Scaled returns a copy of c with junction and segment targets scaled
+// by f (minimum 4 junctions), used to shrink the paper's maps for
+// experiments whose baselines are quadratic.
+func (c Config) Scaled(f float64) Config {
+	out := c
+	out.TargetJunctions = maxInt(4, int(float64(c.TargetJunctions)*f))
+	out.TargetSegments = maxInt(out.TargetJunctions-1, int(float64(c.TargetSegments)*f))
+	out.Name = fmt.Sprintf("%s(x%.3g)", c.Name, f)
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// NorthWestAtlanta returns the preset matched to Table I's ATL row:
+// 1384.4 km, 9187 segments, avg 150.7 m, 6979 junctions, degree avg
+// 2.6 / max 6.
+func NorthWestAtlanta() Config {
+	return Config{
+		Name:            "ATL",
+		TargetJunctions: 6979,
+		TargetSegments:  9187,
+		AvgSegLenM:      150.7,
+		MaxDegree:       6,
+		DiagonalFrac:    0.15,
+		OneWayFrac:      0.05,
+		Seed:            0xA71,
+	}
+}
+
+// WestSanJose returns the preset matched to Table I's SJ row: 1821.2
+// km, 14600 segments, avg 124.7 m, 10929 junctions, degree avg 2.7 /
+// max 6.
+func WestSanJose() Config {
+	return Config{
+		Name:            "SJ",
+		TargetJunctions: 10929,
+		TargetSegments:  14600,
+		AvgSegLenM:      124.7,
+		MaxDegree:       6,
+		DiagonalFrac:    0.12,
+		OneWayFrac:      0.05,
+		Seed:            0x51,
+	}
+}
+
+// MiamiDade returns the preset matched to Table I's MIA row: 26148.3
+// km, 154681 segments, avg 169.0 m, 103377 junctions, degree avg 3.0 /
+// max 9.
+func MiamiDade() Config {
+	return Config{
+		Name:            "MIA",
+		TargetJunctions: 103377,
+		TargetSegments:  154681,
+		AvgSegLenM:      169.0,
+		MaxDegree:       9,
+		DiagonalFrac:    0.2,
+		OneWayFrac:      0.05,
+		Seed:            0x31A,
+	}
+}
+
+// Presets returns the three paper maps keyed by region code.
+func Presets() map[string]Config {
+	return map[string]Config{
+		"ATL": NorthWestAtlanta(),
+		"SJ":  WestSanJose(),
+		"MIA": MiamiDade(),
+	}
+}
+
+type candidate struct {
+	a, b     int // grid node indexes
+	diagonal bool
+}
+
+// Generate builds the synthetic road network described by cfg.
+func Generate(cfg Config) (*roadnet.Graph, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	rows := int(math.Sqrt(float64(cfg.TargetJunctions)))
+	cols := (cfg.TargetJunctions + rows - 1) / rows
+	n := rows * cols
+
+	// Spacing slightly under the target mean: jitter and diagonals pull
+	// the realized mean up.
+	spacing := cfg.AvgSegLenM * 0.93
+	jitter := spacing * 0.18
+
+	var b roadnet.Builder
+	ids := make([]roadnet.NodeID, n)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			x := float64(c)*spacing + rng.Float64()*2*jitter - jitter
+			y := float64(r)*spacing + rng.Float64()*2*jitter - jitter
+			ids[r*cols+c] = b.AddJunction(geo.Pt(x, y))
+		}
+	}
+
+	// Candidate pools.
+	axis := make([]candidate, 0, 2*n)
+	diag := make([]candidate, 0, n)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			i := r*cols + c
+			if c+1 < cols {
+				axis = append(axis, candidate{a: i, b: i + 1})
+			}
+			if r+1 < rows {
+				axis = append(axis, candidate{a: i, b: i + cols})
+			}
+			if r+1 < rows && c+1 < cols {
+				if rng.Intn(2) == 0 {
+					diag = append(diag, candidate{a: i, b: i + cols + 1, diagonal: true})
+				} else {
+					diag = append(diag, candidate{a: i + 1, b: i + cols, diagonal: true})
+				}
+			}
+		}
+	}
+	rng.Shuffle(len(axis), func(i, j int) { axis[i], axis[j] = axis[j], axis[i] })
+	rng.Shuffle(len(diag), func(i, j int) { diag[i], diag[j] = diag[j], diag[i] })
+
+	// Random spanning tree over axis candidates (Kruskal on the
+	// shuffled order) guarantees one connected component.
+	uf := newUnionFind(n)
+	degree := make([]int, n)
+	added := make(map[[2]int]bool, cfg.TargetSegments)
+	segCount := 0
+
+	addSeg := func(cand candidate, oneway bool) error {
+		lo, hi := cand.a, cand.b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		key := [2]int{lo, hi}
+		if added[key] {
+			return nil
+		}
+		class := classify(cand, rows, cols)
+		_, err := b.AddSegment(ids[cand.a], ids[cand.b], roadnet.SegmentOpts{
+			Class:  class,
+			OneWay: oneway,
+		})
+		if err != nil {
+			return err
+		}
+		added[key] = true
+		degree[cand.a]++
+		degree[cand.b]++
+		segCount++
+		return nil
+	}
+
+	var leftovers []candidate
+	for _, cand := range axis {
+		if uf.union(cand.a, cand.b) {
+			if err := addSeg(cand, false); err != nil {
+				return nil, err
+			}
+		} else {
+			leftovers = append(leftovers, cand)
+		}
+	}
+	if uf.components() != 1 {
+		return nil, fmt.Errorf("mapgen: internal error: spanning tree left %d components", uf.components())
+	}
+
+	// Fill to the target segment count from the leftover axis pool and
+	// the diagonal pool, respecting the degree cap.
+	wantDiag := int(float64(cfg.TargetSegments-segCount) * cfg.DiagonalFrac)
+	pools := [2][]candidate{diag, leftovers}
+	quota := [2]int{wantDiag, cfg.TargetSegments} // axis pool unbounded up to target
+	for pi, pool := range pools {
+		taken := 0
+		for _, cand := range pool {
+			if segCount >= cfg.TargetSegments || taken >= quota[pi] {
+				break
+			}
+			if degree[cand.a] >= cfg.MaxDegree || degree[cand.b] >= cfg.MaxDegree {
+				continue
+			}
+			oneway := rng.Float64() < cfg.OneWayFrac
+			if err := addSeg(cand, oneway); err != nil {
+				return nil, err
+			}
+			taken++
+		}
+	}
+
+	return b.Build()
+}
+
+// classify assigns a road class from the grid lines the edge lies on,
+// producing an arterial hierarchy: every 24th line is a highway, every
+// 8th an arterial, every other a collector, the rest local. Diagonals
+// are local connectors.
+func classify(cand candidate, rows, cols int) roadnet.RoadClass {
+	if cand.diagonal {
+		return roadnet.ClassLocal
+	}
+	ra, ca := cand.a/cols, cand.a%cols
+	rb, cb := cand.b/cols, cand.b%cols
+	var line int
+	if ra == rb { // horizontal edge: classified by its row
+		line = ra
+	} else { // vertical edge: classified by its column
+		line = ca
+		_ = cb
+	}
+	switch {
+	case line%24 == 0:
+		return roadnet.ClassHighway
+	case line%8 == 0:
+		return roadnet.ClassArterial
+	case line%2 == 0:
+		return roadnet.ClassCollector
+	default:
+		return roadnet.ClassLocal
+	}
+}
+
+// unionFind is a weighted quick-union with path halving.
+type unionFind struct {
+	parent []int
+	size   []int
+	comps  int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), size: make([]int, n), comps: n}
+	for i := range uf.parent {
+		uf.parent[i] = i
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+// union merges the sets of a and b, reporting whether they were
+// previously disjoint.
+func (uf *unionFind) union(a, b int) bool {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return false
+	}
+	if uf.size[ra] < uf.size[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	uf.size[ra] += uf.size[rb]
+	uf.comps--
+	return true
+}
+
+func (uf *unionFind) components() int { return uf.comps }

@@ -1,0 +1,176 @@
+package mapgen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/roadnet"
+)
+
+func TestGenerateSmall(t *testing.T) {
+	cfg := Config{
+		Name:            "small",
+		TargetJunctions: 100,
+		TargetSegments:  140,
+		AvgSegLenM:      150,
+		MaxDegree:       6,
+		DiagonalFrac:    0.15,
+		Seed:            1,
+	}
+	g, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 100 {
+		t.Errorf("junctions = %d, want 100", g.NumNodes())
+	}
+	if got := g.NumSegments(); got != 140 {
+		t.Errorf("segments = %d, want 140", got)
+	}
+	// Connected.
+	count, largest := roadnet.ConnectedComponents(g)
+	if count != 1 || largest != g.NumNodes() {
+		t.Errorf("components = %d, largest = %d", count, largest)
+	}
+	// Degree cap respected.
+	for n := 0; n < g.NumNodes(); n++ {
+		if d := g.Degree(roadnet.NodeID(n)); d > cfg.MaxDegree {
+			t.Fatalf("junction %d has degree %d > cap %d", n, d, cfg.MaxDegree)
+		}
+	}
+	// Mean segment length within 15% of target.
+	stats := roadnet.ComputeStats(g)
+	if math.Abs(stats.AvgSegLenM-cfg.AvgSegLenM)/cfg.AvgSegLenM > 0.15 {
+		t.Errorf("avg segment length = %.1f, want within 15%% of %.1f", stats.AvgSegLenM, cfg.AvgSegLenM)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{
+		Name: "det", TargetJunctions: 64, TargetSegments: 90,
+		AvgSegLenM: 100, MaxDegree: 6, Seed: 7,
+	}
+	g1, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumNodes() != g2.NumNodes() || g1.NumSegments() != g2.NumSegments() {
+		t.Fatal("same seed produced different sizes")
+	}
+	for i := 0; i < g1.NumNodes(); i++ {
+		if g1.Node(roadnet.NodeID(i)).Pt != g2.Node(roadnet.NodeID(i)).Pt {
+			t.Fatalf("junction %d moved between runs", i)
+		}
+	}
+	for i := 0; i < g1.NumSegments(); i++ {
+		a, b := g1.Segment(roadnet.SegID(i)), g2.Segment(roadnet.SegID(i))
+		if a.NI != b.NI || a.NJ != b.NJ || a.Class != b.Class {
+			t.Fatalf("segment %d differs between runs", i)
+		}
+	}
+	// Different seed differs somewhere.
+	cfg.Seed = 8
+	g3, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := 0; i < g1.NumNodes() && same; i++ {
+		if g1.Node(roadnet.NodeID(i)).Pt != g3.Node(roadnet.NodeID(i)).Pt {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical junction layout")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	base := Config{TargetJunctions: 100, TargetSegments: 140, AvgSegLenM: 100, MaxDegree: 6}
+	bad := []Config{
+		{TargetJunctions: 2, TargetSegments: 10, AvgSegLenM: 100, MaxDegree: 6},
+		{TargetJunctions: 100, TargetSegments: 50, AvgSegLenM: 100, MaxDegree: 6},
+		{TargetJunctions: 100, TargetSegments: 140, AvgSegLenM: 0, MaxDegree: 6},
+		{TargetJunctions: 100, TargetSegments: 140, AvgSegLenM: 100, MaxDegree: 1},
+		func() Config { c := base; c.DiagonalFrac = 1.5; return c }(),
+		func() Config { c := base; c.OneWayFrac = -0.1; return c }(),
+	}
+	if err := base.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestScaled(t *testing.T) {
+	c := NorthWestAtlanta().Scaled(0.1)
+	if c.TargetJunctions != 697 {
+		t.Errorf("scaled junctions = %d", c.TargetJunctions)
+	}
+	if c.TargetSegments != 918 {
+		t.Errorf("scaled segments = %d", c.TargetSegments)
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("scaled config invalid: %v", err)
+	}
+	tiny := NorthWestAtlanta().Scaled(0.00001)
+	if err := tiny.Validate(); err != nil {
+		t.Errorf("tiny scale invalid: %v", err)
+	}
+}
+
+// TestPresetStatistics verifies the generated maps land near the
+// Table I statistics at a reduced scale (full MIA takes a while; the
+// scale-invariant quantities are what matter).
+func TestPresetStatistics(t *testing.T) {
+	tests := []struct {
+		cfg       Config
+		avgDegree float64
+	}{
+		{NorthWestAtlanta().Scaled(0.1), 2.63},
+		{WestSanJose().Scaled(0.1), 2.67},
+		{MiamiDade().Scaled(0.02), 2.99},
+	}
+	for _, tc := range tests {
+		t.Run(tc.cfg.Name, func(t *testing.T) {
+			g, err := Generate(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := roadnet.ComputeStats(g)
+			if math.Abs(s.AvgDegree-tc.avgDegree) > 0.25 {
+				t.Errorf("avg degree = %.2f, want about %.2f", s.AvgDegree, tc.avgDegree)
+			}
+			if s.MaxDegree > tc.cfg.MaxDegree {
+				t.Errorf("max degree = %d exceeds cap %d", s.MaxDegree, tc.cfg.MaxDegree)
+			}
+			if math.Abs(s.AvgSegLenM-tc.cfg.AvgSegLenM)/tc.cfg.AvgSegLenM > 0.15 {
+				t.Errorf("avg seg len = %.1f, want near %.1f", s.AvgSegLenM, tc.cfg.AvgSegLenM)
+			}
+			count, _ := roadnet.ConnectedComponents(g)
+			if count != 1 {
+				t.Errorf("generated map has %d components", count)
+			}
+		})
+	}
+}
+
+func TestPresets(t *testing.T) {
+	p := Presets()
+	for _, key := range []string{"ATL", "SJ", "MIA"} {
+		cfg, ok := p[key]
+		if !ok {
+			t.Fatalf("preset %s missing", key)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("preset %s invalid: %v", key, err)
+		}
+	}
+}

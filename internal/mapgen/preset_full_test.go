@@ -1,0 +1,72 @@
+package mapgen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/roadnet"
+)
+
+// TestFullScalePresets generates the ATL and SJ maps at full paper
+// scale and verifies the Table I statistics directly (MIA's 154k
+// segments also generate correctly but take several seconds, so it is
+// exercised at reduced scale in TestPresetStatistics).
+func TestFullScalePresets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale generation in -short mode")
+	}
+	tests := []struct {
+		cfg   Config
+		paper roadnet.Stats
+	}{
+		{NorthWestAtlanta(), roadnet.Stats{
+			TotalLengthKm: 1384.4, NumSegments: 9187, AvgSegLenM: 150.7,
+			NumJunctions: 6979, AvgDegree: 2.6, MaxDegree: 6,
+		}},
+		{WestSanJose(), roadnet.Stats{
+			TotalLengthKm: 1821.2, NumSegments: 14600, AvgSegLenM: 124.7,
+			NumJunctions: 10929, AvgDegree: 2.7, MaxDegree: 6,
+		}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.cfg.Name, func(t *testing.T) {
+			g, err := Generate(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := roadnet.ComputeStats(g)
+			// Segment and junction counts are exact by construction.
+			if s.NumSegments != tc.paper.NumSegments {
+				t.Errorf("segments = %d, paper %d", s.NumSegments, tc.paper.NumSegments)
+			}
+			// Junction count rounds to the nearest rows x cols grid
+			// factorization, so allow ~1.5%.
+			if relErr(float64(s.NumJunctions), float64(tc.paper.NumJunctions)) > 0.015 {
+				t.Errorf("junctions = %d, paper %d", s.NumJunctions, tc.paper.NumJunctions)
+			}
+			if relErr(s.AvgSegLenM, tc.paper.AvgSegLenM) > 0.1 {
+				t.Errorf("avg segment length = %.1f, paper %.1f", s.AvgSegLenM, tc.paper.AvgSegLenM)
+			}
+			if relErr(s.TotalLengthKm, tc.paper.TotalLengthKm) > 0.1 {
+				t.Errorf("total length = %.1f km, paper %.1f", s.TotalLengthKm, tc.paper.TotalLengthKm)
+			}
+			if math.Abs(s.AvgDegree-tc.paper.AvgDegree) > 0.15 {
+				t.Errorf("avg degree = %.2f, paper %.1f", s.AvgDegree, tc.paper.AvgDegree)
+			}
+			if s.MaxDegree > tc.paper.MaxDegree {
+				t.Errorf("max degree = %d, paper cap %d", s.MaxDegree, tc.paper.MaxDegree)
+			}
+			comps, largest := roadnet.ConnectedComponents(g)
+			if comps != 1 || largest != g.NumNodes() {
+				t.Errorf("not connected: %d components", comps)
+			}
+		})
+	}
+}
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / want
+}

@@ -1,0 +1,216 @@
+package mapmatch
+
+import (
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/mapgen"
+	"repro/internal/mobisim"
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+)
+
+func testGraph(t testing.TB) *roadnet.Graph {
+	t.Helper()
+	g, err := mapgen.Generate(mapgen.Config{
+		Name:            "mm",
+		TargetJunctions: 225,
+		TargetSegments:  320,
+		AvgSegLenM:      150,
+		MaxDegree:       6,
+		Seed:            31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestMatchRecoversSimulatedSegments(t *testing.T) {
+	g := testGraph(t)
+	sim := mobisim.New(g)
+	ds, _, err := sim.Simulate(mobisim.DefaultConfig("mm", 12, 41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(g, Config{NoiseStdDev: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raws := mobisim.AddNoise(ds, 8, 2)
+	var correct, total int
+	for i, raw := range raws {
+		matched, err := m.Match(raw)
+		if err != nil {
+			t.Fatalf("trace %d: %v", i, err)
+		}
+		if len(matched.Points) != len(raw.Points) {
+			t.Fatalf("trace %d: %d of %d points matched", i, len(matched.Points), len(raw.Points))
+		}
+		truth := ds.Trajectories[i]
+		for j, p := range matched.Points {
+			total++
+			if p.Seg == truth.Points[j].Seg {
+				correct++
+			}
+		}
+	}
+	acc := float64(correct) / float64(total)
+	if acc < 0.85 {
+		t.Errorf("segment accuracy = %.2f (%d/%d), want >= 0.85", acc, correct, total)
+	}
+}
+
+func TestMatchSnapsOntoNetwork(t *testing.T) {
+	g := testGraph(t)
+	sim := mobisim.New(g)
+	ds, _, err := sim.Simulate(mobisim.DefaultConfig("snap", 4, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(g, Config{NoiseStdDev: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, raw := range mobisim.AddNoise(ds, 10, 3) {
+		matched, err := m.Match(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range matched.Points {
+			gs := g.SegmentGeometry(p.Seg)
+			if d := gs.DistToPoint(p.Pt); d > 1e-6 {
+				t.Fatalf("matched point %v is %v m off its segment", p.Pt, d)
+			}
+		}
+	}
+}
+
+func TestMatchEmptyAndUnmatchable(t *testing.T) {
+	g := testGraph(t)
+	m, err := New(g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Match(traj.RawTrace{ID: 1}); err == nil {
+		t.Error("empty trace accepted")
+	}
+	far := traj.RawTrace{ID: 2, Points: []traj.RawPoint{
+		{Pt: geo.Pt(-1e7, -1e7), Time: 0},
+		{Pt: geo.Pt(-1e7, -1e7+10), Time: 5},
+	}}
+	if _, err := m.Match(far); err == nil {
+		t.Error("trace far off the map accepted")
+	}
+}
+
+func TestMatchDropsOutliers(t *testing.T) {
+	g := testGraph(t)
+	sim := mobisim.New(g)
+	ds, _, err := sim.Simulate(mobisim.DefaultConfig("outlier", 1, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := traj.Strip(ds.Trajectories[0])
+	// Inject one absurd outlier mid-trace.
+	mid := len(raw.Points) / 2
+	raw.Points[mid].Pt = geo.Pt(1e7, 1e7)
+	m, err := New(g, Config{NoiseStdDev: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	matched, err := m.Match(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matched.Points) != len(raw.Points)-1 {
+		t.Errorf("matched %d points, want %d (outlier dropped)", len(matched.Points), len(raw.Points)-1)
+	}
+}
+
+func TestMatchAll(t *testing.T) {
+	g := testGraph(t)
+	sim := mobisim.New(g)
+	ds, _, err := sim.Simulate(mobisim.DefaultConfig("all", 6, 19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raws := mobisim.AddNoise(ds, 5, 4)
+	// Append one hopeless trace.
+	raws = append(raws, traj.RawTrace{ID: 999, Points: []traj.RawPoint{{Pt: geo.Pt(9e6, 9e6)}}})
+	m, err := New(g, Config{NoiseStdDev: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, dropped := m.MatchAll(raws, "matched")
+	if dropped != 1 {
+		t.Errorf("dropped = %d, want 1", dropped)
+	}
+	if len(out.Trajectories) != 6 {
+		t.Errorf("matched = %d, want 6", len(out.Trajectories))
+	}
+	if err := out.Validate(); err != nil {
+		t.Errorf("matched dataset invalid: %v", err)
+	}
+}
+
+func TestParallelRoadDisambiguation(t *testing.T) {
+	// Two parallel horizontal roads 60 m apart, connected at the ends.
+	// A trace driving the lower road with 15 m noise must not flip to
+	// the upper road thanks to look-ahead continuity.
+	var b roadnet.Builder
+	var lower, upper []roadnet.NodeID
+	for i := 0; i < 6; i++ {
+		lower = append(lower, b.AddJunction(geo.Pt(float64(i)*100, 0)))
+	}
+	for i := 0; i < 6; i++ {
+		upper = append(upper, b.AddJunction(geo.Pt(float64(i)*100, 60)))
+	}
+	var lowSegs []roadnet.SegID
+	for i := 0; i < 5; i++ {
+		s, _ := b.AddSegment(lower[i], lower[i+1], roadnet.SegmentOpts{})
+		lowSegs = append(lowSegs, s)
+		if _, err := b.AddSegment(upper[i], upper[i+1], roadnet.SegmentOpts{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := b.AddSegment(lower[0], upper[0], roadnet.SegmentOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddSegment(lower[5], upper[5], roadnet.SegmentOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ground-truth samples along the lower road, noise pushes some
+	// points toward the upper road.
+	raw := traj.RawTrace{ID: 1}
+	offsets := []float64{20, -25, 28, -20, 25, -28, 20, -22, 26, -20}
+	for i := 0; i < 10; i++ {
+		x := 25 + float64(i)*50
+		raw.Points = append(raw.Points, traj.RawPoint{Pt: geo.Pt(x, offsets[i]), Time: float64(i) * 5})
+	}
+	m, err := New(g, Config{NoiseStdDev: 25, SearchRadius: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	matched, err := m.Match(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lowSet := map[roadnet.SegID]bool{}
+	for _, s := range lowSegs {
+		lowSet[s] = true
+	}
+	wrong := 0
+	for _, p := range matched.Points {
+		if !lowSet[p.Seg] {
+			wrong++
+		}
+	}
+	if wrong > 1 {
+		t.Errorf("%d of %d points matched off the lower road", wrong, len(matched.Points))
+	}
+}

@@ -1,0 +1,298 @@
+// Package mobisim is this repository's reimplementation of the
+// GTMobiSIM trace generator the paper uses (§IV-A): mobile objects are
+// placed at hotspot areas of a road network, each picks a destination
+// at random from a predefined destination set, travels there along the
+// shortest path under per-segment speed-limit constraints, and records
+// its road-network location at a fixed sampling period.
+//
+// The generator is fully deterministic from its seed, and its dataset
+// presets reproduce the point counts of Table II.
+package mobisim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/roadnet"
+	"repro/internal/shortest"
+	"repro/internal/traj"
+)
+
+// Config parameterizes one simulated dataset.
+type Config struct {
+	// Name labels the dataset (e.g. "ATL500").
+	Name string
+	// NumObjects is the number of mobile objects, each contributing one
+	// trajectory (one trip).
+	NumObjects int
+	// NumHotspots is the number of spawn areas; the paper's Fig 3 uses
+	// two hotspots.
+	NumHotspots int
+	// HotspotRadius is the network radius, in meters, around a hotspot
+	// junction within which objects spawn.
+	HotspotRadius float64
+	// NumDestinations is the size of the predefined destination set;
+	// the paper's Fig 3 marks three.
+	NumDestinations int
+	// SamplePeriod is the time between recorded locations, seconds.
+	SamplePeriod float64
+	// SpeedFactorRange brackets each object's cruising speed as a
+	// fraction of the segment speed limit ("travel under speed limit
+	// constrained on road segments"); [min, max].
+	SpeedFactorRange [2]float64
+	// StartWindow staggers departures uniformly over this many seconds.
+	StartWindow float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.NumObjects <= 0 {
+		return fmt.Errorf("mobisim: need at least one object, got %d", c.NumObjects)
+	}
+	if c.NumHotspots <= 0 {
+		return fmt.Errorf("mobisim: need at least one hotspot, got %d", c.NumHotspots)
+	}
+	if c.NumDestinations <= 0 {
+		return fmt.Errorf("mobisim: need at least one destination, got %d", c.NumDestinations)
+	}
+	if c.SamplePeriod <= 0 {
+		return fmt.Errorf("mobisim: sample period must be positive, got %g", c.SamplePeriod)
+	}
+	if c.SpeedFactorRange[0] <= 0 || c.SpeedFactorRange[1] < c.SpeedFactorRange[0] {
+		return fmt.Errorf("mobisim: invalid speed factor range %v", c.SpeedFactorRange)
+	}
+	return nil
+}
+
+// DefaultConfig returns the settings used for the paper's datasets: two
+// hotspots, three destinations, 5 s sampling, cruising at 80-100%% of
+// the speed limit.
+func DefaultConfig(name string, objects int, seed int64) Config {
+	return Config{
+		Name:             name,
+		NumObjects:       objects,
+		NumHotspots:      2,
+		HotspotRadius:    800,
+		NumDestinations:  3,
+		SamplePeriod:     5,
+		SpeedFactorRange: [2]float64{0.8, 1.0},
+		StartWindow:      600,
+		Seed:             seed,
+	}
+}
+
+// Simulator generates trajectory datasets over a fixed road network.
+type Simulator struct {
+	g   *roadnet.Graph
+	eng *shortest.Engine
+}
+
+// New creates a Simulator over g.
+func New(g *roadnet.Graph) *Simulator {
+	return &Simulator{g: g, eng: shortest.New(g, nil)}
+}
+
+// Layout is the spatial scenario of a simulation: where objects spawn
+// and where they may travel to. It is exposed so visualizations can
+// mark hotspots and destinations (the red X-signs of Fig 3).
+type Layout struct {
+	Hotspots     []roadnet.NodeID
+	Destinations []roadnet.NodeID
+}
+
+// PlanLayout deterministically picks hotspot and destination junctions:
+// hotspots in distinct regions of the map, destinations spread away
+// from the hotspots, mirroring the paper's setup where objects start in
+// two dense areas and merge into long flows toward three destinations.
+func (s *Simulator) PlanLayout(cfg Config) (Layout, error) {
+	if err := cfg.Validate(); err != nil {
+		return Layout{}, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := s.g.NumNodes()
+	if n < cfg.NumHotspots+cfg.NumDestinations {
+		return Layout{}, fmt.Errorf("mobisim: graph too small: %d junctions for %d hotspots and %d destinations",
+			n, cfg.NumHotspots, cfg.NumDestinations)
+	}
+	bounds := s.g.Bounds()
+	// Farthest-point style selection: pick each subsequent anchor to
+	// maximize its minimum distance to those already picked, from a
+	// random candidate pool. This spreads anchors across the map.
+	var anchors []roadnet.NodeID
+	pick := func() roadnet.NodeID {
+		const candidates = 48
+		var best roadnet.NodeID = roadnet.NodeID(rng.Intn(n))
+		bestScore := -1.0
+		for i := 0; i < candidates; i++ {
+			cand := roadnet.NodeID(rng.Intn(n))
+			score := math.Inf(1)
+			for _, a := range anchors {
+				d := s.g.Node(cand).Pt.Dist(s.g.Node(a).Pt)
+				if d < score {
+					score = d
+				}
+			}
+			if len(anchors) == 0 {
+				// Seed the first anchor away from the map edge.
+				c := s.g.Node(cand).Pt
+				score = -c.Dist(bounds.Center())
+			}
+			if score > bestScore {
+				bestScore = score
+				best = cand
+			}
+		}
+		anchors = append(anchors, best)
+		return best
+	}
+	layout := Layout{}
+	for i := 0; i < cfg.NumHotspots; i++ {
+		layout.Hotspots = append(layout.Hotspots, pick())
+	}
+	for i := 0; i < cfg.NumDestinations; i++ {
+		layout.Destinations = append(layout.Destinations, pick())
+	}
+	return layout, nil
+}
+
+// Simulate generates the dataset described by cfg. Each object spawns
+// near a hotspot, picks a random destination, and drives the directed
+// shortest path at a per-object fraction of the speed limits, sampled
+// every SamplePeriod seconds.
+func (s *Simulator) Simulate(cfg Config) (traj.Dataset, Layout, error) {
+	layout, err := s.PlanLayout(cfg)
+	if err != nil {
+		return traj.Dataset{}, Layout{}, err
+	}
+	d, err := s.SimulateWithLayout(cfg, layout)
+	return d, layout, err
+}
+
+// SimulateWithLayout generates a dataset using a caller-provided
+// layout, allowing several datasets to share hotspots and destinations.
+func (s *Simulator) SimulateWithLayout(cfg Config, layout Layout) (traj.Dataset, error) {
+	if err := cfg.Validate(); err != nil {
+		return traj.Dataset{}, err
+	}
+	if len(layout.Hotspots) == 0 || len(layout.Destinations) == 0 {
+		return traj.Dataset{}, fmt.Errorf("mobisim: layout has no hotspots or no destinations")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	ds := traj.Dataset{Name: cfg.Name}
+	const maxAttempts = 64
+	for obj := 0; obj < cfg.NumObjects; obj++ {
+		var tr traj.Trajectory
+		ok := false
+		for attempt := 0; attempt < maxAttempts; attempt++ {
+			spawn := s.spawnNear(rng, layout.Hotspots[rng.Intn(len(layout.Hotspots))], cfg.HotspotRadius)
+			dest := layout.Destinations[rng.Intn(len(layout.Destinations))]
+			if spawn == dest {
+				continue
+			}
+			res := s.eng.Dijkstra(spawn, dest, shortest.Directed)
+			if !res.Reachable() || len(res.Route) == 0 {
+				continue
+			}
+			speedFactor := cfg.SpeedFactorRange[0] + rng.Float64()*(cfg.SpeedFactorRange[1]-cfg.SpeedFactorRange[0])
+			depart := rng.Float64() * cfg.StartWindow
+			tr = s.drive(traj.ID(obj), res, speedFactor, depart, cfg.SamplePeriod)
+			if len(tr.Points) >= 2 {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return traj.Dataset{}, fmt.Errorf("mobisim: could not route object %d after %d attempts (disconnected directed graph?)", obj, maxAttempts)
+		}
+		ds.Trajectories = append(ds.Trajectories, tr)
+	}
+	return ds, nil
+}
+
+// spawnNear picks a junction within radius of the hotspot center using
+// a bounded network expansion, weighting toward the center to create
+// the dense spawn areas visible in Fig 3(a).
+func (s *Simulator) spawnNear(rng *rand.Rand, hotspot roadnet.NodeID, radius float64) roadnet.NodeID {
+	dists := s.eng.Tree(hotspot, shortest.Directed, radius)
+	var pool []roadnet.NodeID
+	for n, d := range dists {
+		if !math.IsInf(d, 1) {
+			pool = append(pool, roadnet.NodeID(n))
+		}
+	}
+	if len(pool) == 0 {
+		return hotspot
+	}
+	return pool[rng.Intn(len(pool))]
+}
+
+// drive moves an object along the route of res, sampling its location
+// every period seconds. The object traverses each directed segment at
+// speedFactor times the segment speed limit.
+func (s *Simulator) drive(id traj.ID, res shortest.Result, speedFactor, depart, period float64) traj.Trajectory {
+	type leg struct {
+		seg        roadnet.SegID
+		from, to   roadnet.NodeID
+		length     float64
+		startT     float64 // seconds since departure at leg start
+		durT       float64
+		cumulative float64 // distance at leg start
+	}
+	legs := make([]leg, 0, len(res.Route))
+	var t, dist float64
+	for i, sid := range res.Route {
+		seg := s.g.Segment(sid)
+		from := res.Nodes[i]
+		to := res.Nodes[i+1]
+		speed := seg.SpeedLimit * speedFactor
+		if speed <= 0 {
+			speed = 1
+		}
+		dur := seg.Length / speed
+		legs = append(legs, leg{seg: sid, from: from, to: to, length: seg.Length, startT: t, durT: dur, cumulative: dist})
+		t += dur
+		dist += seg.Length
+	}
+	totalT := t
+	var pts []traj.Location
+	// Sample at k*period from departure, always including the exact
+	// start and end locations so trips form complete routes.
+	appendAt := func(elapsed float64) {
+		// Find the active leg (legs are few; linear scan from the back
+		// of the previously found index would be an optimization, but
+		// binary search keeps this simple and O(log n)).
+		lo, hi := 0, len(legs)-1
+		for lo < hi {
+			mid := (lo + hi + 1) / 2
+			if legs[mid].startT <= elapsed {
+				lo = mid
+			} else {
+				hi = mid - 1
+			}
+		}
+		l := legs[lo]
+		frac := 0.0
+		if l.durT > 0 {
+			frac = (elapsed - l.startT) / l.durT
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		a := s.g.Node(l.from).Pt
+		b := s.g.Node(l.to).Pt
+		pts = append(pts, traj.Sample(l.seg, a.Lerp(b, frac), depart+elapsed))
+	}
+	appendAt(0)
+	for k := 1; ; k++ {
+		elapsed := float64(k) * period
+		if elapsed >= totalT {
+			break
+		}
+		appendAt(elapsed)
+	}
+	appendAt(totalT)
+	return traj.Trajectory{ID: id, Points: pts}
+}

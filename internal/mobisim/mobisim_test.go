@@ -1,0 +1,218 @@
+package mobisim
+
+import (
+	"testing"
+
+	"repro/internal/mapgen"
+	"repro/internal/roadnet"
+)
+
+func testGraph(t testing.TB) *roadnet.Graph {
+	t.Helper()
+	g, err := mapgen.Generate(mapgen.Config{
+		Name:            "sim",
+		TargetJunctions: 400,
+		TargetSegments:  560,
+		AvgSegLenM:      150,
+		MaxDegree:       6,
+		DiagonalFrac:    0.1,
+		Seed:            5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSimulateBasics(t *testing.T) {
+	g := testGraph(t)
+	sim := New(g)
+	cfg := DefaultConfig("T100", 100, 3)
+	ds, layout, err := sim.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Trajectories) != 100 {
+		t.Fatalf("trajectories = %d", len(ds.Trajectories))
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatalf("dataset invalid: %v", err)
+	}
+	if len(layout.Hotspots) != 2 || len(layout.Destinations) != 3 {
+		t.Errorf("layout = %d hotspots, %d destinations", len(layout.Hotspots), len(layout.Destinations))
+	}
+	for _, tr := range ds.Trajectories {
+		if len(tr.Points) < 2 {
+			t.Fatalf("trajectory %d has %d points", tr.ID, len(tr.Points))
+		}
+		// Sampling period respected (all gaps <= period + endpoint gap).
+		for i := 1; i < len(tr.Points); i++ {
+			dt := tr.Points[i].Time - tr.Points[i-1].Time
+			if dt <= 0 {
+				t.Fatalf("trajectory %d: non-increasing time at %d", tr.ID, i)
+			}
+			if dt > cfg.SamplePeriod+1e-9 {
+				t.Fatalf("trajectory %d: gap %v exceeds period", tr.ID, dt)
+			}
+		}
+	}
+}
+
+func TestSimulateSpeedLimit(t *testing.T) {
+	g := testGraph(t)
+	sim := New(g)
+	cfg := DefaultConfig("speed", 50, 11)
+	ds, _, err := sim.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Max speed limit on the map bounds all movement.
+	var maxLimit float64
+	for _, s := range g.Segments() {
+		if s.SpeedLimit > maxLimit {
+			maxLimit = s.SpeedLimit
+		}
+	}
+	for _, tr := range ds.Trajectories {
+		for i := 1; i < len(tr.Points); i++ {
+			d := tr.Points[i].Pt.Dist(tr.Points[i-1].Pt)
+			dt := tr.Points[i].Time - tr.Points[i-1].Time
+			// Straight-line displacement cannot exceed network travel at
+			// the maximum speed limit.
+			if d > maxLimit*dt*1.01 {
+				t.Fatalf("trajectory %d moved %v m in %v s (limit %v m/s)", tr.ID, d, dt, maxLimit)
+			}
+		}
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	g := testGraph(t)
+	sim := New(g)
+	cfg := DefaultConfig("det", 20, 99)
+	a, _, err := sim.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := sim.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalPoints() != b.TotalPoints() {
+		t.Fatalf("same seed produced %d vs %d points", a.TotalPoints(), b.TotalPoints())
+	}
+	for i := range a.Trajectories {
+		pa, pb := a.Trajectories[i].Points, b.Trajectories[i].Points
+		if len(pa) != len(pb) {
+			t.Fatalf("trajectory %d length differs", i)
+		}
+		for j := range pa {
+			if pa[j] != pb[j] {
+				t.Fatalf("trajectory %d point %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestSimulatePointsOnSegments(t *testing.T) {
+	g := testGraph(t)
+	sim := New(g)
+	ds, _, err := sim.Simulate(DefaultConfig("onseg", 30, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range ds.Trajectories {
+		for _, p := range tr.Points {
+			if p.Seg < 0 || int(p.Seg) >= g.NumSegments() {
+				t.Fatalf("bad segment id %d", p.Seg)
+			}
+			// The recorded position lies on its segment's geometry.
+			gs := g.SegmentGeometry(p.Seg)
+			if d := gs.DistToPoint(p.Pt); d > 1e-6 {
+				t.Fatalf("point %v is %v m off segment %d", p.Pt, d, p.Seg)
+			}
+			if p.IsJunctionPoint() {
+				t.Fatal("simulator emitted a junction-marked point")
+			}
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig("ok", 10, 1)
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		func() Config { c := good; c.NumObjects = 0; return c }(),
+		func() Config { c := good; c.NumHotspots = 0; return c }(),
+		func() Config { c := good; c.NumDestinations = 0; return c }(),
+		func() Config { c := good; c.SamplePeriod = 0; return c }(),
+		func() Config { c := good; c.SpeedFactorRange = [2]float64{0, 1}; return c }(),
+		func() Config { c := good; c.SpeedFactorRange = [2]float64{1, 0.5}; return c }(),
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestAddNoise(t *testing.T) {
+	g := testGraph(t)
+	sim := New(g)
+	ds, _, err := sim.Simulate(DefaultConfig("noise", 5, 23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raws := AddNoise(ds, 10, 1)
+	if len(raws) != len(ds.Trajectories) {
+		t.Fatalf("raw traces = %d", len(raws))
+	}
+	var moved, total int
+	for i, raw := range raws {
+		if len(raw.Points) != len(ds.Trajectories[i].Points) {
+			t.Fatal("noise changed point count")
+		}
+		for j, p := range raw.Points {
+			orig := ds.Trajectories[i].Points[j]
+			if p.Time != orig.Time {
+				t.Fatal("noise changed timestamps")
+			}
+			d := p.Pt.Dist(orig.Pt)
+			if d > 0 {
+				moved++
+			}
+			if d > 100 {
+				t.Fatalf("noise displaced a point by %v m at stddev 10", d)
+			}
+			total++
+		}
+	}
+	if moved < total/2 {
+		t.Errorf("only %d/%d points perturbed", moved, total)
+	}
+	// Determinism.
+	again := AddNoise(ds, 10, 1)
+	if again[0].Points[0].Pt != raws[0].Points[0].Pt {
+		t.Error("AddNoise not deterministic for equal seeds")
+	}
+}
+
+func TestLayoutSpread(t *testing.T) {
+	g := testGraph(t)
+	sim := New(g)
+	layout, err := sim.PlanLayout(DefaultConfig("spread", 10, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hotspots and destinations must be distinct junctions.
+	seen := map[roadnet.NodeID]bool{}
+	all := append(append([]roadnet.NodeID{}, layout.Hotspots...), layout.Destinations...)
+	for _, n := range all {
+		if seen[n] {
+			t.Errorf("anchor %d reused", n)
+		}
+		seen[n] = true
+	}
+}

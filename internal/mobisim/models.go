@@ -1,0 +1,140 @@
+package mobisim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/roadnet"
+	"repro/internal/shortest"
+	"repro/internal/traj"
+)
+
+// TripModel selects how origins and destinations are drawn. The
+// paper's datasets use the hotspot model ("a final destination chosen
+// randomly from a predefined set of locations as in real life
+// traveling"); the alternatives exist to test NEAT's sensitivity to
+// workload structure.
+type TripModel uint8
+
+const (
+	// TripHotspot spawns near hotspot junctions and travels to a fixed
+	// destination set — the paper's model and the default.
+	TripHotspot TripModel = iota
+	// TripUniform draws origin and destination uniformly from all
+	// junctions: diffuse traffic with no major streams.
+	TripUniform
+	// TripCommute models a morning rush: all objects depart within a
+	// short window from hotspots toward a single dominant destination
+	// (plus a minority to the others), maximizing stream concentration.
+	TripCommute
+)
+
+// String implements fmt.Stringer.
+func (m TripModel) String() string {
+	switch m {
+	case TripHotspot:
+		return "hotspot"
+	case TripUniform:
+		return "uniform"
+	case TripCommute:
+		return "commute"
+	default:
+		return fmt.Sprintf("model(%d)", uint8(m))
+	}
+}
+
+// SimulateModel generates a dataset under the given trip model, using
+// cfg for everything but origin/destination selection.
+func (s *Simulator) SimulateModel(cfg Config, model TripModel) (traj.Dataset, Layout, error) {
+	switch model {
+	case TripHotspot:
+		ds, layout, err := s.Simulate(cfg)
+		return ds, layout, err
+	case TripUniform:
+		ds, err := s.simulateUniform(cfg)
+		return ds, Layout{}, err
+	case TripCommute:
+		return s.simulateCommute(cfg)
+	default:
+		return traj.Dataset{}, Layout{}, fmt.Errorf("mobisim: unknown trip model %d", model)
+	}
+}
+
+// simulateUniform draws both endpoints uniformly at random.
+func (s *Simulator) simulateUniform(cfg Config) (traj.Dataset, error) {
+	if err := cfg.Validate(); err != nil {
+		return traj.Dataset{}, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 2))
+	ds := traj.Dataset{Name: cfg.Name}
+	n := s.g.NumNodes()
+	const maxAttempts = 64
+	for obj := 0; obj < cfg.NumObjects; obj++ {
+		ok := false
+		for attempt := 0; attempt < maxAttempts; attempt++ {
+			from := roadnet.NodeID(rng.Intn(n))
+			to := roadnet.NodeID(rng.Intn(n))
+			if from == to {
+				continue
+			}
+			res := s.eng.Dijkstra(from, to, shortest.Directed)
+			if !res.Reachable() || len(res.Route) == 0 {
+				continue
+			}
+			sf := cfg.SpeedFactorRange[0] + rng.Float64()*(cfg.SpeedFactorRange[1]-cfg.SpeedFactorRange[0])
+			tr := s.drive(traj.ID(obj), res, sf, rng.Float64()*cfg.StartWindow, cfg.SamplePeriod)
+			if len(tr.Points) >= 2 {
+				ds.Trajectories = append(ds.Trajectories, tr)
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return traj.Dataset{}, fmt.Errorf("mobisim: uniform model could not route object %d", obj)
+		}
+	}
+	return ds, nil
+}
+
+// simulateCommute sends most traffic to one dominant destination in a
+// compressed departure window.
+func (s *Simulator) simulateCommute(cfg Config) (traj.Dataset, Layout, error) {
+	layout, err := s.PlanLayout(cfg)
+	if err != nil {
+		return traj.Dataset{}, Layout{}, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 3))
+	ds := traj.Dataset{Name: cfg.Name}
+	dominant := layout.Destinations[0]
+	window := math.Max(cfg.StartWindow/4, cfg.SamplePeriod)
+	const maxAttempts = 64
+	for obj := 0; obj < cfg.NumObjects; obj++ {
+		ok := false
+		for attempt := 0; attempt < maxAttempts; attempt++ {
+			spawn := s.spawnNear(rng, layout.Hotspots[rng.Intn(len(layout.Hotspots))], cfg.HotspotRadius)
+			dest := dominant
+			if rng.Float64() < 0.15 { // minority traffic to the other destinations
+				dest = layout.Destinations[rng.Intn(len(layout.Destinations))]
+			}
+			if spawn == dest {
+				continue
+			}
+			res := s.eng.Dijkstra(spawn, dest, shortest.Directed)
+			if !res.Reachable() || len(res.Route) == 0 {
+				continue
+			}
+			sf := cfg.SpeedFactorRange[0] + rng.Float64()*(cfg.SpeedFactorRange[1]-cfg.SpeedFactorRange[0])
+			tr := s.drive(traj.ID(obj), res, sf, rng.Float64()*window, cfg.SamplePeriod)
+			if len(tr.Points) >= 2 {
+				ds.Trajectories = append(ds.Trajectories, tr)
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return traj.Dataset{}, Layout{}, fmt.Errorf("mobisim: commute model could not route object %d", obj)
+		}
+	}
+	return ds, layout, nil
+}

@@ -1,0 +1,89 @@
+package mobisim
+
+import "testing"
+
+func TestSimulateModelHotspotMatchesSimulate(t *testing.T) {
+	g := testGraph(t)
+	sim := New(g)
+	cfg := DefaultConfig("m", 15, 3)
+	a, _, err := sim.SimulateModel(cfg, TripHotspot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := sim.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalPoints() != b.TotalPoints() {
+		t.Errorf("hotspot model diverged from Simulate: %d vs %d points",
+			a.TotalPoints(), b.TotalPoints())
+	}
+}
+
+func TestSimulateUniform(t *testing.T) {
+	g := testGraph(t)
+	sim := New(g)
+	ds, _, err := sim.SimulateModel(DefaultConfig("u", 40, 5), TripUniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Trajectories) != 40 {
+		t.Fatalf("trajectories = %d", len(ds.Trajectories))
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Uniform trips should have diverse endpoints: count distinct final
+	// segments.
+	ends := map[int32]bool{}
+	for _, tr := range ds.Trajectories {
+		ends[int32(tr.Points[len(tr.Points)-1].Seg)] = true
+	}
+	if len(ends) < 10 {
+		t.Errorf("uniform model produced only %d distinct destination segments", len(ends))
+	}
+}
+
+func TestSimulateCommute(t *testing.T) {
+	g := testGraph(t)
+	sim := New(g)
+	cfg := DefaultConfig("c", 40, 7)
+	ds, layout, err := sim.SimulateModel(cfg, TripCommute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Departures compressed into a quarter of the start window.
+	for _, tr := range ds.Trajectories {
+		if tr.Points[0].Time > cfg.StartWindow/4+1e-9 {
+			t.Errorf("trajectory %d departs at %v, outside the rush window", tr.ID, tr.Points[0].Time)
+		}
+	}
+	// The dominant destination attracts the bulk of trips: most final
+	// positions coincide with the first destination junction.
+	dominantPt := g.Node(layout.Destinations[0]).Pt
+	atDominant := 0
+	for _, tr := range ds.Trajectories {
+		if tr.Points[len(tr.Points)-1].Pt.Dist(dominantPt) < 1 {
+			atDominant++
+		}
+	}
+	if atDominant < len(ds.Trajectories)/2 {
+		t.Errorf("dominant destination got only %d of %d trips", atDominant, len(ds.Trajectories))
+	}
+	if len(layout.Destinations) == 0 {
+		t.Error("commute model returned no layout")
+	}
+}
+
+func TestSimulateModelUnknown(t *testing.T) {
+	g := testGraph(t)
+	if _, _, err := New(g).SimulateModel(DefaultConfig("x", 5, 1), TripModel(99)); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if TripHotspot.String() != "hotspot" || TripUniform.String() != "uniform" || TripCommute.String() != "commute" {
+		t.Error("TripModel.String wrong")
+	}
+}

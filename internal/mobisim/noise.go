@@ -1,0 +1,29 @@
+package mobisim
+
+import (
+	"math/rand"
+
+	"repro/internal/geo"
+	"repro/internal/traj"
+)
+
+// AddNoise converts a matched dataset into raw GPS-like traces by
+// stripping the road-network association and perturbing every
+// coordinate with isotropic Gaussian noise of the given standard
+// deviation (meters). It exercises the map matcher the way real
+// positioning data would.
+func AddNoise(d traj.Dataset, stddev float64, seed int64) []traj.RawTrace {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]traj.RawTrace, 0, len(d.Trajectories))
+	for _, tr := range d.Trajectories {
+		raw := traj.Strip(tr)
+		for i := range raw.Points {
+			raw.Points[i].Pt = geo.Pt(
+				raw.Points[i].Pt.X+rng.NormFloat64()*stddev,
+				raw.Points[i].Pt.Y+rng.NormFloat64()*stddev,
+			)
+		}
+		out = append(out, raw)
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package neat
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+)
+
+// BaseCluster groups the t-fragments that lie on one road segment
+// (Definition 2). The segment is the cluster's representative, eS.
+type BaseCluster struct {
+	// Seg is the representative road segment.
+	Seg roadnet.SegID
+	// Fragments are the member t-fragments; their count is the
+	// cluster's density (Definition 4).
+	Fragments []traj.TFragment
+
+	trajs map[traj.ID]struct{}
+}
+
+// Density returns the number of t-fragments in the cluster
+// (Definition 4).
+func (b *BaseCluster) Density() int { return len(b.Fragments) }
+
+// Cardinality returns the trajectory cardinality |PTr(S)|: the number
+// of distinct trajectories participating in the cluster (Definition 3).
+func (b *BaseCluster) Cardinality() int { return len(b.trajs) }
+
+// Participates reports whether trajectory id has a t-fragment in the
+// cluster.
+func (b *BaseCluster) Participates(id traj.ID) bool {
+	_, ok := b.trajs[id]
+	return ok
+}
+
+// ParticipatingTrajectories returns the sorted ids of PTr(S).
+func (b *BaseCluster) ParticipatingTrajectories() []traj.ID {
+	out := make([]traj.ID, 0, len(b.trajs))
+	for id := range b.trajs {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String implements fmt.Stringer.
+func (b *BaseCluster) String() string {
+	return fmt.Sprintf("S{seg=%d d=%d |PTr|=%d}", b.Seg, b.Density(), b.Cardinality())
+}
+
+// Netflow returns f(Si, Sj): the number of trajectories participating
+// in both clusters (Definition 5).
+func Netflow(a, b *BaseCluster) int {
+	small, large := a.trajs, b.trajs
+	if len(small) > len(large) {
+		small, large = large, small
+	}
+	n := 0
+	for id := range small {
+		if _, ok := large[id]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+// FormBaseClusters performs Phase 1, step 2: it groups t-fragments by
+// their road segment into base clusters and returns the clusters sorted
+// by density in descending order, so the first element is the
+// dense-core of the set (Definition 4). Ties are broken by segment id
+// for determinism.
+func FormBaseClusters(frags []traj.TFragment) []*BaseCluster {
+	bySeg := make(map[roadnet.SegID]*BaseCluster)
+	var order []*BaseCluster
+	for _, f := range frags {
+		bc, ok := bySeg[f.Seg]
+		if !ok {
+			bc = &BaseCluster{Seg: f.Seg, trajs: make(map[traj.ID]struct{})}
+			bySeg[f.Seg] = bc
+			order = append(order, bc)
+		}
+		bc.Fragments = append(bc.Fragments, f)
+		bc.trajs[f.Traj] = struct{}{}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].Density() != order[j].Density() {
+			return order[i].Density() > order[j].Density()
+		}
+		return order[i].Seg < order[j].Seg
+	})
+	return order
+}
+
+// DenseCore returns the base cluster with the highest density among bs,
+// or nil for an empty slice. For the slice returned by
+// FormBaseClusters this is simply the first element.
+func DenseCore(bs []*BaseCluster) *BaseCluster {
+	var best *BaseCluster
+	for _, b := range bs {
+		if best == nil || b.Density() > best.Density() ||
+			(b.Density() == best.Density() && b.Seg < best.Seg) {
+			best = b
+		}
+	}
+	return best
+}

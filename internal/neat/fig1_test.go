@@ -1,0 +1,219 @@
+package neat
+
+import (
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+)
+
+// fig1 reproduces the worked example of the paper's Figure 1(b) and
+// §II-B: five trajectories over four road segments n1n2, n2n3, n2n4,
+// n2n5 meeting at n2, with
+//
+//	d(S1)=4 (from 3 trajectories), d(S2)=3, d(S3)=1, d(S4)=2
+//	f(S1,S2)=2, f(S1,S3)=1, f(S1,S4)=1, f(S2,S3)=0, f(S2,S4)=1
+//
+// realized as PTr(S1)={T1,T2,T3} (T1 contributing two t-fragments),
+// PTr(S2)={T1,T2,T4}, PTr(S3)={T3}, PTr(S4)={T2,T5}.
+type fig1 struct {
+	g              *roadnet.Graph
+	s1, s2, s3, s4 roadnet.SegID
+	n2             roadnet.NodeID
+	frags          []traj.TFragment
+}
+
+func buildFig1(t *testing.T) fig1 {
+	t.Helper()
+	var b roadnet.Builder
+	n1 := b.AddJunction(geo.Pt(0, 0))
+	n2 := b.AddJunction(geo.Pt(100, 0))
+	n3 := b.AddJunction(geo.Pt(200, 0))
+	n4 := b.AddJunction(geo.Pt(100, 100))
+	n5 := b.AddJunction(geo.Pt(100, -100))
+	s1, _ := b.AddSegment(n1, n2, roadnet.SegmentOpts{})
+	s2, _ := b.AddSegment(n2, n3, roadnet.SegmentOpts{})
+	s3, _ := b.AddSegment(n2, n4, roadnet.SegmentOpts{})
+	s4, _ := b.AddSegment(n2, n5, roadnet.SegmentOpts{})
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	frag := func(id traj.ID, seg roadnet.SegID, idx int) traj.TFragment {
+		gs := g.SegmentGeometry(seg)
+		return traj.TFragment{
+			Traj:   id,
+			Seg:    seg,
+			Points: []traj.Location{traj.Sample(seg, gs.A, 0), traj.Sample(seg, gs.B, 1)},
+			Index:  idx,
+		}
+	}
+	frags := []traj.TFragment{
+		// S1 on s1: 4 fragments from T1 (twice), T2, T3.
+		frag(1, s1, 0), frag(1, s1, 2), frag(2, s1, 0), frag(3, s1, 0),
+		// S2 on s2: T1, T2, T4.
+		frag(1, s2, 1), frag(2, s2, 1), frag(4, s2, 0),
+		// S3 on s3: T3.
+		frag(3, s3, 1),
+		// S4 on s4: T2, T5.
+		frag(2, s4, 2), frag(5, s4, 0),
+	}
+	return fig1{g: g, s1: s1, s2: s2, s3: s3, s4: s4, n2: n2, frags: frags}
+}
+
+func clusterBySeg(t *testing.T, bs []*BaseCluster, seg roadnet.SegID) *BaseCluster {
+	t.Helper()
+	for _, b := range bs {
+		if b.Seg == seg {
+			return b
+		}
+	}
+	t.Fatalf("no base cluster for segment %d", seg)
+	return nil
+}
+
+func TestFig1BaseClusters(t *testing.T) {
+	f := buildFig1(t)
+	bs := FormBaseClusters(f.frags)
+	if len(bs) != 4 {
+		t.Fatalf("base clusters = %d, want 4", len(bs))
+	}
+	S1 := clusterBySeg(t, bs, f.s1)
+	S2 := clusterBySeg(t, bs, f.s2)
+	S3 := clusterBySeg(t, bs, f.s3)
+	S4 := clusterBySeg(t, bs, f.s4)
+
+	wantDensity := map[*BaseCluster]int{S1: 4, S2: 3, S3: 1, S4: 2}
+	for c, want := range wantDensity {
+		if c.Density() != want {
+			t.Errorf("d(%v) = %d, want %d", c.Seg, c.Density(), want)
+		}
+	}
+	if S1.Cardinality() != 3 {
+		t.Errorf("|PTr(S1)| = %d, want 3 (4 t-fragments of 3 trajectories)", S1.Cardinality())
+	}
+	// Density-descending order with the dense-core first.
+	if bs[0] != S1 {
+		t.Errorf("dense-core = %v, want S1", bs[0])
+	}
+	if DenseCore(bs) != S1 {
+		t.Error("DenseCore != S1")
+	}
+	for i := 1; i < len(bs); i++ {
+		if bs[i-1].Density() < bs[i].Density() {
+			t.Error("base clusters not density-sorted")
+		}
+	}
+}
+
+func TestFig1Netflows(t *testing.T) {
+	f := buildFig1(t)
+	bs := FormBaseClusters(f.frags)
+	S1 := clusterBySeg(t, bs, f.s1)
+	S2 := clusterBySeg(t, bs, f.s2)
+	S3 := clusterBySeg(t, bs, f.s3)
+	S4 := clusterBySeg(t, bs, f.s4)
+
+	tests := []struct {
+		a, b *BaseCluster
+		want int
+	}{
+		{S1, S2, 2}, {S1, S3, 1}, {S1, S4, 1}, {S2, S3, 0}, {S2, S4, 1},
+	}
+	for _, tc := range tests {
+		if got := Netflow(tc.a, tc.b); got != tc.want {
+			t.Errorf("f(%d,%d) = %d, want %d", tc.a.Seg, tc.b.Seg, got, tc.want)
+		}
+		// Symmetry.
+		if got := Netflow(tc.b, tc.a); got != tc.want {
+			t.Errorf("netflow not symmetric for (%d,%d)", tc.a.Seg, tc.b.Seg)
+		}
+	}
+}
+
+func TestFig1FlowFormation(t *testing.T) {
+	// With flow-only weights, the dense-core S1 expands at n2 to its
+	// maxFlow-neighbor S2 (f=2, beating S3 and S4 at f=1). S2's far
+	// end n3 is a dead end, and S1's other end n1 is a dead end, so the
+	// first flow is exactly {S1, S2}. The remaining rounds seed from S4
+	// (density 2): its neighborhood at n2 holds S3 with f(S4,S3)=0 —
+	// PTr(S4)={T2,T5}, PTr(S3)={T3} — so S4 stays alone; then S3.
+	f := buildFig1(t)
+	bs := FormBaseClusters(f.frags)
+	flows, filtered, err := FormFlowClusters(f.g, bs, FlowConfig{Weights: WeightsFlowOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filtered != 0 {
+		t.Errorf("filtered = %d, want 0 (minCard unset)", filtered)
+	}
+	if len(flows) != 3 {
+		t.Fatalf("flows = %d, want 3", len(flows))
+	}
+	first := flows[0]
+	if len(first.Route) != 2 {
+		t.Fatalf("first flow route = %v, want {s1,s2}", first.Route)
+	}
+	hasS1, hasS2 := false, false
+	for _, s := range first.Route {
+		hasS1 = hasS1 || s == f.s1
+		hasS2 = hasS2 || s == f.s2
+	}
+	if !hasS1 || !hasS2 {
+		t.Errorf("first flow route = %v, want s1 and s2", first.Route)
+	}
+	if err := first.Route.Validate(f.g); err != nil {
+		t.Errorf("flow route invalid: %v", err)
+	}
+	if first.Cardinality() != 4 { // T1,T2,T3 from S1 plus T4 from S2
+		t.Errorf("|PTr(F1)| = %d, want 4", first.Cardinality())
+	}
+	if first.Density() != 7 {
+		t.Errorf("d(F1) = %d, want 7", first.Density())
+	}
+}
+
+func TestFig1MinCardFilter(t *testing.T) {
+	f := buildFig1(t)
+	bs := FormBaseClusters(f.frags)
+	flows, filtered, err := FormFlowClusters(f.g, bs, FlowConfig{Weights: WeightsFlowOnly, MinCard: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only {S1,S2} (cardinality 4) survives; {S4} (2) and {S3} (1) are
+	// filtered.
+	if len(flows) != 1 || filtered != 2 {
+		t.Errorf("flows = %d filtered = %d, want 1 and 2", len(flows), filtered)
+	}
+}
+
+func TestFig1Determinism(t *testing.T) {
+	f := buildFig1(t)
+	run := func() []string {
+		bs := FormBaseClusters(f.frags)
+		flows, _, err := FormFlowClusters(f.g, bs, FlowConfig{Weights: WeightsBalanced})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sigs []string
+		for _, fl := range flows {
+			sig := ""
+			for _, s := range fl.Route {
+				sig += string(rune('a' + int(s)))
+			}
+			sigs = append(sigs, sig)
+		}
+		return sigs
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic flow count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("flow %d differs between runs: %q vs %q", i, a[i], b[i])
+		}
+	}
+}

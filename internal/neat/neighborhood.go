@@ -1,0 +1,81 @@
+package neat
+
+import (
+	"sort"
+
+	"repro/internal/roadnet"
+)
+
+// ClusterSet is an indexed set of base clusters supporting the
+// neighborhood queries of Definitions 6 and 7. Phase 2 uses an
+// internal equivalent that also tracks merge state; this public form
+// lets applications explore the NEAT model directly (and lets tests
+// check the paper's worked examples).
+type ClusterSet struct {
+	g     *roadnet.Graph
+	bySeg map[roadnet.SegID]*BaseCluster
+}
+
+// NewClusterSet indexes the given base clusters over g.
+func NewClusterSet(g *roadnet.Graph, clusters []*BaseCluster) *ClusterSet {
+	cs := &ClusterSet{g: g, bySeg: make(map[roadnet.SegID]*BaseCluster, len(clusters))}
+	for _, b := range clusters {
+		cs.bySeg[b.Seg] = b
+	}
+	return cs
+}
+
+// Get returns the base cluster associated with segment s, if any.
+func (cs *ClusterSet) Get(s roadnet.SegID) (*BaseCluster, bool) {
+	b, ok := cs.bySeg[s]
+	return b, ok
+}
+
+// NeighborhoodAt returns Nf(S, nu) (Definition 6): the base clusters on
+// segments adjacent to S's representative at junction nu that share at
+// least one participating trajectory with S. The result is sorted by
+// segment id. A junction that is not an endpoint of S's segment yields
+// nil (the dead-end convention Lnu(e) = ∅).
+func (cs *ClusterSet) NeighborhoodAt(s *BaseCluster, nu roadnet.NodeID) []*BaseCluster {
+	var out []*BaseCluster
+	for _, sid := range cs.g.AdjacentAt(s.Seg, nu) {
+		if cand, ok := cs.bySeg[sid]; ok && Netflow(s, cand) > 0 {
+			out = append(out, cand)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seg < out[j].Seg })
+	return out
+}
+
+// Neighborhood returns Nf(S) = Nf(S, ni) ∪ Nf(S, nj) over both
+// endpoints of S's representative segment.
+func (cs *ClusterSet) Neighborhood(s *BaseCluster) []*BaseCluster {
+	seg := cs.g.Segment(s.Seg)
+	ni := cs.NeighborhoodAt(s, seg.NI)
+	nj := cs.NeighborhoodAt(s, seg.NJ)
+	seen := make(map[roadnet.SegID]bool, len(ni)+len(nj))
+	var out []*BaseCluster
+	for _, b := range append(ni, nj...) {
+		if !seen[b.Seg] {
+			seen[b.Seg] = true
+			out = append(out, b)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seg < out[j].Seg })
+	return out
+}
+
+// MaxFlowNeighbor returns the maxFlow-neighbor of S at nu
+// (Definition 7) and its netflow, or (nil, 0) when the f-neighborhood
+// is empty. Ties are broken by segment id for determinism.
+func (cs *ClusterSet) MaxFlowNeighbor(s *BaseCluster, nu roadnet.NodeID) (*BaseCluster, int) {
+	var best *BaseCluster
+	bestFlow := 0
+	for _, cand := range cs.NeighborhoodAt(s, nu) {
+		f := Netflow(s, cand)
+		if f > bestFlow || (f == bestFlow && best != nil && cand.Seg < best.Seg) {
+			best, bestFlow = cand, f
+		}
+	}
+	return best, bestFlow
+}

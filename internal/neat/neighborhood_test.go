@@ -1,0 +1,106 @@
+package neat
+
+import (
+	"testing"
+
+	"repro/internal/roadnet"
+)
+
+// TestFig1Neighborhood checks Definitions 6 and 7 on the paper's
+// worked example: Nf(S1, n2) = {S2, S3, S4} and the maxFlow-neighbor
+// of S1 at n2 is S2.
+func TestFig1Neighborhood(t *testing.T) {
+	f := buildFig1(t)
+	bs := FormBaseClusters(f.frags)
+	cs := NewClusterSet(f.g, bs)
+	S1, ok := cs.Get(f.s1)
+	if !ok {
+		t.Fatal("S1 missing")
+	}
+
+	nf := cs.NeighborhoodAt(S1, f.n2)
+	if len(nf) != 3 {
+		t.Fatalf("Nf(S1, n2) = %v, want 3 clusters", nf)
+	}
+	want := map[roadnet.SegID]bool{f.s2: true, f.s3: true, f.s4: true}
+	for _, b := range nf {
+		if !want[b.Seg] {
+			t.Errorf("unexpected neighbor %v", b)
+		}
+	}
+
+	// The other endpoint of s1 (n1) is a dead end: empty neighborhood.
+	seg := f.g.Segment(f.s1)
+	n1 := seg.OtherEnd(f.n2)
+	if got := cs.NeighborhoodAt(S1, n1); len(got) != 0 {
+		t.Errorf("Nf(S1, n1) = %v, want empty (dead end)", got)
+	}
+
+	// Nf(S1) over both endpoints equals Nf(S1, n2) here.
+	if got := cs.Neighborhood(S1); len(got) != 3 {
+		t.Errorf("Nf(S1) = %v, want 3", got)
+	}
+
+	// maxFlow-neighbor of S1 at n2 is S2 with f = 2.
+	mf, flow := cs.MaxFlowNeighbor(S1, f.n2)
+	if mf == nil || mf.Seg != f.s2 || flow != 2 {
+		t.Errorf("maxFlow(S1, n2) = (%v, %d), want (S2, 2)", mf, flow)
+	}
+}
+
+func TestNeighborhoodExcludesZeroNetflow(t *testing.T) {
+	f := buildFig1(t)
+	bs := FormBaseClusters(f.frags)
+	cs := NewClusterSet(f.g, bs)
+	S2, ok := cs.Get(f.s2)
+	if !ok {
+		t.Fatal("S2 missing")
+	}
+	// f(S2, S3) = 0, so S3 must not appear in Nf(S2, n2) even though
+	// the segments are adjacent.
+	for _, b := range cs.NeighborhoodAt(S2, f.n2) {
+		if b.Seg == f.s3 {
+			t.Error("S3 in Nf(S2, n2) despite zero netflow")
+		}
+	}
+}
+
+func TestNeighborhoodSymmetry(t *testing.T) {
+	// The f-neighbor relation is symmetric (noted after Definition 6).
+	f := buildFig1(t)
+	bs := FormBaseClusters(f.frags)
+	cs := NewClusterSet(f.g, bs)
+	isNeighbor := func(a, b *BaseCluster) bool {
+		for _, x := range cs.Neighborhood(a) {
+			if x.Seg == b.Seg {
+				return true
+			}
+		}
+		return false
+	}
+	for _, a := range bs {
+		for _, b := range bs {
+			if a == b {
+				continue
+			}
+			if isNeighbor(a, b) != isNeighbor(b, a) {
+				t.Errorf("f-neighbor not symmetric for %v, %v", a, b)
+			}
+		}
+	}
+}
+
+func TestMaxFlowNeighborEmpty(t *testing.T) {
+	f := buildFig1(t)
+	bs := FormBaseClusters(f.frags)
+	cs := NewClusterSet(f.g, bs)
+	S3, ok := cs.Get(f.s3)
+	if !ok {
+		t.Fatal("S3 missing")
+	}
+	seg := f.g.Segment(f.s3)
+	deadEnd := seg.OtherEnd(f.n2)
+	if mf, flow := cs.MaxFlowNeighbor(S3, deadEnd); mf != nil || flow != 0 {
+		t.Errorf("maxFlow at dead end = (%v, %d), want (nil, 0)", mf, flow)
+	}
+}

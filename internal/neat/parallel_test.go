@@ -1,0 +1,54 @@
+package neat
+
+import "testing"
+
+func TestRunParallelMatchesRun(t *testing.T) {
+	g, ds := simulated(t, 60)
+	p := NewPipeline(g)
+	cfg := DefaultConfig()
+	cfg.Refine.Epsilon = 2000
+
+	serial, err := p.Run(ds, cfg, LevelOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 4} {
+		par, err := p.RunParallel(ds, cfg, LevelOpt, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if par.NumFragments != serial.NumFragments {
+			t.Errorf("workers=%d: fragments %d vs %d", workers, par.NumFragments, serial.NumFragments)
+		}
+		if len(par.Flows) != len(serial.Flows) || len(par.Clusters) != len(serial.Clusters) {
+			t.Errorf("workers=%d: flows/clusters %d/%d vs %d/%d", workers,
+				len(par.Flows), len(par.Clusters), len(serial.Flows), len(serial.Clusters))
+		}
+		for i := range par.Flows {
+			if len(par.Flows[i].Route) != len(serial.Flows[i].Route) {
+				t.Errorf("workers=%d: flow %d route length differs", workers, i)
+			}
+		}
+	}
+}
+
+func BenchmarkPhase1SerialVsParallel(b *testing.B) {
+	g, ds := simulated(b, 200)
+	p := NewPipeline(g)
+	cfg := DefaultConfig()
+	cfg.Refine.Epsilon = 2000
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Run(ds, cfg, LevelBase); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := p.RunParallel(ds, cfg, LevelBase, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

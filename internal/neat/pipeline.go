@@ -1,0 +1,231 @@
+package neat
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/roadnet"
+	"repro/internal/shortest"
+	"repro/internal/traj"
+)
+
+// Level selects how many NEAT phases to run. The paper's §IV evaluates
+// all three as base-NEAT, flow-NEAT, and opt-NEAT: "NEAT allows users
+// to perform trajectory clustering using any of these three versions".
+type Level uint8
+
+const (
+	// LevelBase stops after Phase 1 (base-NEAT): the output is the
+	// density-ordered base clusters.
+	LevelBase Level = iota
+	// LevelFlow stops after Phase 2 (flow-NEAT): the output adds flow
+	// clusters.
+	LevelFlow
+	// LevelOpt runs all three phases (opt-NEAT): the output adds the
+	// refined trajectory clusters.
+	LevelOpt
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case LevelBase:
+		return "base-NEAT"
+	case LevelFlow:
+		return "flow-NEAT"
+	case LevelOpt:
+		return "opt-NEAT"
+	default:
+		return fmt.Sprintf("level(%d)", uint8(l))
+	}
+}
+
+// Config carries the parameters of a full NEAT run.
+type Config struct {
+	Flow   FlowConfig
+	Refine RefineConfig
+}
+
+// DefaultConfig returns the configuration used for the paper's main
+// experiments: maxFlow-style merging, minCard 5 (the average flow
+// cardinality in Fig 3), and ELB-accelerated refinement with the Fig 3
+// threshold ε = 6500 m.
+func DefaultConfig() Config {
+	return Config{
+		Flow: FlowConfig{
+			Weights: WeightsFlowOnly,
+			MinCard: 5,
+		},
+		Refine: RefineConfig{
+			Epsilon: 6500,
+			UseELB:  true,
+			Bounded: true,
+		},
+	}
+}
+
+// Timing records per-phase wall-clock durations.
+type Timing struct {
+	Phase1 time.Duration // t-fragment extraction + base cluster formation
+	Phase2 time.Duration // flow cluster formation
+	Phase3 time.Duration // refinement
+}
+
+// Total returns the summed duration of the executed phases.
+func (t Timing) Total() time.Duration { return t.Phase1 + t.Phase2 + t.Phase3 }
+
+// Result is the output of a NEAT run. Fields beyond the requested level
+// are empty (e.g. Clusters is nil for a flow-NEAT run).
+type Result struct {
+	Level Level
+	// NumFragments is the number of t-fragments extracted in Phase 1.
+	NumFragments int
+	// BaseClusters is Phase 1's output, sorted by descending density;
+	// the first element is the dense-core.
+	BaseClusters []*BaseCluster
+	// Flows is Phase 2's output after the minCard filter.
+	Flows []*FlowCluster
+	// FilteredFlows counts the flows dropped by the minCard filter.
+	FilteredFlows int
+	// Clusters is Phase 3's output: the final trajectory clusters.
+	Clusters []*TrajectoryCluster
+	// Timing holds per-phase durations; RefineStats the Phase 3 work
+	// counters (Fig 7).
+	Timing      Timing
+	RefineStats RefineStats
+}
+
+// Pipeline runs NEAT over a fixed road network. It owns the Phase 1
+// partitioner (and its gap-repair shortest path engine); create one
+// pipeline per graph and reuse it across datasets. A Pipeline is not
+// safe for concurrent use.
+type Pipeline struct {
+	g    *roadnet.Graph
+	part *traj.Partitioner
+}
+
+// NewPipeline creates a Pipeline over g.
+func NewPipeline(g *roadnet.Graph) *Pipeline {
+	return &Pipeline{
+		g:    g,
+		part: traj.NewPartitioner(g, shortest.New(g, nil)),
+	}
+}
+
+// Graph returns the pipeline's road network.
+func (p *Pipeline) Graph() *roadnet.Graph { return p.g }
+
+// Run executes NEAT on the dataset up to the requested level.
+func (p *Pipeline) Run(ds traj.Dataset, cfg Config, level Level) (*Result, error) {
+	res := &Result{Level: level}
+
+	start := time.Now()
+	frags, err := p.part.PartitionDataset(ds)
+	if err != nil {
+		return nil, fmt.Errorf("neat: phase 1 partitioning: %w", err)
+	}
+	res.NumFragments = len(frags)
+	res.BaseClusters = FormBaseClusters(frags)
+	res.Timing.Phase1 = time.Since(start)
+	if level == LevelBase {
+		return res, nil
+	}
+
+	start = time.Now()
+	flows, filtered, err := FormFlowClusters(p.g, res.BaseClusters, cfg.Flow)
+	if err != nil {
+		return nil, fmt.Errorf("neat: phase 2 flow formation: %w", err)
+	}
+	res.Flows = flows
+	res.FilteredFlows = filtered
+	res.Timing.Phase2 = time.Since(start)
+	if level == LevelFlow {
+		return res, nil
+	}
+
+	start = time.Now()
+	clusters, stats, err := RefineFlows(p.g, flows, cfg.Refine)
+	if err != nil {
+		return nil, fmt.Errorf("neat: phase 3 refinement: %w", err)
+	}
+	res.Clusters = clusters
+	res.RefineStats = stats
+	res.Timing.Phase3 = time.Since(start)
+	return res, nil
+}
+
+// RunParallel is Run with Phase 1's trajectory partitioning sharded
+// across the given number of workers (0 = GOMAXPROCS). Phase 1
+// dominates NEAT's cost (Fig 6(b)) and is embarrassingly parallel
+// across trajectories; Phases 2 and 3 are unchanged, so results are
+// identical to Run.
+func (p *Pipeline) RunParallel(ds traj.Dataset, cfg Config, level Level, workers int) (*Result, error) {
+	start := time.Now()
+	frags, err := traj.PartitionDatasetParallel(p.g, ds, workers)
+	if err != nil {
+		return nil, fmt.Errorf("neat: parallel phase 1 partitioning: %w", err)
+	}
+	res, err := p.RunFragments(frags, cfg, level)
+	if err != nil {
+		return nil, err
+	}
+	// RunFragments charged only base-cluster formation to Phase 1;
+	// fold the partitioning in.
+	res.Timing.Phase1 = time.Since(start) - res.Timing.Phase2 - res.Timing.Phase3
+	return res, nil
+}
+
+// RunFragments executes Phases 2 and 3 on pre-partitioned fragments,
+// supporting the incremental/online use the paper motivates in §III-C:
+// the first two phases run on each newly arrived batch and the
+// resulting flows merge with the standing flow set in Phase 3.
+func (p *Pipeline) RunFragments(frags []traj.TFragment, cfg Config, level Level) (*Result, error) {
+	res := &Result{Level: level, NumFragments: len(frags)}
+
+	start := time.Now()
+	res.BaseClusters = FormBaseClusters(frags)
+	res.Timing.Phase1 = time.Since(start)
+	if level == LevelBase {
+		return res, nil
+	}
+
+	start = time.Now()
+	flows, filtered, err := FormFlowClusters(p.g, res.BaseClusters, cfg.Flow)
+	if err != nil {
+		return nil, fmt.Errorf("neat: phase 2 flow formation: %w", err)
+	}
+	res.Flows = flows
+	res.FilteredFlows = filtered
+	res.Timing.Phase2 = time.Since(start)
+	if level == LevelFlow {
+		return res, nil
+	}
+
+	start = time.Now()
+	clusters, stats, err := RefineFlows(p.g, flows, cfg.Refine)
+	if err != nil {
+		return nil, fmt.Errorf("neat: phase 3 refinement: %w", err)
+	}
+	res.Clusters = clusters
+	res.RefineStats = stats
+	res.Timing.Phase3 = time.Since(start)
+	return res, nil
+}
+
+// Partition exposes the pipeline's Phase 1 partitioner for callers that
+// manage fragments themselves (e.g. the streaming example and the
+// distributed preprocessing nodes of §II-C).
+func (p *Pipeline) Partition(ds traj.Dataset) ([]traj.TFragment, error) {
+	return p.part.PartitionDataset(ds)
+}
+
+// MergeFlows combines two flow sets and re-runs Phase 3 over the union,
+// implementing the incremental refinement of §III-C1: "the new flow
+// clusters are then merged with the available flow clusters to produce
+// compact clustering results".
+func (p *Pipeline) MergeFlows(existing, incoming []*FlowCluster, cfg RefineConfig) ([]*TrajectoryCluster, RefineStats, error) {
+	all := make([]*FlowCluster, 0, len(existing)+len(incoming))
+	all = append(all, existing...)
+	all = append(all, incoming...)
+	return RefineFlows(p.g, all, cfg)
+}

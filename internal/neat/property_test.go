@@ -1,0 +1,193 @@
+package neat
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+)
+
+// randomScenario builds a random connected graph and a random fragment
+// set over it, for property checks.
+func randomScenario(t *testing.T, rng *rand.Rand) (*roadnet.Graph, []traj.TFragment) {
+	t.Helper()
+	var b roadnet.Builder
+	nodes := 5 + rng.Intn(20)
+	for i := 0; i < nodes; i++ {
+		b.AddJunction(geo.Pt(rng.Float64()*2000, rng.Float64()*2000))
+	}
+	// Random spanning chain plus extra edges.
+	var segs []roadnet.SegID
+	perm := rng.Perm(nodes)
+	for i := 1; i < nodes; i++ {
+		s, err := b.AddSegment(roadnet.NodeID(perm[i-1]), roadnet.NodeID(perm[i]), roadnet.SegmentOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		segs = append(segs, s)
+	}
+	for i := 0; i < nodes/2; i++ {
+		a, c := rng.Intn(nodes), rng.Intn(nodes)
+		if a == c {
+			continue
+		}
+		if s, err := b.AddSegment(roadnet.NodeID(a), roadnet.NodeID(c), roadnet.SegmentOpts{}); err == nil {
+			segs = append(segs, s)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Random trajectories: random walks over adjacent segments.
+	var frags []traj.TFragment
+	numTrajs := 2 + rng.Intn(15)
+	for id := 0; id < numTrajs; id++ {
+		cur := segs[rng.Intn(len(segs))]
+		steps := 1 + rng.Intn(6)
+		for k := 0; k < steps; k++ {
+			gs := g.SegmentGeometry(cur)
+			frags = append(frags, traj.TFragment{
+				Traj:   traj.ID(id),
+				Seg:    cur,
+				Points: []traj.Location{traj.Sample(cur, gs.A, float64(k)), traj.Sample(cur, gs.B, float64(k)+1)},
+				Index:  k,
+			})
+			adj := g.Adjacent(cur)
+			if len(adj) == 0 {
+				break
+			}
+			cur = adj[rng.Intn(len(adj))]
+		}
+	}
+	return g, frags
+}
+
+func TestPropertyBaseClusterInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		_, frags := randomScenario(t, rng)
+		bs := FormBaseClusters(frags)
+		total := 0
+		seen := map[roadnet.SegID]bool{}
+		for i, b := range bs {
+			total += b.Density()
+			if seen[b.Seg] {
+				t.Fatalf("trial %d: duplicate segment %d", trial, b.Seg)
+			}
+			seen[b.Seg] = true
+			if i > 0 && bs[i-1].Density() < b.Density() {
+				t.Fatalf("trial %d: not density sorted", trial)
+			}
+			if b.Cardinality() > b.Density() {
+				t.Fatalf("trial %d: cardinality %d > density %d", trial, b.Cardinality(), b.Density())
+			}
+			if b.Cardinality() == 0 {
+				t.Fatalf("trial %d: empty cluster", trial)
+			}
+		}
+		if total != len(frags) {
+			t.Fatalf("trial %d: clusters hold %d fragments, input %d", trial, total, len(frags))
+		}
+	}
+}
+
+func TestPropertyNetflowBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		_, frags := randomScenario(t, rng)
+		bs := FormBaseClusters(frags)
+		for i := 0; i < len(bs) && i < 8; i++ {
+			for j := 0; j < len(bs) && j < 8; j++ {
+				f := Netflow(bs[i], bs[j])
+				if f != Netflow(bs[j], bs[i]) {
+					t.Fatal("netflow not symmetric")
+				}
+				min := bs[i].Cardinality()
+				if c := bs[j].Cardinality(); c < min {
+					min = c
+				}
+				if f < 0 || f > min {
+					t.Fatalf("netflow %d out of [0, %d]", f, min)
+				}
+				if i == j && f != bs[i].Cardinality() {
+					t.Fatalf("self netflow %d != cardinality %d", f, bs[i].Cardinality())
+				}
+			}
+		}
+	}
+}
+
+func TestPropertyFlowFormationPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	weights := []Weights{WeightsFlowOnly, WeightsDensityOnly, WeightsBalanced}
+	for trial := 0; trial < 40; trial++ {
+		g, frags := randomScenario(t, rng)
+		bs := FormBaseClusters(frags)
+		cfg := FlowConfig{Weights: weights[trial%len(weights)]}
+		if trial%2 == 1 {
+			cfg.Beta = 2
+		}
+		flows, filtered, err := FormFlowClusters(g, bs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if filtered != 0 {
+			t.Fatalf("trial %d: filtered %d with minCard 0", trial, filtered)
+		}
+		// Every base cluster lands in exactly one flow.
+		assigned := map[roadnet.SegID]int{}
+		for _, f := range flows {
+			if err := f.Route.Validate(g); err != nil {
+				t.Fatalf("trial %d: invalid route: %v", trial, err)
+			}
+			for _, s := range f.Route {
+				assigned[s]++
+			}
+			if f.Cardinality() == 0 || f.Density() == 0 {
+				t.Fatalf("trial %d: degenerate flow", trial)
+			}
+		}
+		for _, b := range bs {
+			if assigned[b.Seg] != 1 {
+				t.Fatalf("trial %d: segment %d assigned %d times", trial, b.Seg, assigned[b.Seg])
+			}
+		}
+		if len(assigned) != len(bs) {
+			t.Fatalf("trial %d: %d assigned vs %d clusters", trial, len(assigned), len(bs))
+		}
+	}
+}
+
+func TestPropertyRefinePartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 25; trial++ {
+		g, frags := randomScenario(t, rng)
+		bs := FormBaseClusters(frags)
+		flows, _, err := FormFlowClusters(g, bs, FlowConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps := 100 + rng.Float64()*3000
+		clusters, stats, err := RefineFlows(g, flows, RefineConfig{Epsilon: eps, UseELB: trial%2 == 0, Bounded: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		count := 0
+		for _, c := range clusters {
+			if len(c.Flows) == 0 {
+				t.Fatalf("trial %d: empty cluster", trial)
+			}
+			count += len(c.Flows)
+		}
+		if count != len(flows) {
+			t.Fatalf("trial %d: clusters hold %d flows, input %d", trial, count, len(flows))
+		}
+		wantPairs := len(flows) * (len(flows) - 1) / 2
+		if stats.Pairs != wantPairs {
+			t.Fatalf("trial %d: pairs %d, want %d", trial, stats.Pairs, wantPairs)
+		}
+	}
+}

@@ -1,0 +1,364 @@
+package neat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dbscan"
+	"repro/internal/roadnet"
+	"repro/internal/shortest"
+	"repro/internal/traj"
+)
+
+// SPAlgo selects the shortest-path kernel used by Phase 3's network
+// distance computations. The paper uses Dijkstra's network expansion;
+// the alternatives are ablations.
+type SPAlgo uint8
+
+const (
+	// SPDijkstra is plain network expansion (the paper's kernel).
+	SPDijkstra SPAlgo = iota
+	// SPAStar is A* with the Euclidean heuristic.
+	SPAStar
+	// SPBidirectional is bidirectional Dijkstra.
+	SPBidirectional
+	// SPALT is A* with precomputed landmark lower bounds (an extension
+	// beyond the paper). The landmark preprocessing runs inside Phase 3
+	// and is charged to it.
+	SPALT
+	// SPCH answers queries from a contraction hierarchy (an extension
+	// beyond the paper). Preprocessing runs inside Phase 3 and is
+	// charged to it; it pays off when the flow count — and hence the
+	// query count — is large.
+	SPCH
+)
+
+// altLandmarkCount is the number of ALT landmarks Phase 3 precomputes
+// when SPALT is selected; a handful suffices on road networks.
+const altLandmarkCount = 8
+
+// String implements fmt.Stringer.
+func (a SPAlgo) String() string {
+	switch a {
+	case SPDijkstra:
+		return "dijkstra"
+	case SPAStar:
+		return "astar"
+	case SPBidirectional:
+		return "bidirectional"
+	case SPALT:
+		return "alt"
+	case SPCH:
+		return "ch"
+	default:
+		return fmt.Sprintf("spalgo(%d)", uint8(a))
+	}
+}
+
+// RefineConfig parameterizes Phase 3.
+type RefineConfig struct {
+	// Epsilon is the network distance threshold ε in meters under which
+	// two flow clusters' representative routes are considered close
+	// (the paper's Fig 3 uses 6500 m on ATL).
+	Epsilon float64
+	// MinPts is DBSCAN's core threshold. The paper's modification (3)
+	// sets no minimum cardinality, i.e. MinPts = 1; the zero value maps
+	// to 1.
+	MinPts int
+	// UseELB enables the Euclidean lower-bound filter (§III-C3) that
+	// skips the four shortest-path computations for pairs whose
+	// endpoint Euclidean distances already exceed ε.
+	UseELB bool
+	// Bounded prunes each shortest-path expansion at ε: for the
+	// ε-neighborhood predicate only reachability within ε matters, so
+	// the expansion never needs to settle nodes farther than ε.
+	// Disable to reproduce the paper's opt-NEAT-Dijkstra curve, which
+	// computes complete shortest paths.
+	Bounded bool
+	// CacheDistances memoizes junction-pair network distances across
+	// the pairwise scan (an extension beyond the paper): flows
+	// frequently share endpoint junctions — they start at the same
+	// hotspots — so the same distances recur across pairs. Sound with
+	// Bounded too, because ε is fixed for the whole scan (a +Inf entry
+	// means "farther than ε", exactly what the predicate needs). Off
+	// by default so SPQueries matches the paper's four-per-pair
+	// counting in Fig 7.
+	CacheDistances bool
+	// Algo selects the shortest-path kernel (ablation; the paper uses
+	// Dijkstra). Bounded is only honored by SPDijkstra.
+	Algo SPAlgo
+}
+
+func (c RefineConfig) withDefaults() RefineConfig {
+	if c.MinPts <= 0 {
+		c.MinPts = 1
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c RefineConfig) Validate() error {
+	if c.Epsilon <= 0 {
+		return fmt.Errorf("neat: refinement ε must be positive, got %g", c.Epsilon)
+	}
+	return nil
+}
+
+// RefineStats quantifies the work Phase 3 performed; Fig 7 is built
+// from these counters.
+type RefineStats struct {
+	// Pairs is the number of flow-cluster pairs examined.
+	Pairs int
+	// ELBPruned is the number of pairs eliminated by the Euclidean
+	// lower bound without any shortest-path computation.
+	ELBPruned int
+	// SPQueries is the number of shortest-path computations issued.
+	SPQueries int64
+	// SettledNodes is the number of nodes settled across those
+	// computations (the real cost driver of network expansion).
+	SettledNodes int64
+}
+
+// TrajectoryCluster is a final NEAT cluster: a group of flow clusters
+// (hence of t-fragments) that are both dense and continuous, and whose
+// representative routes connect the same hotspot areas.
+type TrajectoryCluster struct {
+	Flows []*FlowCluster
+}
+
+// Cardinality returns the number of distinct trajectories participating
+// in the cluster.
+func (c *TrajectoryCluster) Cardinality() int {
+	seen := make(map[traj.ID]struct{})
+	for _, f := range c.Flows {
+		for id := range f.trajs {
+			seen[id] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+// Density returns the total t-fragment count of the cluster.
+func (c *TrajectoryCluster) Density() int {
+	n := 0
+	for _, f := range c.Flows {
+		n += f.Density()
+	}
+	return n
+}
+
+// Routes returns the representative routes of the member flows.
+func (c *TrajectoryCluster) Routes() []roadnet.Route {
+	out := make([]roadnet.Route, len(c.Flows))
+	for i, f := range c.Flows {
+		out[i] = f.Route
+	}
+	return out
+}
+
+// RefineFlows performs Phase 3: it merges flow clusters whose
+// representative routes end within network distance ε of each other,
+// using the modified Hausdorff distance of Definition 11 and a
+// deterministic DBSCAN seeded longest-route-first. It returns the final
+// trajectory clusters together with work statistics.
+func RefineFlows(g *roadnet.Graph, flows []*FlowCluster, cfg RefineConfig) ([]*TrajectoryCluster, RefineStats, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, RefineStats{}, err
+	}
+	cfg = cfg.withDefaults()
+	if len(flows) == 0 {
+		return nil, RefineStats{}, nil
+	}
+
+	spStats := &shortest.Stats{}
+	eng := shortest.New(g, spStats)
+	stats := RefineStats{}
+
+	// Endpoint junctions per flow: {a1, a2} of Definition 11.
+	type ends struct{ a, b roadnet.NodeID }
+	endpoints := make([]ends, len(flows))
+	for i, f := range flows {
+		front, back := f.Endpoints()
+		endpoints[i] = ends{a: front, b: back}
+	}
+
+	var alt *shortest.ALT
+	if cfg.Algo == SPALT {
+		var err error
+		alt, err = shortest.NewALT(g, altLandmarkCount)
+		if err != nil {
+			return nil, RefineStats{}, fmt.Errorf("neat: ALT preprocessing: %w", err)
+		}
+	}
+	var ch *shortest.CH
+	if cfg.Algo == SPCH {
+		var err error
+		ch, err = shortest.NewCH(g)
+		if err != nil {
+			return nil, RefineStats{}, fmt.Errorf("neat: CH preprocessing: %w", err)
+		}
+	}
+
+	// CH queries bypass the engine, so they are counted separately and
+	// folded into the stats at the end.
+	var spQueriesCH int64
+
+	var distCache map[[2]roadnet.NodeID]float64
+	if cfg.CacheDistances {
+		distCache = make(map[[2]roadnet.NodeID]float64)
+	}
+
+	compute := func(u, v roadnet.NodeID) float64 {
+		switch cfg.Algo {
+		case SPAStar:
+			return eng.AStar(u, v, shortest.Undirected).Dist
+		case SPBidirectional:
+			return eng.Bidirectional(u, v, shortest.Undirected)
+		case SPALT:
+			return eng.AStarALT(u, v, alt).Dist
+		case SPCH:
+			spQueriesCH++
+			return ch.Distance(u, v)
+		default:
+			if cfg.Bounded {
+				return eng.BoundedDistance(u, v, shortest.Undirected, cfg.Epsilon)
+			}
+			return eng.Dijkstra(u, v, shortest.Undirected).Dist
+		}
+	}
+	netDist := func(u, v roadnet.NodeID) float64 {
+		if u == v {
+			return 0
+		}
+		if distCache == nil {
+			return compute(u, v)
+		}
+		key := [2]roadnet.NodeID{u, v}
+		if u > v {
+			key = [2]roadnet.NodeID{v, u} // undirected: canonical order
+		}
+		if d, ok := distCache[key]; ok {
+			return d
+		}
+		d := compute(u, v)
+		distCache[key] = d
+		return d
+	}
+
+	// withinEps evaluates distN(Fi, Fj) <= ε per Definition 11, with
+	// the ELB filter of §III-C3 applied first when enabled.
+	withinEps := func(i, j int) bool {
+		ei, ej := endpoints[i], endpoints[j]
+		pi := [2]roadnet.NodeID{ei.a, ei.b}
+		pj := [2]roadnet.NodeID{ej.a, ej.b}
+		if cfg.UseELB {
+			// Lower bound per endpoint pair: Euclidean (the paper's
+			// ELB), or the tighter landmark bound when ALT is active.
+			lower := func(u, v roadnet.NodeID) float64 {
+				if alt != nil {
+					return alt.Bound(u, v)
+				}
+				return g.Node(u).Pt.Dist(g.Node(v).Pt)
+			}
+			minE := math.Inf(1)
+			for _, u := range pi {
+				for _, v := range pj {
+					if d := lower(u, v); d < minE {
+						minE = d
+					}
+				}
+			}
+			// dE <= dN always, so if even the closest endpoint pair is
+			// beyond ε in Euclidean space, the network distance — and
+			// hence the Hausdorff aggregate — must exceed ε.
+			if minE > cfg.Epsilon {
+				stats.ELBPruned++
+				return false
+			}
+		}
+		var dn [2][2]float64
+		for ui, u := range pi {
+			for vi, v := range pj {
+				dn[ui][vi] = netDist(u, v)
+			}
+		}
+		// Modified Hausdorff (formula 5): max over both directions of
+		// the per-endpoint min.
+		worst := 0.0
+		for ui := range pi {
+			m := math.Min(dn[ui][0], dn[ui][1])
+			if m > worst {
+				worst = m
+			}
+		}
+		for vi := range pj {
+			m := math.Min(dn[0][vi], dn[1][vi])
+			if m > worst {
+				worst = m
+			}
+		}
+		return worst <= cfg.Epsilon
+	}
+
+	// Precompute the ε-graph; the oracle below serves DBSCAN from it.
+	adjacency := make([][]int, len(flows))
+	for i := 0; i < len(flows); i++ {
+		for j := i + 1; j < len(flows); j++ {
+			stats.Pairs++
+			if withinEps(i, j) {
+				adjacency[i] = append(adjacency[i], j)
+				adjacency[j] = append(adjacency[j], i)
+			}
+		}
+	}
+
+	// Deterministic seed order: longest representative route first
+	// (modification (4) of §III-C2); ties by route segment count, then
+	// first segment id.
+	order := make([]int, len(flows))
+	for i := range order {
+		order[i] = i
+	}
+	lengths := make([]float64, len(flows))
+	for i, f := range flows {
+		lengths[i] = f.RouteLength(g)
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		i, j := order[x], order[y]
+		if lengths[i] != lengths[j] {
+			return lengths[i] > lengths[j]
+		}
+		if len(flows[i].Route) != len(flows[j].Route) {
+			return len(flows[i].Route) > len(flows[j].Route)
+		}
+		return flows[i].Route[0] < flows[j].Route[0]
+	})
+
+	res, err := dbscan.Cluster(len(flows), order, cfg.MinPts, func(i int) []int {
+		return adjacency[i]
+	})
+	if err != nil {
+		return nil, stats, fmt.Errorf("neat: refinement clustering: %w", err)
+	}
+
+	clusters := make([]*TrajectoryCluster, res.NumClusters)
+	for i := range clusters {
+		clusters[i] = &TrajectoryCluster{}
+	}
+	var noise []*TrajectoryCluster
+	for i, label := range res.Labels {
+		if label == dbscan.Noise {
+			// With MinPts > 1 isolated flows are noise; surface them as
+			// singleton clusters so the result remains a partition.
+			noise = append(noise, &TrajectoryCluster{Flows: []*FlowCluster{flows[i]}})
+			continue
+		}
+		clusters[label].Flows = append(clusters[label].Flows, flows[i])
+	}
+	clusters = append(clusters, noise...)
+
+	stats.SPQueries, stats.SettledNodes = spStats.Snapshot()
+	stats.SPQueries += spQueriesCH
+	return clusters, stats, nil
+}

@@ -1,0 +1,119 @@
+package neat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// clusterSignature makes clusterings comparable: sorted multiset of
+// sorted flow-route signatures per cluster.
+func clusterSignature(cs []*TrajectoryCluster) map[string]int {
+	sig := make(map[string]int)
+	for _, c := range cs {
+		key := ""
+		var parts []string
+		for _, f := range c.Flows {
+			s := ""
+			for _, seg := range f.Route {
+				s += string(rune('A'+int(seg)%26)) + string(rune('0'+int(seg)/26%10))
+			}
+			parts = append(parts, s)
+		}
+		// Order-insensitive per cluster.
+		for i := 1; i < len(parts); i++ {
+			for j := i; j > 0 && parts[j] < parts[j-1]; j-- {
+				parts[j], parts[j-1] = parts[j-1], parts[j]
+			}
+		}
+		for _, p := range parts {
+			key += p + "|"
+		}
+		sig[key]++
+	}
+	return sig
+}
+
+// TestRefineOptimizationEquivalence checks that every combination of
+// the Phase 3 optimizations (ELB, bounded expansion, distance cache,
+// SP kernel) produces the identical clustering on random scenarios —
+// they may only change the work done.
+func TestRefineOptimizationEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 15; trial++ {
+		g, frags := randomScenario(t, rng)
+		bs := FormBaseClusters(frags)
+		flows, _, err := FormFlowClusters(g, bs, FlowConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps := 200 + rng.Float64()*2500
+
+		ref, _, err := RefineFlows(g, flows, RefineConfig{Epsilon: eps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := clusterSignature(ref)
+
+		configs := []RefineConfig{
+			{Epsilon: eps, UseELB: true},
+			{Epsilon: eps, Bounded: true},
+			{Epsilon: eps, UseELB: true, Bounded: true},
+			{Epsilon: eps, UseELB: true, Bounded: true, CacheDistances: true},
+			{Epsilon: eps, CacheDistances: true},
+			{Epsilon: eps, Algo: SPAStar, UseELB: true},
+			{Epsilon: eps, Algo: SPBidirectional, CacheDistances: true},
+			{Epsilon: eps, Algo: SPALT, UseELB: true},
+			{Epsilon: eps, Algo: SPCH, UseELB: true, CacheDistances: true},
+		}
+		for ci, cfg := range configs {
+			got, _, err := RefineFlows(g, flows, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sig := clusterSignature(got)
+			if len(sig) != len(want) {
+				t.Fatalf("trial %d config %d: %d distinct clusters, want %d", trial, ci, len(sig), len(want))
+			}
+			for k, v := range want {
+				if sig[k] != v {
+					t.Fatalf("trial %d config %d: cluster multiset differs", trial, ci)
+				}
+			}
+		}
+	}
+}
+
+// TestCacheReducesQueries verifies the memoization actually saves
+// shortest-path work when flows share endpoints.
+func TestCacheReducesQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	reducedSomewhere := false
+	for trial := 0; trial < 10; trial++ {
+		g, frags := randomScenario(t, rng)
+		bs := FormBaseClusters(frags)
+		flows, _, err := FormFlowClusters(g, bs, FlowConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(flows) < 3 {
+			continue
+		}
+		_, plain, err := RefineFlows(g, flows, RefineConfig{Epsilon: 1500})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, cached, err := RefineFlows(g, flows, RefineConfig{Epsilon: 1500, CacheDistances: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cached.SPQueries > plain.SPQueries {
+			t.Fatalf("trial %d: cache increased queries (%d vs %d)", trial, cached.SPQueries, plain.SPQueries)
+		}
+		if cached.SPQueries < plain.SPQueries {
+			reducedSomewhere = true
+		}
+	}
+	if !reducedSomewhere {
+		t.Error("cache never reduced query count across trials")
+	}
+}

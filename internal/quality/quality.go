@@ -1,0 +1,158 @@
+// Package quality quantifies clustering effectiveness. The paper
+// argues NEAT's superiority over TraClus qualitatively ("most of the
+// important routes are missed when using TraClus") and via Fig 5's
+// route-length and cluster-count comparisons; this package turns those
+// arguments into comparable metrics for both systems:
+//
+//   - unit coverage: the fraction of clustering units (t-fragments for
+//     NEAT, line segments for TraClus) that end up in an output cluster
+//     rather than being filtered or labeled noise;
+//   - trajectory coverage: the fraction of input trajectories
+//     represented by at least one output cluster;
+//   - representative length: the paper's Fig 5(a)/(b) continuity proxy;
+//   - compactness: the number of output clusters ("NEAT produces more
+//     compact and meaningful results");
+//   - flow consistency (NEAT only): how much of a flow's route its
+//     participating trajectories actually traverse — a measure that the
+//     flows describe real end-to-end traffic streams rather than
+//     accidental concatenations.
+package quality
+
+import (
+	"sort"
+
+	"repro/internal/neat"
+	"repro/internal/roadnet"
+	"repro/internal/traclus"
+	"repro/internal/traj"
+)
+
+// Metrics summarizes one clustering run in comparable terms.
+type Metrics struct {
+	// NumClusters is the number of output clusters (flows for
+	// flow-NEAT, final clusters for opt-NEAT, clusters for TraClus).
+	NumClusters int
+	// UnitCoverage is the fraction of clustering units placed in an
+	// output cluster.
+	UnitCoverage float64
+	// TrajectoryCoverage is the fraction of input trajectories that
+	// participate in at least one output cluster.
+	TrajectoryCoverage float64
+	// AvgRepLength and MaxRepLength are the representative route /
+	// trajectory lengths in meters.
+	AvgRepLength float64
+	MaxRepLength float64
+	// FlowConsistency is NEAT-specific: the mean, over flows, of the
+	// median fraction of the flow's route that its participating
+	// trajectories traverse. Zero for TraClus.
+	FlowConsistency float64
+}
+
+// EvaluateNEAT computes metrics for a NEAT result at the flow level
+// (the level Fig 5 compares).
+func EvaluateNEAT(g *roadnet.Graph, res *neat.Result, totalTrajectories int) Metrics {
+	m := Metrics{NumClusters: len(res.Flows)}
+	if res.NumFragments > 0 {
+		inFlows := 0
+		for _, f := range res.Flows {
+			inFlows += f.Density()
+		}
+		m.UnitCoverage = float64(inFlows) / float64(res.NumFragments)
+	}
+	if totalTrajectories > 0 {
+		covered := make(map[traj.ID]struct{})
+		for _, f := range res.Flows {
+			for _, b := range f.Members {
+				for _, frag := range b.Fragments {
+					covered[frag.Traj] = struct{}{}
+				}
+			}
+		}
+		m.TrajectoryCoverage = float64(len(covered)) / float64(totalTrajectories)
+	}
+	var sum float64
+	for _, f := range res.Flows {
+		l := f.RouteLength(g)
+		sum += l
+		if l > m.MaxRepLength {
+			m.MaxRepLength = l
+		}
+	}
+	if len(res.Flows) > 0 {
+		m.AvgRepLength = sum / float64(len(res.Flows))
+		m.FlowConsistency = flowConsistency(res.Flows)
+	}
+	return m
+}
+
+// flowConsistency measures, per flow, how much of the route each
+// participating trajectory traverses (by member base clusters), and
+// aggregates the per-flow medians.
+func flowConsistency(flows []*neat.FlowCluster) float64 {
+	var total float64
+	counted := 0
+	for _, f := range flows {
+		if len(f.Members) == 0 {
+			continue
+		}
+		// Count per trajectory how many of the flow's base clusters it
+		// participates in.
+		seen := make(map[traj.ID]int)
+		for _, b := range f.Members {
+			for _, frag := range b.Fragments {
+				seen[frag.Traj]++
+			}
+		}
+		fractions := make([]float64, 0, len(seen))
+		for _, n := range seen {
+			frac := float64(n) / float64(len(f.Members))
+			if frac > 1 {
+				frac = 1 // loops can revisit a segment
+			}
+			fractions = append(fractions, frac)
+		}
+		if len(fractions) == 0 {
+			continue
+		}
+		sort.Float64s(fractions)
+		total += fractions[len(fractions)/2]
+		counted++
+	}
+	if counted == 0 {
+		return 0
+	}
+	return total / float64(counted)
+}
+
+// EvaluateTraClus computes the comparable metrics for a TraClus run.
+func EvaluateTraClus(res *traclus.Result, totalTrajectories int) Metrics {
+	m := Metrics{NumClusters: len(res.Clusters)}
+	if res.NumSegments > 0 {
+		in := 0
+		for _, c := range res.Clusters {
+			in += len(c.Segments)
+		}
+		m.UnitCoverage = float64(in) / float64(res.NumSegments)
+	}
+	if totalTrajectories > 0 {
+		covered := make(map[traj.ID]struct{})
+		for _, c := range res.Clusters {
+			for _, s := range c.Segments {
+				covered[s.Traj] = struct{}{}
+			}
+		}
+		m.TrajectoryCoverage = float64(len(covered)) / float64(totalTrajectories)
+	}
+	var sum float64
+	for _, c := range res.Clusters {
+		l := c.RepresentativeLength()
+		sum += l
+		if l > m.MaxRepLength {
+			m.MaxRepLength = l
+		}
+	}
+	if len(res.Clusters) > 0 {
+		m.AvgRepLength = sum / float64(len(res.Clusters))
+	}
+	return m
+}

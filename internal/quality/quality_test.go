@@ -1,0 +1,157 @@
+package quality
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/mapgen"
+	"repro/internal/mobisim"
+	"repro/internal/neat"
+	"repro/internal/roadnet"
+	"repro/internal/traclus"
+	"repro/internal/traj"
+)
+
+func simulated(t testing.TB) (*roadnet.Graph, traj.Dataset) {
+	t.Helper()
+	g, err := mapgen.Generate(mapgen.Config{
+		Name: "q", TargetJunctions: 300, TargetSegments: 420,
+		AvgSegLenM: 150, MaxDegree: 6, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, _, err := mobisim.New(g).Simulate(mobisim.DefaultConfig("q", 80, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, ds
+}
+
+func TestEvaluateNEATBounds(t *testing.T) {
+	g, ds := simulated(t)
+	res, err := neat.NewPipeline(g).Run(ds, neat.Config{
+		Flow: neat.FlowConfig{Weights: neat.WeightsFlowOnly, MinCard: 4},
+	}, neat.LevelFlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := EvaluateNEAT(g, res, len(ds.Trajectories))
+	if m.NumClusters != len(res.Flows) {
+		t.Errorf("NumClusters = %d", m.NumClusters)
+	}
+	for name, v := range map[string]float64{
+		"UnitCoverage":       m.UnitCoverage,
+		"TrajectoryCoverage": m.TrajectoryCoverage,
+		"FlowConsistency":    m.FlowConsistency,
+	} {
+		if v < 0 || v > 1 {
+			t.Errorf("%s = %v out of [0,1]", name, v)
+		}
+	}
+	if m.TrajectoryCoverage < m.UnitCoverage {
+		// Trajectories touch several units; covering a unit covers its
+		// trajectory, so trajectory coverage dominates.
+		t.Errorf("trajectory coverage %v < unit coverage %v", m.TrajectoryCoverage, m.UnitCoverage)
+	}
+	if m.AvgRepLength <= 0 || m.MaxRepLength < m.AvgRepLength {
+		t.Errorf("lengths: avg %v max %v", m.AvgRepLength, m.MaxRepLength)
+	}
+	if m.FlowConsistency == 0 {
+		t.Error("flow consistency should be positive for hotspot traffic")
+	}
+}
+
+func TestEvaluateNEATEmpty(t *testing.T) {
+	g, _ := simulated(t)
+	m := EvaluateNEAT(g, &neat.Result{}, 0)
+	if m != (Metrics{}) {
+		t.Errorf("empty result metrics = %+v", m)
+	}
+}
+
+func TestEvaluateTraClus(t *testing.T) {
+	_, ds := simulated(t)
+	res, err := traclus.Run(ds, traclus.Config{Epsilon: 15, MinLns: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := EvaluateTraClus(res, len(ds.Trajectories))
+	if m.NumClusters != len(res.Clusters) {
+		t.Errorf("NumClusters = %d", m.NumClusters)
+	}
+	if m.UnitCoverage < 0 || m.UnitCoverage > 1 {
+		t.Errorf("UnitCoverage = %v", m.UnitCoverage)
+	}
+	if m.FlowConsistency != 0 {
+		t.Error("TraClus has no flow consistency")
+	}
+}
+
+func TestNEATBeatsTraClusOnContinuity(t *testing.T) {
+	// The Fig 5 comparison as an assertion: NEAT's representatives are
+	// longer and fewer.
+	g, ds := simulated(t)
+	nres, err := neat.NewPipeline(g).Run(ds, neat.Config{
+		Flow: neat.FlowConfig{Weights: neat.WeightsFlowOnly, MinCard: 4},
+	}, neat.LevelFlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tres, err := traclus.Run(ds, traclus.Config{Epsilon: 15, MinLns: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm := EvaluateNEAT(g, nres, len(ds.Trajectories))
+	tm := EvaluateTraClus(tres, len(ds.Trajectories))
+	if nm.NumClusters == 0 || tm.NumClusters == 0 {
+		t.Skip("degenerate clustering on this seed")
+	}
+	if nm.AvgRepLength <= tm.AvgRepLength {
+		t.Errorf("NEAT avg route %v not longer than TraClus %v", nm.AvgRepLength, tm.AvgRepLength)
+	}
+	if nm.NumClusters >= tm.NumClusters {
+		t.Errorf("NEAT clusters %d not fewer than TraClus %d", nm.NumClusters, tm.NumClusters)
+	}
+}
+
+func TestFlowConsistencyFullTraversal(t *testing.T) {
+	// Hand-built flow where every trajectory traverses the whole
+	// route: consistency 1.
+	var b roadnet.Builder
+	n0 := b.AddJunction(geo.Pt(0, 0))
+	n1 := b.AddJunction(geo.Pt(100, 0))
+	n2 := b.AddJunction(geo.Pt(200, 0))
+	s0, _ := b.AddSegment(n0, n1, roadnet.SegmentOpts{})
+	s1, _ := b.AddSegment(n1, n2, roadnet.SegmentOpts{})
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	frag := func(id traj.ID, s roadnet.SegID, idx int) traj.TFragment {
+		gs := g.SegmentGeometry(s)
+		return traj.TFragment{Traj: id, Seg: s, Index: idx,
+			Points: []traj.Location{traj.Sample(s, gs.A, 0), traj.Sample(s, gs.B, 1)}}
+	}
+	frags := []traj.TFragment{
+		frag(1, s0, 0), frag(1, s1, 1),
+		frag(2, s0, 0), frag(2, s1, 1),
+	}
+	bs := neat.FormBaseClusters(frags)
+	flows, _, err := neat.FormFlowClusters(g, bs, neat.FlowConfig{Weights: neat.WeightsFlowOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 1 {
+		t.Fatalf("flows = %d", len(flows))
+	}
+	res := &neat.Result{Flows: flows, NumFragments: len(frags)}
+	m := EvaluateNEAT(g, res, 2)
+	if math.Abs(m.FlowConsistency-1) > 1e-9 {
+		t.Errorf("consistency = %v, want 1", m.FlowConsistency)
+	}
+	if m.UnitCoverage != 1 || m.TrajectoryCoverage != 1 {
+		t.Errorf("coverage = %v / %v, want 1 / 1", m.UnitCoverage, m.TrajectoryCoverage)
+	}
+}

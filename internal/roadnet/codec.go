@@ -1,0 +1,139 @@
+package roadnet
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/geo"
+)
+
+// The on-disk format is a single CSV stream with two record kinds:
+//
+//	J,<id>,<x>,<y>
+//	S,<sid>,<ni>,<nj>,<speed m/s>,<class>,<oneway 0|1>
+//
+// Junction records must appear before any segment that references them.
+// Ids must be dense and in increasing order, matching the in-memory
+// representation so that a round trip is exact.
+
+// Write serialises g to w in the CSV map format.
+func Write(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	cw := csv.NewWriter(bw)
+	for _, n := range g.Nodes() {
+		rec := []string{"J",
+			strconv.Itoa(int(n.ID)),
+			strconv.FormatFloat(n.Pt.X, 'f', 3, 64),
+			strconv.FormatFloat(n.Pt.Y, 'f', 3, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("roadnet: write junction %d: %w", n.ID, err)
+		}
+	}
+	for _, s := range g.Segments() {
+		oneway := "0"
+		if !s.Bidirectional {
+			oneway = "1"
+		}
+		rec := []string{"S",
+			strconv.Itoa(int(s.ID)),
+			strconv.Itoa(int(s.NI)),
+			strconv.Itoa(int(s.NJ)),
+			strconv.FormatFloat(s.SpeedLimit, 'f', 2, 64),
+			strconv.Itoa(int(s.Class)),
+			oneway,
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("roadnet: write segment %d: %w", s.ID, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("roadnet: flush: %w", err)
+	}
+	return bw.Flush()
+}
+
+// Read parses a graph from the CSV map format produced by Write.
+func Read(r io.Reader) (*Graph, error) {
+	cr := csv.NewReader(bufio.NewReader(r))
+	cr.FieldsPerRecord = -1
+	var b Builder
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("roadnet: read line %d: %w", line, err)
+		}
+		line++
+		if len(rec) == 0 {
+			continue
+		}
+		switch rec[0] {
+		case "J":
+			if len(rec) != 4 {
+				return nil, fmt.Errorf("roadnet: line %d: junction record needs 4 fields, got %d", line, len(rec))
+			}
+			id, err := strconv.Atoi(rec[1])
+			if err != nil {
+				return nil, fmt.Errorf("roadnet: line %d: junction id: %w", line, err)
+			}
+			x, err := strconv.ParseFloat(rec[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("roadnet: line %d: junction x: %w", line, err)
+			}
+			y, err := strconv.ParseFloat(rec[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("roadnet: line %d: junction y: %w", line, err)
+			}
+			got := b.AddJunction(geo.Pt(x, y))
+			if int(got) != id {
+				return nil, fmt.Errorf("roadnet: line %d: junction ids must be dense and ordered: expected %d, got %d", line, got, id)
+			}
+		case "S":
+			if len(rec) != 7 {
+				return nil, fmt.Errorf("roadnet: line %d: segment record needs 7 fields, got %d", line, len(rec))
+			}
+			sid, err := strconv.Atoi(rec[1])
+			if err != nil {
+				return nil, fmt.Errorf("roadnet: line %d: segment id: %w", line, err)
+			}
+			ni, err := strconv.Atoi(rec[2])
+			if err != nil {
+				return nil, fmt.Errorf("roadnet: line %d: segment ni: %w", line, err)
+			}
+			nj, err := strconv.Atoi(rec[3])
+			if err != nil {
+				return nil, fmt.Errorf("roadnet: line %d: segment nj: %w", line, err)
+			}
+			speed, err := strconv.ParseFloat(rec[4], 64)
+			if err != nil {
+				return nil, fmt.Errorf("roadnet: line %d: segment speed: %w", line, err)
+			}
+			class, err := strconv.Atoi(rec[5])
+			if err != nil {
+				return nil, fmt.Errorf("roadnet: line %d: segment class: %w", line, err)
+			}
+			got, err := b.AddSegment(NodeID(ni), NodeID(nj), SegmentOpts{
+				SpeedLimit: speed,
+				Class:      RoadClass(class),
+				OneWay:     rec[6] == "1",
+			})
+			if err != nil {
+				return nil, fmt.Errorf("roadnet: line %d: %w", line, err)
+			}
+			if int(got) != sid {
+				return nil, fmt.Errorf("roadnet: line %d: segment ids must be dense and ordered: expected %d, got %d", line, got, sid)
+			}
+		default:
+			return nil, fmt.Errorf("roadnet: line %d: unknown record kind %q", line, rec[0])
+		}
+	}
+	return b.Build()
+}

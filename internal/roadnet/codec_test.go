@@ -1,0 +1,68 @@
+package roadnet
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	var b Builder
+	n0 := b.AddJunction(geo.Pt(0, 0))
+	n1 := b.AddJunction(geo.Pt(123.456, -78.9))
+	n2 := b.AddJunction(geo.Pt(50, 300))
+	if _, err := b.AddSegment(n0, n1, SegmentOpts{Class: ClassArterial}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddSegment(n1, n2, SegmentOpts{OneWay: true, SpeedLimit: 33.5, Class: ClassHighway}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumSegments() != g.NumSegments() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed counts: %d/%d/%d vs %d/%d/%d",
+			g2.NumNodes(), g2.NumSegments(), g2.NumEdges(),
+			g.NumNodes(), g.NumSegments(), g.NumEdges())
+	}
+	for i := 0; i < g.NumSegments(); i++ {
+		a, bSeg := g.Segment(SegID(i)), g2.Segment(SegID(i))
+		if a.NI != bSeg.NI || a.NJ != bSeg.NJ || a.Class != bSeg.Class ||
+			a.Bidirectional != bSeg.Bidirectional || a.SpeedLimit != bSeg.SpeedLimit {
+			t.Errorf("segment %d differs: %+v vs %+v", i, a, bSeg)
+		}
+	}
+}
+
+func TestCodecErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"unknown kind", "X,1,2,3\n"},
+		{"short junction", "J,0,1\n"},
+		{"bad junction id", "J,zero,0,0\n"},
+		{"segment before junctions", "S,0,0,1,10,0,0\n"},
+		{"non-dense junction ids", "J,5,0,0\n"},
+		{"bad segment fields", "J,0,0,0\nJ,1,5,0\nS,0,0,1,fast,0,0\n"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Read(strings.NewReader(tc.in)); err == nil {
+				t.Errorf("Read(%q) succeeded, want error", tc.in)
+			}
+		})
+	}
+}

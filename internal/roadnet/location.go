@@ -1,0 +1,77 @@
+package roadnet
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geo"
+)
+
+// Location is a road-network location as defined in §II-A: the segment
+// sid on which the position lies, the planar coordinates of the
+// position, and the arc-length offset from the segment's NI endpoint.
+// The offset and coordinates are redundant representations of the same
+// position; Locate and At keep them consistent.
+type Location struct {
+	Seg    SegID
+	Pt     geo.Point
+	Offset float64 // meters from the segment's NI endpoint
+}
+
+// At returns the Location at arc-length offset from the NI endpoint of
+// segment s, clamping offset to the segment.
+func (g *Graph) At(s SegID, offset float64) Location {
+	seg := g.segments[s]
+	if offset < 0 {
+		offset = 0
+	}
+	if offset > seg.Length {
+		offset = seg.Length
+	}
+	gs := g.SegmentGeometry(s)
+	return Location{Seg: s, Pt: gs.PointAtArc(offset), Offset: offset}
+}
+
+// AtNode returns the Location of junction n interpreted as a position on
+// segment s; n must be an endpoint of s.
+func (g *Graph) AtNode(s SegID, n NodeID) (Location, error) {
+	seg := g.segments[s]
+	switch n {
+	case seg.NI:
+		return Location{Seg: s, Pt: g.nodes[n].Pt, Offset: 0}, nil
+	case seg.NJ:
+		return Location{Seg: s, Pt: g.nodes[n].Pt, Offset: seg.Length}, nil
+	default:
+		return Location{}, fmt.Errorf("roadnet: junction %d is not an endpoint of segment %d", n, s)
+	}
+}
+
+// Locate snaps an arbitrary planar point onto segment s, returning the
+// closest on-segment Location and the snap distance.
+func (g *Graph) Locate(s SegID, p geo.Point) (Location, float64) {
+	gs := g.SegmentGeometry(s)
+	t, closest := gs.Project(p)
+	return Location{Seg: s, Pt: closest, Offset: t * gs.Length()}, p.Dist(closest)
+}
+
+// DistAlong returns the arc-length distance between two locations on the
+// same segment. It returns an error when the locations lie on different
+// segments.
+func DistAlong(a, b Location) (float64, error) {
+	if a.Seg != b.Seg {
+		return 0, fmt.Errorf("roadnet: locations on different segments (%d vs %d)", a.Seg, b.Seg)
+	}
+	return math.Abs(a.Offset - b.Offset), nil
+}
+
+// NearestEndpoint returns the endpoint junction of l's segment closest
+// to l in arc length, together with the distance to it.
+func (g *Graph) NearestEndpoint(l Location) (NodeID, float64) {
+	seg := g.segments[l.Seg]
+	dNI := l.Offset
+	dNJ := seg.Length - l.Offset
+	if dNI <= dNJ {
+		return seg.NI, dNI
+	}
+	return seg.NJ, dNJ
+}

@@ -1,0 +1,111 @@
+package roadnet
+
+import (
+	"fmt"
+
+	"repro/internal/geo"
+)
+
+// Route is a network path e0 e1 ... ek of physical segments in which
+// each consecutive pair is adjacent (§II-A). Routes are the
+// representative structures of NEAT flow clusters.
+type Route []SegID
+
+// Validate checks that r is a route in g: every consecutive pair of
+// segments must share a junction. The empty route and single-segment
+// routes are trivially valid.
+func (r Route) Validate(g *Graph) error {
+	for i := 1; i < len(r); i++ {
+		if _, ok := g.Intersection(r[i-1], r[i]); !ok {
+			return fmt.Errorf("roadnet: segments %d and %d at route position %d are not adjacent", r[i-1], r[i], i)
+		}
+	}
+	return nil
+}
+
+// Length returns the summed segment length of the route in meters.
+func (r Route) Length(g *Graph) float64 {
+	var total float64
+	for _, s := range r {
+		total += g.Segment(s).Length
+	}
+	return total
+}
+
+// Endpoints returns the two terminal junctions of the route: the free
+// endpoint of the first segment and the free endpoint of the last
+// segment. For a single-segment route these are the segment's two
+// endpoints. It returns an error for an empty or disconnected route.
+func (r Route) Endpoints(g *Graph) (start, end NodeID, err error) {
+	switch len(r) {
+	case 0:
+		return NoNode, NoNode, fmt.Errorf("roadnet: empty route has no endpoints")
+	case 1:
+		seg := g.Segment(r[0])
+		return seg.NI, seg.NJ, nil
+	}
+	first, second := g.Segment(r[0]), g.Segment(r[1])
+	j0, ok := g.Intersection(r[0], r[1])
+	if !ok {
+		return NoNode, NoNode, fmt.Errorf("roadnet: route segments %d and %d are not adjacent", r[0], r[1])
+	}
+	_ = second
+	start = first.OtherEnd(j0)
+
+	last, prev := g.Segment(r[len(r)-1]), r[len(r)-2]
+	jn, ok := g.Intersection(prev, r[len(r)-1])
+	if !ok {
+		return NoNode, NoNode, fmt.Errorf("roadnet: route segments %d and %d are not adjacent", prev, r[len(r)-1])
+	}
+	end = last.OtherEnd(jn)
+	return start, end, nil
+}
+
+// Junctions returns the ordered junction sequence traversed by the
+// route, from the start endpoint to the end endpoint. It returns an
+// error when the route is not connected.
+func (r Route) Junctions(g *Graph) ([]NodeID, error) {
+	if len(r) == 0 {
+		return nil, nil
+	}
+	start, _, err := r.Endpoints(g)
+	if err != nil {
+		return nil, err
+	}
+	nodes := make([]NodeID, 0, len(r)+1)
+	cur := start
+	nodes = append(nodes, cur)
+	for _, s := range r {
+		next := g.Segment(s).OtherEnd(cur)
+		if next == NoNode {
+			return nil, fmt.Errorf("roadnet: route breaks at segment %d: junction %d is not an endpoint", s, cur)
+		}
+		cur = next
+		nodes = append(nodes, cur)
+	}
+	return nodes, nil
+}
+
+// Geometry returns the polyline traced by the route from its start
+// endpoint to its end endpoint.
+func (r Route) Geometry(g *Graph) (geo.Polyline, error) {
+	nodes, err := r.Junctions(g)
+	if err != nil {
+		return nil, err
+	}
+	pl := make(geo.Polyline, len(nodes))
+	for i, n := range nodes {
+		pl[i] = g.Node(n).Pt
+	}
+	return pl, nil
+}
+
+// Reverse returns a copy of the route with segment order reversed (a
+// route remains valid when reversed because adjacency is symmetric).
+func (r Route) Reverse() Route {
+	out := make(Route, len(r))
+	for i, s := range r {
+		out[len(r)-1-i] = s
+	}
+	return out
+}

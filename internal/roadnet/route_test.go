@@ -1,0 +1,119 @@
+package roadnet
+
+import (
+	"testing"
+
+	"repro/internal/geo"
+)
+
+// buildChainGraph builds a simple chain n0 - n1 - n2 - n3 with three
+// segments plus a spur at n2.
+func buildChainGraph(t *testing.T) (*Graph, []NodeID, []SegID) {
+	t.Helper()
+	var b Builder
+	n0 := b.AddJunction(geo.Pt(0, 0))
+	n1 := b.AddJunction(geo.Pt(100, 0))
+	n2 := b.AddJunction(geo.Pt(200, 0))
+	n3 := b.AddJunction(geo.Pt(300, 0))
+	n4 := b.AddJunction(geo.Pt(200, 100)) // spur
+	s0, _ := b.AddSegment(n0, n1, SegmentOpts{})
+	s1, _ := b.AddSegment(n1, n2, SegmentOpts{})
+	s2, _ := b.AddSegment(n2, n3, SegmentOpts{})
+	s3, _ := b.AddSegment(n2, n4, SegmentOpts{})
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, []NodeID{n0, n1, n2, n3, n4}, []SegID{s0, s1, s2, s3}
+}
+
+func TestRouteValidate(t *testing.T) {
+	g, _, segs := buildChainGraph(t)
+	valid := Route{segs[0], segs[1], segs[2]}
+	if err := valid.Validate(g); err != nil {
+		t.Errorf("valid route rejected: %v", err)
+	}
+	invalid := Route{segs[0], segs[2]}
+	if err := invalid.Validate(g); err == nil {
+		t.Error("disconnected route accepted")
+	}
+	if err := (Route{}).Validate(g); err != nil {
+		t.Errorf("empty route rejected: %v", err)
+	}
+	if err := (Route{segs[0]}).Validate(g); err != nil {
+		t.Errorf("single-segment route rejected: %v", err)
+	}
+}
+
+func TestRouteLengthAndEndpoints(t *testing.T) {
+	g, nodes, segs := buildChainGraph(t)
+	r := Route{segs[0], segs[1], segs[2]}
+	if l := r.Length(g); l != 300 {
+		t.Errorf("Length = %v", l)
+	}
+	start, end, err := r.Endpoints(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start != nodes[0] || end != nodes[3] {
+		t.Errorf("Endpoints = %v..%v, want n0..n3", start, end)
+	}
+	// Single segment route.
+	s, e, err := (Route{segs[1]}).Endpoints(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != nodes[1] || e != nodes[2] {
+		t.Errorf("single-seg Endpoints = %v..%v", s, e)
+	}
+	if _, _, err := (Route{}).Endpoints(g); err == nil {
+		t.Error("empty route Endpoints succeeded")
+	}
+}
+
+func TestRouteJunctionsAndGeometry(t *testing.T) {
+	g, nodes, segs := buildChainGraph(t)
+	r := Route{segs[0], segs[1], segs[3]} // n0..n2 then the spur to n4
+	js, err := r.Junctions(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []NodeID{nodes[0], nodes[1], nodes[2], nodes[4]}
+	if len(js) != len(want) {
+		t.Fatalf("junctions = %v", js)
+	}
+	for i := range want {
+		if js[i] != want[i] {
+			t.Errorf("junction[%d] = %v, want %v", i, js[i], want[i])
+		}
+	}
+	pl, err := r.Geometry(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl) != 4 {
+		t.Fatalf("geometry = %v", pl)
+	}
+	if pl.Length() != 300 {
+		t.Errorf("geometry length = %v", pl.Length())
+	}
+}
+
+func TestRouteReverse(t *testing.T) {
+	g, nodes, segs := buildChainGraph(t)
+	r := Route{segs[0], segs[1], segs[2]}
+	rev := r.Reverse()
+	if err := rev.Validate(g); err != nil {
+		t.Errorf("reversed route invalid: %v", err)
+	}
+	start, end, err := rev.Endpoints(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start != nodes[3] || end != nodes[0] {
+		t.Errorf("reversed Endpoints = %v..%v", start, end)
+	}
+	if r[0] != segs[0] {
+		t.Error("Reverse mutated the original route")
+	}
+}

@@ -1,0 +1,78 @@
+package roadnet
+
+import "fmt"
+
+// Stats summarises a road network with the statistics reported in the
+// paper's Table I.
+type Stats struct {
+	TotalLengthKm float64 // total physical segment length, km
+	NumSegments   int     // distinct sids
+	AvgSegLenM    float64 // mean segment length, meters
+	NumJunctions  int
+	AvgDegree     float64 // mean incident-segment count per junction
+	MaxDegree     int
+}
+
+// ComputeStats derives Table I statistics from the graph.
+func ComputeStats(g *Graph) Stats {
+	s := Stats{
+		TotalLengthKm: g.TotalLength() / 1000,
+		NumSegments:   g.NumSegments(),
+		NumJunctions:  g.NumNodes(),
+	}
+	if s.NumSegments > 0 {
+		s.AvgSegLenM = g.TotalLength() / float64(s.NumSegments)
+	}
+	var degSum int
+	for n := 0; n < g.NumNodes(); n++ {
+		d := g.Degree(NodeID(n))
+		degSum += d
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+	}
+	if s.NumJunctions > 0 {
+		s.AvgDegree = float64(degSum) / float64(s.NumJunctions)
+	}
+	return s
+}
+
+// String renders the stats as a Table I style row.
+func (s Stats) String() string {
+	return fmt.Sprintf("%.1fkm  %d segments  avg %.1fm  %d junctions  degree avg %.1f max %d",
+		s.TotalLengthKm, s.NumSegments, s.AvgSegLenM, s.NumJunctions, s.AvgDegree, s.MaxDegree)
+}
+
+// ConnectedComponents returns the number of weakly connected components
+// of the graph's segment structure, plus the size of the largest one in
+// junctions. Map generation uses this to verify the network is usable
+// for routing.
+func ConnectedComponents(g *Graph) (count, largest int) {
+	seen := make([]bool, g.NumNodes())
+	var stack []NodeID
+	for start := 0; start < g.NumNodes(); start++ {
+		if seen[start] {
+			continue
+		}
+		count++
+		size := 0
+		stack = append(stack[:0], NodeID(start))
+		seen[start] = true
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			size++
+			for _, sid := range g.SegmentsAt(n) {
+				next := g.Segment(sid).OtherEnd(n)
+				if next != NoNode && !seen[next] {
+					seen[next] = true
+					stack = append(stack, next)
+				}
+			}
+		}
+		if size > largest {
+			largest = size
+		}
+	}
+	return count, largest
+}

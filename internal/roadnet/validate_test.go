@@ -1,0 +1,28 @@
+package roadnet
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func TestBuildRejectsNonFiniteJunctions(t *testing.T) {
+	cases := []geo.Point{
+		geo.Pt(math.NaN(), 0),
+		geo.Pt(0, math.NaN()),
+		geo.Pt(math.Inf(1), 0),
+		geo.Pt(0, math.Inf(-1)),
+	}
+	for _, pt := range cases {
+		var b Builder
+		n0 := b.AddJunction(geo.Pt(0, 0))
+		n1 := b.AddJunction(pt)
+		if _, err := b.AddSegment(n0, n1, SegmentOpts{}); err != nil {
+			continue // AddSegment may already fail on NaN length; fine
+		}
+		if _, err := b.Build(); err == nil {
+			t.Errorf("graph with junction at %v accepted", pt)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"repro/internal/traj"
+)
+
+// Client talks to a NEAT server. It plays the role of the paper's
+// client node: it records (or relays) trajectories and requests
+// clustering results.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient creates a client for the server at baseURL (e.g.
+// "http://localhost:8080"). httpClient may be nil for the default.
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: baseURL, http: httpClient}
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rdr io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("server client: marshal: %w", err)
+		}
+		rdr = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rdr)
+	if err != nil {
+		return fmt.Errorf("server client: request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("server client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var apiErr ErrorResponse
+		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
+			return fmt.Errorf("server client: %s %s: %s (%d)", method, path, apiErr.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("server client: %s %s: status %d", method, path, resp.StatusCode)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return fmt.Errorf("server client: decode: %w", err)
+		}
+	}
+	return nil
+}
+
+// Ingest uploads a dataset of trajectories.
+func (c *Client) Ingest(ctx context.Context, ds traj.Dataset) (IngestResponse, error) {
+	var out IngestResponse
+	err := c.do(ctx, http.MethodPost, "/v1/trajectories", FromDataset(ds), &out)
+	return out, err
+}
+
+// ClusterQuery parameterizes a clustering request.
+type ClusterQuery struct {
+	Level   string  // "base", "flow", or "opt" (default)
+	Epsilon float64 // Phase 3 ε in meters; 0 keeps the server default
+	MinCard int     // minimum flow cardinality; negative keeps default
+}
+
+// Clusters requests a clustering of everything ingested so far.
+func (c *Client) Clusters(ctx context.Context, q ClusterQuery) (ClusterResponse, error) {
+	v := url.Values{}
+	if q.Level != "" {
+		v.Set("level", q.Level)
+	}
+	if q.Epsilon > 0 {
+		v.Set("eps", strconv.FormatFloat(q.Epsilon, 'f', -1, 64))
+	}
+	if q.MinCard >= 0 {
+		v.Set("mincard", strconv.Itoa(q.MinCard))
+	}
+	path := "/v1/clusters"
+	if enc := v.Encode(); enc != "" {
+		path += "?" + enc
+	}
+	var out ClusterResponse
+	err := c.do(ctx, http.MethodGet, path, nil, &out)
+	return out, err
+}
+
+// Stats fetches server statistics.
+func (c *Client) Stats(ctx context.Context) (StatsResponse, error) {
+	var out StatsResponse
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out)
+	return out, err
+}

@@ -1,0 +1,110 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"net/url"
+	"strconv"
+	"testing"
+
+	"repro/internal/traj"
+)
+
+func queryURL(base string, x0, y0, x1, y1, t0, t1 float64) string {
+	v := url.Values{}
+	for name, val := range map[string]float64{
+		"x0": x0, "y0": y0, "x1": x1, "y1": y1, "t0": t0, "t1": t1,
+	} {
+		v.Set(name, strconv.FormatFloat(val, 'f', -1, 64))
+	}
+	return base + "/v1/trajectories/query?" + v.Encode()
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	g, ds := testSetup(t)
+	srv := httptest.NewServer(New(g, Config{DataNodes: 2}).Handler())
+	defer srv.Close()
+	c := NewClient(srv.URL, srv.Client())
+	ctx := context.Background()
+	if _, err := c.Ingest(ctx, ds); err != nil {
+		t.Fatal(err)
+	}
+
+	// Whole map, whole time: every trajectory.
+	b := g.Bounds()
+	resp, err := srv.Client().Get(queryURL(srv.URL, b.Min.X, b.Min.Y, b.Max.X, b.Max.Y, 0, 1e9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Count != len(ds.Trajectories) {
+		t.Errorf("full query count = %d, want %d", out.Count, len(ds.Trajectories))
+	}
+	// Empty window.
+	resp2, err := srv.Client().Get(queryURL(srv.URL, b.Min.X, b.Min.Y, b.Max.X, b.Max.Y, 1e8, 1e9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var out2 QueryResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&out2); err != nil {
+		t.Fatal(err)
+	}
+	if out2.Count != 0 {
+		t.Errorf("far-future query count = %d", out2.Count)
+	}
+	// Malformed params.
+	resp3, err := srv.Client().Get(srv.URL + "/v1/trajectories/query?x0=abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode == 200 {
+		t.Error("malformed query accepted")
+	}
+}
+
+func TestQueryBeforeIngest(t *testing.T) {
+	g, _ := testSetup(t)
+	srv := httptest.NewServer(New(g, Config{}).Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(queryURL(srv.URL, 0, 0, 1, 1, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == 200 {
+		t.Error("query with no data succeeded")
+	}
+}
+
+func TestDuplicateIngestRejected(t *testing.T) {
+	g, ds := testSetup(t)
+	srv := httptest.NewServer(New(g, Config{}).Handler())
+	defer srv.Close()
+	c := NewClient(srv.URL, srv.Client())
+	ctx := context.Background()
+	if _, err := c.Ingest(ctx, ds); err != nil {
+		t.Fatal(err)
+	}
+	// Same ids again: rejected.
+	if _, err := c.Ingest(ctx, ds); err == nil {
+		t.Error("duplicate ingest accepted")
+	}
+	// In-batch duplicate: rejected.
+	dup := traj.Dataset{Trajectories: []traj.Trajectory{
+		{ID: 9999, Points: ds.Trajectories[0].Points},
+		{ID: 9999, Points: ds.Trajectories[0].Points},
+	}}
+	if _, err := c.Ingest(ctx, dup); err == nil {
+		t.Error("in-batch duplicate accepted")
+	}
+}

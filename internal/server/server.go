@@ -1,0 +1,442 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/geo"
+
+	"repro/internal/neat"
+	"repro/internal/roadnet"
+	"repro/internal/shortest"
+	"repro/internal/traj"
+	"repro/internal/trajindex"
+	"repro/internal/viz"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// DataNodes is the number of preprocessing workers the ingestion
+	// path shards trajectories across (the paper's data nodes). Zero
+	// selects 4.
+	DataNodes int
+	// MaxBatch caps the number of trajectories per ingest request.
+	// Zero selects 10000.
+	MaxBatch int
+}
+
+func (c Config) withDefaults() Config {
+	if c.DataNodes <= 0 {
+		c.DataNodes = 4
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 10000
+	}
+	return c
+}
+
+// Server is the NEAT trajectory-clustering service over one road
+// network. It is safe for concurrent use.
+type Server struct {
+	g   *roadnet.Graph
+	cfg Config
+
+	mu        sync.RWMutex
+	fragments []traj.TFragment
+	trajs     []traj.Trajectory
+	seenIDs   map[traj.ID]struct{}
+	trajCount int
+	version   uint64 // bumped on every ingest; keys the result cache
+
+	idxMu      sync.Mutex
+	idx        *trajindex.Index
+	idxVersion uint64
+
+	cacheMu sync.Mutex
+	cache   map[string]cachedClusters
+
+	// One partitioner per data node; acquired through a channel
+	// semaphore since partitioners are not concurrency-safe.
+	nodes chan *traj.Partitioner
+}
+
+// cachedClusters memoizes one clustering response until the next
+// ingestion invalidates it (clustering is deterministic for fixed
+// fragments and parameters).
+type cachedClusters struct {
+	version uint64
+	resp    ClusterResponse
+}
+
+// New creates a Server over g.
+func New(g *roadnet.Graph, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		g:       g,
+		cfg:     cfg,
+		seenIDs: make(map[traj.ID]struct{}),
+		cache:   make(map[string]cachedClusters),
+		nodes:   make(chan *traj.Partitioner, cfg.DataNodes),
+	}
+	for i := 0; i < cfg.DataNodes; i++ {
+		s.nodes <- traj.NewPartitioner(g, shortest.New(g, nil))
+	}
+	return s
+}
+
+// Handler returns the HTTP handler exposing the API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/trajectories", s.handleIngest)
+	mux.HandleFunc("/v1/clusters", s.handleClusters)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/network", s.handleNetwork)
+	mux.HandleFunc("/v1/trajectories/query", s.handleQuery)
+	return mux
+}
+
+// handleQuery answers spatio-temporal range queries over the ingested
+// trajectories: GET /v1/trajectories/query?x0=&y0=&x1=&y1=&t0=&t1=.
+// It serves from a SETI-style index rebuilt lazily after ingestions.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	q := r.URL.Query()
+	parse := func(name string) (float64, bool) {
+		v, err := strconv.ParseFloat(q.Get(name), 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad %s %q", name, q.Get(name))
+			return 0, false
+		}
+		return v, true
+	}
+	x0, ok := parse("x0")
+	if !ok {
+		return
+	}
+	y0, ok := parse("y0")
+	if !ok {
+		return
+	}
+	x1, ok := parse("x1")
+	if !ok {
+		return
+	}
+	y1, ok := parse("y1")
+	if !ok {
+		return
+	}
+	t0, ok := parse("t0")
+	if !ok {
+		return
+	}
+	t1, ok := parse("t1")
+	if !ok {
+		return
+	}
+	idx, err := s.index()
+	if err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	ids := idx.Query(geo.RectFromPoints(geo.Pt(x0, y0), geo.Pt(x1, y1)), t0, t1)
+	out := QueryResponse{Count: len(ids)}
+	for _, id := range ids {
+		out.IDs = append(out.IDs, int32(id))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// index returns the current spatio-temporal index, rebuilding it when
+// ingestions have changed the dataset since the last build.
+func (s *Server) index() (*trajindex.Index, error) {
+	s.mu.RLock()
+	version := s.version
+	trajs := s.trajs
+	s.mu.RUnlock()
+	if len(trajs) == 0 {
+		return nil, fmt.Errorf("no trajectories ingested yet")
+	}
+	s.idxMu.Lock()
+	defer s.idxMu.Unlock()
+	if s.idx != nil && s.idxVersion == version {
+		return s.idx, nil
+	}
+	// Cell size near the average segment length keeps occupancy low.
+	cell := 150.0
+	if n := s.g.NumSegments(); n > 0 {
+		cell = s.g.TotalLength() / float64(n)
+	}
+	idx, err := trajindex.New(traj.Dataset{Name: "server", Trajectories: trajs}, cell)
+	if err != nil {
+		return nil, err
+	}
+	s.idx = idx
+	s.idxVersion = version
+	return idx, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req IngestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode: %v", err)
+		return
+	}
+	if len(req.Trajectories) == 0 {
+		writeError(w, http.StatusBadRequest, "no trajectories")
+		return
+	}
+	if len(req.Trajectories) > s.cfg.MaxBatch {
+		writeError(w, http.StatusRequestEntityTooLarge, "batch of %d exceeds limit %d", len(req.Trajectories), s.cfg.MaxBatch)
+		return
+	}
+	// Reject duplicate trajectory ids up front: downstream structures
+	// (netflow, the spatio-temporal index) key by trid.
+	s.mu.RLock()
+	dup := ""
+	batchIDs := make(map[traj.ID]struct{}, len(req.Trajectories))
+	for _, dto := range req.Trajectories {
+		id := traj.ID(dto.ID)
+		if _, ok := s.seenIDs[id]; ok {
+			dup = fmt.Sprintf("trajectory %d already ingested", dto.ID)
+			break
+		}
+		if _, ok := batchIDs[id]; ok {
+			dup = fmt.Sprintf("trajectory %d repeated in batch", dto.ID)
+			break
+		}
+		batchIDs[id] = struct{}{}
+	}
+	s.mu.RUnlock()
+	if dup != "" {
+		writeError(w, http.StatusConflict, "%s", dup)
+		return
+	}
+
+	frags, trajs, err := s.preprocess(req.Trajectories)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "preprocess: %v", err)
+		return
+	}
+	// Commit atomically, re-checking ids: a concurrent ingest may have
+	// claimed one between the opportunistic check above and now.
+	s.mu.Lock()
+	for id := range batchIDs {
+		if _, ok := s.seenIDs[id]; ok {
+			s.mu.Unlock()
+			writeError(w, http.StatusConflict, "trajectory %d already ingested", id)
+			return
+		}
+	}
+	for id := range batchIDs {
+		s.seenIDs[id] = struct{}{}
+	}
+	s.fragments = append(s.fragments, frags...)
+	s.trajs = append(s.trajs, trajs...)
+	s.trajCount += len(req.Trajectories)
+	s.version++
+	total := len(s.fragments)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, IngestResponse{
+		Accepted:       len(req.Trajectories),
+		Fragments:      len(frags),
+		TotalFragments: total,
+	})
+}
+
+// preprocess shards t-fragment extraction across the data nodes. The
+// output preserves the request order so ingestion stays deterministic.
+func (s *Server) preprocess(dtos []TrajectoryDTO) ([]traj.TFragment, []traj.Trajectory, error) {
+	type result struct {
+		idx   int
+		tr    traj.Trajectory
+		frags []traj.TFragment
+		err   error
+	}
+	results := make([]result, len(dtos))
+	var wg sync.WaitGroup
+	sem := s.nodes
+	for i, dto := range dtos {
+		wg.Add(1)
+		go func(i int, dto TrajectoryDTO) {
+			defer wg.Done()
+			node := <-sem
+			defer func() { sem <- node }()
+			tr, err := dto.toTrajectory(s.g)
+			if err != nil {
+				results[i] = result{idx: i, err: err}
+				return
+			}
+			frags, err := node.Partition(tr)
+			results[i] = result{idx: i, tr: tr, frags: frags, err: err}
+		}(i, dto)
+	}
+	wg.Wait()
+	var out []traj.TFragment
+	var trajs []traj.Trajectory
+	for _, res := range results {
+		if res.err != nil {
+			return nil, nil, res.err
+		}
+		out = append(out, res.frags...)
+		trajs = append(trajs, res.tr)
+	}
+	return out, trajs, nil
+}
+
+func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	q := r.URL.Query()
+	level := neat.LevelOpt
+	switch strings.ToLower(q.Get("level")) {
+	case "", "opt":
+	case "flow":
+		level = neat.LevelFlow
+	case "base":
+		level = neat.LevelBase
+	default:
+		writeError(w, http.StatusBadRequest, "unknown level %q", q.Get("level"))
+		return
+	}
+	cfg := neat.Config{
+		Flow:   neat.FlowConfig{Weights: neat.WeightsFlowOnly, MinCard: 5},
+		Refine: neat.RefineConfig{Epsilon: 6500, UseELB: true, Bounded: true},
+	}
+	if v := q.Get("eps"); v != "" {
+		eps, err := strconv.ParseFloat(v, 64)
+		if err != nil || eps <= 0 {
+			writeError(w, http.StatusBadRequest, "bad eps %q", v)
+			return
+		}
+		cfg.Refine.Epsilon = eps
+	}
+	if v := q.Get("mincard"); v != "" {
+		mc, err := strconv.Atoi(v)
+		if err != nil || mc < 0 {
+			writeError(w, http.StatusBadRequest, "bad mincard %q", v)
+			return
+		}
+		cfg.Flow.MinCard = mc
+	}
+
+	s.mu.RLock()
+	frags := make([]traj.TFragment, len(s.fragments))
+	copy(frags, s.fragments)
+	version := s.version
+	s.mu.RUnlock()
+	if len(frags) == 0 {
+		writeError(w, http.StatusConflict, "no trajectories ingested yet")
+		return
+	}
+
+	cacheKey := fmt.Sprintf("%d|%g|%d", level, cfg.Refine.Epsilon, cfg.Flow.MinCard)
+	s.cacheMu.Lock()
+	if hit, ok := s.cache[cacheKey]; ok && hit.version == version {
+		s.cacheMu.Unlock()
+		writeJSON(w, http.StatusOK, hit.resp)
+		return
+	}
+	s.cacheMu.Unlock()
+
+	start := time.Now()
+	p := neat.NewPipeline(s.g)
+	res, err := p.RunFragments(frags, cfg, level)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "clustering: %v", err)
+		return
+	}
+	resp := ClusterResponse{
+		Level:        res.Level.String(),
+		BaseClusters: len(res.BaseClusters),
+		ElapsedMs:    float64(time.Since(start).Microseconds()) / 1000,
+	}
+	for _, f := range res.Flows {
+		resp.Flows = append(resp.Flows, s.flowDTO(f))
+	}
+	for _, c := range res.Clusters {
+		dto := ClusterDTO{Cardinality: c.Cardinality()}
+		for _, f := range c.Flows {
+			dto.Flows = append(dto.Flows, s.flowDTO(f))
+		}
+		resp.Clusters = append(resp.Clusters, dto)
+	}
+	s.cacheMu.Lock()
+	// Bound the cache: distinct parameter combinations are few in
+	// practice, but a scan of query space must not grow memory.
+	if len(s.cache) >= 32 {
+		s.cache = make(map[string]cachedClusters)
+	}
+	s.cache[cacheKey] = cachedClusters{version: version, resp: resp}
+	s.cacheMu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleNetwork serves the road network as GeoJSON so clients can
+// render clustering results over it.
+func (s *Server) handleNetwork(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	w.Header().Set("Content-Type", "application/geo+json")
+	if err := viz.WriteNetworkGeoJSON(w, s.g); err != nil {
+		// Headers are out; nothing more to do than log via the error
+		// path of the connection.
+		return
+	}
+}
+
+func (s *Server) flowDTO(f *neat.FlowCluster) FlowDTO {
+	dto := FlowDTO{
+		RouteLength: f.RouteLength(s.g),
+		Cardinality: f.Cardinality(),
+		Density:     f.Density(),
+	}
+	for _, seg := range f.Route {
+		dto.Route = append(dto.Route, int32(seg))
+	}
+	return dto
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	s.mu.RLock()
+	frags := len(s.fragments)
+	trajs := s.trajCount
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Junctions:      s.g.NumNodes(),
+		Segments:       s.g.NumSegments(),
+		TotalLengthKm:  s.g.TotalLength() / 1000,
+		Trajectories:   trajs,
+		TotalFragments: frags,
+		DataNodes:      s.cfg.DataNodes,
+	})
+}

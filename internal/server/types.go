@@ -1,0 +1,123 @@
+// Package server implements the NEAT service tier sketched in §II-C of
+// the paper: "Each client node acts as a mobile device which records
+// its locations, sends its trajectories to a NEAT server and makes
+// requests to the server to get trajectory clustering results ... NEAT
+// server also distributes trajectory datasets across multiple nodes in
+// a cluster. These data nodes can perform some data preprocessing
+// tasks."
+//
+// The server exposes an HTTP/JSON API for trajectory ingestion and
+// clustering queries, and shards the Phase 1 preprocessing
+// (t-fragment extraction) across a pool of data-node workers, each
+// with its own partitioning engine.
+package server
+
+import (
+	"fmt"
+
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+)
+
+// PointDTO is one trajectory location on the wire.
+type PointDTO struct {
+	Seg  int32   `json:"sid"`
+	X    float64 `json:"x"`
+	Y    float64 `json:"y"`
+	Time float64 `json:"t"`
+}
+
+// TrajectoryDTO is one trajectory on the wire.
+type TrajectoryDTO struct {
+	ID     int32      `json:"trid"`
+	Points []PointDTO `json:"points"`
+}
+
+// IngestRequest is the body of POST /v1/trajectories.
+type IngestRequest struct {
+	Trajectories []TrajectoryDTO `json:"trajectories"`
+}
+
+// IngestResponse reports what the ingestion produced.
+type IngestResponse struct {
+	Accepted  int `json:"accepted"`
+	Fragments int `json:"fragments"`
+	// TotalFragments is the fragment count standing on the server after
+	// this ingestion.
+	TotalFragments int `json:"total_fragments"`
+}
+
+// FlowDTO describes one flow cluster in a clustering response.
+type FlowDTO struct {
+	Route       []int32 `json:"route"`
+	RouteLength float64 `json:"route_length_m"`
+	Cardinality int     `json:"cardinality"`
+	Density     int     `json:"density"`
+}
+
+// ClusterDTO describes one final trajectory cluster.
+type ClusterDTO struct {
+	Flows       []FlowDTO `json:"flows"`
+	Cardinality int       `json:"cardinality"`
+}
+
+// ClusterResponse is the body of GET /v1/clusters.
+type ClusterResponse struct {
+	Level        string       `json:"level"`
+	BaseClusters int          `json:"base_clusters"`
+	Flows        []FlowDTO    `json:"flows,omitempty"`
+	Clusters     []ClusterDTO `json:"clusters,omitempty"`
+	ElapsedMs    float64      `json:"elapsed_ms"`
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	Junctions      int     `json:"junctions"`
+	Segments       int     `json:"segments"`
+	TotalLengthKm  float64 `json:"total_length_km"`
+	Trajectories   int     `json:"trajectories"`
+	TotalFragments int     `json:"total_fragments"`
+	DataNodes      int     `json:"data_nodes"`
+}
+
+// QueryResponse is the body of GET /v1/trajectories/query.
+type QueryResponse struct {
+	Count int     `json:"count"`
+	IDs   []int32 `json:"ids,omitempty"`
+}
+
+// ErrorResponse carries an API error.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// toTrajectory converts a DTO into the internal representation,
+// validating segment ids against the graph.
+func (dto TrajectoryDTO) toTrajectory(g *roadnet.Graph) (traj.Trajectory, error) {
+	tr := traj.Trajectory{ID: traj.ID(dto.ID)}
+	for i, p := range dto.Points {
+		if p.Seg < 0 || int(p.Seg) >= g.NumSegments() {
+			return traj.Trajectory{}, fmt.Errorf("trajectory %d point %d: unknown segment %d", dto.ID, i, p.Seg)
+		}
+		tr.Points = append(tr.Points, traj.Sample(roadnet.SegID(p.Seg), geo.Pt(p.X, p.Y), p.Time))
+	}
+	if err := tr.Validate(); err != nil {
+		return traj.Trajectory{}, err
+	}
+	return tr, nil
+}
+
+// FromDataset converts an internal dataset into wire DTOs (used by the
+// client and by tests).
+func FromDataset(ds traj.Dataset) IngestRequest {
+	req := IngestRequest{}
+	for _, tr := range ds.Trajectories {
+		dto := TrajectoryDTO{ID: int32(tr.ID)}
+		for _, p := range tr.Points {
+			dto.Points = append(dto.Points, PointDTO{Seg: int32(p.Seg), X: p.Pt.X, Y: p.Pt.Y, Time: p.Time})
+		}
+		req.Trajectories = append(req.Trajectories, dto)
+	}
+	return req
+}

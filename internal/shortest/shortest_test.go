@@ -1,0 +1,263 @@
+package shortest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+)
+
+// buildGrid builds a w x h unit grid (spacing 100 m) and returns it
+// with the node id helper.
+func buildGrid(t testing.TB, w, h int) (*roadnet.Graph, func(x, y int) roadnet.NodeID) {
+	t.Helper()
+	var b roadnet.Builder
+	ids := make([]roadnet.NodeID, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			ids[y*w+x] = b.AddJunction(geo.Pt(float64(x)*100, float64(y)*100))
+		}
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				if _, err := b.AddSegment(ids[y*w+x], ids[y*w+x+1], roadnet.SegmentOpts{}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if y+1 < h {
+				if _, err := b.AddSegment(ids[y*w+x], ids[(y+1)*w+x], roadnet.SegmentOpts{}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, func(x, y int) roadnet.NodeID { return ids[y*w+x] }
+}
+
+func TestDijkstraOnGrid(t *testing.T) {
+	g, at := buildGrid(t, 5, 5)
+	e := New(g, nil)
+	res := e.Dijkstra(at(0, 0), at(4, 3), Directed)
+	if !res.Reachable() {
+		t.Fatal("unreachable")
+	}
+	if want := 700.0; res.Dist != want {
+		t.Errorf("dist = %v, want %v", res.Dist, want)
+	}
+	if len(res.Nodes) != 8 {
+		t.Errorf("path nodes = %d, want 8", len(res.Nodes))
+	}
+	if len(res.Route) != 7 {
+		t.Errorf("route segments = %d, want 7", len(res.Route))
+	}
+	if res.Nodes[0] != at(0, 0) || res.Nodes[len(res.Nodes)-1] != at(4, 3) {
+		t.Error("path endpoints wrong")
+	}
+	if err := res.Route.Validate(g); err != nil {
+		t.Errorf("returned route invalid: %v", err)
+	}
+}
+
+func TestDijkstraSameNode(t *testing.T) {
+	g, at := buildGrid(t, 3, 3)
+	e := New(g, nil)
+	if d := e.Distance(at(1, 1), at(1, 1), Directed); d != 0 {
+		t.Errorf("self distance = %v", d)
+	}
+}
+
+func TestAStarMatchesDijkstra(t *testing.T) {
+	g, _ := buildGrid(t, 8, 8)
+	e := New(g, nil)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		a := roadnet.NodeID(rng.Intn(g.NumNodes()))
+		b := roadnet.NodeID(rng.Intn(g.NumNodes()))
+		d1 := e.Dijkstra(a, b, Directed).Dist
+		d2 := e.AStar(a, b, Directed).Dist
+		if math.Abs(d1-d2) > 1e-9 {
+			t.Fatalf("A*(%d,%d) = %v, Dijkstra = %v", a, b, d2, d1)
+		}
+	}
+}
+
+func TestBidirectionalMatchesDijkstra(t *testing.T) {
+	g, _ := buildGrid(t, 8, 8)
+	e := New(g, nil)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 50; i++ {
+		a := roadnet.NodeID(rng.Intn(g.NumNodes()))
+		b := roadnet.NodeID(rng.Intn(g.NumNodes()))
+		d1 := e.Dijkstra(a, b, Undirected).Dist
+		d2 := e.Bidirectional(a, b, Undirected)
+		if math.Abs(d1-d2) > 1e-9 {
+			t.Fatalf("Bidirectional(%d,%d) = %v, Dijkstra = %v", a, b, d2, d1)
+		}
+	}
+}
+
+func TestBoundedDistance(t *testing.T) {
+	g, at := buildGrid(t, 5, 5)
+	e := New(g, nil)
+	// True distance is 400.
+	if d := e.BoundedDistance(at(0, 0), at(4, 0), Undirected, 500); d != 400 {
+		t.Errorf("bounded(500) = %v, want 400", d)
+	}
+	if d := e.BoundedDistance(at(0, 0), at(4, 0), Undirected, 300); !math.IsInf(d, 1) {
+		t.Errorf("bounded(300) = %v, want +Inf", d)
+	}
+	if d := e.BoundedDistance(at(0, 0), at(4, 0), Undirected, 400); d != 400 {
+		t.Errorf("bounded(400) = %v, want 400 (boundary inclusive)", d)
+	}
+}
+
+func TestOneWayRespected(t *testing.T) {
+	var b roadnet.Builder
+	n0 := b.AddJunction(geo.Pt(0, 0))
+	n1 := b.AddJunction(geo.Pt(100, 0))
+	n2 := b.AddJunction(geo.Pt(100, 100))
+	if _, err := b.AddSegment(n0, n1, roadnet.SegmentOpts{OneWay: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddSegment(n1, n2, roadnet.SegmentOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(g, nil)
+	if res := e.Dijkstra(n0, n1, Directed); res.Dist != 100 {
+		t.Errorf("forward dist = %v", res.Dist)
+	}
+	if res := e.Dijkstra(n1, n0, Directed); res.Reachable() {
+		t.Error("one-way traversed backwards in Directed mode")
+	}
+	if res := e.Dijkstra(n1, n0, Undirected); res.Dist != 100 {
+		t.Errorf("Undirected mode should ignore one-way: %v", res.Dist)
+	}
+}
+
+func TestTree(t *testing.T) {
+	g, at := buildGrid(t, 4, 4)
+	e := New(g, nil)
+	dists := e.Tree(at(0, 0), Undirected, math.Inf(1))
+	if dists[at(3, 3)] != 600 {
+		t.Errorf("tree dist to (3,3) = %v", dists[at(3, 3)])
+	}
+	if dists[at(0, 0)] != 0 {
+		t.Errorf("tree dist to self = %v", dists[at(0, 0)])
+	}
+	// Bounded tree leaves far nodes at +Inf.
+	bounded := e.Tree(at(0, 0), Undirected, 200)
+	if !math.IsInf(bounded[at(3, 3)], 1) {
+		t.Errorf("bounded tree reached (3,3): %v", bounded[at(3, 3)])
+	}
+	if bounded[at(2, 0)] != 200 {
+		t.Errorf("bounded tree dist to (2,0) = %v", bounded[at(2, 0)])
+	}
+}
+
+func TestLocationRoute(t *testing.T) {
+	g, at := buildGrid(t, 3, 1) // chain of 2 segments along x
+	e := New(g, nil)
+	s0, ok := g.DirectedEdge(at(0, 0), at(1, 0))
+	if !ok {
+		t.Fatal("missing edge")
+	}
+	s1, ok := g.DirectedEdge(at(1, 0), at(2, 0))
+	if !ok {
+		t.Fatal("missing edge")
+	}
+	a := g.At(g.Edge(s0).Seg, 30)
+	bLoc := g.At(g.Edge(s1).Seg, 40)
+	d, _, err := e.LocationRoute(a, bLoc, Directed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 70 to reach the junction + 40 into the next segment.
+	if d != 110 {
+		t.Errorf("location route dist = %v, want 110", d)
+	}
+	// Same-segment case.
+	c := g.At(g.Edge(s0).Seg, 90)
+	d, _, err = e.LocationRoute(a, c, Directed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 60 {
+		t.Errorf("same-segment dist = %v, want 60", d)
+	}
+}
+
+func TestEuclideanLowerBoundProperty(t *testing.T) {
+	// dE(a,b) <= dN(a,b) for all junction pairs: the ELB property
+	// Phase 3 relies on.
+	g, _ := buildGrid(t, 6, 6)
+	e := New(g, nil)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		a := roadnet.NodeID(rng.Intn(g.NumNodes()))
+		b := roadnet.NodeID(rng.Intn(g.NumNodes()))
+		de := g.Node(a).Pt.Dist(g.Node(b).Pt)
+		dn := e.Distance(a, b, Undirected)
+		if de > dn+1e-9 {
+			t.Fatalf("ELB violated: dE(%d,%d)=%v > dN=%v", a, b, de, dn)
+		}
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	g, at := buildGrid(t, 4, 4)
+	stats := &Stats{}
+	e := New(g, stats)
+	e.Dijkstra(at(0, 0), at(3, 3), Directed)
+	e.Distance(at(0, 0), at(1, 1), Directed)
+	q, settled := stats.Snapshot()
+	if q != 2 {
+		t.Errorf("queries = %d, want 2", q)
+	}
+	if settled == 0 {
+		t.Error("settled nodes not counted")
+	}
+}
+
+func TestEpochReuse(t *testing.T) {
+	// Many queries on one engine must not interfere.
+	g, _ := buildGrid(t, 5, 5)
+	e := New(g, nil)
+	ref := New(g, nil)
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 200; i++ {
+		a := roadnet.NodeID(rng.Intn(g.NumNodes()))
+		b := roadnet.NodeID(rng.Intn(g.NumNodes()))
+		if d1, d2 := e.Distance(a, b, Undirected), ref.Dijkstra(a, b, Undirected).Dist; d1 != d2 {
+			t.Fatalf("query %d: %v != %v", i, d1, d2)
+		}
+	}
+}
+
+func BenchmarkDijkstraGrid(b *testing.B) {
+	g, at := buildGrid(b, 50, 50)
+	e := New(g, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Dijkstra(at(0, 0), at(49, 49), Directed)
+	}
+}
+
+func BenchmarkAStarGrid(b *testing.B) {
+	g, at := buildGrid(b, 50, 50)
+	e := New(g, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.AStar(at(0, 0), at(49, 49), Directed)
+	}
+}

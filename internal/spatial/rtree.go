@@ -1,0 +1,184 @@
+package spatial
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+)
+
+// RTree is a static, STR-packed (Sort-Tile-Recursive) R-tree over road
+// segments. Because road networks in this repository are immutable once
+// built, bulk loading yields near-optimal packing without the
+// complexity of dynamic insertion.
+type RTree struct {
+	g     *roadnet.Graph
+	nodes []rtreeNode
+	root  int
+	leafM int
+}
+
+type rtreeNode struct {
+	bounds   geo.Rect
+	children []int           // internal node: child node indexes
+	items    []roadnet.SegID // leaf node: segment ids
+}
+
+const defaultLeafCapacity = 16
+
+// NewRTree bulk-loads all segments of g into an STR-packed R-tree.
+// leafCapacity <= 0 selects the default of 16 entries per node.
+func NewRTree(g *roadnet.Graph, leafCapacity int) (*RTree, error) {
+	if leafCapacity <= 0 {
+		leafCapacity = defaultLeafCapacity
+	}
+	n := g.NumSegments()
+	if n == 0 {
+		return nil, fmt.Errorf("spatial: cannot build R-tree over empty graph")
+	}
+	t := &RTree{g: g, leafM: leafCapacity}
+
+	type entry struct {
+		sid    roadnet.SegID
+		bounds geo.Rect
+		center geo.Point
+	}
+	entries := make([]entry, n)
+	for i, s := range g.Segments() {
+		gs := g.SegmentGeometry(s.ID)
+		b := geo.RectFromPoints(gs.A, gs.B)
+		entries[i] = entry{sid: s.ID, bounds: b, center: b.Center()}
+	}
+
+	// STR: sort by center x, slice into vertical strips, sort each strip
+	// by center y, pack runs of leafCapacity into leaves.
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].center.X != entries[j].center.X {
+			return entries[i].center.X < entries[j].center.X
+		}
+		return entries[i].sid < entries[j].sid
+	})
+	leavesNeeded := (n + leafCapacity - 1) / leafCapacity
+	stripCount := intSqrtCeil(leavesNeeded)
+	perStrip := stripCount * leafCapacity
+
+	var level []int
+	for start := 0; start < n; start += perStrip {
+		end := start + perStrip
+		if end > n {
+			end = n
+		}
+		strip := entries[start:end]
+		sort.Slice(strip, func(i, j int) bool {
+			if strip[i].center.Y != strip[j].center.Y {
+				return strip[i].center.Y < strip[j].center.Y
+			}
+			return strip[i].sid < strip[j].sid
+		})
+		for ls := 0; ls < len(strip); ls += leafCapacity {
+			le := ls + leafCapacity
+			if le > len(strip) {
+				le = len(strip)
+			}
+			leaf := rtreeNode{bounds: geo.EmptyRect()}
+			for _, e := range strip[ls:le] {
+				leaf.items = append(leaf.items, e.sid)
+				leaf.bounds = leaf.bounds.Union(e.bounds)
+			}
+			level = append(level, len(t.nodes))
+			t.nodes = append(t.nodes, leaf)
+		}
+	}
+
+	// Pack upper levels until a single root remains.
+	for len(level) > 1 {
+		var next []int
+		for start := 0; start < len(level); start += leafCapacity {
+			end := start + leafCapacity
+			if end > len(level) {
+				end = len(level)
+			}
+			node := rtreeNode{bounds: geo.EmptyRect()}
+			for _, child := range level[start:end] {
+				node.children = append(node.children, child)
+				node.bounds = node.bounds.Union(t.nodes[child].bounds)
+			}
+			next = append(next, len(t.nodes))
+			t.nodes = append(t.nodes, node)
+		}
+		level = next
+	}
+	t.root = level[0]
+	return t, nil
+}
+
+func intSqrtCeil(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	s := 1
+	for s*s < n {
+		s++
+	}
+	return s
+}
+
+// Search returns the ids of all segments whose bounding boxes intersect
+// query, in ascending sid order.
+func (t *RTree) Search(query geo.Rect) []roadnet.SegID {
+	var out []roadnet.SegID
+	var walk func(idx int)
+	walk = func(idx int) {
+		node := &t.nodes[idx]
+		if !node.bounds.Intersects(query) {
+			return
+		}
+		if node.items != nil {
+			for _, sid := range node.items {
+				gs := t.g.SegmentGeometry(sid)
+				if geo.RectFromPoints(gs.A, gs.B).Intersects(query) {
+					out = append(out, sid)
+				}
+			}
+			return
+		}
+		for _, c := range node.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SearchPoint returns segments whose snapped distance to p is at most
+// radius, nearest first. It refines the box search with exact
+// point-segment distances.
+func (t *RTree) SearchPoint(p geo.Point, radius float64) []Candidate {
+	query := geo.RectFromPoints(p).Expand(radius)
+	var out []Candidate
+	for _, sid := range t.Search(query) {
+		loc, d := t.g.Locate(sid, p)
+		if d <= radius {
+			out = append(out, Candidate{Loc: loc, Dist: d})
+		}
+	}
+	sortCandidates(out)
+	return out
+}
+
+// Height returns the number of levels in the tree (1 for a single
+// leaf), useful for verifying packing quality in tests.
+func (t *RTree) Height() int {
+	h := 1
+	idx := t.root
+	for t.nodes[idx].items == nil {
+		idx = t.nodes[idx].children[0]
+		h++
+	}
+	return h
+}
+
+// Len returns the number of indexed segments.
+func (t *RTree) Len() int { return t.g.NumSegments() }

@@ -1,0 +1,34 @@
+package stream
+
+import (
+	"testing"
+)
+
+// BenchmarkIngest measures the steady-state per-batch cost of the
+// windowed incremental clusterer — the §III-C online path.
+func BenchmarkIngest(b *testing.B) {
+	g, ds := streamSetup(b)
+	cfg := streamConfig()
+	cfg.Window = 4
+	bs := batches(ds, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c, err := New(g, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Warm the window to steady state.
+		for _, batch := range bs[:4] {
+			if _, err := c.Ingest(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		for _, batch := range bs[4:] {
+			if _, err := c.Ingest(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,133 @@
+// Package stream implements the online clustering mode the paper
+// motivates in §III-C: "the first two phases of NEAT can be performed
+// on each newly arrived set of trajectories. The new flow clusters are
+// then merged with the available flow clusters to produce compact
+// clustering results."
+//
+// A Clusterer ingests trajectory batches as they arrive, runs Phases
+// 1-2 only on the new data, keeps the resulting flow clusters in a
+// sliding window of recent batches, and re-runs the cheap Phase 3
+// merge over the standing flow set to serve the current clustering.
+// Old traffic ages out with the window, so memory stays proportional
+// to the window, not to the stream.
+package stream
+
+import (
+	"fmt"
+
+	"repro/internal/neat"
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+)
+
+// Config parameterizes a Clusterer.
+type Config struct {
+	// Neat carries the clustering parameters for all three phases.
+	Neat neat.Config
+	// Window is the number of most recent batches whose flows are kept;
+	// 0 keeps everything.
+	Window int
+}
+
+// Snapshot is the state of the clustering after an ingestion.
+type Snapshot struct {
+	// Batch is the 0-based index of the ingested batch.
+	Batch int
+	// NewFlows is the number of flows the batch contributed.
+	NewFlows int
+	// EvictedFlows is the number of flows that aged out of the window.
+	EvictedFlows int
+	// StandingFlows is the size of the flow set after ingest/evict.
+	StandingFlows int
+	// Clusters is the current clustering of the standing flows.
+	Clusters []*neat.TrajectoryCluster
+	// RefineStats is the Phase 3 work of this merge.
+	RefineStats neat.RefineStats
+}
+
+// Clusterer maintains NEAT clustering over a trajectory stream. Not
+// safe for concurrent use; callers serialize Ingest.
+type Clusterer struct {
+	g        *roadnet.Graph
+	pipeline *neat.Pipeline
+	cfg      Config
+
+	batch    int
+	standing []flowEntry
+}
+
+type flowEntry struct {
+	flow  *neat.FlowCluster
+	batch int
+}
+
+// New creates a Clusterer over g.
+func New(g *roadnet.Graph, cfg Config) (*Clusterer, error) {
+	if cfg.Window < 0 {
+		return nil, fmt.Errorf("stream: window must be non-negative, got %d", cfg.Window)
+	}
+	if err := cfg.Neat.Flow.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Neat.Refine.Validate(); err != nil {
+		return nil, err
+	}
+	return &Clusterer{
+		g:        g,
+		pipeline: neat.NewPipeline(g),
+		cfg:      cfg,
+	}, nil
+}
+
+// Ingest processes one batch: Phases 1-2 over the batch only, window
+// eviction, then Phase 3 over the standing flow set.
+func (c *Clusterer) Ingest(batch traj.Dataset) (Snapshot, error) {
+	res, err := c.pipeline.Run(batch, c.cfg.Neat, neat.LevelFlow)
+	if err != nil {
+		return Snapshot{}, fmt.Errorf("stream: batch %d: %w", c.batch, err)
+	}
+	snap := Snapshot{Batch: c.batch, NewFlows: len(res.Flows)}
+	for _, f := range res.Flows {
+		c.standing = append(c.standing, flowEntry{flow: f, batch: c.batch})
+	}
+	// Evict flows older than the window.
+	if c.cfg.Window > 0 {
+		cutoff := c.batch - c.cfg.Window + 1
+		kept := c.standing[:0]
+		for _, e := range c.standing {
+			if e.batch >= cutoff {
+				kept = append(kept, e)
+			} else {
+				snap.EvictedFlows++
+			}
+		}
+		c.standing = kept
+	}
+	c.batch++
+	snap.StandingFlows = len(c.standing)
+
+	flows := make([]*neat.FlowCluster, len(c.standing))
+	for i, e := range c.standing {
+		flows[i] = e.flow
+	}
+	clusters, stats, err := neat.RefineFlows(c.g, flows, c.cfg.Neat.Refine)
+	if err != nil {
+		return Snapshot{}, fmt.Errorf("stream: merge after batch %d: %w", snap.Batch, err)
+	}
+	snap.Clusters = clusters
+	snap.RefineStats = stats
+	return snap, nil
+}
+
+// StandingFlows returns the current flow set (most recent last);
+// callers must not modify the flows.
+func (c *Clusterer) StandingFlows() []*neat.FlowCluster {
+	out := make([]*neat.FlowCluster, len(c.standing))
+	for i, e := range c.standing {
+		out[i] = e.flow
+	}
+	return out
+}
+
+// Batches returns how many batches have been ingested.
+func (c *Clusterer) Batches() int { return c.batch }

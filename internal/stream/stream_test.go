@@ -1,0 +1,173 @@
+package stream
+
+import (
+	"testing"
+
+	"repro/internal/mapgen"
+	"repro/internal/mobisim"
+	"repro/internal/neat"
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+)
+
+func streamSetup(t testing.TB) (*roadnet.Graph, traj.Dataset) {
+	t.Helper()
+	g, err := mapgen.Generate(mapgen.Config{
+		Name: "st", TargetJunctions: 300, TargetSegments: 420,
+		AvgSegLenM: 150, MaxDegree: 6, Seed: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, _, err := mobisim.New(g).Simulate(mobisim.DefaultConfig("st", 90, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, ds
+}
+
+func streamConfig() Config {
+	return Config{
+		Neat: neat.Config{
+			Flow:   neat.FlowConfig{Weights: neat.WeightsFlowOnly, MinCard: 3},
+			Refine: neat.RefineConfig{Epsilon: 1500, UseELB: true, Bounded: true},
+		},
+	}
+}
+
+func batches(ds traj.Dataset, n int) []traj.Dataset {
+	per := len(ds.Trajectories) / n
+	var out []traj.Dataset
+	for i := 0; i < n; i++ {
+		lo, hi := i*per, (i+1)*per
+		if i == n-1 {
+			hi = len(ds.Trajectories)
+		}
+		out = append(out, traj.Dataset{Trajectories: ds.Trajectories[lo:hi]})
+	}
+	return out
+}
+
+func TestIngestAccumulates(t *testing.T) {
+	g, ds := streamSetup(t)
+	c, err := New(g, streamConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last Snapshot
+	for i, b := range batches(ds, 3) {
+		snap, err := c.Ingest(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.Batch != i {
+			t.Errorf("batch index = %d, want %d", snap.Batch, i)
+		}
+		if snap.EvictedFlows != 0 {
+			t.Errorf("unbounded window evicted %d flows", snap.EvictedFlows)
+		}
+		if snap.StandingFlows < last.StandingFlows {
+			t.Errorf("standing flows shrank without eviction: %d -> %d",
+				last.StandingFlows, snap.StandingFlows)
+		}
+		// Snapshot clusters partition the standing flows.
+		count := 0
+		for _, cl := range snap.Clusters {
+			count += len(cl.Flows)
+		}
+		if count != snap.StandingFlows {
+			t.Errorf("clusters hold %d flows, standing %d", count, snap.StandingFlows)
+		}
+		last = snap
+	}
+	if c.Batches() != 3 {
+		t.Errorf("Batches = %d", c.Batches())
+	}
+	if got := len(c.StandingFlows()); got != last.StandingFlows {
+		t.Errorf("StandingFlows() = %d, snapshot said %d", got, last.StandingFlows)
+	}
+}
+
+func TestWindowEviction(t *testing.T) {
+	g, ds := streamSetup(t)
+	cfg := streamConfig()
+	cfg.Window = 2
+	c, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := batches(ds, 5)
+	var flowsPerBatch []int
+	for _, b := range bs {
+		snap, err := c.Ingest(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flowsPerBatch = append(flowsPerBatch, snap.NewFlows)
+		// The window holds at most the last 2 batches' flows.
+		maxStanding := snap.NewFlows
+		if n := len(flowsPerBatch); n >= 2 {
+			maxStanding += flowsPerBatch[n-2]
+		}
+		if snap.StandingFlows > maxStanding {
+			t.Errorf("standing %d exceeds window capacity %d", snap.StandingFlows, maxStanding)
+		}
+	}
+	// After 5 batches with window 2, evictions must have happened
+	// (every batch contributes at least one flow on this workload).
+	if len(c.StandingFlows()) >= sum(flowsPerBatch) {
+		t.Error("no flows were evicted")
+	}
+}
+
+func sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	g, _ := streamSetup(t)
+	bad := streamConfig()
+	bad.Window = -1
+	if _, err := New(g, bad); err == nil {
+		t.Error("negative window accepted")
+	}
+	bad = streamConfig()
+	bad.Neat.Refine.Epsilon = 0
+	if _, err := New(g, bad); err == nil {
+		t.Error("zero epsilon accepted")
+	}
+	bad = streamConfig()
+	bad.Neat.Flow.Beta = 0.1
+	if _, err := New(g, bad); err == nil {
+		t.Error("bad beta accepted")
+	}
+}
+
+func TestStreamDeterministic(t *testing.T) {
+	g, ds := streamSetup(t)
+	run := func() []int {
+		c, err := New(g, streamConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var counts []int
+		for _, b := range batches(ds, 4) {
+			snap, err := c.Ingest(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts = append(counts, snap.StandingFlows, len(snap.Clusters))
+		}
+		return counts
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("stream not deterministic at step %d: %v vs %v", i, a, b)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package toptics
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/traj"
+)
+
+// TestOrderIsPermutation checks structural invariants of the OPTICS
+// output on random datasets: the cluster order visits every trajectory
+// exactly once, labels stay in range, and noise counting is exact.
+func TestOrderIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 20; trial++ {
+		var ds traj.Dataset
+		n := 5 + rng.Intn(25)
+		for i := 0; i < n; i++ {
+			tr := traj.Trajectory{ID: traj.ID(i)}
+			x := rng.Float64() * 2000
+			y := rng.Float64() * 2000
+			for k := 0; k <= 5; k++ {
+				tr.Points = append(tr.Points,
+					traj.Sample(0, geo.Pt(x+float64(k)*50, y), float64(k)*10))
+			}
+			ds.Trajectories = append(ds.Trajectories, tr)
+		}
+		res, err := Run(ds, Config{Epsilon: 300, MinPts: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Order) != n || len(res.Reachability) != n {
+			t.Fatalf("trial %d: order/reachability length %d/%d, want %d",
+				trial, len(res.Order), len(res.Reachability), n)
+		}
+		seen := make([]bool, n)
+		for _, idx := range res.Order {
+			if idx < 0 || idx >= n || seen[idx] {
+				t.Fatalf("trial %d: order is not a permutation", trial)
+			}
+			seen[idx] = true
+		}
+		noise := 0
+		for _, l := range res.Labels {
+			if l < -1 || l >= res.NumClusters {
+				t.Fatalf("trial %d: label %d out of range [-1,%d)", trial, l, res.NumClusters)
+			}
+			if l == -1 {
+				noise++
+			}
+		}
+		if noise != res.Noise {
+			t.Fatalf("trial %d: noise count %d, labels say %d", trial, res.Noise, noise)
+		}
+		// Every numbered cluster is non-empty and has >= 2 members
+		// (singletons are demoted to noise).
+		sizes := make([]int, res.NumClusters)
+		for _, l := range res.Labels {
+			if l >= 0 {
+				sizes[l]++
+			}
+		}
+		for c, s := range sizes {
+			if s < 2 {
+				t.Fatalf("trial %d: cluster %d has %d members", trial, c, s)
+			}
+		}
+	}
+}

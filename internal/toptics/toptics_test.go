@@ -1,0 +1,204 @@
+package toptics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/traj"
+)
+
+// straightTraj builds a trajectory moving right along y=offset from
+// t=0 to t=100 with 11 samples.
+func straightTraj(id traj.ID, offset float64) traj.Trajectory {
+	tr := traj.Trajectory{ID: id}
+	for i := 0; i <= 10; i++ {
+		t := float64(i) * 10
+		tr.Points = append(tr.Points, traj.Sample(0, geo.Pt(t*10, offset), t))
+	}
+	return tr
+}
+
+func TestDistanceParallel(t *testing.T) {
+	a := straightTraj(1, 0)
+	b := straightTraj(2, 30)
+	// Perfectly synchronized parallel movement: constant 30 m apart.
+	if d := Distance(a, b, 0.5); math.Abs(d-30) > 1e-9 {
+		t.Errorf("distance = %v, want 30", d)
+	}
+	// Symmetry.
+	if Distance(a, b, 0.5) != Distance(b, a, 0.5) {
+		t.Error("distance not symmetric")
+	}
+	// Identity.
+	if d := Distance(a, a, 0.5); d != 0 {
+		t.Errorf("self distance = %v", d)
+	}
+}
+
+func TestDistanceNoOverlap(t *testing.T) {
+	a := straightTraj(1, 0)
+	b := straightTraj(2, 0)
+	for i := range b.Points {
+		b.Points[i].Time += 1000 // disjoint time spans
+	}
+	if d := Distance(a, b, 0.5); !math.IsInf(d, 1) {
+		t.Errorf("disjoint-time distance = %v, want +Inf", d)
+	}
+	// Tiny overlap below the threshold is also +Inf.
+	c := straightTraj(3, 0)
+	for i := range c.Points {
+		c.Points[i].Time += 95 // 5 of 100 seconds overlap
+	}
+	if d := Distance(a, c, 0.5); !math.IsInf(d, 1) {
+		t.Errorf("5%% overlap distance = %v, want +Inf", d)
+	}
+	if d := Distance(a, c, 0.01); math.IsInf(d, 1) {
+		t.Error("low threshold should allow small overlaps")
+	}
+}
+
+func TestDistanceEmpty(t *testing.T) {
+	a := straightTraj(1, 0)
+	if d := Distance(a, traj.Trajectory{}, 0.5); !math.IsInf(d, 1) {
+		t.Errorf("empty distance = %v", d)
+	}
+}
+
+func TestPositionAtInterpolation(t *testing.T) {
+	tr := traj.Trajectory{ID: 1, Points: []traj.Location{
+		traj.Sample(0, geo.Pt(0, 0), 0),
+		traj.Sample(0, geo.Pt(100, 0), 10),
+	}}
+	if p := positionAt(tr, 5); p != geo.Pt(50, 0) {
+		t.Errorf("positionAt(5) = %v", p)
+	}
+	if p := positionAt(tr, -3); p != geo.Pt(0, 0) {
+		t.Errorf("positionAt(-3) = %v (clamp)", p)
+	}
+	if p := positionAt(tr, 99); p != geo.Pt(100, 0) {
+		t.Errorf("positionAt(99) = %v (clamp)", p)
+	}
+}
+
+func TestRunTwoBundles(t *testing.T) {
+	var ds traj.Dataset
+	// Bundle A: 5 trajectories within 20 m of each other.
+	for i := 0; i < 5; i++ {
+		ds.Trajectories = append(ds.Trajectories, straightTraj(traj.ID(i), float64(i)*5))
+	}
+	// Bundle B: 5 trajectories 10 km away.
+	for i := 5; i < 10; i++ {
+		ds.Trajectories = append(ds.Trajectories, straightTraj(traj.ID(i), 10000+float64(i)*5))
+	}
+	res, err := Run(ds, Config{Epsilon: 100, MinPts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != 2 {
+		t.Fatalf("clusters = %d, want 2", res.NumClusters)
+	}
+	if res.Noise != 0 {
+		t.Errorf("noise = %d", res.Noise)
+	}
+	// Members of each bundle share a label.
+	for i := 1; i < 5; i++ {
+		if res.Labels[i] != res.Labels[0] {
+			t.Errorf("bundle A split: labels %v", res.Labels)
+		}
+	}
+	for i := 6; i < 10; i++ {
+		if res.Labels[i] != res.Labels[5] {
+			t.Errorf("bundle B split: labels %v", res.Labels)
+		}
+	}
+	if res.Labels[0] == res.Labels[5] {
+		t.Error("bundles merged")
+	}
+	if len(res.Order) != 10 || len(res.Reachability) != 10 {
+		t.Errorf("order/reachability sizes: %d/%d", len(res.Order), len(res.Reachability))
+	}
+	if res.Elapsed <= 0 || res.DistanceCalls == 0 {
+		t.Error("bookkeeping not recorded")
+	}
+}
+
+func TestRunNoiseIsolation(t *testing.T) {
+	var ds traj.Dataset
+	for i := 0; i < 4; i++ {
+		ds.Trajectories = append(ds.Trajectories, straightTraj(traj.ID(i), float64(i)*5))
+	}
+	ds.Trajectories = append(ds.Trajectories, straightTraj(99, 50000)) // loner
+	res, err := Run(ds, Config{Epsilon: 100, MinPts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != 1 {
+		t.Fatalf("clusters = %d", res.NumClusters)
+	}
+	if res.Noise != 1 || res.Labels[4] != -1 {
+		t.Errorf("noise = %d labels = %v", res.Noise, res.Labels)
+	}
+}
+
+// TestWholeTrajectoryLimitation encodes the NEAT paper's critique:
+// trajectories sharing a long sub-route but diverging afterwards do
+// not group under whole-trajectory clustering.
+func TestWholeTrajectoryLimitation(t *testing.T) {
+	var ds traj.Dataset
+	// Three pairs share the first half (y=0..50m apart) and then fan
+	// out to very different endpoints.
+	for i := 0; i < 6; i++ {
+		tr := traj.Trajectory{ID: traj.ID(i)}
+		for k := 0; k <= 5; k++ {
+			tt := float64(k) * 10
+			tr.Points = append(tr.Points, traj.Sample(0, geo.Pt(tt*10, float64(i)), tt))
+		}
+		// Second half: diverge by object index, 3 km apart each.
+		for k := 6; k <= 10; k++ {
+			tt := float64(k) * 10
+			tr.Points = append(tr.Points, traj.Sample(0, geo.Pt(tt*10, float64(i)*3000), tt))
+		}
+		ds.Trajectories = append(ds.Trajectories, tr)
+	}
+	res, err := Run(ds, Config{Epsilon: 100, MinPts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The shared prefix is invisible: average distance over the full
+	// span is dominated by the divergence, so no meaningful cluster of
+	// all six forms.
+	all := res.Labels[0]
+	same := 0
+	for _, l := range res.Labels {
+		if l == all && l != -1 {
+			same++
+		}
+	}
+	if same == 6 {
+		t.Error("whole-trajectory clustering grouped diverging trajectories; expected the known limitation")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	ds := traj.Dataset{Trajectories: []traj.Trajectory{straightTraj(1, 0)}}
+	if _, err := Run(ds, Config{Epsilon: 0, MinPts: 1}); err == nil {
+		t.Error("ε=0 accepted")
+	}
+	if _, err := Run(ds, Config{Epsilon: 1, MinPts: 0}); err == nil {
+		t.Error("MinPts=0 accepted")
+	}
+	if _, err := Run(ds, Config{Epsilon: 1, MinPts: 1, MinOverlap: 2}); err == nil {
+		t.Error("MinOverlap>1 accepted")
+	}
+}
+
+func TestRunEmptyDataset(t *testing.T) {
+	res, err := Run(traj.Dataset{}, Config{Epsilon: 10, MinPts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != 0 || len(res.Order) != 0 {
+		t.Errorf("empty dataset result: %+v", res)
+	}
+}

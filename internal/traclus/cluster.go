@@ -1,0 +1,283 @@
+package traclus
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/dbscan"
+	"repro/internal/geo"
+	"repro/internal/traj"
+)
+
+// Config parameterizes a TraClus run. The NEAT paper tunes ε from 1 m
+// to 50 m with matching MinLns by visual inspection; its Fig 4 settings
+// are (ε=10, MinLns=30) and (ε=1, MinLns=1).
+type Config struct {
+	// Epsilon is the distance threshold between line segments, meters.
+	Epsilon float64
+	// MinLns is DBSCAN's minimum neighborhood size; clusters whose
+	// participating-trajectory count falls below it are discarded.
+	MinLns int
+	// Weights for the three distance components; zero value selects
+	// (1, 1, 1).
+	Weights DistWeights
+	// Gamma is the sweep step of representative trajectory generation;
+	// zero selects Epsilon.
+	Gamma float64
+	// UseIndex accelerates the grouping phase's ε-neighborhood scans
+	// with a spatial grid over segment midpoints (an extension beyond
+	// the TraClus paper; pruning is provably sound, results are
+	// identical). It steelmans the baseline for the Fig 5 comparison.
+	UseIndex bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Weights == (DistWeights{}) {
+		c.Weights = DefaultDistWeights()
+	}
+	if c.Gamma <= 0 {
+		c.Gamma = c.Epsilon
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Epsilon <= 0 {
+		return fmt.Errorf("traclus: ε must be positive, got %g", c.Epsilon)
+	}
+	if c.MinLns < 1 {
+		return fmt.Errorf("traclus: MinLns must be at least 1, got %d", c.MinLns)
+	}
+	return nil
+}
+
+// Cluster is one density-connected group of line segments.
+type Cluster struct {
+	Segments []LineSegment
+	// Representative is the cluster's representative trajectory,
+	// computed by the average-direction sweep.
+	Representative geo.Polyline
+	// TrajCount is the number of distinct trajectories contributing
+	// segments.
+	TrajCount int
+}
+
+// RepresentativeLength returns the length of the representative
+// trajectory in meters (Fig 5a/5b compare these against NEAT's
+// representative routes).
+func (c *Cluster) RepresentativeLength() float64 { return c.Representative.Length() }
+
+// Timing records per-phase wall-clock durations of a TraClus run.
+type Timing struct {
+	Partition time.Duration
+	Group     time.Duration
+}
+
+// Total returns the summed duration.
+func (t Timing) Total() time.Duration { return t.Partition + t.Group }
+
+// Result is the output of a TraClus run.
+type Result struct {
+	// NumSegments is the number of line segments after partitioning.
+	NumSegments int
+	Clusters    []*Cluster
+	// NoiseSegments counts segments classified as noise.
+	NoiseSegments int
+	// DiscardedClusters counts density-connected sets dropped by the
+	// trajectory-cardinality check.
+	DiscardedClusters int
+	Timing            Timing
+	// DistanceCalls counts segment-to-segment distance evaluations, the
+	// cost the paper attributes TraClus' slowness to ("depends heavily
+	// on the distance measurements among every pairs").
+	DistanceCalls int64
+}
+
+// Run executes the full TraClus pipeline on the dataset.
+func Run(ds traj.Dataset, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	res := &Result{}
+
+	start := time.Now()
+	segs := PartitionDataset(ds)
+	res.NumSegments = len(segs)
+	res.Timing.Partition = time.Since(start)
+
+	start = time.Now()
+	if err := groupSegments(segs, cfg, res); err != nil {
+		return nil, err
+	}
+	res.Timing.Group = time.Since(start)
+	return res, nil
+}
+
+// RunOnSegments executes only the grouping phase on pre-partitioned
+// segments (used by the §IV.C variant and by tests).
+func RunOnSegments(segs []LineSegment, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	res := &Result{NumSegments: len(segs)}
+	start := time.Now()
+	if err := groupSegments(segs, cfg, res); err != nil {
+		return nil, err
+	}
+	res.Timing.Group = time.Since(start)
+	return res, nil
+}
+
+// sortInts is a small insertion sort: neighbor lists are short and
+// nearly sorted (grid cells are visited in row order).
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func groupSegments(segs []LineSegment, cfg Config, res *Result) error {
+	n := len(segs)
+	// The ε-neighborhood oracle is the O(n²) scan the TraClus grouping
+	// phase performs (optionally pruned by the midpoint grid); neighbor
+	// lists are cached so DBSCAN's repeated queries do not double-count
+	// work.
+	var idx *segIndex
+	if cfg.UseIndex && n > 0 {
+		idx = newSegIndex(segs, cfg.Epsilon)
+	}
+	cache := make([][]int, n)
+	neighbors := func(i int) []int {
+		if cache[i] != nil {
+			return cache[i]
+		}
+		out := []int{}
+		if idx != nil {
+			for _, j := range idx.candidates(i, cfg.Epsilon) {
+				res.DistanceCalls++
+				if Distance(segs[i], segs[j], cfg.Weights) <= cfg.Epsilon {
+					out = append(out, j)
+				}
+			}
+			// The grid returns candidates cell by cell; DBSCAN's
+			// determinism wants sorted neighbor lists.
+			sortInts(out)
+		} else {
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				res.DistanceCalls++
+				if Distance(segs[i], segs[j], cfg.Weights) <= cfg.Epsilon {
+					out = append(out, j)
+				}
+			}
+		}
+		cache[i] = out
+		return out
+	}
+	clustering, err := dbscan.Cluster(n, nil, cfg.MinLns, neighbors)
+	if err != nil {
+		return fmt.Errorf("traclus: grouping: %w", err)
+	}
+	res.NoiseSegments = clustering.NoiseCount
+
+	groups := make([][]LineSegment, clustering.NumClusters)
+	for i, label := range clustering.Labels {
+		if label == dbscan.Noise {
+			continue
+		}
+		groups[label] = append(groups[label], segs[i])
+	}
+	for _, group := range groups {
+		trajs := make(map[traj.ID]struct{})
+		for _, s := range group {
+			trajs[s.Traj] = struct{}{}
+		}
+		// Cardinality check: a cluster must draw from at least MinLns
+		// distinct trajectories.
+		if len(trajs) < cfg.MinLns {
+			res.DiscardedClusters++
+			continue
+		}
+		res.Clusters = append(res.Clusters, &Cluster{
+			Segments:       group,
+			Representative: representative(group, cfg),
+			TrajCount:      len(trajs),
+		})
+	}
+	return nil
+}
+
+// representative computes the representative trajectory of a cluster:
+// rotate to the cluster's average direction, sweep the segments along
+// that axis, and emit the mean crossing point wherever at least MinLns
+// segments overlap and the sweep has advanced by at least γ.
+func representative(group []LineSegment, cfg Config) geo.Polyline {
+	// Average direction vector; flip segments pointing against it so
+	// antiparallel traffic does not cancel out.
+	var dir geo.Point
+	for _, s := range group {
+		v := s.B.Sub(s.A)
+		if v.Dot(dir) < 0 {
+			v = v.Scale(-1)
+		}
+		dir = dir.Add(v)
+	}
+	if dir.Norm() == 0 {
+		dir = geo.Pt(1, 0)
+	}
+	dir = dir.Scale(1 / dir.Norm())
+	// Rotation to axis coordinates: x' along dir, y' perpendicular.
+	toAxis := func(p geo.Point) geo.Point {
+		return geo.Pt(p.X*dir.X+p.Y*dir.Y, -p.X*dir.Y+p.Y*dir.X)
+	}
+	fromAxis := func(p geo.Point) geo.Point {
+		return geo.Pt(p.X*dir.X-p.Y*dir.Y, p.X*dir.Y+p.Y*dir.X)
+	}
+	type axisSeg struct{ x1, y1, x2, y2 float64 }
+	axis := make([]axisSeg, len(group))
+	var xs []float64
+	for i, s := range group {
+		a, b := toAxis(s.A), toAxis(s.B)
+		if a.X > b.X {
+			a, b = b, a
+		}
+		axis[i] = axisSeg{a.X, a.Y, b.X, b.Y}
+		xs = append(xs, a.X, b.X)
+	}
+	sort.Float64s(xs)
+
+	var rep geo.Polyline
+	lastX := math.Inf(-1)
+	for _, x := range xs {
+		if x-lastX < cfg.Gamma && len(rep) > 0 {
+			continue
+		}
+		var sum float64
+		count := 0
+		for _, s := range axis {
+			if s.x1 <= x && x <= s.x2 {
+				if s.x2 == s.x1 {
+					sum += (s.y1 + s.y2) / 2
+				} else {
+					t := (x - s.x1) / (s.x2 - s.x1)
+					sum += s.y1 + t*(s.y2-s.y1)
+				}
+				count++
+			}
+		}
+		if count >= cfg.MinLns {
+			rep = append(rep, fromAxis(geo.Pt(x, sum/float64(count))))
+			lastX = x
+		}
+	}
+	return rep
+}

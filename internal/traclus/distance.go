@@ -1,0 +1,100 @@
+package traclus
+
+import (
+	"math"
+
+	"repro/internal/geo"
+)
+
+// DistWeights are the coefficients of TraClus' three distance
+// components. The TraClus paper uses (1, 1, 1) by default.
+type DistWeights struct {
+	Perpendicular float64
+	Parallel      float64
+	Angular       float64
+}
+
+// DefaultDistWeights returns the canonical (1, 1, 1) weighting.
+func DefaultDistWeights() DistWeights {
+	return DistWeights{Perpendicular: 1, Parallel: 1, Angular: 1}
+}
+
+// componentDistances computes the three TraClus distance components
+// between a longer segment li and a shorter segment lj (the caller
+// must order them; see Distance). It returns the perpendicular,
+// parallel, and angular distances.
+func componentDistances(li, lj geo.Segment) (perp, par, ang float64) {
+	// Project lj's endpoints onto the (infinite) line through li.
+	dir := li.B.Sub(li.A)
+	lenSq := dir.Dot(dir)
+	if lenSq == 0 {
+		// Degenerate li: fall back to point distances.
+		d1 := li.A.Dist(lj.A)
+		d2 := li.A.Dist(lj.B)
+		return (d1 + d2) / 2, 0, 0
+	}
+	u1 := lj.A.Sub(li.A).Dot(dir) / lenSq
+	u2 := lj.B.Sub(li.A).Dot(dir) / lenSq
+	p1 := li.A.Add(dir.Scale(u1)) // unclamped projections
+	p2 := li.A.Add(dir.Scale(u2))
+
+	// Perpendicular: Lehmer-mean of the two point-to-line distances.
+	lp1 := lj.A.Dist(p1)
+	lp2 := lj.B.Dist(p2)
+	if lp1+lp2 > 0 {
+		perp = (lp1*lp1 + lp2*lp2) / (lp1 + lp2)
+	}
+
+	// Parallel: distance from the nearer projection to the closer
+	// endpoint of li, measured outside the segment (0 when the
+	// projection falls inside).
+	liLen := math.Sqrt(lenSq)
+	par = math.Min(parallelOverhang(u1, liLen), parallelOverhang(u2, liLen))
+
+	// Angular: |lj| * sin(theta) for theta in [0, 90°], |lj| beyond.
+	theta := math.Acos(clampUnit(lj.B.Sub(lj.A).Dot(dir) / (lj.Length() * liLen)))
+	if lj.Length() == 0 {
+		ang = 0
+	} else if theta <= math.Pi/2 {
+		ang = lj.Length() * math.Sin(theta)
+	} else {
+		ang = lj.Length()
+	}
+	return perp, par, ang
+}
+
+// parallelOverhang returns how far outside [0, 1] the projection
+// parameter u falls, scaled to segment length.
+func parallelOverhang(u, segLen float64) float64 {
+	switch {
+	case u < 0:
+		return -u * segLen
+	case u > 1:
+		return (u - 1) * segLen
+	default:
+		return 0
+	}
+}
+
+func clampUnit(x float64) float64 {
+	if x < -1 {
+		return -1
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// Distance computes the TraClus similarity between two line segments:
+// the weighted sum of the perpendicular, parallel, and angular
+// components, with the longer segment taken as the reference (the
+// distance is made symmetric by that convention).
+func Distance(a, b LineSegment, w DistWeights) float64 {
+	sa, sb := geo.Seg(a.A, a.B), geo.Seg(b.A, b.B)
+	if sa.Length() < sb.Length() {
+		sa, sb = sb, sa
+	}
+	perp, par, ang := componentDistances(sa, sb)
+	return w.Perpendicular*perp + w.Parallel*par + w.Angular*ang
+}

@@ -1,0 +1,112 @@
+package traclus
+
+import (
+	"math"
+
+	"repro/internal/geo"
+)
+
+// segIndex is a uniform grid over line-segment midpoints that narrows
+// the O(n²) ε-neighborhood scan of the grouping phase. It exists to
+// steelman the baseline: the NEAT paper attributes TraClus' slowness
+// to its all-pairs distance computations, and the indexed variant
+// shows the gap survives even when those are pruned spatially.
+//
+// Soundness of the pruning: every component of the TraClus distance is
+// non-negative, and for two segments whose closest points are D apart,
+// the perpendicular + parallel components sum to at least D/√2 (the
+// lateral and longitudinal gaps cannot both be less than D/√2).
+// Therefore Distance(a, b) <= ε implies the closest points are within
+// √2·ε, and the midpoints within √2·ε + (|a|+|b|)/2. Scanning that
+// radius around a midpoint cannot miss a true neighbor.
+type segIndex struct {
+	segs     []LineSegment
+	cellSize float64
+	origin   geo.Point
+	nx, ny   int
+	cells    [][]int
+	maxLen   float64
+}
+
+func newSegIndex(segs []LineSegment, eps float64) *segIndex {
+	bounds := geo.EmptyRect()
+	maxLen := 0.0
+	for _, s := range segs {
+		bounds = bounds.Extend(s.A).Extend(s.B)
+		if l := s.Length(); l > maxLen {
+			maxLen = l
+		}
+	}
+	// Cell size on the order of the search radius keeps the scanned
+	// ring small.
+	cell := math.Sqrt2*eps + maxLen/2
+	if cell <= 0 {
+		cell = 1
+	}
+	bounds = bounds.Expand(cell)
+	idx := &segIndex{
+		segs:     segs,
+		cellSize: cell,
+		origin:   bounds.Min,
+		nx:       int(math.Ceil(bounds.Width()/cell)) + 1,
+		ny:       int(math.Ceil(bounds.Height()/cell)) + 1,
+		maxLen:   maxLen,
+	}
+	idx.cells = make([][]int, idx.nx*idx.ny)
+	for i, s := range segs {
+		c := idx.cellOf(geo.Seg(s.A, s.B).Midpoint())
+		idx.cells[c] = append(idx.cells[c], i)
+	}
+	return idx
+}
+
+func (idx *segIndex) cellOf(p geo.Point) int {
+	cx := clampIdx(int((p.X-idx.origin.X)/idx.cellSize), idx.nx)
+	cy := clampIdx(int((p.Y-idx.origin.Y)/idx.cellSize), idx.ny)
+	return cy*idx.nx + cx
+}
+
+func clampIdx(v, n int) int {
+	if v < 0 {
+		return 0
+	}
+	if v >= n {
+		return n - 1
+	}
+	return v
+}
+
+// candidates returns the indices (excluding i) whose midpoints lie
+// within the sound pruning radius of segment i's midpoint.
+func (idx *segIndex) candidates(i int, eps float64) []int {
+	si := idx.segs[i]
+	mid := geo.Seg(si.A, si.B).Midpoint()
+	radius := math.Sqrt2*eps + (si.Length()+idx.maxLen)/2
+	rings := int(math.Ceil(radius/idx.cellSize)) + 1
+	cx := clampIdx(int((mid.X-idx.origin.X)/idx.cellSize), idx.nx)
+	cy := clampIdx(int((mid.Y-idx.origin.Y)/idx.cellSize), idx.ny)
+	var out []int
+	for dy := -rings; dy <= rings; dy++ {
+		y := cy + dy
+		if y < 0 || y >= idx.ny {
+			continue
+		}
+		for dx := -rings; dx <= rings; dx++ {
+			x := cx + dx
+			if x < 0 || x >= idx.nx {
+				continue
+			}
+			for _, j := range idx.cells[y*idx.nx+x] {
+				if j == i {
+					continue
+				}
+				sj := idx.segs[j]
+				bound := math.Sqrt2*eps + (si.Length()+sj.Length())/2
+				if mid.Dist(geo.Seg(sj.A, sj.B).Midpoint()) <= bound {
+					out = append(out, j)
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package traclus
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/traj"
+)
+
+// randomSegments generates a clumpy random segment set.
+func randomSegments(rng *rand.Rand, n int) []LineSegment {
+	segs := make([]LineSegment, n)
+	for i := range segs {
+		// Clusters of segments around a few centers plus noise.
+		cx := float64(rng.Intn(4)) * 500
+		cy := float64(rng.Intn(4)) * 500
+		a := geo.Pt(cx+rng.Float64()*60, cy+rng.Float64()*60)
+		b := a.Add(geo.Pt(rng.Float64()*80-40, rng.Float64()*80-40))
+		if a.Equal(b) {
+			b = a.Add(geo.Pt(1, 1))
+		}
+		segs[i] = LineSegment{Traj: traj.ID(i % 10), A: a, B: b}
+	}
+	return segs
+}
+
+// TestIndexCandidatesSound verifies the pruning bound: every true
+// ε-neighbor must appear in the candidate set.
+func TestIndexCandidatesSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	w := DefaultDistWeights()
+	for trial := 0; trial < 20; trial++ {
+		segs := randomSegments(rng, 80)
+		eps := 5 + rng.Float64()*40
+		idx := newSegIndex(segs, eps)
+		for i := range segs {
+			cands := map[int]bool{}
+			for _, j := range idx.candidates(i, eps) {
+				cands[j] = true
+			}
+			for j := range segs {
+				if j == i {
+					continue
+				}
+				if Distance(segs[i], segs[j], w) <= eps && !cands[j] {
+					t.Fatalf("trial %d ε=%.1f: true neighbor %d of %d missed by index", trial, eps, j, i)
+				}
+			}
+		}
+	}
+}
+
+// TestIndexedGroupingMatchesBruteForce requires identical clustering
+// with and without the index.
+func TestIndexedGroupingMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 10; trial++ {
+		segs := randomSegments(rng, 120)
+		cfg := Config{Epsilon: 25, MinLns: 3}
+		brute, err := RunOnSegments(segs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.UseIndex = true
+		indexed, err := RunOnSegments(segs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(brute.Clusters) != len(indexed.Clusters) {
+			t.Fatalf("trial %d: %d clusters brute, %d indexed", trial, len(brute.Clusters), len(indexed.Clusters))
+		}
+		if brute.NoiseSegments != indexed.NoiseSegments {
+			t.Fatalf("trial %d: noise %d vs %d", trial, brute.NoiseSegments, indexed.NoiseSegments)
+		}
+		for c := range brute.Clusters {
+			if len(brute.Clusters[c].Segments) != len(indexed.Clusters[c].Segments) {
+				t.Fatalf("trial %d cluster %d: sizes differ", trial, c)
+			}
+		}
+		if indexed.DistanceCalls > brute.DistanceCalls {
+			t.Errorf("trial %d: index did not reduce distance calls (%d vs %d)",
+				trial, indexed.DistanceCalls, brute.DistanceCalls)
+		}
+	}
+}
+
+func BenchmarkGroupingIndexVsBrute(b *testing.B) {
+	rng := rand.New(rand.NewSource(47))
+	segs := randomSegments(rng, 1500)
+	for _, mode := range []struct {
+		name string
+		use  bool
+	}{{"brute", false}, {"indexed", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := Config{Epsilon: 25, MinLns: 3, UseIndex: mode.use}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := RunOnSegments(segs, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,125 @@
+// Package traclus reimplements the TraClus partition-and-group
+// trajectory clustering framework (Lee, Han, Whang — SIGMOD'07), the
+// density-based baseline the NEAT paper compares against in §IV. It
+// also implements the paper's §IV.C hybrid variant: TraClus' grouping
+// phase applied to NEAT base clusters under the network-aware modified
+// Hausdorff distance.
+//
+// TraClus has two phases. The partitioning phase detects characteristic
+// points — where a moving object changes direction rapidly — with an
+// approximate Minimum Description Length (MDL) criterion and cuts each
+// trajectory into line segments there. The grouping phase runs a
+// DBSCAN-style clustering over those line segments with a three-
+// component Euclidean distance (perpendicular + parallel + angular) and
+// derives a representative trajectory per cluster with a sweep along
+// the cluster's average direction.
+package traclus
+
+import (
+	"math"
+
+	"repro/internal/geo"
+	"repro/internal/traj"
+)
+
+// LineSegment is the clustering unit of TraClus: one directed segment
+// of a partitioned trajectory.
+type LineSegment struct {
+	Traj traj.ID
+	A, B geo.Point
+}
+
+// Length returns the Euclidean length of the segment.
+func (l LineSegment) Length() float64 { return l.A.Dist(l.B) }
+
+// log2c is log2 clamped below at 0 (i.e. log2(max(x,1))), the standard
+// guard in MDL cost computation where distances can be arbitrarily
+// small or zero.
+func log2c(x float64) float64 {
+	if x <= 1 {
+		return 0
+	}
+	return math.Log2(x)
+}
+
+// mdlPar is L(H) + L(D|H) when trajectory points i..j are replaced by
+// the single segment p_i p_j: the hypothesis cost is the log length of
+// the shortcut, and the data cost encodes how far the original segments
+// deviate from it (perpendicular and angular distances).
+func mdlPar(points []geo.Point, i, j int) float64 {
+	shortcut := geo.Seg(points[i], points[j])
+	cost := log2c(shortcut.Length())
+	for k := i; k < j; k++ {
+		step := geo.Seg(points[k], points[k+1])
+		perp, _, ang := componentDistances(shortcut, step)
+		cost += log2c(perp) + log2c(ang)
+	}
+	return cost
+}
+
+// mdlNoPar is the cost of keeping points i..j verbatim: the summed log
+// lengths of the original steps (L(D|H) is zero by definition).
+func mdlNoPar(points []geo.Point, i, j int) float64 {
+	var cost float64
+	for k := i; k < j; k++ {
+		cost += log2c(points[k].Dist(points[k+1]))
+	}
+	return cost
+}
+
+// CharacteristicPoints runs the approximate MDL partitioning of TraClus
+// over the trajectory's geometry, returning the indexes of the
+// characteristic points (always including the first and last point).
+func CharacteristicPoints(points []geo.Point) []int {
+	n := len(points)
+	if n == 0 {
+		return nil
+	}
+	cps := []int{0}
+	if n == 1 {
+		return cps
+	}
+	start := 0
+	length := 1
+	for start+length < n {
+		cur := start + length
+		costPar := mdlPar(points, start, cur)
+		costNoPar := mdlNoPar(points, start, cur)
+		if costPar > costNoPar {
+			cps = append(cps, cur-1)
+			start = cur - 1
+			length = 1
+		} else {
+			length++
+		}
+	}
+	if cps[len(cps)-1] != n-1 {
+		cps = append(cps, n-1)
+	}
+	return cps
+}
+
+// PartitionTrajectory cuts one trajectory into TraClus line segments at
+// its characteristic points.
+func PartitionTrajectory(tr traj.Trajectory) []LineSegment {
+	points := tr.Geometry()
+	cps := CharacteristicPoints(points)
+	var segs []LineSegment
+	for i := 1; i < len(cps); i++ {
+		a, b := points[cps[i-1]], points[cps[i]]
+		if a.Equal(b) {
+			continue // degenerate; carries no direction information
+		}
+		segs = append(segs, LineSegment{Traj: tr.ID, A: a, B: b})
+	}
+	return segs
+}
+
+// PartitionDataset partitions every trajectory of the dataset.
+func PartitionDataset(ds traj.Dataset) []LineSegment {
+	var all []LineSegment
+	for _, tr := range ds.Trajectories {
+		all = append(all, PartitionTrajectory(tr)...)
+	}
+	return all
+}

@@ -1,0 +1,221 @@
+package traclus
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/traj"
+)
+
+func mkTraj(id traj.ID, pts ...geo.Point) traj.Trajectory {
+	tr := traj.Trajectory{ID: id}
+	for i, p := range pts {
+		tr.Points = append(tr.Points, traj.Sample(0, p, float64(i)))
+	}
+	return tr
+}
+
+func TestCharacteristicPointsStraightLine(t *testing.T) {
+	// A straight trajectory partitions into a single segment: no
+	// characteristic points besides the endpoints.
+	var pts []geo.Point
+	for i := 0; i < 10; i++ {
+		pts = append(pts, geo.Pt(float64(i)*10, 0))
+	}
+	cps := CharacteristicPoints(pts)
+	if len(cps) != 2 || cps[0] != 0 || cps[1] != 9 {
+		t.Errorf("cps = %v, want [0 9]", cps)
+	}
+}
+
+func TestCharacteristicPointsSharpTurn(t *testing.T) {
+	// An L-shaped trajectory gets a characteristic point at the corner.
+	var pts []geo.Point
+	for i := 0; i <= 10; i++ {
+		pts = append(pts, geo.Pt(float64(i)*10, 0))
+	}
+	for i := 1; i <= 10; i++ {
+		pts = append(pts, geo.Pt(100, float64(i)*10))
+	}
+	cps := CharacteristicPoints(pts)
+	if len(cps) < 3 {
+		t.Fatalf("cps = %v, want a corner point", cps)
+	}
+	hasCorner := false
+	for _, i := range cps {
+		if pts[i].Dist(geo.Pt(100, 0)) < 15 {
+			hasCorner = true
+		}
+	}
+	if !hasCorner {
+		t.Errorf("no characteristic point near the corner: %v", cps)
+	}
+}
+
+func TestCharacteristicPointsEdgeCases(t *testing.T) {
+	if cps := CharacteristicPoints(nil); cps != nil {
+		t.Errorf("nil input cps = %v", cps)
+	}
+	if cps := CharacteristicPoints([]geo.Point{geo.Pt(1, 1)}); len(cps) != 1 {
+		t.Errorf("single point cps = %v", cps)
+	}
+	two := CharacteristicPoints([]geo.Point{geo.Pt(0, 0), geo.Pt(5, 5)})
+	if len(two) != 2 {
+		t.Errorf("two-point cps = %v", two)
+	}
+}
+
+func TestPartitionTrajectorySkipsDegenerate(t *testing.T) {
+	tr := mkTraj(1, geo.Pt(0, 0), geo.Pt(0, 0), geo.Pt(0, 0))
+	if segs := PartitionTrajectory(tr); len(segs) != 0 {
+		t.Errorf("stationary trajectory produced %d segments", len(segs))
+	}
+}
+
+func TestDistanceComponents(t *testing.T) {
+	// Parallel segments offset by 5: perpendicular distance 5, angle 0.
+	a := LineSegment{Traj: 1, A: geo.Pt(0, 0), B: geo.Pt(10, 0)}
+	b := LineSegment{Traj: 2, A: geo.Pt(0, 5), B: geo.Pt(10, 5)}
+	w := DefaultDistWeights()
+	if d := Distance(a, b, w); math.Abs(d-5) > 1e-9 {
+		t.Errorf("parallel distance = %v, want 5", d)
+	}
+	// Identical segments: 0.
+	if d := Distance(a, a, w); d != 0 {
+		t.Errorf("self distance = %v", d)
+	}
+	// Perpendicular segments of equal length crossing at the middle:
+	// angular term = |L| * sin(90°) = 10.
+	c := LineSegment{Traj: 3, A: geo.Pt(5, -5), B: geo.Pt(5, 5)}
+	d := Distance(a, c, w)
+	if d < 10 {
+		t.Errorf("perpendicular distance = %v, want >= 10 (angular term)", d)
+	}
+	// Symmetry by longer-segment convention.
+	long := LineSegment{Traj: 4, A: geo.Pt(0, 0), B: geo.Pt(100, 0)}
+	short := LineSegment{Traj: 5, A: geo.Pt(40, 3), B: geo.Pt(60, 3)}
+	if Distance(long, short, w) != Distance(short, long, w) {
+		t.Error("distance not symmetric")
+	}
+}
+
+func TestDistanceParallelComponent(t *testing.T) {
+	// Collinear, disjoint segments: perpendicular 0, angle 0, parallel
+	// equals the gap.
+	a := LineSegment{Traj: 1, A: geo.Pt(0, 0), B: geo.Pt(10, 0)}
+	b := LineSegment{Traj: 2, A: geo.Pt(15, 0), B: geo.Pt(20, 0)}
+	if d := Distance(a, b, DefaultDistWeights()); math.Abs(d-5) > 1e-9 {
+		t.Errorf("collinear gap distance = %v, want 5", d)
+	}
+}
+
+func TestRunGroupsParallelBundle(t *testing.T) {
+	// 8 nearly identical straight trajectories plus 2 far away: one
+	// cluster with MinLns=4.
+	var ds traj.Dataset
+	for i := 0; i < 8; i++ {
+		y := float64(i) * 2
+		ds.Trajectories = append(ds.Trajectories,
+			mkTraj(traj.ID(i), geo.Pt(0, y), geo.Pt(50, y), geo.Pt(100, y)))
+	}
+	ds.Trajectories = append(ds.Trajectories,
+		mkTraj(100, geo.Pt(0, 5000), geo.Pt(100, 5000)),
+		mkTraj(101, geo.Pt(0, 6000), geo.Pt(100, 6000)))
+
+	res, err := Run(ds, Config{Epsilon: 20, MinLns: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 1 {
+		t.Fatalf("clusters = %d, want 1", len(res.Clusters))
+	}
+	c := res.Clusters[0]
+	if c.TrajCount != 8 {
+		t.Errorf("TrajCount = %d, want 8", c.TrajCount)
+	}
+	if len(c.Representative) < 2 {
+		t.Fatalf("representative = %v", c.Representative)
+	}
+	// Representative runs roughly along the bundle.
+	repLen := c.RepresentativeLength()
+	if repLen < 50 || repLen > 150 {
+		t.Errorf("representative length = %v, want ~100", repLen)
+	}
+	if res.NoiseSegments == 0 {
+		t.Error("the two isolated trajectories should be noise")
+	}
+	if res.DistanceCalls == 0 {
+		t.Error("distance calls not counted")
+	}
+}
+
+func TestRunConfigValidation(t *testing.T) {
+	ds := traj.Dataset{Trajectories: []traj.Trajectory{mkTraj(1, geo.Pt(0, 0), geo.Pt(1, 0))}}
+	if _, err := Run(ds, Config{Epsilon: 0, MinLns: 1}); err == nil {
+		t.Error("ε=0 accepted")
+	}
+	if _, err := Run(ds, Config{Epsilon: 5, MinLns: 0}); err == nil {
+		t.Error("MinLns=0 accepted")
+	}
+}
+
+func TestRunMinLnsFiltersSingleTrajectoryCluster(t *testing.T) {
+	// 5 segments from ONE trajectory zig-zagging in place could form a
+	// dense set, but the trajectory-cardinality check must discard a
+	// cluster drawn from fewer than MinLns distinct trajectories.
+	var ds traj.Dataset
+	tr := traj.Trajectory{ID: 1}
+	for i := 0; i < 12; i++ {
+		tr.Points = append(tr.Points, traj.Sample(0, geo.Pt(float64(i%2), float64(i)*0.1), float64(i)))
+	}
+	ds.Trajectories = append(ds.Trajectories, tr)
+	res, err := Run(ds, Config{Epsilon: 10, MinLns: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 0 {
+		t.Errorf("clusters = %d, want 0 (single-trajectory cluster discarded)", len(res.Clusters))
+	}
+}
+
+func TestRunOnSegments(t *testing.T) {
+	var segs []LineSegment
+	for i := 0; i < 6; i++ {
+		y := float64(i)
+		segs = append(segs, LineSegment{Traj: traj.ID(i), A: geo.Pt(0, y), B: geo.Pt(100, y)})
+	}
+	res, err := RunOnSegments(segs, Config{Epsilon: 10, MinLns: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 1 {
+		t.Fatalf("clusters = %d, want 1", len(res.Clusters))
+	}
+	if res.NumSegments != 6 {
+		t.Errorf("NumSegments = %d", res.NumSegments)
+	}
+	if res.Timing.Group <= 0 {
+		t.Error("grouping time not recorded")
+	}
+}
+
+func TestRepresentativeDirection(t *testing.T) {
+	// Antiparallel bundle: representative still spans the bundle.
+	segs := []LineSegment{
+		{Traj: 1, A: geo.Pt(0, 0), B: geo.Pt(100, 0)},
+		{Traj: 2, A: geo.Pt(100, 1), B: geo.Pt(0, 1)},
+		{Traj: 3, A: geo.Pt(0, 2), B: geo.Pt(100, 2)},
+	}
+	res, err := RunOnSegments(segs, Config{Epsilon: 10, MinLns: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 1 {
+		t.Fatalf("clusters = %d", len(res.Clusters))
+	}
+	rep := res.Clusters[0].Representative
+	if l := rep.Length(); l < 60 {
+		t.Errorf("representative length = %v, want close to 100", l)
+	}
+}

@@ -1,0 +1,96 @@
+package traclus
+
+import (
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/neat"
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+)
+
+func variantScenario(t *testing.T) (*roadnet.Graph, []*neat.BaseCluster) {
+	t.Helper()
+	// Two nearby chains and one distant segment.
+	var b roadnet.Builder
+	n0 := b.AddJunction(geo.Pt(0, 0))
+	n1 := b.AddJunction(geo.Pt(200, 0))
+	n2 := b.AddJunction(geo.Pt(0, 150))
+	n3 := b.AddJunction(geo.Pt(200, 150))
+	n4 := b.AddJunction(geo.Pt(8000, 0))
+	n5 := b.AddJunction(geo.Pt(8200, 0))
+	sA, _ := b.AddSegment(n0, n1, roadnet.SegmentOpts{})
+	sB, _ := b.AddSegment(n2, n3, roadnet.SegmentOpts{})
+	sFar, _ := b.AddSegment(n4, n5, roadnet.SegmentOpts{})
+	// Connectors.
+	if _, err := b.AddSegment(n0, n2, roadnet.SegmentOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddSegment(n1, n3, roadnet.SegmentOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddSegment(n1, n4, roadnet.SegmentOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(id traj.ID, seg roadnet.SegID) traj.TFragment {
+		gs := g.SegmentGeometry(seg)
+		return traj.TFragment{
+			Traj:   id,
+			Seg:    seg,
+			Points: []traj.Location{traj.Sample(seg, gs.A, 0), traj.Sample(seg, gs.B, 1)},
+		}
+	}
+	frags := []traj.TFragment{mk(1, sA), mk(2, sA), mk(3, sB), mk(4, sFar)}
+	return g, neat.FormBaseClusters(frags)
+}
+
+func TestRunVariant(t *testing.T) {
+	g, base := variantScenario(t)
+	res, err := RunVariant(g, base, VariantConfig{Epsilon: 300, MinLns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumBaseClusters != 3 {
+		t.Fatalf("base clusters = %d", res.NumBaseClusters)
+	}
+	// sA and sB group (network distance 150 via connector); sFar alone.
+	if len(res.Clusters) != 2 {
+		t.Fatalf("clusters = %d, want 2", len(res.Clusters))
+	}
+	sizes := []int{len(res.Clusters[0]), len(res.Clusters[1])}
+	if !(sizes[0] == 2 && sizes[1] == 1 || sizes[0] == 1 && sizes[1] == 2) {
+		t.Errorf("cluster sizes = %v, want {2,1}", sizes)
+	}
+	if res.SPQueries == 0 {
+		t.Error("variant did no shortest-path work")
+	}
+	if res.Elapsed <= 0 {
+		t.Error("elapsed not recorded")
+	}
+}
+
+func TestRunVariantMinLnsNoise(t *testing.T) {
+	g, base := variantScenario(t)
+	res, err := RunVariant(g, base, VariantConfig{Epsilon: 300, MinLns: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With MinLns=2 the far singleton is noise.
+	if res.Noise != 1 {
+		t.Errorf("noise = %d, want 1", res.Noise)
+	}
+}
+
+func TestRunVariantValidation(t *testing.T) {
+	g, base := variantScenario(t)
+	if _, err := RunVariant(g, base, VariantConfig{Epsilon: 0, MinLns: 1}); err == nil {
+		t.Error("ε=0 accepted")
+	}
+	if _, err := RunVariant(g, base, VariantConfig{Epsilon: 10, MinLns: 0}); err == nil {
+		t.Error("MinLns=0 accepted")
+	}
+}

@@ -1,0 +1,97 @@
+package traj
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+)
+
+// The on-disk trajectory format is CSV with one record per location:
+//
+//	<trid>,<sid>,<x>,<y>,<t>
+//
+// Records of one trajectory must be contiguous and time-ordered; the
+// trajectory id changes mark trajectory boundaries.
+
+// Write serialises the dataset to w.
+func Write(w io.Writer, d Dataset) error {
+	bw := bufio.NewWriter(w)
+	cw := csv.NewWriter(bw)
+	for _, tr := range d.Trajectories {
+		for _, p := range tr.Points {
+			rec := []string{
+				strconv.Itoa(int(tr.ID)),
+				strconv.Itoa(int(p.Seg)),
+				strconv.FormatFloat(p.Pt.X, 'f', 3, 64),
+				strconv.FormatFloat(p.Pt.Y, 'f', 3, 64),
+				strconv.FormatFloat(p.Time, 'f', 3, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return fmt.Errorf("traj: write trajectory %d: %w", tr.ID, err)
+			}
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("traj: flush: %w", err)
+	}
+	return bw.Flush()
+}
+
+// Read parses a dataset from the CSV trajectory format.
+func Read(r io.Reader, name string) (Dataset, error) {
+	cr := csv.NewReader(bufio.NewReader(r))
+	cr.FieldsPerRecord = 5
+	d := Dataset{Name: name}
+	var cur *Trajectory
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return Dataset{}, fmt.Errorf("traj: read line %d: %w", line, err)
+		}
+		line++
+		trid, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return Dataset{}, fmt.Errorf("traj: line %d: trid: %w", line, err)
+		}
+		sid, err := strconv.Atoi(rec[1])
+		if err != nil {
+			return Dataset{}, fmt.Errorf("traj: line %d: sid: %w", line, err)
+		}
+		x, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return Dataset{}, fmt.Errorf("traj: line %d: x: %w", line, err)
+		}
+		y, err := strconv.ParseFloat(rec[3], 64)
+		if err != nil {
+			return Dataset{}, fmt.Errorf("traj: line %d: y: %w", line, err)
+		}
+		t, err := strconv.ParseFloat(rec[4], 64)
+		if err != nil {
+			return Dataset{}, fmt.Errorf("traj: line %d: t: %w", line, err)
+		}
+		if cur == nil || cur.ID != ID(trid) {
+			d.Trajectories = append(d.Trajectories, Trajectory{ID: ID(trid)})
+			cur = &d.Trajectories[len(d.Trajectories)-1]
+		}
+		cur.Points = append(cur.Points, Location{
+			Seg:      roadnet.SegID(sid),
+			Pt:       geo.Pt(x, y),
+			Time:     t,
+			Junction: roadnet.NoNode,
+		})
+	}
+	if err := d.Validate(); err != nil {
+		return Dataset{}, err
+	}
+	return d, nil
+}

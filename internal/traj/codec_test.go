@@ -1,0 +1,98 @@
+package traj
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	ds := Dataset{Name: "rt", Trajectories: []Trajectory{
+		{ID: 1, Points: []Location{
+			Sample(0, geo.Pt(10.5, -3.25), 0),
+			Sample(0, geo.Pt(20, 0), 5.5),
+			Sample(2, geo.Pt(120, 30), 11),
+		}},
+		{ID: 7, Points: []Location{
+			Sample(3, geo.Pt(0, 0), 100),
+		}},
+	}}
+	var buf bytes.Buffer
+	if err := Write(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf, "rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Trajectories) != 2 {
+		t.Fatalf("trajectories = %d", len(got.Trajectories))
+	}
+	for i, tr := range got.Trajectories {
+		want := ds.Trajectories[i]
+		if tr.ID != want.ID || len(tr.Points) != len(want.Points) {
+			t.Fatalf("trajectory %d mismatch", i)
+		}
+		for j, p := range tr.Points {
+			w := want.Points[j]
+			if p.Seg != w.Seg || p.Time != w.Time {
+				t.Errorf("point %d/%d: %+v vs %+v", i, j, p, w)
+			}
+			if p.Pt.Dist(w.Pt) > 0.001 { // 3-decimal serialization
+				t.Errorf("point %d/%d position drift %v", i, j, p.Pt.Dist(w.Pt))
+			}
+			if p.IsJunctionPoint() {
+				t.Error("decoded point marked as junction")
+			}
+		}
+	}
+}
+
+func TestCodecReadErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"bad trid", "x,0,1,2,3\n"},
+		{"bad sid", "1,x,1,2,3\n"},
+		{"bad x", "1,0,x,2,3\n"},
+		{"bad y", "1,0,1,x,3\n"},
+		{"bad t", "1,0,1,2,x\n"},
+		{"wrong field count", "1,0,1\n"},
+		{"time disorder", "1,0,1,2,10\n1,0,1,2,5\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Read(strings.NewReader(tc.in), "bad"); err == nil {
+				t.Errorf("Read(%q) succeeded", tc.in)
+			}
+		})
+	}
+}
+
+func TestCodecEmpty(t *testing.T) {
+	got, err := Read(strings.NewReader(""), "empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Trajectories) != 0 {
+		t.Errorf("empty input produced %d trajectories", len(got.Trajectories))
+	}
+}
+
+func TestStrip(t *testing.T) {
+	tr := Trajectory{ID: 5, Points: []Location{
+		Sample(2, geo.Pt(1, 2), 3),
+		{Seg: 2, Pt: geo.Pt(4, 5), Time: 6, Junction: roadnet.NodeID(9)},
+	}}
+	raw := Strip(tr)
+	if raw.ID != 5 || len(raw.Points) != 2 {
+		t.Fatalf("raw = %+v", raw)
+	}
+	if raw.Points[1].Pt != geo.Pt(4, 5) || raw.Points[1].Time != 6 {
+		t.Errorf("raw point = %+v", raw.Points[1])
+	}
+}

@@ -1,0 +1,65 @@
+package traj
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/roadnet"
+	"repro/internal/shortest"
+)
+
+// PartitionDatasetParallel partitions a dataset across a pool of
+// workers, each with its own gap-repair engine, and returns the
+// fragments in the exact order a serial PartitionDataset would.
+//
+// Phase 1 dominates NEAT's running time (the paper's Fig 6(b)) because
+// it touches every location sample, and it is embarrassingly parallel
+// across trajectories — this is the same sharding the paper's data
+// nodes perform (§II-C), in-process.
+func PartitionDatasetParallel(g *roadnet.Graph, d Dataset, workers int) ([]TFragment, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := len(d.Trajectories)
+	if n == 0 {
+		return nil, nil
+	}
+	if workers > n {
+		workers = n
+	}
+	perTraj := make([][]TFragment, n)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := NewPartitioner(g, shortest.New(g, nil))
+			for i := range next {
+				frags, err := p.Partition(d.Trajectories[i])
+				if err != nil {
+					errs[w] = fmt.Errorf("traj: parallel partition trajectory %d: %w", d.Trajectories[i].ID, err)
+					return
+				}
+				perTraj[i] = frags
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var out []TFragment
+	for _, frags := range perTraj {
+		out = append(out, frags...)
+	}
+	return out, nil
+}

@@ -1,0 +1,171 @@
+package traj
+
+import (
+	"fmt"
+
+	"repro/internal/roadnet"
+	"repro/internal/shortest"
+)
+
+// Partitioner splits trajectories into t-fragments at road junctions
+// (Phase 1, step 1 of the paper). It inserts the junction nodes a
+// mobile object must have passed between consecutive samples — looking
+// them up directly when the two segments are contiguous, and repairing
+// the gap with a shortest-path route when they are not (the paper's
+// map-matching fallback for sparse sampling).
+type Partitioner struct {
+	g   *roadnet.Graph
+	eng *shortest.Engine
+}
+
+// NewPartitioner returns a Partitioner over g. The engine must be built
+// over the same graph; it is used only for gap repair.
+func NewPartitioner(g *roadnet.Graph, eng *shortest.Engine) *Partitioner {
+	return &Partitioner{g: g, eng: eng}
+}
+
+// Partition splits tr into its ordered t-fragment sequence. The
+// fragment sequence preserves the travel route, the direction of
+// movement, and the original trajectory identifier. Interior original
+// samples are dropped; only trip endpoints and inserted junction points
+// remain, per §III-A1.
+func (p *Partitioner) Partition(tr Trajectory) ([]TFragment, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	var frags []TFragment
+	// cur accumulates the points of the fragment being built. It always
+	// starts with either the trip's first sample or an entry junction.
+	cur := []Location{tr.Points[0]}
+	curSeg := tr.Points[0].Seg
+
+	closeFragment := func(exit Location) {
+		cur = append(cur, exit)
+		frags = append(frags, TFragment{
+			Traj:   tr.ID,
+			Seg:    curSeg,
+			Points: cur,
+			Index:  len(frags),
+		})
+	}
+
+	for i := 1; i < len(tr.Points); i++ {
+		pt := tr.Points[i]
+		if pt.Seg == curSeg {
+			// Same road segment: no split. Interior samples are not
+			// retained; only remember the latest in case it's the trip
+			// terminus (handled after the loop).
+			continue
+		}
+		// Transition between two different segments: insert the
+		// junction sequence connecting them.
+		prev := tr.Points[i-1]
+		// prev may be an interior (dropped) sample; reconstruct its
+		// location for interpolation.
+		junctions, segs, err := p.connect(prev, pt)
+		if err != nil {
+			return nil, fmt.Errorf("traj: trajectory %d between samples %d and %d: %w", tr.ID, i-1, i, err)
+		}
+		// junctions has length len(segs)+1 segments boundaries:
+		// junctions[0] closes curSeg; each intermediate seg k spans
+		// junctions[k]..junctions[k+1]; the final junction opens pt.Seg.
+		times := p.interpolateTimes(prev, pt, junctions, segs)
+
+		exit := Location{Seg: curSeg, Pt: p.g.Node(junctions[0]).Pt, Time: times[0], Junction: junctions[0]}
+		closeFragment(exit)
+
+		for k, sid := range segs {
+			in := Location{Seg: sid, Pt: p.g.Node(junctions[k]).Pt, Time: times[k], Junction: junctions[k]}
+			out := Location{Seg: sid, Pt: p.g.Node(junctions[k+1]).Pt, Time: times[k+1], Junction: junctions[k+1]}
+			frags = append(frags, TFragment{
+				Traj:   tr.ID,
+				Seg:    sid,
+				Points: []Location{in, out},
+				Index:  len(frags),
+			})
+		}
+
+		lastJ := junctions[len(junctions)-1]
+		entry := Location{Seg: pt.Seg, Pt: p.g.Node(lastJ).Pt, Time: times[len(times)-1], Junction: lastJ}
+		cur = []Location{entry}
+		curSeg = pt.Seg
+	}
+	// Close the final fragment with the trip's last sample.
+	closeFragment(tr.Points[len(tr.Points)-1])
+	return frags, nil
+}
+
+// connect returns the junction sequence and the intermediate segments a
+// mobile object traverses between location a (on one segment) and
+// location b (on a different segment). For contiguous segments the
+// sequence is the single shared junction and no intermediate segments.
+func (p *Partitioner) connect(a, b Location) ([]roadnet.NodeID, []roadnet.SegID, error) {
+	if j, ok := p.g.Intersection(a.Seg, b.Seg); ok {
+		return []roadnet.NodeID{j}, nil, nil
+	}
+	// Non-contiguous: gap repair via shortest path, honoring travel
+	// direction first and falling back to the undirected view (sampling
+	// gaps can otherwise strand us against a one-way restriction).
+	la, _ := p.g.Locate(a.Seg, a.Pt)
+	lb, _ := p.g.Locate(b.Seg, b.Pt)
+	_, res, err := p.eng.LocationRoute(la, lb, shortest.Directed)
+	if err != nil {
+		_, res, err = p.eng.LocationRoute(la, lb, shortest.Undirected)
+		if err != nil {
+			return nil, nil, fmt.Errorf("gap repair failed: %w", err)
+		}
+	}
+	if len(res.Nodes) == 0 {
+		return nil, nil, fmt.Errorf("gap repair produced an empty junction path between segments %d and %d", a.Seg, b.Seg)
+	}
+	// Strip route segments equal to the endpoints' own segments: the
+	// fragments for those are created by the caller.
+	segs := make([]roadnet.SegID, 0, len(res.Route))
+	nodes := append([]roadnet.NodeID(nil), res.Nodes...)
+	for _, s := range res.Route {
+		segs = append(segs, s)
+	}
+	if len(nodes) != len(segs)+1 {
+		return nil, nil, fmt.Errorf("gap repair returned inconsistent path (%d nodes, %d segments)", len(nodes), len(segs))
+	}
+	return nodes, segs, nil
+}
+
+// interpolateTimes assigns timestamps to the junction sequence by
+// linear interpolation in arc length between the two bounding samples.
+func (p *Partitioner) interpolateTimes(a, b Location, junctions []roadnet.NodeID, segs []roadnet.SegID) []float64 {
+	// Cumulative distances: a -> junctions[0] along a.Seg, then the
+	// intermediate segments, then junctions[last] -> b along b.Seg.
+	cum := make([]float64, len(junctions))
+	d := a.Pt.Dist(p.g.Node(junctions[0]).Pt)
+	cum[0] = d
+	for k := range segs {
+		d += p.g.Segment(segs[k]).Length
+		cum[k+1] = d
+	}
+	total := d + p.g.Node(junctions[len(junctions)-1]).Pt.Dist(b.Pt)
+	dt := b.Time - a.Time
+	times := make([]float64, len(junctions))
+	for i, c := range cum {
+		if total <= 0 {
+			times[i] = a.Time
+			continue
+		}
+		times[i] = a.Time + dt*c/total
+	}
+	return times
+}
+
+// PartitionDataset partitions every trajectory in d, returning the
+// concatenated fragment list in dataset order.
+func (p *Partitioner) PartitionDataset(d Dataset) ([]TFragment, error) {
+	var all []TFragment
+	for _, tr := range d.Trajectories {
+		frags, err := p.Partition(tr)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, frags...)
+	}
+	return all, nil
+}

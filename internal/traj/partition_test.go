@@ -1,0 +1,232 @@
+package traj
+
+import (
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+	"repro/internal/shortest"
+)
+
+// chain builds n0 -(s0)- n1 -(s1)- n2 -(s2)- n3 along the x axis,
+// 100 m per segment.
+func chain(t *testing.T) (*roadnet.Graph, []roadnet.NodeID, []roadnet.SegID) {
+	t.Helper()
+	var b roadnet.Builder
+	var nodes []roadnet.NodeID
+	for i := 0; i < 4; i++ {
+		nodes = append(nodes, b.AddJunction(geo.Pt(float64(i)*100, 0)))
+	}
+	var segs []roadnet.SegID
+	for i := 0; i < 3; i++ {
+		s, err := b.AddSegment(nodes[i], nodes[i+1], roadnet.SegmentOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		segs = append(segs, s)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, nodes, segs
+}
+
+func newPartitioner(g *roadnet.Graph) *Partitioner {
+	return NewPartitioner(g, shortest.New(g, nil))
+}
+
+func TestPartitionSingleSegment(t *testing.T) {
+	g, _, segs := chain(t)
+	p := newPartitioner(g)
+	tr := Trajectory{ID: 1, Points: []Location{
+		Sample(segs[0], geo.Pt(10, 0), 0),
+		Sample(segs[0], geo.Pt(50, 0), 10),
+		Sample(segs[0], geo.Pt(90, 0), 20),
+	}}
+	frags, err := p.Partition(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) != 1 {
+		t.Fatalf("fragments = %d, want 1", len(frags))
+	}
+	f := frags[0]
+	if f.Seg != segs[0] || f.Traj != 1 || f.Index != 0 {
+		t.Errorf("fragment = %+v", f)
+	}
+	// Interior samples dropped: only the two endpoints remain.
+	if len(f.Points) != 2 {
+		t.Errorf("points = %d, want 2 (interior samples dropped)", len(f.Points))
+	}
+	if f.Enter().Pt != geo.Pt(10, 0) || f.Exit().Pt != geo.Pt(90, 0) {
+		t.Errorf("enter/exit = %v / %v", f.Enter().Pt, f.Exit().Pt)
+	}
+}
+
+func TestPartitionAdjacentSegments(t *testing.T) {
+	g, nodes, segs := chain(t)
+	p := newPartitioner(g)
+	tr := Trajectory{ID: 2, Points: []Location{
+		Sample(segs[0], geo.Pt(40, 0), 0),
+		Sample(segs[1], geo.Pt(150, 0), 10),
+	}}
+	frags, err := p.Partition(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) != 2 {
+		t.Fatalf("fragments = %d, want 2", len(frags))
+	}
+	// The junction n1 was inserted as the splitting point on both
+	// fragments.
+	exit := frags[0].Exit()
+	if !exit.IsJunctionPoint() || exit.Junction != nodes[1] {
+		t.Errorf("exit of fragment 0 = %+v, want junction n1", exit)
+	}
+	enter := frags[1].Enter()
+	if !enter.IsJunctionPoint() || enter.Junction != nodes[1] {
+		t.Errorf("enter of fragment 1 = %+v, want junction n1", enter)
+	}
+	// Interpolated time at the junction: the object covered 60 m of
+	// 110 m total when crossing n1 at x=100.
+	wantT := 0 + 10*(60.0/110.0)
+	if got := exit.Time; got < wantT-1e-9 || got > wantT+1e-9 {
+		t.Errorf("junction time = %v, want %v", got, wantT)
+	}
+	// Direction of movement preserved in fragment order.
+	if frags[0].Seg != segs[0] || frags[1].Seg != segs[1] {
+		t.Errorf("fragment order = %v,%v", frags[0].Seg, frags[1].Seg)
+	}
+}
+
+func TestPartitionGapRepair(t *testing.T) {
+	// Samples jump from s0 directly to s2 (skipping s1): the
+	// partitioner must synthesize the s1 fragment via shortest path.
+	g, nodes, segs := chain(t)
+	p := newPartitioner(g)
+	tr := Trajectory{ID: 3, Points: []Location{
+		Sample(segs[0], geo.Pt(50, 0), 0),
+		Sample(segs[2], geo.Pt(250, 0), 20),
+	}}
+	frags, err := p.Partition(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) != 3 {
+		t.Fatalf("fragments = %d, want 3 (gap repaired)", len(frags))
+	}
+	if frags[1].Seg != segs[1] {
+		t.Errorf("middle fragment on segment %d, want s1", frags[1].Seg)
+	}
+	mid := frags[1]
+	if mid.Enter().Junction != nodes[1] || mid.Exit().Junction != nodes[2] {
+		t.Errorf("middle fragment junctions = %v..%v", mid.Enter().Junction, mid.Exit().Junction)
+	}
+	// Times must be non-decreasing across the whole fragment sequence.
+	last := -1.0
+	for _, f := range frags {
+		for _, pt := range f.Points {
+			if pt.Time < last {
+				t.Fatalf("time went backwards: %v after %v", pt.Time, last)
+			}
+			last = pt.Time
+		}
+	}
+}
+
+func TestPartitionRevisitedSegment(t *testing.T) {
+	// Out and back: s0 -> s1 -> s0 produces two distinct fragments on
+	// s0, matching Definition 2's "distinct t-fragments".
+	g, _, segs := chain(t)
+	p := newPartitioner(g)
+	tr := Trajectory{ID: 4, Points: []Location{
+		Sample(segs[0], geo.Pt(50, 0), 0),
+		Sample(segs[1], geo.Pt(150, 0), 10),
+		Sample(segs[0], geo.Pt(30, 0), 25),
+	}}
+	frags, err := p.Partition(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) != 3 {
+		t.Fatalf("fragments = %d, want 3", len(frags))
+	}
+	if frags[0].Seg != segs[0] || frags[1].Seg != segs[1] || frags[2].Seg != segs[0] {
+		t.Errorf("fragment segments = %v", []roadnet.SegID{frags[0].Seg, frags[1].Seg, frags[2].Seg})
+	}
+	for i, f := range frags {
+		if f.Index != i {
+			t.Errorf("fragment %d has index %d", i, f.Index)
+		}
+	}
+}
+
+func TestPartitionRejectsInvalid(t *testing.T) {
+	g, _, segs := chain(t)
+	p := newPartitioner(g)
+	if _, err := p.Partition(Trajectory{ID: 5}); err == nil {
+		t.Error("empty trajectory accepted")
+	}
+	unordered := Trajectory{ID: 6, Points: []Location{
+		Sample(segs[0], geo.Pt(10, 0), 10),
+		Sample(segs[0], geo.Pt(20, 0), 5),
+	}}
+	if _, err := p.Partition(unordered); err == nil {
+		t.Error("time-unordered trajectory accepted")
+	}
+}
+
+func TestPartitionDataset(t *testing.T) {
+	g, _, segs := chain(t)
+	p := newPartitioner(g)
+	ds := Dataset{Name: "test", Trajectories: []Trajectory{
+		{ID: 1, Points: []Location{Sample(segs[0], geo.Pt(10, 0), 0), Sample(segs[0], geo.Pt(90, 0), 5)}},
+		{ID: 2, Points: []Location{Sample(segs[1], geo.Pt(110, 0), 0), Sample(segs[2], geo.Pt(290, 0), 9)}},
+	}}
+	frags, err := p.PartitionDataset(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) != 3 {
+		t.Errorf("fragments = %d, want 3", len(frags))
+	}
+}
+
+func TestTrajectoryHelpers(t *testing.T) {
+	_, _, segs := chain(t)
+	tr := Trajectory{ID: 1, Points: []Location{
+		Sample(segs[0], geo.Pt(0, 0), 3),
+		Sample(segs[0], geo.Pt(30, 40), 13),
+	}}
+	if tr.Duration() != 10 {
+		t.Errorf("Duration = %v", tr.Duration())
+	}
+	if l := tr.Geometry().Length(); l != 50 {
+		t.Errorf("Geometry length = %v", l)
+	}
+	if (Trajectory{ID: 2, Points: tr.Points[:1]}).Duration() != 0 {
+		t.Error("single-point duration nonzero")
+	}
+}
+
+func TestDatasetValidate(t *testing.T) {
+	_, _, segs := chain(t)
+	good := Dataset{Trajectories: []Trajectory{
+		{ID: 1, Points: []Location{Sample(segs[0], geo.Pt(0, 0), 0)}},
+		{ID: 2, Points: []Location{Sample(segs[0], geo.Pt(0, 0), 0)}},
+	}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid dataset rejected: %v", err)
+	}
+	if good.TotalPoints() != 2 {
+		t.Errorf("TotalPoints = %d", good.TotalPoints())
+	}
+	dup := Dataset{Trajectories: []Trajectory{
+		{ID: 1, Points: []Location{Sample(segs[0], geo.Pt(0, 0), 0)}},
+		{ID: 1, Points: []Location{Sample(segs[0], geo.Pt(0, 0), 0)}},
+	}}
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate ids accepted")
+	}
+}

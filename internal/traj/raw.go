@@ -1,0 +1,27 @@
+package traj
+
+import "repro/internal/geo"
+
+// RawPoint is a positioning sample before map matching: coordinates and
+// a timestamp, with no road-network association yet.
+type RawPoint struct {
+	Pt   geo.Point
+	Time float64
+}
+
+// RawTrace is a time-ordered sequence of raw positioning samples from
+// one device, the input to the map matcher.
+type RawTrace struct {
+	ID     ID
+	Points []RawPoint
+}
+
+// Strip converts a matched trajectory back to a raw trace by dropping
+// the road-network association, e.g. to feed the map matcher in tests.
+func Strip(tr Trajectory) RawTrace {
+	raw := RawTrace{ID: tr.ID, Points: make([]RawPoint, len(tr.Points))}
+	for i, p := range tr.Points {
+		raw.Points[i] = RawPoint{Pt: p.Pt, Time: p.Time}
+	}
+	return raw
+}

@@ -1,0 +1,86 @@
+package traj
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/geo"
+)
+
+// Raw traces (pre-map-matching positioning data) use a CSV format with
+// one record per sample and no road-network association:
+//
+//	<trid>,<x>,<y>,<t>
+//
+// Records of one trace must be contiguous and time-ordered.
+
+// WriteRaw serialises raw traces to w.
+func WriteRaw(w io.Writer, traces []RawTrace) error {
+	bw := bufio.NewWriter(w)
+	cw := csv.NewWriter(bw)
+	for _, tr := range traces {
+		for _, p := range tr.Points {
+			rec := []string{
+				strconv.Itoa(int(tr.ID)),
+				strconv.FormatFloat(p.Pt.X, 'f', 3, 64),
+				strconv.FormatFloat(p.Pt.Y, 'f', 3, 64),
+				strconv.FormatFloat(p.Time, 'f', 3, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return fmt.Errorf("traj: write raw trace %d: %w", tr.ID, err)
+			}
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("traj: flush raw: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ReadRaw parses raw traces from the CSV format produced by WriteRaw.
+func ReadRaw(r io.Reader) ([]RawTrace, error) {
+	cr := csv.NewReader(bufio.NewReader(r))
+	cr.FieldsPerRecord = 4
+	var traces []RawTrace
+	var cur *RawTrace
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("traj: read raw line %d: %w", line, err)
+		}
+		line++
+		trid, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("traj: raw line %d: trid: %w", line, err)
+		}
+		x, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("traj: raw line %d: x: %w", line, err)
+		}
+		y, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("traj: raw line %d: y: %w", line, err)
+		}
+		t, err := strconv.ParseFloat(rec[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("traj: raw line %d: t: %w", line, err)
+		}
+		if cur == nil || cur.ID != ID(trid) {
+			traces = append(traces, RawTrace{ID: ID(trid)})
+			cur = &traces[len(traces)-1]
+		}
+		if n := len(cur.Points); n > 0 && cur.Points[n-1].Time > t {
+			return nil, fmt.Errorf("traj: raw line %d: trace %d not time-ordered", line, trid)
+		}
+		cur.Points = append(cur.Points, RawPoint{Pt: geo.Pt(x, y), Time: t})
+	}
+	return traces, nil
+}

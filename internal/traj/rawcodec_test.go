@@ -1,0 +1,101 @@
+package traj
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func TestRawCodecRoundTrip(t *testing.T) {
+	traces := []RawTrace{
+		{ID: 3, Points: []RawPoint{
+			{Pt: geo.Pt(1.5, -2.25), Time: 0},
+			{Pt: geo.Pt(10, 20), Time: 5},
+		}},
+		{ID: 4, Points: []RawPoint{
+			{Pt: geo.Pt(0, 0), Time: 99},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := WriteRaw(&buf, traces); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRaw(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("traces = %d", len(got))
+	}
+	for i, tr := range got {
+		want := traces[i]
+		if tr.ID != want.ID || len(tr.Points) != len(want.Points) {
+			t.Fatalf("trace %d mismatch", i)
+		}
+		for j, p := range tr.Points {
+			if p.Time != want.Points[j].Time || p.Pt.Dist(want.Points[j].Pt) > 0.001 {
+				t.Errorf("point %d/%d = %+v want %+v", i, j, p, want.Points[j])
+			}
+		}
+	}
+}
+
+func TestRawCodecErrors(t *testing.T) {
+	cases := []string{
+		"x,1,2,3\n",
+		"1,x,2,3\n",
+		"1,1,x,3\n",
+		"1,1,2,x\n",
+		"1,1,2\n",
+		"1,0,0,10\n1,0,0,5\n", // time disorder
+	}
+	for _, in := range cases {
+		if _, err := ReadRaw(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadRaw(%q) succeeded", in)
+		}
+	}
+}
+
+func FuzzReadRaw(f *testing.F) {
+	f.Add("1,0,0,0\n1,5,5,1\n")
+	f.Add("")
+	f.Add("2,1.5,-2,3.25\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		traces, err := ReadRaw(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		// Anything that parses must survive a round trip.
+		var buf bytes.Buffer
+		if err := WriteRaw(&buf, traces); err != nil {
+			t.Fatalf("WriteRaw of parsed input failed: %v", err)
+		}
+		again, err := ReadRaw(&buf)
+		if err != nil {
+			t.Fatalf("re-read failed: %v", err)
+		}
+		if len(again) != len(traces) {
+			t.Fatalf("round trip changed trace count %d -> %d", len(traces), len(again))
+		}
+	})
+}
+
+func FuzzReadDataset(f *testing.F) {
+	f.Add("1,0,0,0,0\n1,0,5,5,1\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, in string) {
+		ds, err := Read(strings.NewReader(in), "fuzz")
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, ds); err != nil {
+			t.Fatalf("Write of parsed input failed: %v", err)
+		}
+		if _, err := Read(&buf, "fuzz2"); err != nil {
+			t.Fatalf("re-read failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,145 @@
+// Package traj defines the trajectory data model of the NEAT paper
+// (§II-B) and implements the first step of Phase 1: partitioning a
+// mobile-object trajectory into t-fragments at road junctions,
+// including junction-point insertion and gap repair for consecutive
+// samples that lie on non-contiguous segments.
+package traj
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+)
+
+// ID uniquely identifies a trajectory (the paper's trid).
+type ID int32
+
+// Location is one time-stamped road-network location sample of a
+// trajectory: the paper's l = (sid, x, y, t).
+type Location struct {
+	Seg  roadnet.SegID
+	Pt   geo.Point
+	Time float64 // seconds since the dataset epoch
+	// Junction is the junction this point represents when it was
+	// inserted during partitioning as a trajectory splitting point
+	// (§III-A1 marks such points as "different points than the original
+	// location samples"); NoNode for original samples.
+	Junction roadnet.NodeID
+}
+
+// IsJunctionPoint reports whether the location was inserted at a road
+// junction during partitioning rather than recorded by the device.
+func (l Location) IsJunctionPoint() bool { return l.Junction != roadnet.NoNode }
+
+// Sample constructs an original (device-recorded) location sample.
+// Prefer this over a Location literal: the zero value of Junction is a
+// valid node id, so literals would silently mark samples as junction
+// points.
+func Sample(seg roadnet.SegID, pt geo.Point, time float64) Location {
+	return Location{Seg: seg, Pt: pt, Time: time, Junction: roadnet.NoNode}
+}
+
+// Trajectory is a time-ordered sequence of locations of one mobile
+// object trip.
+type Trajectory struct {
+	ID     ID
+	Points []Location
+}
+
+// Validate checks structural invariants: non-empty, time-ordered,
+// finite coordinates and timestamps.
+func (tr Trajectory) Validate() error {
+	if len(tr.Points) == 0 {
+		return fmt.Errorf("traj: trajectory %d has no points", tr.ID)
+	}
+	for i, p := range tr.Points {
+		if !finite(p.Pt.X) || !finite(p.Pt.Y) || !finite(p.Time) {
+			return fmt.Errorf("traj: trajectory %d has non-finite sample at index %d", tr.ID, i)
+		}
+		if i > 0 && p.Time < tr.Points[i-1].Time {
+			return fmt.Errorf("traj: trajectory %d not time-ordered at index %d (%.3f < %.3f)",
+				tr.ID, i, p.Time, tr.Points[i-1].Time)
+		}
+	}
+	return nil
+}
+
+func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
+
+// Geometry returns the planar polyline traced by the trajectory.
+func (tr Trajectory) Geometry() geo.Polyline {
+	pl := make(geo.Polyline, len(tr.Points))
+	for i, p := range tr.Points {
+		pl[i] = p.Pt
+	}
+	return pl
+}
+
+// Duration returns the elapsed time between the first and last sample.
+func (tr Trajectory) Duration() float64 {
+	if len(tr.Points) < 2 {
+		return 0
+	}
+	return tr.Points[len(tr.Points)-1].Time - tr.Points[0].Time
+}
+
+// Dataset is a collection of trajectories, the unit the NEAT pipeline
+// consumes.
+type Dataset struct {
+	Name         string
+	Trajectories []Trajectory
+}
+
+// TotalPoints returns the number of location samples across all
+// trajectories (the "Number of points" of Table II).
+func (d Dataset) TotalPoints() int {
+	var n int
+	for _, tr := range d.Trajectories {
+		n += len(tr.Points)
+	}
+	return n
+}
+
+// Validate checks every trajectory and id uniqueness.
+func (d Dataset) Validate() error {
+	seen := make(map[ID]struct{}, len(d.Trajectories))
+	for _, tr := range d.Trajectories {
+		if err := tr.Validate(); err != nil {
+			return err
+		}
+		if _, dup := seen[tr.ID]; dup {
+			return fmt.Errorf("traj: duplicate trajectory id %d", tr.ID)
+		}
+		seen[tr.ID] = struct{}{}
+	}
+	return nil
+}
+
+// TFragment is the paper's t-fragment (Definition 1): a maximal run of
+// consecutive trajectory points lying on a single road segment.
+type TFragment struct {
+	Traj ID
+	Seg  roadnet.SegID
+	// Points are the fragment's locations; after partitioning these are
+	// the junction splitting points plus, for the first and last
+	// fragments of a trip, the original terminal samples (§III-A1:
+	// "only the first and the last point in the original trajectory are
+	// kept, together with the newly inserted road junction points").
+	Points []Location
+	// Index is this fragment's position in its trajectory's fragment
+	// sequence, preserving the travel route and direction.
+	Index int
+}
+
+// Enter returns the first location of the fragment.
+func (f TFragment) Enter() Location { return f.Points[0] }
+
+// Exit returns the last location of the fragment.
+func (f TFragment) Exit() Location { return f.Points[len(f.Points)-1] }
+
+// String implements fmt.Stringer.
+func (f TFragment) String() string {
+	return fmt.Sprintf("tf{traj=%d seg=%d #%d pts=%d}", f.Traj, f.Seg, f.Index, len(f.Points))
+}

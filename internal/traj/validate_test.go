@@ -1,0 +1,30 @@
+package traj
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func TestValidateRejectsNonFinite(t *testing.T) {
+	nan := math.NaN()
+	inf := math.Inf(1)
+	cases := []Trajectory{
+		{ID: 1, Points: []Location{Sample(0, geo.Pt(nan, 0), 0)}},
+		{ID: 2, Points: []Location{Sample(0, geo.Pt(0, nan), 0)}},
+		{ID: 3, Points: []Location{Sample(0, geo.Pt(0, 0), nan)}},
+		{ID: 4, Points: []Location{Sample(0, geo.Pt(inf, 0), 0)}},
+		{ID: 5, Points: []Location{Sample(0, geo.Pt(0, -inf), 0)}},
+		{ID: 6, Points: []Location{Sample(0, geo.Pt(0, 0), inf)}},
+	}
+	for _, tr := range cases {
+		if err := tr.Validate(); err == nil {
+			t.Errorf("trajectory %d with non-finite sample accepted", tr.ID)
+		}
+	}
+	good := Trajectory{ID: 7, Points: []Location{Sample(0, geo.Pt(1, 2), 3)}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("finite trajectory rejected: %v", err)
+	}
+}

@@ -1,0 +1,62 @@
+package trajindex
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/mapgen"
+	"repro/internal/mobisim"
+)
+
+func benchIndex(b *testing.B) (*Index, geo.Rect) {
+	b.Helper()
+	g, err := mapgen.Generate(mapgen.Config{
+		Name: "tib", TargetJunctions: 900, TargetSegments: 1260,
+		AvgSegLenM: 150, MaxDegree: 6, Seed: 8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds, _, err := mobisim.New(g).Simulate(mobisim.DefaultConfig("tib", 200, 3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, err := New(ds, 200)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return idx, g.Bounds()
+}
+
+func BenchmarkIndexQuery(b *testing.B) {
+	idx, bounds := benchIndex(b)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cx := bounds.Min.X + rng.Float64()*bounds.Width()
+		cy := bounds.Min.Y + rng.Float64()*bounds.Height()
+		box := geo.RectFromPoints(geo.Pt(cx-400, cy-400), geo.Pt(cx+400, cy+400))
+		idx.Query(box, 0, 600)
+	}
+}
+
+func BenchmarkIndexBuild(b *testing.B) {
+	g, err := mapgen.Generate(mapgen.Config{
+		Name: "tib2", TargetJunctions: 900, TargetSegments: 1260,
+		AvgSegLenM: 150, MaxDegree: 6, Seed: 8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds, _, err := mobisim.New(g).Simulate(mobisim.DefaultConfig("tib2", 200, 3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(ds, 200); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

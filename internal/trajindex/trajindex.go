@@ -1,0 +1,217 @@
+// Package trajindex provides a SETI-style spatio-temporal index over
+// trajectory datasets (Chakka et al., CIDR'03 — the paper's reference
+// [2] for "collecting, storing, indexing and querying trajectories").
+// Space is partitioned into uniform cells; each cell keeps the time
+// intervals during which each trajectory visited it. Range queries
+// (bounding box plus time window) then touch only the overlapping
+// cells and prune by interval before verifying exact samples.
+//
+// The NEAT server uses it to answer "which trajectories crossed this
+// area in this window" — the retrieval step feeding clustering in a
+// deployed system.
+package trajindex
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/traj"
+)
+
+// visit is one trajectory's stay inside one cell.
+type visit struct {
+	id       traj.ID
+	t0, t1   float64 // time interval of the stay
+	firstIdx int     // index of the first sample of the stay
+	lastIdx  int     // index of the last sample of the stay
+}
+
+// Index is an immutable spatio-temporal index over one dataset.
+type Index struct {
+	ds       traj.Dataset
+	byID     map[traj.ID]int // trajectory id -> slice index
+	cellSize float64
+	origin   geo.Point
+	nx, ny   int
+	cells    [][]visit
+	tMin     float64
+	tMax     float64
+}
+
+// New indexes the dataset with the given cell size in meters.
+func New(ds traj.Dataset, cellSize float64) (*Index, error) {
+	if cellSize <= 0 {
+		return nil, fmt.Errorf("trajindex: cell size must be positive, got %g", cellSize)
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	bounds := geo.EmptyRect()
+	tMin, tMax := math.Inf(1), math.Inf(-1)
+	for _, tr := range ds.Trajectories {
+		for _, p := range tr.Points {
+			bounds = bounds.Extend(p.Pt)
+			if p.Time < tMin {
+				tMin = p.Time
+			}
+			if p.Time > tMax {
+				tMax = p.Time
+			}
+		}
+	}
+	if bounds.Empty() {
+		return nil, fmt.Errorf("trajindex: dataset has no points")
+	}
+	bounds = bounds.Expand(cellSize)
+	idx := &Index{
+		ds:       ds,
+		byID:     make(map[traj.ID]int, len(ds.Trajectories)),
+		cellSize: cellSize,
+		origin:   bounds.Min,
+		nx:       int(math.Ceil(bounds.Width()/cellSize)) + 1,
+		ny:       int(math.Ceil(bounds.Height()/cellSize)) + 1,
+		tMin:     tMin,
+		tMax:     tMax,
+	}
+	idx.cells = make([][]visit, idx.nx*idx.ny)
+	for ti, tr := range ds.Trajectories {
+		idx.byID[tr.ID] = ti
+		idx.insert(tr)
+	}
+	return idx, nil
+}
+
+func (idx *Index) cellOf(p geo.Point) int {
+	cx := int((p.X - idx.origin.X) / idx.cellSize)
+	cy := int((p.Y - idx.origin.Y) / idx.cellSize)
+	if cx < 0 {
+		cx = 0
+	}
+	if cx >= idx.nx {
+		cx = idx.nx - 1
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cy >= idx.ny {
+		cy = idx.ny - 1
+	}
+	return cy*idx.nx + cx
+}
+
+// insert splits the trajectory into per-cell stays (consecutive
+// samples in the same cell collapse into one visit interval).
+func (idx *Index) insert(tr traj.Trajectory) {
+	var cur *visit
+	curCell := -1
+	flush := func() {
+		if cur != nil {
+			idx.cells[curCell] = append(idx.cells[curCell], *cur)
+			cur = nil
+		}
+	}
+	for i, p := range tr.Points {
+		c := idx.cellOf(p.Pt)
+		if cur != nil && c == curCell {
+			cur.t1 = p.Time
+			cur.lastIdx = i
+			continue
+		}
+		flush()
+		curCell = c
+		cur = &visit{id: tr.ID, t0: p.Time, t1: p.Time, firstIdx: i, lastIdx: i}
+	}
+	flush()
+}
+
+// Stats summarizes the index.
+type Stats struct {
+	Trajectories int
+	Cells        int
+	Visits       int
+	TimeSpan     [2]float64
+}
+
+// Stats returns occupancy statistics.
+func (idx *Index) Stats() Stats {
+	s := Stats{
+		Trajectories: len(idx.ds.Trajectories),
+		Cells:        idx.nx * idx.ny,
+		TimeSpan:     [2]float64{idx.tMin, idx.tMax},
+	}
+	for _, c := range idx.cells {
+		s.Visits += len(c)
+	}
+	return s
+}
+
+// Query returns the ids of trajectories that have at least one sample
+// inside the box during [t0, t1], in ascending order.
+func (idx *Index) Query(box geo.Rect, t0, t1 float64) []traj.ID {
+	if box.Empty() || t1 < t0 {
+		return nil
+	}
+	x0 := int((box.Min.X - idx.origin.X) / idx.cellSize)
+	x1 := int((box.Max.X - idx.origin.X) / idx.cellSize)
+	y0 := int((box.Min.Y - idx.origin.Y) / idx.cellSize)
+	y1 := int((box.Max.Y - idx.origin.Y) / idx.cellSize)
+	if x1 < 0 || y1 < 0 || x0 >= idx.nx || y0 >= idx.ny {
+		return nil
+	}
+	x0, y0 = clampInt(x0, 0, idx.nx-1), clampInt(y0, 0, idx.ny-1)
+	x1, y1 = clampInt(x1, 0, idx.nx-1), clampInt(y1, 0, idx.ny-1)
+
+	hits := make(map[traj.ID]struct{})
+	for cy := y0; cy <= y1; cy++ {
+		for cx := x0; cx <= x1; cx++ {
+			for _, v := range idx.cells[cy*idx.nx+cx] {
+				if v.t1 < t0 || v.t0 > t1 {
+					continue // interval prune
+				}
+				if _, done := hits[v.id]; done {
+					continue
+				}
+				// Verify with exact samples of the stay.
+				tr := idx.ds.Trajectories[idx.byID[v.id]]
+				for i := v.firstIdx; i <= v.lastIdx; i++ {
+					p := tr.Points[i]
+					if p.Time >= t0 && p.Time <= t1 && box.Contains(p.Pt) {
+						hits[v.id] = struct{}{}
+						break
+					}
+				}
+			}
+		}
+	}
+	out := make([]traj.ID, 0, len(hits))
+	for id := range hits {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Subset returns the dataset restricted to the given trajectory ids
+// (e.g. to cluster only the traffic a query surfaced). Unknown ids are
+// skipped.
+func (idx *Index) Subset(ids []traj.ID, name string) traj.Dataset {
+	out := traj.Dataset{Name: name}
+	for _, id := range ids {
+		if ti, ok := idx.byID[id]; ok {
+			out.Trajectories = append(out.Trajectories, idx.ds.Trajectories[ti])
+		}
+	}
+	return out
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

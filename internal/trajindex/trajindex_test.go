@@ -1,0 +1,162 @@
+package trajindex
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/mapgen"
+	"repro/internal/mobisim"
+	"repro/internal/traj"
+)
+
+func lineTraj(id traj.ID, y float64, t0 float64) traj.Trajectory {
+	tr := traj.Trajectory{ID: id}
+	for i := 0; i <= 10; i++ {
+		tr.Points = append(tr.Points, traj.Sample(0, geo.Pt(float64(i)*100, y), t0+float64(i)*10))
+	}
+	return tr
+}
+
+func TestQueryBasic(t *testing.T) {
+	ds := traj.Dataset{Trajectories: []traj.Trajectory{
+		lineTraj(1, 0, 0),    // crosses x in [0,1000] at y=0, t in [0,100]
+		lineTraj(2, 500, 0),  // y=500
+		lineTraj(3, 0, 1000), // same path as 1, much later
+	}}
+	idx, err := New(ds, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Box around the middle of the y=0 line, full time span of traj 1.
+	box := geo.RectFromPoints(geo.Pt(400, -50), geo.Pt(600, 50))
+	got := idx.Query(box, 0, 200)
+	if !reflect.DeepEqual(got, []traj.ID{1}) {
+		t.Errorf("Query = %v, want [1]", got)
+	}
+	// Later window catches trajectory 3 only.
+	got = idx.Query(box, 900, 2000)
+	if !reflect.DeepEqual(got, []traj.ID{3}) {
+		t.Errorf("late Query = %v, want [3]", got)
+	}
+	// Wide box and time: everything.
+	got = idx.Query(geo.RectFromPoints(geo.Pt(-10, -10), geo.Pt(2000, 600)), 0, 3000)
+	if !reflect.DeepEqual(got, []traj.ID{1, 2, 3}) {
+		t.Errorf("wide Query = %v", got)
+	}
+	// Empty results: wrong place, wrong time.
+	if got := idx.Query(geo.RectFromPoints(geo.Pt(5000, 5000), geo.Pt(6000, 6000)), 0, 100); len(got) != 0 {
+		t.Errorf("far Query = %v", got)
+	}
+	if got := idx.Query(box, 300, 800); len(got) != 0 {
+		t.Errorf("gap-time Query = %v", got)
+	}
+	// Degenerate inputs.
+	if got := idx.Query(geo.EmptyRect(), 0, 100); got != nil {
+		t.Errorf("empty box Query = %v", got)
+	}
+	if got := idx.Query(box, 100, 0); got != nil {
+		t.Errorf("inverted time Query = %v", got)
+	}
+}
+
+func TestQueryAgainstBruteForce(t *testing.T) {
+	g, err := mapgen.Generate(mapgen.Config{
+		Name: "ti", TargetJunctions: 200, TargetSegments: 280,
+		AvgSegLenM: 150, MaxDegree: 6, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, _, err := mobisim.New(g).Simulate(mobisim.DefaultConfig("ti", 40, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := New(ds, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := g.Bounds()
+	rng := rand.New(rand.NewSource(15))
+	for trial := 0; trial < 60; trial++ {
+		cx := bounds.Min.X + rng.Float64()*bounds.Width()
+		cy := bounds.Min.Y + rng.Float64()*bounds.Height()
+		half := 100 + rng.Float64()*600
+		box := geo.RectFromPoints(geo.Pt(cx-half, cy-half), geo.Pt(cx+half, cy+half))
+		t0 := rng.Float64() * 600
+		t1 := t0 + rng.Float64()*1200
+
+		got := idx.Query(box, t0, t1)
+		var want []traj.ID
+		for _, tr := range ds.Trajectories {
+			for _, p := range tr.Points {
+				if p.Time >= t0 && p.Time <= t1 && box.Contains(p.Pt) {
+					want = append(want, tr.ID)
+					break
+				}
+			}
+		}
+		if !reflect.DeepEqual(got, want) && !(len(got) == 0 && len(want) == 0) {
+			t.Fatalf("trial %d: Query = %v, brute force = %v", trial, got, want)
+		}
+	}
+}
+
+func TestSubset(t *testing.T) {
+	ds := traj.Dataset{Trajectories: []traj.Trajectory{
+		lineTraj(1, 0, 0), lineTraj(2, 100, 0), lineTraj(3, 200, 0),
+	}}
+	idx, err := New(ds, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := idx.Subset([]traj.ID{3, 1, 99}, "sub")
+	if len(sub.Trajectories) != 2 {
+		t.Fatalf("subset = %d trajectories", len(sub.Trajectories))
+	}
+	if sub.Trajectories[0].ID != 3 || sub.Trajectories[1].ID != 1 {
+		t.Errorf("subset order = %v, %v (follows requested ids)", sub.Trajectories[0].ID, sub.Trajectories[1].ID)
+	}
+}
+
+func TestStatsAndValidation(t *testing.T) {
+	ds := traj.Dataset{Trajectories: []traj.Trajectory{lineTraj(1, 0, 5)}}
+	idx, err := New(ds, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := idx.Stats()
+	if s.Trajectories != 1 || s.Visits == 0 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.TimeSpan != [2]float64{5, 105} {
+		t.Errorf("time span = %v", s.TimeSpan)
+	}
+	if _, err := New(ds, 0); err == nil {
+		t.Error("zero cell size accepted")
+	}
+	if _, err := New(traj.Dataset{}, 100); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	dup := traj.Dataset{Trajectories: []traj.Trajectory{lineTraj(1, 0, 0), lineTraj(1, 0, 0)}}
+	if _, err := New(dup, 100); err == nil {
+		t.Error("duplicate ids accepted")
+	}
+}
+
+func TestVisitCompression(t *testing.T) {
+	// A trajectory staying in one cell produces one visit, not one per
+	// sample.
+	tr := traj.Trajectory{ID: 1}
+	for i := 0; i < 20; i++ {
+		tr.Points = append(tr.Points, traj.Sample(0, geo.Pt(10+float64(i), 10), float64(i)))
+	}
+	idx, err := New(traj.Dataset{Trajectories: []traj.Trajectory{tr}}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := idx.Stats(); s.Visits != 1 {
+		t.Errorf("visits = %d, want 1 (interval compression)", s.Visits)
+	}
+}

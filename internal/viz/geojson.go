@@ -1,0 +1,151 @@
+package viz
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/geo"
+	"repro/internal/neat"
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+)
+
+// GeoJSON export lets the reproduction's outputs load into standard
+// GIS tooling (QGIS, geojson.io, kepler.gl). Coordinates are the local
+// planar meters of the synthetic maps — a Cartesian CRS, not WGS84 —
+// which those tools render fine for inspection.
+
+// geoJSONFeature is one GeoJSON feature.
+type geoJSONFeature struct {
+	Type       string         `json:"type"`
+	Geometry   geoJSONGeom    `json:"geometry"`
+	Properties map[string]any `json:"properties,omitempty"`
+}
+
+type geoJSONGeom struct {
+	Type        string `json:"type"`
+	Coordinates any    `json:"coordinates"`
+}
+
+type geoJSONCollection struct {
+	Type     string           `json:"type"`
+	Features []geoJSONFeature `json:"features"`
+}
+
+func lineCoords(pl geo.Polyline) [][2]float64 {
+	out := make([][2]float64, len(pl))
+	for i, p := range pl {
+		out[i] = [2]float64{p.X, p.Y}
+	}
+	return out
+}
+
+// WriteNetworkGeoJSON exports every road segment as a LineString
+// feature with sid, class, speed limit, and direction properties.
+func WriteNetworkGeoJSON(w io.Writer, g *roadnet.Graph) error {
+	col := geoJSONCollection{Type: "FeatureCollection"}
+	for _, s := range g.Segments() {
+		gs := g.SegmentGeometry(s.ID)
+		col.Features = append(col.Features, geoJSONFeature{
+			Type: "Feature",
+			Geometry: geoJSONGeom{
+				Type:        "LineString",
+				Coordinates: lineCoords(geo.Polyline{gs.A, gs.B}),
+			},
+			Properties: map[string]any{
+				"sid":           int(s.ID),
+				"class":         s.Class.String(),
+				"speed_limit":   s.SpeedLimit,
+				"length_m":      s.Length,
+				"bidirectional": s.Bidirectional,
+			},
+		})
+	}
+	return encodeGeoJSON(w, col)
+}
+
+// WriteDatasetGeoJSON exports trajectories as LineString features.
+func WriteDatasetGeoJSON(w io.Writer, ds traj.Dataset) error {
+	col := geoJSONCollection{Type: "FeatureCollection"}
+	for _, tr := range ds.Trajectories {
+		col.Features = append(col.Features, geoJSONFeature{
+			Type: "Feature",
+			Geometry: geoJSONGeom{
+				Type:        "LineString",
+				Coordinates: lineCoords(tr.Geometry()),
+			},
+			Properties: map[string]any{
+				"trid":     int(tr.ID),
+				"points":   len(tr.Points),
+				"duration": tr.Duration(),
+			},
+		})
+	}
+	return encodeGeoJSON(w, col)
+}
+
+// WriteFlowsGeoJSON exports flow clusters' representative routes with
+// their NEAT statistics.
+func WriteFlowsGeoJSON(w io.Writer, g *roadnet.Graph, flows []*neat.FlowCluster) error {
+	col := geoJSONCollection{Type: "FeatureCollection"}
+	for i, f := range flows {
+		pl, err := f.Route.Geometry(g)
+		if err != nil {
+			return fmt.Errorf("viz: flow %d geometry: %w", i, err)
+		}
+		col.Features = append(col.Features, geoJSONFeature{
+			Type: "Feature",
+			Geometry: geoJSONGeom{
+				Type:        "LineString",
+				Coordinates: lineCoords(pl),
+			},
+			Properties: map[string]any{
+				"flow":           i,
+				"segments":       len(f.Route),
+				"route_length_m": f.RouteLength(g),
+				"cardinality":    f.Cardinality(),
+				"density":        f.Density(),
+			},
+		})
+	}
+	return encodeGeoJSON(w, col)
+}
+
+// WriteClustersGeoJSON exports final trajectory clusters as
+// MultiLineString features, one per cluster.
+func WriteClustersGeoJSON(w io.Writer, g *roadnet.Graph, clusters []*neat.TrajectoryCluster) error {
+	col := geoJSONCollection{Type: "FeatureCollection"}
+	for i, c := range clusters {
+		var multi [][][2]float64
+		for _, f := range c.Flows {
+			pl, err := f.Route.Geometry(g)
+			if err != nil {
+				return fmt.Errorf("viz: cluster %d geometry: %w", i, err)
+			}
+			multi = append(multi, lineCoords(pl))
+		}
+		col.Features = append(col.Features, geoJSONFeature{
+			Type: "Feature",
+			Geometry: geoJSONGeom{
+				Type:        "MultiLineString",
+				Coordinates: multi,
+			},
+			Properties: map[string]any{
+				"cluster":     i,
+				"flows":       len(c.Flows),
+				"cardinality": c.Cardinality(),
+				"density":     c.Density(),
+			},
+		})
+	}
+	return encodeGeoJSON(w, col)
+}
+
+func encodeGeoJSON(w io.Writer, col geoJSONCollection) error {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(col); err != nil {
+		return fmt.Errorf("viz: encode geojson: %w", err)
+	}
+	return nil
+}

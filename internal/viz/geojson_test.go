@@ -1,0 +1,99 @@
+package viz
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/neat"
+	"repro/internal/traj"
+)
+
+// decodeCollection parses a GeoJSON document and returns type plus
+// feature count and the first feature's geometry type.
+func decodeCollection(t *testing.T, data []byte) (string, int, string) {
+	t.Helper()
+	var col struct {
+		Type     string `json:"type"`
+		Features []struct {
+			Type     string `json:"type"`
+			Geometry struct {
+				Type        string          `json:"type"`
+				Coordinates json.RawMessage `json:"coordinates"`
+			} `json:"geometry"`
+			Properties map[string]any `json:"properties"`
+		} `json:"features"`
+	}
+	if err := json.Unmarshal(data, &col); err != nil {
+		t.Fatalf("invalid GeoJSON: %v", err)
+	}
+	if len(col.Features) == 0 {
+		return col.Type, 0, ""
+	}
+	return col.Type, len(col.Features), col.Features[0].Geometry.Type
+}
+
+func TestWriteNetworkGeoJSON(t *testing.T) {
+	g, _ := testGraph(t)
+	var buf bytes.Buffer
+	if err := WriteNetworkGeoJSON(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	typ, n, geom := decodeCollection(t, buf.Bytes())
+	if typ != "FeatureCollection" || n != 2 || geom != "LineString" {
+		t.Errorf("got %s/%d/%s", typ, n, geom)
+	}
+}
+
+func TestWriteDatasetGeoJSON(t *testing.T) {
+	_, segs := testGraph(t)
+	ds := traj.Dataset{Trajectories: []traj.Trajectory{{
+		ID: 9,
+		Points: []traj.Location{
+			traj.Sample(segs[0], geo.Pt(0, 0), 0),
+			traj.Sample(segs[0], geo.Pt(100, 0), 10),
+		},
+	}}}
+	var buf bytes.Buffer
+	if err := WriteDatasetGeoJSON(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	_, n, geom := decodeCollection(t, buf.Bytes())
+	if n != 1 || geom != "LineString" {
+		t.Errorf("got %d/%s", n, geom)
+	}
+}
+
+func TestWriteFlowsAndClustersGeoJSON(t *testing.T) {
+	g, segs := testGraph(t)
+	frag := func(id traj.ID, s int) traj.TFragment {
+		gs := g.SegmentGeometry(segs[s])
+		return traj.TFragment{Traj: id, Seg: segs[s],
+			Points: []traj.Location{traj.Sample(segs[s], gs.A, 0), traj.Sample(segs[s], gs.B, 1)}}
+	}
+	bs := neat.FormBaseClusters([]traj.TFragment{frag(1, 0), frag(1, 1), frag(2, 0)})
+	flows, _, err := neat.FormFlowClusters(g, bs, neat.FlowConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFlowsGeoJSON(&buf, g, flows); err != nil {
+		t.Fatal(err)
+	}
+	if _, n, geom := decodeCollection(t, buf.Bytes()); n != len(flows) || geom != "LineString" {
+		t.Errorf("flows geojson: %d/%s", n, geom)
+	}
+
+	clusters, _, err := neat.RefineFlows(g, flows, neat.RefineConfig{Epsilon: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := WriteClustersGeoJSON(&buf, g, clusters); err != nil {
+		t.Fatal(err)
+	}
+	if _, n, geom := decodeCollection(t, buf.Bytes()); n != len(clusters) || geom != "MultiLineString" {
+		t.Errorf("clusters geojson: %d/%s", n, geom)
+	}
+}

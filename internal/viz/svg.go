@@ -1,0 +1,195 @@
+// Package viz renders road networks, trajectory datasets, and NEAT /
+// TraClus clustering results as SVG documents, reproducing the
+// visualizations of the paper's Fig 3 (input data, flow clusters,
+// refined clusters) and Fig 4 (TraClus clusters).
+package viz
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/geo"
+	"repro/internal/neat"
+	"repro/internal/roadnet"
+	"repro/internal/traclus"
+	"repro/internal/traj"
+)
+
+// Canvas accumulates SVG layers over one road network and writes a
+// standalone document.
+type Canvas struct {
+	g       *roadnet.Graph
+	width   float64
+	height  float64
+	scale   float64
+	offsetX float64
+	offsetY float64
+	layers  []string
+}
+
+// palette holds visually distinct colors for cluster polylines.
+var palette = []string{
+	"#c0392b", "#2980b9", "#27ae60", "#8e44ad", "#d35400",
+	"#16a085", "#7f8c8d", "#f39c12", "#2c3e50", "#e84393",
+}
+
+// Color returns the palette color for cluster index i.
+func Color(i int) string { return palette[i%len(palette)] }
+
+// NewCanvas creates a canvas for g scaled to the given pixel width
+// (height follows the map's aspect ratio).
+func NewCanvas(g *roadnet.Graph, widthPx float64) *Canvas {
+	b := g.Bounds().Expand(100)
+	scale := widthPx / b.Width()
+	return &Canvas{
+		g:       g,
+		width:   widthPx,
+		height:  b.Height() * scale,
+		scale:   scale,
+		offsetX: b.Min.X,
+		offsetY: b.Min.Y,
+	}
+}
+
+func (c *Canvas) px(p geo.Point) (float64, float64) {
+	// SVG's y axis points down; flip so north is up.
+	return (p.X - c.offsetX) * c.scale, c.height - (p.Y-c.offsetY)*c.scale
+}
+
+// DrawNetwork renders every road segment as a light gray line.
+func (c *Canvas) DrawNetwork() {
+	var buf string
+	buf += `<g stroke="#d0d0d0" stroke-width="0.7" fill="none">`
+	for _, s := range c.g.Segments() {
+		gs := c.g.SegmentGeometry(s.ID)
+		x1, y1 := c.px(gs.A)
+		x2, y2 := c.px(gs.B)
+		buf += fmt.Sprintf(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f"/>`, x1, y1, x2, y2)
+	}
+	buf += `</g>`
+	c.layers = append(c.layers, buf)
+}
+
+// DrawDataset renders trajectories as thin green polylines, matching
+// the paper's Fig 3(a). Geometries are Douglas-Peucker simplified to
+// sub-pixel tolerance, which keeps large-dataset SVGs tractable.
+func (c *Canvas) DrawDataset(ds traj.Dataset) {
+	tolerance := 0.5 / c.scale // half a pixel in map meters
+	var buf string
+	buf += `<g stroke="#2e8b57" stroke-width="0.5" fill="none" opacity="0.45">`
+	for _, tr := range ds.Trajectories {
+		buf += c.polyline(tr.Geometry().Simplify(tolerance))
+	}
+	buf += `</g>`
+	c.layers = append(c.layers, buf)
+}
+
+// DrawFlows renders each flow cluster's representative route as a
+// numbered colored polyline (Fig 3(b)).
+func (c *Canvas) DrawFlows(flows []*neat.FlowCluster) error {
+	var buf string
+	for i, f := range flows {
+		pl, err := f.Route.Geometry(c.g)
+		if err != nil {
+			return fmt.Errorf("viz: flow %d: %w", i, err)
+		}
+		buf += fmt.Sprintf(`<g stroke="%s" stroke-width="2.2" fill="none">%s</g>`, Color(i), c.polyline(pl))
+		if len(pl) > 0 {
+			x, y := c.px(pl[len(pl)/2])
+			buf += fmt.Sprintf(`<text x="%.1f" y="%.1f" font-size="10" fill="%s">%d</text>`, x+3, y-3, Color(i), i)
+		}
+	}
+	c.layers = append(c.layers, buf)
+	return nil
+}
+
+// DrawClusters renders refined trajectory clusters, one color per
+// cluster, all member flow routes in that color (Fig 3(c)).
+func (c *Canvas) DrawClusters(clusters []*neat.TrajectoryCluster) error {
+	var buf string
+	for i, cl := range clusters {
+		col := Color(i)
+		buf += fmt.Sprintf(`<g stroke="%s" stroke-width="2.2" fill="none">`, col)
+		for _, f := range cl.Flows {
+			pl, err := f.Route.Geometry(c.g)
+			if err != nil {
+				return fmt.Errorf("viz: cluster %d: %w", i, err)
+			}
+			buf += c.polyline(pl)
+		}
+		buf += `</g>`
+	}
+	c.layers = append(c.layers, buf)
+	return nil
+}
+
+// DrawTraClus renders TraClus representative trajectories (Fig 4).
+func (c *Canvas) DrawTraClus(clusters []*traclus.Cluster) {
+	var buf string
+	for i, cl := range clusters {
+		if len(cl.Representative) < 2 {
+			continue
+		}
+		buf += fmt.Sprintf(`<g stroke="%s" stroke-width="1.8" fill="none">%s</g>`,
+			Color(i), c.polyline(cl.Representative))
+		x, y := c.px(cl.Representative[0])
+		buf += fmt.Sprintf(`<text x="%.1f" y="%.1f" font-size="9" fill="%s">%d</text>`, x+2, y-2, Color(i), i)
+	}
+	c.layers = append(c.layers, buf)
+}
+
+// DrawMarkers renders junctions of interest: hotspots as filled
+// circles, destinations as red X signs (as in Fig 3).
+func (c *Canvas) DrawMarkers(hotspots, destinations []roadnet.NodeID) {
+	var buf string
+	for _, n := range hotspots {
+		x, y := c.px(c.g.Node(n).Pt)
+		buf += fmt.Sprintf(`<circle cx="%.1f" cy="%.1f" r="6" fill="#1a5fb4" opacity="0.8"/>`, x, y)
+	}
+	for _, n := range destinations {
+		x, y := c.px(c.g.Node(n).Pt)
+		buf += fmt.Sprintf(
+			`<g stroke="#d00" stroke-width="2.5"><line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f"/><line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f"/></g>`,
+			x-6, y-6, x+6, y+6, x-6, y+6, x+6, y-6)
+	}
+	c.layers = append(c.layers, buf)
+}
+
+func (c *Canvas) polyline(pl geo.Polyline) string {
+	if len(pl) == 0 {
+		return ""
+	}
+	s := `<polyline points="`
+	for _, p := range pl {
+		x, y := c.px(p)
+		s += fmt.Sprintf("%.1f,%.1f ", x, y)
+	}
+	return s + `"/>`
+}
+
+// WriteTo writes the assembled SVG document.
+func (c *Canvas) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	count, err := fmt.Fprintf(bw,
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f"><rect width="100%%" height="100%%" fill="white"/>`,
+		c.width, c.height, c.width, c.height)
+	n += int64(count)
+	if err != nil {
+		return n, fmt.Errorf("viz: write header: %w", err)
+	}
+	for _, l := range c.layers {
+		count, err = fmt.Fprint(bw, l)
+		n += int64(count)
+		if err != nil {
+			return n, fmt.Errorf("viz: write layer: %w", err)
+		}
+	}
+	count, err = fmt.Fprint(bw, `</svg>`)
+	n += int64(count)
+	if err != nil {
+		return n, fmt.Errorf("viz: write footer: %w", err)
+	}
+	return n, bw.Flush()
+}

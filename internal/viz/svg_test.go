@@ -1,0 +1,153 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/neat"
+	"repro/internal/roadnet"
+	"repro/internal/traclus"
+	"repro/internal/traj"
+)
+
+func testGraph(t *testing.T) (*roadnet.Graph, []roadnet.SegID) {
+	t.Helper()
+	var b roadnet.Builder
+	n0 := b.AddJunction(geo.Pt(0, 0))
+	n1 := b.AddJunction(geo.Pt(500, 0))
+	n2 := b.AddJunction(geo.Pt(500, 400))
+	s0, _ := b.AddSegment(n0, n1, roadnet.SegmentOpts{})
+	s1, _ := b.AddSegment(n1, n2, roadnet.SegmentOpts{})
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, []roadnet.SegID{s0, s1}
+}
+
+func render(t *testing.T, c *Canvas) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestCanvasNetwork(t *testing.T) {
+	g, _ := testGraph(t)
+	c := NewCanvas(g, 800)
+	c.DrawNetwork()
+	out := render(t, c)
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(out, "</svg>") {
+		t.Error("not a complete SVG document")
+	}
+	if strings.Count(out, "<line") != 2 {
+		t.Errorf("want 2 segment lines, got %d", strings.Count(out, "<line"))
+	}
+}
+
+func TestCanvasDataset(t *testing.T) {
+	g, segs := testGraph(t)
+	ds := traj.Dataset{Trajectories: []traj.Trajectory{{
+		ID: 1,
+		Points: []traj.Location{
+			traj.Sample(segs[0], geo.Pt(10, 0), 0),
+			traj.Sample(segs[0], geo.Pt(400, 0), 10),
+		},
+	}}}
+	c := NewCanvas(g, 800)
+	c.DrawDataset(ds)
+	out := render(t, c)
+	if !strings.Contains(out, "<polyline") {
+		t.Error("trajectory polyline missing")
+	}
+}
+
+func TestCanvasFlowsAndClusters(t *testing.T) {
+	g, segs := testGraph(t)
+	frag := func(id traj.ID, s roadnet.SegID) traj.TFragment {
+		gs := g.SegmentGeometry(s)
+		return traj.TFragment{
+			Traj:   id,
+			Seg:    s,
+			Points: []traj.Location{traj.Sample(s, gs.A, 0), traj.Sample(s, gs.B, 1)},
+		}
+	}
+	frags := []traj.TFragment{frag(1, segs[0]), frag(1, segs[1]), frag(2, segs[0])}
+	bs := neat.FormBaseClusters(frags)
+	flows, _, err := neat.FormFlowClusters(g, bs, neat.FlowConfig{Weights: neat.WeightsFlowOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCanvas(g, 800)
+	if err := c.DrawFlows(flows); err != nil {
+		t.Fatal(err)
+	}
+	out := render(t, c)
+	if !strings.Contains(out, "<polyline") || !strings.Contains(out, "<text") {
+		t.Error("flow polyline or label missing")
+	}
+
+	clusters, _, err := neat.RefineFlows(g, flows, neat.RefineConfig{Epsilon: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := NewCanvas(g, 800)
+	if err := c2.DrawClusters(clusters); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(render(t, c2), "<polyline") {
+		t.Error("cluster polyline missing")
+	}
+}
+
+func TestCanvasTraClusAndMarkers(t *testing.T) {
+	g, _ := testGraph(t)
+	clusters := []*traclus.Cluster{
+		{Representative: geo.Polyline{geo.Pt(0, 0), geo.Pt(100, 50)}},
+		{Representative: geo.Polyline{geo.Pt(5, 5)}}, // too short: skipped
+	}
+	c := NewCanvas(g, 800)
+	c.DrawTraClus(clusters)
+	c.DrawMarkers([]roadnet.NodeID{0}, []roadnet.NodeID{2})
+	out := render(t, c)
+	if strings.Count(out, "<polyline") != 1 {
+		t.Errorf("want 1 representative, got %d", strings.Count(out, "<polyline"))
+	}
+	if !strings.Contains(out, "<circle") {
+		t.Error("hotspot marker missing")
+	}
+	if strings.Count(out, "<line") < 2 {
+		t.Error("destination X missing")
+	}
+}
+
+func TestColorCycles(t *testing.T) {
+	if Color(0) == "" || Color(0) != Color(len(palette)) {
+		t.Error("palette does not cycle")
+	}
+	seen := map[string]bool{}
+	for i := 0; i < len(palette); i++ {
+		if seen[Color(i)] {
+			t.Errorf("palette color %d repeated", i)
+		}
+		seen[Color(i)] = true
+	}
+}
+
+func TestCanvasAspectRatio(t *testing.T) {
+	g, _ := testGraph(t)
+	c := NewCanvas(g, 700)
+	out := render(t, c)
+	if !strings.Contains(out, `width="700"`) {
+		t.Errorf("wrong width: %s", out[:120])
+	}
+	// Height follows the (padded) bounds aspect ratio: 600x700 padded
+	// -> aspect < 1, so height < width.
+	if c.height <= 0 || c.height >= 700 {
+		t.Errorf("height = %v", c.height)
+	}
+}
