@@ -173,6 +173,7 @@ func BenchmarkFig7(b *testing.B) {
 		}{
 			{"ELB", neat.RefineConfig{Epsilon: e.Epsilon(6500), UseELB: true, Bounded: true}},
 			{"Dijkstra", neat.RefineConfig{Epsilon: e.Epsilon(6500), UseELB: false, Bounded: false}},
+			{"Batched", neat.RefineConfig{Epsilon: e.Epsilon(6500), UseELB: true, Workers: -1}},
 		} {
 			b.Run(mode.name+"/"+ds.Name, func(b *testing.B) {
 				b.ResetTimer()
@@ -301,19 +302,29 @@ func BenchmarkAblationSP(b *testing.B) {
 		b.Fatal(err)
 	}
 	for _, algo := range []neat.SPAlgo{neat.SPDijkstra, neat.SPAStar, neat.SPBidirectional, neat.SPALT, neat.SPCH} {
-		b.Run(algo.String(), func(b *testing.B) {
-			cfg := neat.RefineConfig{
-				Epsilon: e.Epsilon(6500),
-				UseELB:  true,
-				Bounded: algo == neat.SPDijkstra,
-				Algo:    algo,
+		// workers 0 = the serial scan; -1 = all CPUs, which for the
+		// Dijkstra kernel dispatches to the batched one-to-many builder
+		// and for the rest shards the pairwise scan.
+		for _, workers := range []int{0, -1} {
+			name := algo.String()
+			if workers != 0 {
+				name += "/parallel"
 			}
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if _, _, err := neat.RefineFlows(g, flowRes.Flows, cfg); err != nil {
-					b.Fatal(err)
+			b.Run(name, func(b *testing.B) {
+				cfg := neat.RefineConfig{
+					Epsilon: e.Epsilon(6500),
+					UseELB:  true,
+					Bounded: algo == neat.SPDijkstra,
+					Algo:    algo,
+					Workers: workers,
 				}
-			}
-		})
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := neat.RefineFlows(g, flowRes.Flows, cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }

@@ -168,6 +168,7 @@ func cmdCluster(args []string) error {
 	minCard := fs.Int("mincard", 5, "minimum flow trajectory cardinality")
 	weights := fs.String("weights", "flow", "merge weights: flow, density, speed, balanced, monitoring")
 	beta := fs.Float64("beta", 0, "domination threshold (0 = +Inf)")
+	workers := fs.Int("workers", 0, "parallel workers for Phases 1 and 3 (0 = serial, -1 = all CPUs)")
 	svg := fs.String("svg", "", "write clustering visualization to this SVG file")
 	jsonOut := fs.String("json", "", "write machine-readable results to this JSON file")
 	if err := fs.Parse(args); err != nil {
@@ -194,9 +195,15 @@ func cmdCluster(args []string) error {
 	}
 	cfg := neat.Config{
 		Flow:   neat.FlowConfig{Weights: w, MinCard: *minCard, Beta: *beta},
-		Refine: neat.RefineConfig{Epsilon: *eps, UseELB: true, Bounded: true},
+		Refine: neat.RefineConfig{Epsilon: *eps, UseELB: true, Bounded: true, Workers: *workers},
 	}
-	res, err := neat.NewPipeline(g).Run(ds, cfg, lvl)
+	p := neat.NewPipeline(g)
+	var res *neat.Result
+	if *workers != 0 {
+		res, err = p.RunParallel(ds, cfg, lvl, *workers)
+	} else {
+		res, err = p.Run(ds, cfg, lvl)
+	}
 	if err != nil {
 		return err
 	}
@@ -322,6 +329,11 @@ func printResult(g *roadnet.Graph, res *neat.Result) {
 		fmt.Printf("  phase 3: %d final clusters in %s (%d SP queries, %d pairs ELB-pruned)\n",
 			len(res.Clusters), res.Timing.Phase3.Round(1e6),
 			res.RefineStats.SPQueries, res.RefineStats.ELBPruned)
+		if res.RefineStats.Workers > 0 {
+			fmt.Printf("    %d workers, %d one-to-many expansions, %d pairs grid-pruned (graph %s, cluster %s)\n",
+				res.RefineStats.Workers, res.RefineStats.Expansions, res.RefineStats.PrunedPairs,
+				res.RefineStats.GraphTime.Round(1e6), res.RefineStats.ClusterTime.Round(1e6))
+		}
 	}
 	fmt.Printf("  total: %s\n", res.Timing.Total().Round(1e6))
 }

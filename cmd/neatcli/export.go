@@ -17,6 +17,7 @@ func cmdExport(args []string) error {
 	what := fs.String("what", "network", "what to export: network, traces, flows, or clusters")
 	eps := fs.Float64("eps", 6500, "Phase 3 ε for -what clusters")
 	minCard := fs.Int("mincard", 5, "minCard for -what flows/clusters")
+	workers := fs.Int("workers", 0, "parallel workers for Phase 3 (0 = serial, -1 = all CPUs)")
 	out := fs.String("out", "", "output file (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -53,7 +54,7 @@ func cmdExport(args []string) error {
 		}
 		cfg := neat.Config{
 			Flow:   neat.FlowConfig{Weights: neat.WeightsFlowOnly, MinCard: *minCard},
-			Refine: neat.RefineConfig{Epsilon: *eps, UseELB: true, Bounded: true},
+			Refine: neat.RefineConfig{Epsilon: *eps, UseELB: true, Bounded: true, Workers: *workers},
 		}
 		level := neat.LevelFlow
 		if *what == "clusters" {

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	neatserver -map map.csv [-addr :8080] [-datanodes 4]
+//	neatserver -map map.csv [-addr :8080] [-datanodes 4] [-workers -1]
 //	neatserver -region ATL -scale 0.1 [-addr :8080]
 //
 // API:
@@ -43,6 +43,7 @@ func run(args []string) error {
 		region    = fs.String("region", "", "generate a preset map: ATL, SJ, or MIA")
 		scale     = fs.Float64("scale", 0.1, "scale for -region maps")
 		dataNodes = fs.Int("datanodes", 4, "preprocessing data nodes")
+		workers   = fs.Int("workers", 0, "Phase 3 refinement workers (0 = serial, -1 = all CPUs)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -77,7 +78,7 @@ func run(args []string) error {
 		return fmt.Errorf("one of -map or -region is required")
 	}
 
-	srv := server.New(g, server.Config{DataNodes: *dataNodes})
+	srv := server.New(g, server.Config{DataNodes: *dataNodes, Workers: *workers})
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),

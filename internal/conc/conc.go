@@ -1,0 +1,55 @@
+// Package conc centralizes the small concurrency conventions shared by
+// the parallel phases of the pipeline: worker-count normalization and
+// static sharding. Phase 1's trajectory partitioning and Phase 3's
+// ε-graph construction both pool single-goroutine engines; keeping the
+// knob semantics here stops each pool from re-inventing (and subtly
+// diverging on) them.
+package conc
+
+import "runtime"
+
+// Workers normalizes a worker-count knob: any n <= 0 selects
+// runtime.GOMAXPROCS(0), the scheduler's effective parallelism.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// WorkersFor normalizes n like Workers and additionally caps the pool
+// at the number of work items, never returning less than 1: spawning
+// more goroutines than items only costs startup latency.
+func WorkersFor(n, items int) int {
+	w := Workers(n)
+	if items < w {
+		w = items
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Chunk returns the half-open range [lo, hi) of items assigned to
+// worker w out of `workers` over `items` work items, splitting as
+// evenly as possible with the remainder spread over the first workers.
+// Static chunking keeps work assignment — and therefore any per-worker
+// accumulators — deterministic for a fixed worker count.
+func Chunk(w, workers, items int) (lo, hi int) {
+	per := items / workers
+	rem := items % workers
+	lo = w*per + min(w, rem)
+	hi = lo + per
+	if w < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

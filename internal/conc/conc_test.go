@@ -1,0 +1,56 @@
+package conc
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(7); got != 7 {
+		t.Errorf("Workers(7) = %d", got)
+	}
+}
+
+func TestWorkersFor(t *testing.T) {
+	if got := WorkersFor(8, 3); got != 3 {
+		t.Errorf("WorkersFor(8, 3) = %d, want 3", got)
+	}
+	if got := WorkersFor(2, 100); got != 2 {
+		t.Errorf("WorkersFor(2, 100) = %d, want 2", got)
+	}
+	if got := WorkersFor(4, 0); got != 1 {
+		t.Errorf("WorkersFor(4, 0) = %d, want 1", got)
+	}
+}
+
+func TestChunkCoversAllItems(t *testing.T) {
+	for _, tc := range []struct{ workers, items int }{
+		{1, 10}, {3, 10}, {4, 4}, {7, 23}, {5, 3},
+	} {
+		covered := 0
+		prevHi := 0
+		for w := 0; w < tc.workers; w++ {
+			lo, hi := Chunk(w, tc.workers, tc.items)
+			if lo != prevHi {
+				t.Errorf("workers=%d items=%d: worker %d starts at %d, want %d",
+					tc.workers, tc.items, w, lo, prevHi)
+			}
+			if hi < lo {
+				t.Errorf("workers=%d items=%d: worker %d has hi %d < lo %d",
+					tc.workers, tc.items, w, hi, lo)
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		if covered != tc.items || prevHi != tc.items {
+			t.Errorf("workers=%d items=%d: covered %d ending at %d",
+				tc.workers, tc.items, covered, prevHi)
+		}
+	}
+}

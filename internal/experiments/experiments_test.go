@@ -126,7 +126,7 @@ func TestAblationRunnersSmoke(t *testing.T) {
 		t.Skip("ablations are slow in -short mode")
 	}
 	e := tinyEnv(t)
-	for _, id := range []string{"ablation-weights", "ablation-beta", "ablation-sp"} {
+	for _, id := range []string{"ablation-weights", "ablation-beta", "ablation-sp", "phase3-workers"} {
 		tab, err := Run(e, id, "")
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)

@@ -31,6 +31,7 @@ func Registry() map[string]Runner {
 		"ablation-weights": func(e *Env, _ string) (*Table, error) { return AblationWeights(e) },
 		"ablation-beta":    func(e *Env, _ string) (*Table, error) { return AblationBeta(e) },
 		"ablation-sp":      func(e *Env, _ string) (*Table, error) { return AblationSP(e) },
+		"phase3-workers":   func(e *Env, _ string) (*Table, error) { return Phase3Workers(e) },
 	}
 }
 
@@ -46,6 +47,7 @@ func Order() []string {
 		"baselines": 10, "workloads": 11, "mapmatch": 12, "traclus-index": 13,
 		"scaling":          14,
 		"ablation-weights": 15, "ablation-beta": 16, "ablation-sp": 17,
+		"phase3-workers":   18,
 	}
 	sort.Slice(ids, func(i, j int) bool { return rank[ids[i]] < rank[ids[j]] })
 	return ids

@@ -155,11 +155,22 @@ func (p *Pipeline) Run(ds traj.Dataset, cfg Config, level Level) (*Result, error
 }
 
 // RunParallel is Run with Phase 1's trajectory partitioning sharded
-// across the given number of workers (0 = GOMAXPROCS). Phase 1
-// dominates NEAT's cost (Fig 6(b)) and is embarrassingly parallel
-// across trajectories; Phases 2 and 3 are unchanged, so results are
-// identical to Run.
+// across the given number of workers (0 = GOMAXPROCS, negatives
+// likewise resolve via conc.Workers). Phase 1 dominates NEAT's cost
+// (Fig 6(b)) and is embarrassingly parallel across trajectories.
+// Phase 3 also runs with the same worker count unless cfg.Refine
+// already pins one: the ε-graph is then built by the batched
+// one-to-many builder (or the sharded pairwise scan, depending on the
+// kernel — see RefineConfig.Workers), whose output is identical to the
+// serial scan's, so results match Run exactly.
 func (p *Pipeline) RunParallel(ds traj.Dataset, cfg Config, level Level, workers int) (*Result, error) {
+	if cfg.Refine.Workers == 0 {
+		w := workers
+		if w <= 0 {
+			w = -1 // resolve to GOMAXPROCS inside RefineFlows
+		}
+		cfg.Refine.Workers = w
+	}
 	start := time.Now()
 	frags, err := traj.PartitionDatasetParallel(p.g, ds, workers)
 	if err != nil {

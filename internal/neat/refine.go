@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"repro/internal/dbscan"
 	"repro/internal/roadnet"
@@ -88,6 +89,22 @@ type RefineConfig struct {
 	// Algo selects the shortest-path kernel (ablation; the paper uses
 	// Dijkstra). Bounded is only honored by SPDijkstra.
 	Algo SPAlgo
+	// Workers selects Phase 3's ε-graph construction strategy (an
+	// extension beyond the paper). 0 — the default — runs the serial
+	// pairwise scan exactly as §III-C describes, preserving the
+	// paper's per-pair query accounting. Any other value enables
+	// parallel construction over that many worker goroutines (negative
+	// selects GOMAXPROCS), each owning its single-goroutine shortest-
+	// path engine. With the Dijkstra kernel (and a finite ε) the
+	// pairwise scan is additionally re-batched into bounded one-to-many
+	// expansions — one per distinct flow-endpoint junction, carrying
+	// only targets a Euclidean point-grid pre-filter admits — so
+	// Bounded and CacheDistances are implied and ignored; the other
+	// kernels keep point-to-point queries and shard the pair scan.
+	// Clustering output is identical to the serial path in every case
+	// (the builders are merged deterministically); only the work
+	// accounting differs — see RefineStats.
+	Workers int
 }
 
 func (c RefineConfig) withDefaults() RefineConfig {
@@ -111,13 +128,31 @@ type RefineStats struct {
 	// Pairs is the number of flow-cluster pairs examined.
 	Pairs int
 	// ELBPruned is the number of pairs eliminated by the Euclidean
-	// lower bound without any shortest-path computation.
+	// lower bound without any shortest-path computation. Identical
+	// across the serial and parallel builders for a given config.
 	ELBPruned int
-	// SPQueries is the number of shortest-path computations issued.
+	// SPQueries is the number of shortest-path computations issued
+	// (point-to-point on the serial/pairwise paths; one per one-to-many
+	// expansion on the batched path).
 	SPQueries int64
 	// SettledNodes is the number of nodes settled across those
 	// computations (the real cost driver of network expansion).
 	SettledNodes int64
+	// Expansions is the number of bounded one-to-many expansions the
+	// batched builder ran; 0 on the serial and pairwise paths.
+	Expansions int64
+	// PrunedPairs is the number of pairs the Euclidean point-grid
+	// pre-filter rejected before any expansion was scheduled (batched
+	// path only; equals ELBPruned there when UseELB is set).
+	PrunedPairs int
+	// Workers is the worker count the ε-graph construction actually
+	// used; 0 means the serial paper path.
+	Workers int
+	// GraphTime is the wall time spent building the ε-graph (distance
+	// computations and predicate evaluation); ClusterTime is the wall
+	// time of the DBSCAN pass over it.
+	GraphTime   time.Duration
+	ClusterTime time.Duration
 }
 
 // TrajectoryCluster is a final NEAT cluster: a group of flow clusters
@@ -157,12 +192,186 @@ func (c *TrajectoryCluster) Routes() []roadnet.Route {
 	return out
 }
 
+// flowEnds holds the endpoint junctions {a1, a2} of Definition 11 for
+// one flow's representative route.
+type flowEnds struct{ a, b roadnet.NodeID }
+
+func flowEndpoints(flows []*FlowCluster) []flowEnds {
+	endpoints := make([]flowEnds, len(flows))
+	for i, f := range flows {
+		front, back := f.Endpoints()
+		endpoints[i] = flowEnds{a: front, b: back}
+	}
+	return endpoints
+}
+
+// pairEvaluator evaluates the modified-Hausdorff ε-predicate of
+// Definition 11 for flow pairs, one pair at a time, with the ELB filter
+// of §III-C3 applied first when enabled. It owns a single-goroutine
+// shortest-path engine plus an optional distance cache; the ALT/CH
+// preprocessing structures are shared (they are read-only after
+// construction). The serial scan uses one evaluator; the pairwise
+// parallel builder uses one per worker.
+type pairEvaluator struct {
+	g         *roadnet.Graph
+	cfg       RefineConfig
+	endpoints []flowEnds
+	eng       *shortest.Engine
+	alt       *shortest.ALT
+	ch        *shortest.CH
+	distCache map[[2]roadnet.NodeID]float64
+
+	elbPruned   int
+	spQueriesCH int64 // CH queries bypass the engine; folded in later
+}
+
+func newPairEvaluator(g *roadnet.Graph, cfg RefineConfig, endpoints []flowEnds, eng *shortest.Engine, alt *shortest.ALT, ch *shortest.CH) *pairEvaluator {
+	pe := &pairEvaluator{g: g, cfg: cfg, endpoints: endpoints, eng: eng, alt: alt, ch: ch}
+	if cfg.CacheDistances {
+		pe.distCache = make(map[[2]roadnet.NodeID]float64)
+	}
+	return pe
+}
+
+func (pe *pairEvaluator) compute(u, v roadnet.NodeID) float64 {
+	switch pe.cfg.Algo {
+	case SPAStar:
+		return pe.eng.AStar(u, v, shortest.Undirected).Dist
+	case SPBidirectional:
+		return pe.eng.Bidirectional(u, v, shortest.Undirected)
+	case SPALT:
+		return pe.eng.AStarALT(u, v, pe.alt).Dist
+	case SPCH:
+		pe.spQueriesCH++
+		return pe.ch.Distance(u, v)
+	default:
+		if pe.cfg.Bounded {
+			return pe.eng.BoundedDistance(u, v, shortest.Undirected, pe.cfg.Epsilon)
+		}
+		return pe.eng.Dijkstra(u, v, shortest.Undirected).Dist
+	}
+}
+
+func (pe *pairEvaluator) netDist(u, v roadnet.NodeID) float64 {
+	if u == v {
+		return 0
+	}
+	if pe.distCache == nil {
+		return pe.compute(u, v)
+	}
+	key := [2]roadnet.NodeID{u, v}
+	if u > v {
+		key = [2]roadnet.NodeID{v, u} // undirected: canonical order
+	}
+	if d, ok := pe.distCache[key]; ok {
+		return d
+	}
+	d := pe.compute(u, v)
+	pe.distCache[key] = d
+	return d
+}
+
+// withinEps evaluates distN(Fi, Fj) <= ε per Definition 11.
+func (pe *pairEvaluator) withinEps(i, j int) bool {
+	ei, ej := pe.endpoints[i], pe.endpoints[j]
+	pi := [2]roadnet.NodeID{ei.a, ei.b}
+	pj := [2]roadnet.NodeID{ej.a, ej.b}
+	if pe.cfg.UseELB {
+		// Lower bound per endpoint pair: Euclidean (the paper's
+		// ELB), or the tighter landmark bound when ALT is active.
+		lower := func(u, v roadnet.NodeID) float64 {
+			if pe.alt != nil {
+				return pe.alt.Bound(u, v)
+			}
+			return pe.g.Node(u).Pt.Dist(pe.g.Node(v).Pt)
+		}
+		minE := math.Inf(1)
+		for _, u := range pi {
+			for _, v := range pj {
+				if d := lower(u, v); d < minE {
+					minE = d
+				}
+			}
+		}
+		// dE <= dN always, so if even the closest endpoint pair is
+		// beyond ε in Euclidean space, the network distance — and
+		// hence the Hausdorff aggregate — must exceed ε.
+		if minE > pe.cfg.Epsilon {
+			pe.elbPruned++
+			return false
+		}
+	}
+	var dn [2][2]float64
+	for ui, u := range pi {
+		for vi, v := range pj {
+			dn[ui][vi] = pe.netDist(u, v)
+		}
+	}
+	return hausdorffWithin(dn, pe.cfg.Epsilon)
+}
+
+// hausdorffWithin applies the modified Hausdorff aggregate (formula 5)
+// to the 2x2 endpoint distance matrix: max over both directions of the
+// per-endpoint min, compared against ε.
+func hausdorffWithin(dn [2][2]float64, eps float64) bool {
+	worst := 0.0
+	for ui := 0; ui < 2; ui++ {
+		m := math.Min(dn[ui][0], dn[ui][1])
+		if m > worst {
+			worst = m
+		}
+	}
+	for vi := 0; vi < 2; vi++ {
+		m := math.Min(dn[0][vi], dn[1][vi])
+		if m > worst {
+			worst = m
+		}
+	}
+	return worst <= eps
+}
+
+// refineStrategy names an ε-graph construction strategy.
+type refineStrategy uint8
+
+const (
+	// stratSerial is the paper's pairwise scan on one goroutine.
+	stratSerial refineStrategy = iota
+	// stratPairwise shards the pairwise scan across workers.
+	stratPairwise
+	// stratBatched runs bounded one-to-many expansions per distinct
+	// endpoint junction (SPDijkstra only).
+	stratBatched
+)
+
+// strategy maps the config to the builder that will construct the
+// ε-graph. The batched builder needs a finite radius and replaces the
+// Dijkstra kernel outright, so other kernels (and an infinite ε) fall
+// back to the sharded pairwise scan.
+func (c RefineConfig) strategy() refineStrategy {
+	switch {
+	case c.Workers == 0:
+		return stratSerial
+	case c.Algo == SPDijkstra && !math.IsInf(c.Epsilon, 1):
+		return stratBatched
+	default:
+		return stratPairwise
+	}
+}
+
 // RefineFlows performs Phase 3: it merges flow clusters whose
 // representative routes end within network distance ε of each other,
 // using the modified Hausdorff distance of Definition 11 and a
 // deterministic DBSCAN seeded longest-route-first. It returns the final
 // trajectory clusters together with work statistics.
+//
+// cfg.Workers selects the ε-graph construction strategy (serial,
+// batched one-to-many, or sharded pairwise — see RefineConfig); every
+// strategy produces the identical clustering.
 func RefineFlows(g *roadnet.Graph, flows []*FlowCluster, cfg RefineConfig) ([]*TrajectoryCluster, RefineStats, error) {
+	return refineFlowsWith(g, flows, cfg, cfg.strategy())
+}
+
+func refineFlowsWith(g *roadnet.Graph, flows []*FlowCluster, cfg RefineConfig, strat refineStrategy) ([]*TrajectoryCluster, RefineStats, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, RefineStats{}, err
 	}
@@ -172,16 +381,8 @@ func RefineFlows(g *roadnet.Graph, flows []*FlowCluster, cfg RefineConfig) ([]*T
 	}
 
 	spStats := &shortest.Stats{}
-	eng := shortest.New(g, spStats)
 	stats := RefineStats{}
-
-	// Endpoint junctions per flow: {a1, a2} of Definition 11.
-	type ends struct{ a, b roadnet.NodeID }
-	endpoints := make([]ends, len(flows))
-	for i, f := range flows {
-		front, back := f.Endpoints()
-		endpoints[i] = ends{a: front, b: back}
-	}
+	endpoints := flowEndpoints(flows)
 
 	var alt *shortest.ALT
 	if cfg.Algo == SPALT {
@@ -200,122 +401,27 @@ func RefineFlows(g *roadnet.Graph, flows []*FlowCluster, cfg RefineConfig) ([]*T
 		}
 	}
 
-	// CH queries bypass the engine, so they are counted separately and
-	// folded into the stats at the end.
-	var spQueriesCH int64
-
-	var distCache map[[2]roadnet.NodeID]float64
-	if cfg.CacheDistances {
-		distCache = make(map[[2]roadnet.NodeID]float64)
+	// Precompute the ε-graph; the DBSCAN oracle below serves from it.
+	graphStart := time.Now()
+	var adjacency [][]int
+	var err error
+	switch strat {
+	case stratBatched:
+		adjacency, err = buildEpsGraphBatched(g, flows, endpoints, cfg, spStats, &stats)
+	case stratPairwise:
+		adjacency = buildEpsGraphPairwise(g, flows, endpoints, cfg, spStats, alt, ch, &stats)
+	default:
+		adjacency = buildEpsGraphSerial(g, flows, endpoints, cfg, spStats, alt, ch, &stats)
 	}
-
-	compute := func(u, v roadnet.NodeID) float64 {
-		switch cfg.Algo {
-		case SPAStar:
-			return eng.AStar(u, v, shortest.Undirected).Dist
-		case SPBidirectional:
-			return eng.Bidirectional(u, v, shortest.Undirected)
-		case SPALT:
-			return eng.AStarALT(u, v, alt).Dist
-		case SPCH:
-			spQueriesCH++
-			return ch.Distance(u, v)
-		default:
-			if cfg.Bounded {
-				return eng.BoundedDistance(u, v, shortest.Undirected, cfg.Epsilon)
-			}
-			return eng.Dijkstra(u, v, shortest.Undirected).Dist
-		}
+	if err != nil {
+		return nil, stats, err
 	}
-	netDist := func(u, v roadnet.NodeID) float64 {
-		if u == v {
-			return 0
-		}
-		if distCache == nil {
-			return compute(u, v)
-		}
-		key := [2]roadnet.NodeID{u, v}
-		if u > v {
-			key = [2]roadnet.NodeID{v, u} // undirected: canonical order
-		}
-		if d, ok := distCache[key]; ok {
-			return d
-		}
-		d := compute(u, v)
-		distCache[key] = d
-		return d
-	}
-
-	// withinEps evaluates distN(Fi, Fj) <= ε per Definition 11, with
-	// the ELB filter of §III-C3 applied first when enabled.
-	withinEps := func(i, j int) bool {
-		ei, ej := endpoints[i], endpoints[j]
-		pi := [2]roadnet.NodeID{ei.a, ei.b}
-		pj := [2]roadnet.NodeID{ej.a, ej.b}
-		if cfg.UseELB {
-			// Lower bound per endpoint pair: Euclidean (the paper's
-			// ELB), or the tighter landmark bound when ALT is active.
-			lower := func(u, v roadnet.NodeID) float64 {
-				if alt != nil {
-					return alt.Bound(u, v)
-				}
-				return g.Node(u).Pt.Dist(g.Node(v).Pt)
-			}
-			minE := math.Inf(1)
-			for _, u := range pi {
-				for _, v := range pj {
-					if d := lower(u, v); d < minE {
-						minE = d
-					}
-				}
-			}
-			// dE <= dN always, so if even the closest endpoint pair is
-			// beyond ε in Euclidean space, the network distance — and
-			// hence the Hausdorff aggregate — must exceed ε.
-			if minE > cfg.Epsilon {
-				stats.ELBPruned++
-				return false
-			}
-		}
-		var dn [2][2]float64
-		for ui, u := range pi {
-			for vi, v := range pj {
-				dn[ui][vi] = netDist(u, v)
-			}
-		}
-		// Modified Hausdorff (formula 5): max over both directions of
-		// the per-endpoint min.
-		worst := 0.0
-		for ui := range pi {
-			m := math.Min(dn[ui][0], dn[ui][1])
-			if m > worst {
-				worst = m
-			}
-		}
-		for vi := range pj {
-			m := math.Min(dn[0][vi], dn[1][vi])
-			if m > worst {
-				worst = m
-			}
-		}
-		return worst <= cfg.Epsilon
-	}
-
-	// Precompute the ε-graph; the oracle below serves DBSCAN from it.
-	adjacency := make([][]int, len(flows))
-	for i := 0; i < len(flows); i++ {
-		for j := i + 1; j < len(flows); j++ {
-			stats.Pairs++
-			if withinEps(i, j) {
-				adjacency[i] = append(adjacency[i], j)
-				adjacency[j] = append(adjacency[j], i)
-			}
-		}
-	}
+	stats.GraphTime = time.Since(graphStart)
 
 	// Deterministic seed order: longest representative route first
 	// (modification (4) of §III-C2); ties by route segment count, then
 	// first segment id.
+	clusterStart := time.Now()
 	order := make([]int, len(flows))
 	for i := range order {
 		order[i] = i
@@ -357,8 +463,29 @@ func RefineFlows(g *roadnet.Graph, flows []*FlowCluster, cfg RefineConfig) ([]*T
 		clusters[label].Flows = append(clusters[label].Flows, flows[i])
 	}
 	clusters = append(clusters, noise...)
+	stats.ClusterTime = time.Since(clusterStart)
 
-	stats.SPQueries, stats.SettledNodes = spStats.Snapshot()
-	stats.SPQueries += spQueriesCH
+	q, settled := spStats.Snapshot()
+	stats.SPQueries += q
+	stats.SettledNodes += settled
 	return clusters, stats, nil
+}
+
+// buildEpsGraphSerial is the paper's pairwise scan: every one of the
+// F·(F−1)/2 pairs is evaluated in order by a single evaluator.
+func buildEpsGraphSerial(g *roadnet.Graph, flows []*FlowCluster, endpoints []flowEnds, cfg RefineConfig, spStats *shortest.Stats, alt *shortest.ALT, ch *shortest.CH, stats *RefineStats) [][]int {
+	pe := newPairEvaluator(g, cfg, endpoints, shortest.New(g, spStats), alt, ch)
+	adjacency := make([][]int, len(flows))
+	for i := 0; i < len(flows); i++ {
+		for j := i + 1; j < len(flows); j++ {
+			stats.Pairs++
+			if pe.withinEps(i, j) {
+				adjacency[i] = append(adjacency[i], j)
+				adjacency[j] = append(adjacency[j], i)
+			}
+		}
+	}
+	stats.ELBPruned = pe.elbPruned
+	stats.SPQueries += pe.spQueriesCH
+	return adjacency
 }

@@ -1,0 +1,296 @@
+package neat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/conc"
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+	"repro/internal/shortest"
+	"repro/internal/spatial"
+)
+
+// This file holds the parallel ε-graph builders behind
+// RefineConfig.Workers. Both shard their work statically
+// (conc.Chunk) across a pool of single-goroutine shortest-path
+// engines (shortest.Engine.Clone-style; see the Engine concurrency
+// invariant) and merge per-worker partials in a fixed order, so for
+// any worker count the resulting adjacency — and hence the clustering
+// — is byte-identical to the serial scan's.
+//
+//   - buildEpsGraphPairwise keeps the paper's point-to-point predicate
+//     evaluation and shards the F·(F−1)/2 pairs across workers. It
+//     works with every SPAlgo kernel (ALT and CH preprocessing
+//     structures are read-only after construction and shared).
+//
+//   - buildEpsGraphBatched replaces the pairwise scan entirely: it
+//     collects the ≤2F distinct flow-endpoint junctions, pre-filters
+//     candidate pairs with a Euclidean point grid (sound because
+//     dE <= dN), and runs ONE bounded one-to-many Dijkstra expansion
+//     per remaining source junction — collapsing up to 4·F·(F−1)/2
+//     point-to-point queries into at most 2F expansions. Used for the
+//     SPDijkstra kernel with a finite ε.
+
+// buildEpsGraphPairwise shards the pairwise scan across workers, one
+// pairEvaluator (and engine, and distance cache) per worker. Pair
+// results land in a flat edge bitmap indexed by canonical pair index,
+// so the merge order is independent of goroutine scheduling.
+func buildEpsGraphPairwise(g *roadnet.Graph, flows []*FlowCluster, endpoints []flowEnds, cfg RefineConfig, spStats *shortest.Stats, alt *shortest.ALT, ch *shortest.CH, stats *RefineStats) [][]int {
+	n := len(flows)
+	total := n * (n - 1) / 2
+	stats.Pairs = total
+	adjacency := make([][]int, n)
+	if total == 0 {
+		return adjacency
+	}
+	workers := conc.WorkersFor(cfg.Workers, total)
+	stats.Workers = workers
+
+	edges := make([]bool, total)
+	evals := make([]*pairEvaluator, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		pe := newPairEvaluator(g, cfg, endpoints, shortest.New(g, spStats), alt, ch)
+		evals[w] = pe
+		lo, hi := conc.Chunk(w, workers, total)
+		wg.Add(1)
+		go func(pe *pairEvaluator, lo, hi int) {
+			defer wg.Done()
+			i, j := pairAt(lo, n)
+			for k := lo; k < hi; k++ {
+				if pe.withinEps(i, j) {
+					edges[k] = true
+				}
+				if j++; j == n {
+					i++
+					j = i + 1
+				}
+			}
+		}(pe, lo, hi)
+	}
+	wg.Wait()
+	for _, pe := range evals {
+		stats.ELBPruned += pe.elbPruned
+		stats.SPQueries += pe.spQueriesCH
+	}
+
+	k := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if edges[k] {
+				adjacency[i] = append(adjacency[i], j)
+				adjacency[j] = append(adjacency[j], i)
+			}
+			k++
+		}
+	}
+	return adjacency
+}
+
+// pairAt returns the pair (i, j), i < j, at linear index k of the
+// canonical enumeration (0,1),(0,2),…,(0,n−1),(1,2),… used to shard
+// the scan.
+func pairAt(k, n int) (int, int) {
+	i := 0
+	rowLen := n - 1
+	for k >= rowLen {
+		k -= rowLen
+		i++
+		rowLen--
+	}
+	return i, i + 1 + k
+}
+
+// buildEpsGraphBatched is the batched one-to-many builder (tentpole of
+// the ε-graph construction): grid pre-filter, per-source expansions
+// sharded across workers, deterministic merge, then a cheap sequential
+// predicate pass over the candidate pairs.
+func buildEpsGraphBatched(g *roadnet.Graph, flows []*FlowCluster, endpoints []flowEnds, cfg RefineConfig, spStats *shortest.Stats, stats *RefineStats) ([][]int, error) {
+	n := len(flows)
+	stats.Pairs = n * (n - 1) / 2
+	adjacency := make([][]int, n)
+	if n < 2 {
+		return adjacency, nil
+	}
+	eps := cfg.Epsilon
+
+	// Distinct endpoint junctions, ascending; flowsAt maps each one
+	// back to the flows that end there.
+	jIdx := make(map[roadnet.NodeID]int)
+	var junc []roadnet.NodeID
+	for _, e := range endpoints {
+		for _, u := range [2]roadnet.NodeID{e.a, e.b} {
+			if _, ok := jIdx[u]; !ok {
+				jIdx[u] = 0 // placeholder; renumbered after sorting
+				junc = append(junc, u)
+			}
+		}
+	}
+	sort.Slice(junc, func(a, b int) bool { return junc[a] < junc[b] })
+	for i, u := range junc {
+		jIdx[u] = i
+	}
+	flowsAt := make([][]int32, len(junc))
+	for fi, e := range endpoints {
+		ja := jIdx[e.a]
+		flowsAt[ja] = append(flowsAt[ja], int32(fi))
+		if e.b != e.a {
+			jb := jIdx[e.b]
+			flowsAt[jb] = append(flowsAt[jb], int32(fi))
+		}
+	}
+
+	// Euclidean pre-filter: index the junction points in a uniform
+	// grid and keep only flow pairs with at least one endpoint combo
+	// within Euclidean ε (dE <= dN, so the rest can never satisfy the
+	// predicate). Cell size tracks ε but is floored so a tiny ε on a
+	// huge map cannot explode the cell count.
+	pts := make([]geo.Point, len(junc))
+	var bounds geo.Rect
+	for i, u := range junc {
+		pts[i] = g.Node(u).Pt
+	}
+	bounds = geo.RectFromPoints(pts...)
+	cell := eps
+	const maxCells = 1 << 20
+	for (bounds.Width()/cell+2)*(bounds.Height()/cell+2) > maxCells {
+		cell *= 2
+	}
+	pg, err := spatial.NewPointGrid(pts, cell)
+	if err != nil {
+		return nil, fmt.Errorf("neat: batched refinement grid: %w", err)
+	}
+
+	// Candidate flow pairs, encoded i*n+j (i < j) for a deterministic
+	// order; neighbors of each junction feed both the pair set and the
+	// per-source target lists.
+	candSet := make(map[int64]struct{})
+	needed := make(map[roadnet.NodeID]map[roadnet.NodeID]struct{}) // source -> target junctions, source < target
+	for a := range junc {
+		for _, b := range pg.Within(pts[a], eps) {
+			if b < a {
+				continue
+			}
+			if a != b {
+				u, v := junc[a], junc[b]
+				if u > v {
+					u, v = v, u
+				}
+				m := needed[u]
+				if m == nil {
+					m = make(map[roadnet.NodeID]struct{})
+					needed[u] = m
+				}
+				m[v] = struct{}{}
+			}
+			for _, fi := range flowsAt[a] {
+				for _, fj := range flowsAt[b] {
+					i, j := int(fi), int(fj)
+					if i == j {
+						continue
+					}
+					if i > j {
+						i, j = j, i
+					}
+					candSet[int64(i)*int64(n)+int64(j)] = struct{}{}
+				}
+			}
+		}
+	}
+	cands := make([]int64, 0, len(candSet))
+	for k := range candSet {
+		cands = append(cands, k)
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a] < cands[b] })
+	stats.PrunedPairs = stats.Pairs - len(cands)
+	if cfg.UseELB {
+		// The grid admits exactly the pairs the per-pair ELB check
+		// would: minE <= ε iff some endpoint combo is within Euclidean
+		// ε. Counting the complement keeps ELBPruned's semantics
+		// identical to the serial scan's.
+		stats.ELBPruned = stats.PrunedPairs
+	}
+
+	// One bounded one-to-many expansion per source junction, sharded
+	// across per-worker engines; results land in per-source slots, so
+	// the merge below is scheduling-independent.
+	sources := make([]roadnet.NodeID, 0, len(needed))
+	for u := range needed {
+		sources = append(sources, u)
+	}
+	sort.Slice(sources, func(a, b int) bool { return sources[a] < sources[b] })
+	targetsOf := make([][]roadnet.NodeID, len(sources))
+	for si, u := range sources {
+		ts := make([]roadnet.NodeID, 0, len(needed[u]))
+		for v := range needed[u] {
+			ts = append(ts, v)
+		}
+		sort.Slice(ts, func(a, b int) bool { return ts[a] < ts[b] })
+		targetsOf[si] = ts
+	}
+	results := make([][]float64, len(sources))
+	workers := conc.WorkersFor(cfg.Workers, len(sources))
+	stats.Workers = workers
+	stats.Expansions = int64(len(sources))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := conc.Chunk(w, workers, len(sources))
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			eng := shortest.New(g, spStats)
+			for si := lo; si < hi; si++ {
+				results[si] = eng.DistancesTo(sources[si], shortest.Undirected, eps, targetsOf[si])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	// Merge the per-worker partial tables into one distance lookup.
+	dist := make(map[[2]roadnet.NodeID]float64)
+	for si, u := range sources {
+		for ti, v := range targetsOf[si] {
+			if d := results[si][ti]; !math.IsInf(d, 1) {
+				dist[[2]roadnet.NodeID{u, v}] = d
+			}
+		}
+	}
+	lookup := func(u, v roadnet.NodeID) float64 {
+		if u == v {
+			return 0
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if d, ok := dist[[2]roadnet.NodeID{u, v}]; ok {
+			return d
+		}
+		return math.Inf(1) // beyond ε (or beyond the Euclidean filter)
+	}
+
+	// Sequential predicate pass in canonical pair order: identical
+	// adjacency append order to the serial scan.
+	for _, key := range cands {
+		i, j := int(key/int64(n)), int(key%int64(n))
+		ei, ej := endpoints[i], endpoints[j]
+		pi := [2]roadnet.NodeID{ei.a, ei.b}
+		pj := [2]roadnet.NodeID{ej.a, ej.b}
+		var dn [2][2]float64
+		for ui, u := range pi {
+			for vi, v := range pj {
+				dn[ui][vi] = lookup(u, v)
+			}
+		}
+		if hausdorffWithin(dn, eps) {
+			adjacency[i] = append(adjacency[i], j)
+			adjacency[j] = append(adjacency[j], i)
+		}
+	}
+	return adjacency, nil
+}

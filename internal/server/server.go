@@ -28,6 +28,11 @@ type Config struct {
 	// MaxBatch caps the number of trajectories per ingest request.
 	// Zero selects 10000.
 	MaxBatch int
+	// Workers is the Phase 3 refinement worker count passed through to
+	// neat.RefineConfig.Workers: 0 keeps the serial paper-exact scan,
+	// negative uses all CPUs. The clustering output is identical either
+	// way, so it does not key the result cache.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -324,7 +329,7 @@ func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
 	}
 	cfg := neat.Config{
 		Flow:   neat.FlowConfig{Weights: neat.WeightsFlowOnly, MinCard: 5},
-		Refine: neat.RefineConfig{Epsilon: 6500, UseELB: true, Bounded: true},
+		Refine: neat.RefineConfig{Epsilon: 6500, UseELB: true, Bounded: true, Workers: s.cfg.Workers},
 	}
 	if v := q.Get("eps"); v != "" {
 		eps, err := strconv.ParseFloat(v, 64)
@@ -438,5 +443,6 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Trajectories:   trajs,
 		TotalFragments: frags,
 		DataNodes:      s.cfg.DataNodes,
+		RefineWorkers:  s.cfg.Workers,
 	})
 }

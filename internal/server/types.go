@@ -79,6 +79,9 @@ type StatsResponse struct {
 	Trajectories   int     `json:"trajectories"`
 	TotalFragments int     `json:"total_fragments"`
 	DataNodes      int     `json:"data_nodes"`
+	// RefineWorkers echoes the server's Phase 3 worker configuration
+	// (0 = serial refinement).
+	RefineWorkers int `json:"refine_workers"`
 }
 
 // QueryResponse is the body of GET /v1/trajectories/query.

@@ -43,9 +43,16 @@ func (s *Stats) Snapshot() (queries, settled int64) {
 	return s.Queries.Load(), s.SettledNodes.Load()
 }
 
-// Engine answers shortest-path queries over a fixed graph. An Engine is
-// NOT safe for concurrent use; create one per goroutine (they share the
-// immutable graph).
+// Engine answers shortest-path queries over a fixed graph.
+//
+// Concurrency invariant: an Engine is NOT safe for concurrent use. The
+// epoch-stamped work arrays below are reused across queries, so two
+// in-flight queries on the same Engine would corrupt each other's
+// distance labels. Confine each Engine to a single goroutine; worker
+// pools get per-goroutine engines via Clone or NewPool (engines share
+// the immutable graph and, optionally, one atomic Stats receiver, so
+// cloning costs only the work arrays — O(nodes) memory, no
+// preprocessing).
 type Engine struct {
 	g     *roadnet.Graph
 	stats *Stats
@@ -82,6 +89,26 @@ func New(g *roadnet.Graph, stats *Stats) *Engine {
 		epochB:  make([]uint32, n),
 		settled: make([]uint32, n),
 	}
+}
+
+// Clone returns a fresh Engine over the same graph, feeding the same
+// Stats receiver. The clone has its own work arrays, so it may be used
+// from a different goroutine than the receiver (each still confined to
+// one goroutine at a time; see the Engine invariant).
+func (e *Engine) Clone() *Engine { return New(e.g, e.stats) }
+
+// NewPool returns n independent Engines over g sharing one Stats
+// receiver (nil selects a private shared one), ready to be handed one
+// per worker goroutine.
+func NewPool(g *roadnet.Graph, stats *Stats, n int) []*Engine {
+	if stats == nil {
+		stats = &Stats{}
+	}
+	pool := make([]*Engine, n)
+	for i := range pool {
+		pool[i] = New(g, stats)
+	}
+	return pool
 }
 
 // Stats returns the engine's counters.
@@ -444,6 +471,76 @@ func (e *Engine) Tree(from roadnet.NodeID, mode Mode, maxDist float64) []float64
 		})
 	}
 	e.stats.SettledNodes.Add(settledCount)
+	return out
+}
+
+// DistancesTo computes bounded one-to-many shortest-path distances: a
+// single expansion from `from` that reports the network distance to
+// each node in targets, pruned at maxDist. The returned slice is
+// parallel to targets; entries farther than maxDist (or unreachable)
+// hold +Inf. The expansion stops as soon as every target is settled or
+// the frontier exceeds maxDist, and it counts as ONE query in Stats —
+// this is the kernel that lets an ε-neighborhood scan collapse many
+// point-to-point probes from the same source into one Dijkstra pass
+// (generalizing Tree, which reports the whole radius-bounded tree).
+func (e *Engine) DistancesTo(from roadnet.NodeID, mode Mode, maxDist float64, targets []roadnet.NodeID) []float64 {
+	e.stats.Queries.Add(1)
+	out := make([]float64, len(targets))
+	// Targets may repeat; index positions by node so one settle fills
+	// every occurrence.
+	pos := make(map[roadnet.NodeID][]int, len(targets))
+	remaining := 0
+	for i, t := range targets {
+		if t == from {
+			out[i] = 0
+			continue
+		}
+		out[i] = math.Inf(1)
+		pos[t] = append(pos[t], i)
+		remaining++
+	}
+	if remaining == 0 {
+		return out
+	}
+	e.newEpoch()
+	e.heap.reset()
+	e.setDist(from, 0, -1)
+	e.heap.push(heapItem{node: from, prio: 0})
+	var settledCount int64
+	defer func() { e.stats.SettledNodes.Add(settledCount) }()
+	for e.heap.len() > 0 {
+		it := e.heap.pop()
+		n := it.node
+		if e.settled[n] == e.curEp {
+			continue
+		}
+		e.settled[n] = e.curEp
+		settledCount++
+		dn := e.getDist(n)
+		if dn > maxDist {
+			return out
+		}
+		if idxs, ok := pos[n]; ok {
+			for _, i := range idxs {
+				out[i] = dn
+			}
+			delete(pos, n)
+			remaining -= len(idxs)
+			if remaining == 0 {
+				return out
+			}
+		}
+		e.forEachNeighbor(n, mode, true, func(next roadnet.NodeID, via roadnet.EdgeID, w float64) {
+			if e.settled[next] == e.curEp {
+				return
+			}
+			nd := dn + w
+			if nd <= maxDist && nd < e.getDist(next) {
+				e.setDist(next, nd, via)
+				e.heap.push(heapItem{node: next, prio: nd})
+			}
+		})
+	}
 	return out
 }
 

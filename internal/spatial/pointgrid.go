@@ -1,0 +1,91 @@
+package spatial
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geo"
+)
+
+// PointGrid is a uniform spatial hash over a fixed set of points,
+// answering radius queries by index. It complements Grid (which indexes
+// road segments): Phase 3's batched ε-graph builder uses it to restrict
+// each one-to-many expansion to the flow-endpoint junctions whose
+// Euclidean distance can possibly be within ε — dE <= dN, so points
+// outside the Euclidean radius can never pass the network-distance
+// predicate.
+type PointGrid struct {
+	pts      []geo.Point
+	cellSize float64
+	origin   geo.Point
+	nx, ny   int
+	cells    [][]int32
+}
+
+// NewPointGrid indexes pts into cells of the given size in meters. An
+// empty point set yields a grid whose queries return nothing.
+func NewPointGrid(pts []geo.Point, cellSize float64) (*PointGrid, error) {
+	if cellSize <= 0 {
+		return nil, fmt.Errorf("spatial: cell size must be positive, got %g", cellSize)
+	}
+	pg := &PointGrid{pts: pts, cellSize: cellSize}
+	if len(pts) == 0 {
+		return pg, nil
+	}
+	b := geo.RectFromPoints(pts...).Expand(cellSize)
+	pg.origin = b.Min
+	pg.nx = int(math.Ceil(b.Width()/cellSize)) + 1
+	pg.ny = int(math.Ceil(b.Height()/cellSize)) + 1
+	pg.cells = make([][]int32, pg.nx*pg.ny)
+	for i, p := range pts {
+		cx, cy := pg.cellOf(p)
+		idx := cy*pg.nx + cx
+		pg.cells[idx] = append(pg.cells[idx], int32(i))
+	}
+	return pg, nil
+}
+
+func (pg *PointGrid) cellOf(p geo.Point) (int, int) {
+	cx := int((p.X - pg.origin.X) / pg.cellSize)
+	cy := int((p.Y - pg.origin.Y) / pg.cellSize)
+	if cx < 0 {
+		cx = 0
+	}
+	if cx >= pg.nx {
+		cx = pg.nx - 1
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cy >= pg.ny {
+		cy = pg.ny - 1
+	}
+	return cx, cy
+}
+
+// Within returns the indices (ascending) of all points whose Euclidean
+// distance to p is at most radius. The comparison is inclusive,
+// matching the ε-neighborhood predicate's d <= ε.
+func (pg *PointGrid) Within(p geo.Point, radius float64) []int {
+	if len(pg.pts) == 0 || radius < 0 {
+		return nil
+	}
+	x0, y0 := pg.cellOf(geo.Pt(p.X-radius, p.Y-radius))
+	x1, y1 := pg.cellOf(geo.Pt(p.X+radius, p.Y+radius))
+	var out []int
+	for cy := y0; cy <= y1; cy++ {
+		for cx := x0; cx <= x1; cx++ {
+			for _, i := range pg.cells[cy*pg.nx+cx] {
+				if pg.pts[i].Dist(p) <= radius {
+					out = append(out, int(i))
+				}
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Len returns the number of indexed points.
+func (pg *PointGrid) Len() int { return len(pg.pts) }

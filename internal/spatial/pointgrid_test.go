@@ -1,0 +1,69 @@
+package spatial
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func TestPointGridWithinMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	pts := make([]geo.Point, 300)
+	for i := range pts {
+		pts[i] = geo.Pt(rng.Float64()*5000, rng.Float64()*3000)
+	}
+	pg, err := NewPointGrid(pts, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg.Len() != len(pts) {
+		t.Fatalf("Len = %d", pg.Len())
+	}
+	for trial := 0; trial < 50; trial++ {
+		q := geo.Pt(rng.Float64()*6000-500, rng.Float64()*4000-500)
+		radius := rng.Float64() * 1200
+		var want []int
+		for i, p := range pts {
+			if p.Dist(q) <= radius {
+				want = append(want, i)
+			}
+		}
+		got := pg.Within(q, radius)
+		if !sort.IntsAreSorted(got) {
+			t.Fatalf("trial %d: result not sorted", trial)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d hits, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: hit %d = %d, want %d", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestPointGridEdgeCases(t *testing.T) {
+	if _, err := NewPointGrid(nil, 0); err == nil {
+		t.Error("zero cell size accepted")
+	}
+	empty, err := NewPointGrid(nil, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := empty.Within(geo.Pt(0, 0), 1000); got != nil {
+		t.Errorf("empty grid returned %v", got)
+	}
+	one, err := NewPointGrid([]geo.Point{geo.Pt(10, 10)}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := one.Within(geo.Pt(10, 10), 0); len(got) != 1 || got[0] != 0 {
+		t.Errorf("exact-radius query = %v, want [0]", got)
+	}
+	if got := one.Within(geo.Pt(10, 10), -1); got != nil {
+		t.Errorf("negative radius returned %v", got)
+	}
+}

@@ -2,9 +2,9 @@ package traj
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 
+	"repro/internal/conc"
 	"repro/internal/roadnet"
 	"repro/internal/shortest"
 )
@@ -18,16 +18,11 @@ import (
 // across trajectories — this is the same sharding the paper's data
 // nodes perform (§II-C), in-process.
 func PartitionDatasetParallel(g *roadnet.Graph, d Dataset, workers int) ([]TFragment, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	n := len(d.Trajectories)
 	if n == 0 {
 		return nil, nil
 	}
-	if workers > n {
-		workers = n
-	}
+	workers = conc.WorkersFor(workers, n)
 	perTraj := make([][]TFragment, n)
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
