@@ -12,6 +12,7 @@
 //	neatcli traclus   -map map.csv -traces traces.csv -eps 10 -minlns 5 [-svg out.svg]
 //	neatcli export    -map map.csv [-traces traces.csv] -what flows -out flows.geojson
 //	neatcli stats     -map map.csv
+//	neatcli selftest  -seed 0 -n 200
 package main
 
 import (
@@ -47,6 +48,8 @@ func run(args []string) error {
 		return cmdExport(args[1:])
 	case "match":
 		return cmdMatch(args[1:])
+	case "selftest":
+		return cmdSelftest(args[1:])
 	case "-h", "--help", "help":
 		usage()
 		return nil
@@ -67,6 +70,7 @@ subcommands:
   stats       print Table I statistics of a road network
   export      write GeoJSON (network, traces, flows, or clusters)
   match       map-match raw GPS traces onto a road network
+  selftest    differential-test the pipeline against the naive oracle
 
 run 'neatcli <subcommand> -h' for flags`)
 }

@@ -31,6 +31,7 @@ func TestCLIWorkflow(t *testing.T) {
 		{"traclus", "-traces", tracesPath, "-eps", "10", "-minlns", "2"},
 		{"export", "-map", mapPath, "-traces", tracesPath, "-what", "flows", "-mincard", "2", "-out", geojsonPath},
 		{"stats", "-map", mapPath},
+		{"selftest", "-seed", "500", "-n", "3"},
 	}
 	for _, args := range steps {
 		if err := run(args); err != nil {

@@ -1,0 +1,61 @@
+// Differential test of the seeded-order DBSCAN against the quadratic
+// reference in internal/oracle.
+package dbscan_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dbscan"
+	"repro/internal/oracle"
+)
+
+func TestClusterMatchesQuadraticOracle(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		// Random symmetric ε-relation with varying density.
+		p := rng.Float64() * 0.4
+		adj := make([]bool, n*n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < p {
+					adj[i*n+j] = true
+					adj[j*n+i] = true
+				}
+			}
+		}
+		within := func(i, j int) bool { return adj[i*n+j] }
+		neighbors := func(i int) []int {
+			var nb []int
+			for j := 0; j < n; j++ {
+				if j != i && within(i, j) {
+					nb = append(nb, j)
+				}
+			}
+			return nb
+		}
+		order := rng.Perm(n)
+		for _, minPts := range []int{1, 2, 3, 5} {
+			res, err := dbscan.Cluster(n, order, minPts, neighbors)
+			if err != nil {
+				t.Fatal(err)
+			}
+			labels, num := oracle.DBSCAN(n, order, minPts, within)
+			if num != res.NumClusters {
+				t.Fatalf("seed %d n %d minPts %d: %d clusters vs oracle %d",
+					seed, n, minPts, res.NumClusters, num)
+			}
+			for i := range labels {
+				want := labels[i]
+				if want < 0 {
+					want = dbscan.Noise
+				}
+				if res.Labels[i] != want {
+					t.Fatalf("seed %d n %d minPts %d: item %d labeled %d, oracle %d",
+						seed, n, minPts, i, res.Labels[i], want)
+				}
+			}
+		}
+	}
+}

@@ -1,9 +1,13 @@
 package neat
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/proptest"
+)
 
 func TestRunParallelMatchesRun(t *testing.T) {
-	g, ds := simulated(t, 60)
+	g, ds := proptest.SimScenario(t, 60)
 	p := NewPipeline(g)
 	cfg := DefaultConfig()
 	cfg.Refine.Epsilon = 2000
@@ -33,7 +37,7 @@ func TestRunParallelMatchesRun(t *testing.T) {
 }
 
 func BenchmarkPhase1SerialVsParallel(b *testing.B) {
-	g, ds := simulated(b, 200)
+	g, ds := proptest.SimScenario(b, 200)
 	p := NewPipeline(g)
 	cfg := DefaultConfig()
 	cfg.Refine.Epsilon = 2000

@@ -3,36 +3,13 @@ package neat
 import (
 	"testing"
 
-	"repro/internal/mapgen"
-	"repro/internal/mobisim"
+	"repro/internal/proptest"
 	"repro/internal/roadnet"
 	"repro/internal/traj"
 )
 
-func simulated(t testing.TB, objects int) (*roadnet.Graph, traj.Dataset) {
-	t.Helper()
-	g, err := mapgen.Generate(mapgen.Config{
-		Name:            "e2e",
-		TargetJunctions: 400,
-		TargetSegments:  560,
-		AvgSegLenM:      150,
-		MaxDegree:       6,
-		DiagonalFrac:    0.1,
-		Seed:            21,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	sim := mobisim.New(g)
-	ds, _, err := sim.Simulate(mobisim.DefaultConfig("e2e", objects, 13))
-	if err != nil {
-		t.Fatal(err)
-	}
-	return g, ds
-}
-
 func TestPipelineEndToEnd(t *testing.T) {
-	g, ds := simulated(t, 120)
+	g, ds := proptest.SimScenario(t, 120)
 	p := NewPipeline(g)
 	cfg := Config{
 		Flow:   FlowConfig{Weights: WeightsFlowOnly, MinCard: 5},
@@ -110,7 +87,7 @@ func TestPipelineEndToEnd(t *testing.T) {
 }
 
 func TestPipelineLevels(t *testing.T) {
-	g, ds := simulated(t, 40)
+	g, ds := proptest.SimScenario(t, 40)
 	p := NewPipeline(g)
 	cfg := DefaultConfig()
 	cfg.Refine.Epsilon = 2000
@@ -151,7 +128,7 @@ func TestPipelineLevels(t *testing.T) {
 }
 
 func TestPipelineDeterminismEndToEnd(t *testing.T) {
-	g, ds := simulated(t, 60)
+	g, ds := proptest.SimScenario(t, 60)
 	p := NewPipeline(g)
 	cfg := DefaultConfig()
 	cfg.Refine.Epsilon = 2500
@@ -180,7 +157,7 @@ func TestPipelineDeterminismEndToEnd(t *testing.T) {
 }
 
 func TestRunFragmentsMatchesRun(t *testing.T) {
-	g, ds := simulated(t, 50)
+	g, ds := proptest.SimScenario(t, 50)
 	p := NewPipeline(g)
 	cfg := DefaultConfig()
 	cfg.Refine.Epsilon = 2000
@@ -209,7 +186,7 @@ func TestMergeFlowsIncremental(t *testing.T) {
 	// Split the dataset in two batches; incremental (phase 1+2 per
 	// batch, merged phase 3) must produce a comparable clustering to
 	// one-shot processing.
-	g, ds := simulated(t, 80)
+	g, ds := proptest.SimScenario(t, 80)
 	p := NewPipeline(g)
 	cfg := DefaultConfig()
 	cfg.Refine.Epsilon = 2000

@@ -4,71 +4,14 @@ import (
 	"math/rand"
 	"testing"
 
-	"repro/internal/geo"
+	"repro/internal/proptest"
 	"repro/internal/roadnet"
-	"repro/internal/traj"
 )
-
-// randomScenario builds a random connected graph and a random fragment
-// set over it, for property checks.
-func randomScenario(t *testing.T, rng *rand.Rand) (*roadnet.Graph, []traj.TFragment) {
-	t.Helper()
-	var b roadnet.Builder
-	nodes := 5 + rng.Intn(20)
-	for i := 0; i < nodes; i++ {
-		b.AddJunction(geo.Pt(rng.Float64()*2000, rng.Float64()*2000))
-	}
-	// Random spanning chain plus extra edges.
-	var segs []roadnet.SegID
-	perm := rng.Perm(nodes)
-	for i := 1; i < nodes; i++ {
-		s, err := b.AddSegment(roadnet.NodeID(perm[i-1]), roadnet.NodeID(perm[i]), roadnet.SegmentOpts{})
-		if err != nil {
-			t.Fatal(err)
-		}
-		segs = append(segs, s)
-	}
-	for i := 0; i < nodes/2; i++ {
-		a, c := rng.Intn(nodes), rng.Intn(nodes)
-		if a == c {
-			continue
-		}
-		if s, err := b.AddSegment(roadnet.NodeID(a), roadnet.NodeID(c), roadnet.SegmentOpts{}); err == nil {
-			segs = append(segs, s)
-		}
-	}
-	g, err := b.Build()
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Random trajectories: random walks over adjacent segments.
-	var frags []traj.TFragment
-	numTrajs := 2 + rng.Intn(15)
-	for id := 0; id < numTrajs; id++ {
-		cur := segs[rng.Intn(len(segs))]
-		steps := 1 + rng.Intn(6)
-		for k := 0; k < steps; k++ {
-			gs := g.SegmentGeometry(cur)
-			frags = append(frags, traj.TFragment{
-				Traj:   traj.ID(id),
-				Seg:    cur,
-				Points: []traj.Location{traj.Sample(cur, gs.A, float64(k)), traj.Sample(cur, gs.B, float64(k)+1)},
-				Index:  k,
-			})
-			adj := g.Adjacent(cur)
-			if len(adj) == 0 {
-				break
-			}
-			cur = adj[rng.Intn(len(adj))]
-		}
-	}
-	return g, frags
-}
 
 func TestPropertyBaseClusterInvariants(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	for trial := 0; trial < 40; trial++ {
-		_, frags := randomScenario(t, rng)
+		_, frags := proptest.RandomScenario(t, rng)
 		bs := FormBaseClusters(frags)
 		total := 0
 		seen := map[roadnet.SegID]bool{}
@@ -97,7 +40,7 @@ func TestPropertyBaseClusterInvariants(t *testing.T) {
 func TestPropertyNetflowBounds(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	for trial := 0; trial < 40; trial++ {
-		_, frags := randomScenario(t, rng)
+		_, frags := proptest.RandomScenario(t, rng)
 		bs := FormBaseClusters(frags)
 		for i := 0; i < len(bs) && i < 8; i++ {
 			for j := 0; j < len(bs) && j < 8; j++ {
@@ -124,7 +67,7 @@ func TestPropertyFlowFormationPartition(t *testing.T) {
 	rng := rand.New(rand.NewSource(13))
 	weights := []Weights{WeightsFlowOnly, WeightsDensityOnly, WeightsBalanced}
 	for trial := 0; trial < 40; trial++ {
-		g, frags := randomScenario(t, rng)
+		g, frags := proptest.RandomScenario(t, rng)
 		bs := FormBaseClusters(frags)
 		cfg := FlowConfig{Weights: weights[trial%len(weights)]}
 		if trial%2 == 1 {
@@ -164,7 +107,7 @@ func TestPropertyFlowFormationPartition(t *testing.T) {
 func TestPropertyRefinePartition(t *testing.T) {
 	rng := rand.New(rand.NewSource(17))
 	for trial := 0; trial < 25; trial++ {
-		g, frags := randomScenario(t, rng)
+		g, frags := proptest.RandomScenario(t, rng)
 		bs := FormBaseClusters(frags)
 		flows, _, err := FormFlowClusters(g, bs, FlowConfig{})
 		if err != nil {

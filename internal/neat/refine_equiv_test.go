@@ -3,6 +3,8 @@ package neat
 import (
 	"math/rand"
 	"testing"
+
+	"repro/internal/proptest"
 )
 
 // clusterSignature makes clusterings comparable: sorted multiset of
@@ -40,7 +42,7 @@ func clusterSignature(cs []*TrajectoryCluster) map[string]int {
 func TestRefineOptimizationEquivalence(t *testing.T) {
 	rng := rand.New(rand.NewSource(29))
 	for trial := 0; trial < 15; trial++ {
-		g, frags := randomScenario(t, rng)
+		g, frags := proptest.RandomScenario(t, rng)
 		bs := FormBaseClusters(frags)
 		flows, _, err := FormFlowClusters(g, bs, FlowConfig{})
 		if err != nil {
@@ -89,7 +91,7 @@ func TestCacheReducesQueries(t *testing.T) {
 	rng := rand.New(rand.NewSource(31))
 	reducedSomewhere := false
 	for trial := 0; trial < 10; trial++ {
-		g, frags := randomScenario(t, rng)
+		g, frags := proptest.RandomScenario(t, rng)
 		bs := FormBaseClusters(frags)
 		flows, _, err := FormFlowClusters(g, bs, FlowConfig{})
 		if err != nil {

@@ -4,8 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
-	"repro/internal/mapgen"
-	"repro/internal/mobisim"
+	"repro/internal/proptest"
 	"repro/internal/roadnet"
 	"repro/internal/traj"
 )
@@ -40,7 +39,7 @@ func identicalClusters(a, b []*TrajectoryCluster) bool {
 func TestRefineWorkersEquivalence(t *testing.T) {
 	rng := rand.New(rand.NewSource(43))
 	for trial := 0; trial < 12; trial++ {
-		g, frags := randomScenario(t, rng)
+		g, frags := proptest.RandomScenario(t, rng)
 		bs := FormBaseClusters(frags)
 		flows, _, err := FormFlowClusters(g, bs, FlowConfig{})
 		if err != nil {
@@ -92,7 +91,7 @@ func TestRefineWorkersEquivalence(t *testing.T) {
 // and demands run-to-run identical output (goroutine scheduling must
 // not leak into the result).
 func TestRefineWorkersDeterministicRepeat(t *testing.T) {
-	g, ds := benchScenario(t, 100)
+	g, ds := proptest.BenchScenario(t, 100)
 	flows := benchFlows(t, g, ds)
 	for _, algo := range []SPAlgo{SPDijkstra, SPAStar} {
 		cfg := RefineConfig{Epsilon: 1200, UseELB: true, Bounded: true, Algo: algo, Workers: 4}
@@ -121,7 +120,7 @@ func TestRefineWorkersDeterministicRepeat(t *testing.T) {
 // with ELB semantics, and far fewer shortest-path computations than
 // the serial four-per-pair scan.
 func TestRefineBatchedStats(t *testing.T) {
-	g, ds := benchScenario(t, 150)
+	g, ds := proptest.BenchScenario(t, 150)
 	flows := benchFlows(t, g, ds)
 	if len(flows) < 20 {
 		t.Fatalf("scenario too small: %d flows", len(flows))
@@ -159,31 +158,6 @@ func TestRefineBatchedStats(t *testing.T) {
 	}
 }
 
-// benchScenario builds a mid-size map with uniformly scattered trips,
-// which yields hundreds of distinct flows — the regime where Phase 3's
-// pairwise scan dominates (Table III / Fig 7).
-func benchScenario(t testing.TB, objects int) (*roadnet.Graph, traj.Dataset) {
-	t.Helper()
-	g, err := mapgen.Generate(mapgen.Config{
-		Name:            "phase3",
-		TargetJunctions: 2500,
-		TargetSegments:  3600,
-		AvgSegLenM:      150,
-		MaxDegree:       6,
-		DiagonalFrac:    0.1,
-		Seed:            33,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	cfg := mobisim.DefaultConfig("phase3", objects, 17)
-	ds, _, err := mobisim.New(g).SimulateModel(cfg, mobisim.TripUniform)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return g, ds
-}
-
 func benchFlows(t testing.TB, g *roadnet.Graph, ds traj.Dataset) []*FlowCluster {
 	t.Helper()
 	p := NewPipeline(g)
@@ -204,7 +178,7 @@ func benchFlows(t testing.TB, g *roadnet.Graph, ds traj.Dataset) []*FlowCluster 
 // probes to at most 2F expansions, so it wins even on one core.
 func BenchmarkPhase3Refine(b *testing.B) {
 	for _, objects := range []int{100, 200, 400} {
-		g, ds := benchScenario(b, objects)
+		g, ds := proptest.BenchScenario(b, objects)
 		flows := benchFlows(b, g, ds)
 		serial := RefineConfig{Epsilon: 1200, UseELB: true, Bounded: true}
 		for _, mode := range []struct {

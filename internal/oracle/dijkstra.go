@@ -1,0 +1,126 @@
+package oracle
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/roadnet"
+)
+
+// sssp computes a full single-source shortest-path tree with the
+// textbook O(V²) array-scan Dijkstra: no heap, no early termination, no
+// distance bound. Ties on the minimum pick the lowest node id. The
+// returned slices are indexed by node: distance (+Inf when
+// unreachable), predecessor node, and the segment into each node
+// (roadnet.NoNode / -1 at the source and unreachable nodes).
+func sssp(g *roadnet.Graph, src roadnet.NodeID, undirected bool) (dist []float64, prevNode []roadnet.NodeID, prevSeg []roadnet.SegID) {
+	n := g.NumNodes()
+	dist = make([]float64, n)
+	prevNode = make([]roadnet.NodeID, n)
+	prevSeg = make([]roadnet.SegID, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prevNode[i] = roadnet.NoNode
+		prevSeg[i] = -1
+	}
+	dist[src] = 0
+	for {
+		u := roadnet.NoNode
+		best := math.Inf(1)
+		for v := 0; v < n; v++ {
+			if !done[v] && dist[v] < best {
+				best = dist[v]
+				u = roadnet.NodeID(v)
+			}
+		}
+		if u == roadnet.NoNode {
+			return dist, prevNode, prevSeg
+		}
+		done[u] = true
+		if undirected {
+			for _, sid := range g.SegmentsAt(u) {
+				seg := g.Segment(sid)
+				v := seg.OtherEnd(u)
+				if nd := dist[u] + seg.Length; nd < dist[v] {
+					dist[v] = nd
+					prevNode[v] = u
+					prevSeg[v] = sid
+				}
+			}
+		} else {
+			for _, eid := range g.Out(u) {
+				ed := g.Edge(eid)
+				if nd := dist[u] + ed.Length; nd < dist[ed.To] {
+					dist[ed.To] = nd
+					prevNode[ed.To] = u
+					prevSeg[ed.To] = ed.Seg
+				}
+			}
+		}
+	}
+}
+
+// walkBack reconstructs the junction path src..dst and the segment
+// sequence between them from an sssp tree.
+func walkBack(src, dst roadnet.NodeID, prevNode []roadnet.NodeID, prevSeg []roadnet.SegID) (nodes []roadnet.NodeID, segs []roadnet.SegID) {
+	for cur := dst; ; {
+		nodes = append(nodes, cur)
+		if cur == src {
+			break
+		}
+		segs = append(segs, prevSeg[cur])
+		cur = prevNode[cur]
+	}
+	for i, j := 0, len(nodes)-1; i < j; i, j = i+1, j-1 {
+		nodes[i], nodes[j] = nodes[j], nodes[i]
+	}
+	for i, j := 0, len(segs)-1; i < j; i, j = i+1, j-1 {
+		segs[i], segs[j] = segs[j], segs[i]
+	}
+	return nodes, segs
+}
+
+// locationRoute finds the shortest travel route between two on-segment
+// locations on different segments: all four endpoint combinations, each
+// candidate costed as offset-to-endpoint + junction path +
+// endpoint-to-offset, keeping the strictly best in (NI,NI), (NI,NJ),
+// (NJ,NI), (NJ,NJ) order. This mirrors the paper's location-to-location
+// distance; the junction paths come from full array-scan trees.
+func locationRoute(g *roadnet.Graph, a, b roadnet.Location, undirected bool) (nodes []roadnet.NodeID, segs []roadnet.SegID, err error) {
+	segA, segB := g.Segment(a.Seg), g.Segment(b.Seg)
+	best := math.Inf(1)
+	for _, na := range []roadnet.NodeID{segA.NI, segA.NJ} {
+		offA := a.Offset
+		if na == segA.NJ {
+			offA = segA.Length - a.Offset
+		}
+		dist, prevNode, prevSeg := sssp(g, na, undirected)
+		for _, nb := range []roadnet.NodeID{segB.NI, segB.NJ} {
+			offB := b.Offset
+			if nb == segB.NJ {
+				offB = segB.Length - b.Offset
+			}
+			if math.IsInf(dist[nb], 1) {
+				continue
+			}
+			total := offA + dist[nb] + offB
+			if total < best {
+				best = total
+				nodes, segs = walkBack(na, nb, prevNode, prevSeg)
+			}
+		}
+	}
+	if math.IsInf(best, 1) {
+		return nil, nil, fmt.Errorf("oracle: no path between segment %d and segment %d", a.Seg, b.Seg)
+	}
+	return nodes, segs, nil
+}
+
+// NetworkDistance exposes the brute-force junction-to-junction distance
+// for differential tests against the optimized kernels in
+// internal/shortest.
+func NetworkDistance(g *roadnet.Graph, from, to roadnet.NodeID, undirected bool) float64 {
+	dist, _, _ := sssp(g, from, undirected)
+	return dist[to]
+}

@@ -1,0 +1,163 @@
+// Package oracle holds deliberately-naive reference implementations of
+// the NEAT pipeline for differential testing. Nothing here shares code
+// with the optimized paths: shortest paths are computed by a plain
+// array-scan Dijkstra (no heap, no early termination, no bounds, no
+// preprocessing), the Phase 3 ε-predicate is the exact modified
+// Hausdorff over full shortest-path distance arrays, the clustering is
+// a quadratic DBSCAN, and Phases 1-3 are straight-line transcriptions
+// of the paper's pseudocode. The only imports from the main tree are
+// the data model (roadnet graphs/locations, traj datasets) — never
+// internal/shortest, internal/dbscan, or internal/neat.
+//
+// The implementations are intentionally slow (O(V²) per shortest-path
+// tree, O(F²·V²) for Phase 3); use them on the small seeded instances
+// internal/proptest generates.
+package oracle
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+)
+
+// Config carries every NEAT parameter, flattened. internal/selftest
+// materializes the same random draw into this and into a neat.Config,
+// copying identical float values so the two pipelines compute with the
+// same constants.
+type Config struct {
+	// Phase 2: merging-selectivity weights (wq, wk, wv), domination
+	// threshold β (0 is treated as +Inf = disabled), and the minCard
+	// filter.
+	WFlow, WDensity, WSpeed float64
+	Beta                    float64
+	MinCard                 int
+	// Phase 3: the ε threshold in meters and DBSCAN's core threshold
+	// (0 is treated as 1, the paper's choice).
+	Epsilon float64
+	MinPts  int
+}
+
+func (c Config) beta() float64 {
+	if c.Beta == 0 {
+		return math.Inf(1)
+	}
+	return c.Beta
+}
+
+func (c Config) minPts() int {
+	if c.MinPts <= 0 {
+		return 1
+	}
+	return c.MinPts
+}
+
+func (c Config) validateFlow() error {
+	if c.WFlow < 0 || c.WDensity < 0 || c.WSpeed < 0 {
+		return fmt.Errorf("oracle: weights must be non-negative")
+	}
+	if sum := c.WFlow + c.WDensity + c.WSpeed; math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("oracle: weights must sum to 1, got %g", sum)
+	}
+	if b := c.beta(); b < 1 && !math.IsInf(b, 1) {
+		return fmt.Errorf("oracle: β must be at least 1 (or +Inf), got %g", b)
+	}
+	if c.MinCard < 0 {
+		return fmt.Errorf("oracle: minCard must be non-negative, got %d", c.MinCard)
+	}
+	return nil
+}
+
+func (c Config) validateRefine() error {
+	if c.Epsilon <= 0 {
+		return fmt.Errorf("oracle: ε must be positive, got %g", c.Epsilon)
+	}
+	return nil
+}
+
+// Level selects how many phases RunNEAT executes, mirroring the three
+// NEAT versions of the paper.
+type Level uint8
+
+const (
+	LevelBase Level = iota // Phase 1 only
+	LevelFlow              // Phases 1-2
+	LevelOpt               // all three phases
+)
+
+// BaseCluster is the oracle's Phase 1 output unit: the t-fragments on
+// one road segment. Trajs is the sorted list of participating
+// trajectory ids (the oracle keeps sets as sorted slices, not maps).
+type BaseCluster struct {
+	Seg       roadnet.SegID
+	Fragments []traj.TFragment
+	Trajs     []traj.ID
+}
+
+// Density returns the t-fragment count (Definition 4).
+func (b *BaseCluster) Density() int { return len(b.Fragments) }
+
+// Cardinality returns |PTr(S)| (Definition 3).
+func (b *BaseCluster) Cardinality() int { return len(b.Trajs) }
+
+// Flow is the oracle's Phase 2 output unit: base clusters whose
+// segments form a route.
+type Flow struct {
+	Members     []*BaseCluster
+	Route       []roadnet.SegID
+	Trajs       []traj.ID
+	Front, Back roadnet.NodeID
+}
+
+// Cardinality returns the flow's trajectory cardinality.
+func (f *Flow) Cardinality() int { return len(f.Trajs) }
+
+// Cluster is a final trajectory cluster: indices into Result.Flows.
+type Cluster struct {
+	Flows []int
+}
+
+// Result is the oracle pipeline output.
+type Result struct {
+	Level         Level
+	NumFragments  int
+	Base          []*BaseCluster
+	Flows         []*Flow
+	FilteredFlows int
+	Clusters      []Cluster
+}
+
+// RunNEAT executes the reference pipeline up to the requested level.
+// For identical inputs and parameters its output matches
+// neat.Pipeline.Run cluster for cluster, route for route.
+func RunNEAT(g *roadnet.Graph, ds traj.Dataset, cfg Config, level Level) (*Result, error) {
+	res := &Result{Level: level}
+	var frags []traj.TFragment
+	for _, tr := range ds.Trajectories {
+		fs, err := partitionTrajectory(g, tr)
+		if err != nil {
+			return nil, fmt.Errorf("oracle: phase 1: %w", err)
+		}
+		frags = append(frags, fs...)
+	}
+	res.NumFragments = len(frags)
+	res.Base = formBaseClusters(frags)
+	if level == LevelBase {
+		return res, nil
+	}
+
+	if err := cfg.validateFlow(); err != nil {
+		return nil, err
+	}
+	res.Flows, res.FilteredFlows = formFlows(g, res.Base, cfg)
+	if level == LevelFlow {
+		return res, nil
+	}
+
+	if err := cfg.validateRefine(); err != nil {
+		return nil, err
+	}
+	res.Clusters = refineFlows(g, res.Flows, cfg)
+	return res, nil
+}

@@ -1,0 +1,225 @@
+package oracle
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+)
+
+// grid builds a 3x3 unit-spaced grid graph (axis segments only):
+//
+//	6-7-8
+//	| | |
+//	3-4-5
+//	| | |
+//	0-1-2
+func grid(t *testing.T) *roadnet.Graph {
+	t.Helper()
+	var b roadnet.Builder
+	for y := 0; y < 3; y++ {
+		for x := 0; x < 3; x++ {
+			b.AddJunction(geo.Pt(float64(x)*100, float64(y)*100))
+		}
+	}
+	at := func(x, y int) roadnet.NodeID { return roadnet.NodeID(y*3 + x) }
+	for y := 0; y < 3; y++ {
+		for x := 0; x < 3; x++ {
+			if x < 2 {
+				if _, err := b.AddSegment(at(x, y), at(x+1, y), roadnet.SegmentOpts{}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if y < 2 {
+				if _, err := b.AddSegment(at(x, y), at(x, y+1), roadnet.SegmentOpts{}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBruteDijkstraGrid(t *testing.T) {
+	g := grid(t)
+	// Manhattan distances on a 100 m grid.
+	for from := 0; from < g.NumNodes(); from++ {
+		dist, prevNode, prevSeg := sssp(g, roadnet.NodeID(from), true)
+		fx, fy := from%3, from/3
+		for to := 0; to < g.NumNodes(); to++ {
+			tx, ty := to%3, to/3
+			want := 100 * float64(abs(fx-tx)+abs(fy-ty))
+			if dist[to] != want {
+				t.Fatalf("d(%d,%d) = %v, want %v", from, to, dist[to], want)
+			}
+			nodes, segs := walkBack(roadnet.NodeID(from), roadnet.NodeID(to), prevNode, prevSeg)
+			if len(nodes) != len(segs)+1 {
+				t.Fatalf("path %d->%d: %d nodes, %d segs", from, to, len(nodes), len(segs))
+			}
+			if nodes[0] != roadnet.NodeID(from) || nodes[len(nodes)-1] != roadnet.NodeID(to) {
+				t.Fatalf("path %d->%d has wrong endpoints", from, to)
+			}
+		}
+	}
+}
+
+func TestBruteDijkstraUnreachable(t *testing.T) {
+	var b roadnet.Builder
+	b.AddJunction(geo.Pt(0, 0))
+	b.AddJunction(geo.Pt(100, 0))
+	b.AddJunction(geo.Pt(0, 200))
+	b.AddJunction(geo.Pt(100, 200))
+	if _, err := b.AddSegment(0, 1, roadnet.SegmentOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddSegment(2, 3, roadnet.SegmentOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := NetworkDistance(g, 0, 2, true); !math.IsInf(d, 1) {
+		t.Fatalf("disconnected distance = %v, want +Inf", d)
+	}
+	if d := NetworkDistance(g, 0, 1, true); d != 100 {
+		t.Fatalf("d(0,1) = %v, want 100", d)
+	}
+}
+
+func TestDBSCANBasics(t *testing.T) {
+	// Items 0,1,2 mutually within; 3,4 within; 5 isolated.
+	within := func(i, j int) bool {
+		return (i < 3 && j < 3) || (i >= 3 && i < 5 && j >= 3 && j < 5)
+	}
+	labels, num := DBSCAN(6, []int{0, 1, 2, 3, 4, 5}, 1, within)
+	if num != 3 {
+		t.Fatalf("clusters = %d, want 3", num)
+	}
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Fatalf("items 0-2 split: %v", labels)
+	}
+	if labels[3] != labels[4] || labels[3] == labels[0] {
+		t.Fatalf("items 3-4 wrong: %v", labels)
+	}
+	if labels[5] == labels[0] || labels[5] == labels[3] {
+		t.Fatalf("item 5 joined a cluster: %v", labels)
+	}
+
+	// minPts 3: the pair 3,4 is not core, becomes noise.
+	labels, num = DBSCAN(6, []int{0, 1, 2, 3, 4, 5}, 3, within)
+	if num != 1 {
+		t.Fatalf("minPts=3 clusters = %d, want 1", num)
+	}
+	if labels[3] != -1 || labels[4] != -1 || labels[5] != -1 {
+		t.Fatalf("minPts=3 noise labels wrong: %v", labels)
+	}
+}
+
+// TestRunNEATTinyPipeline runs the full oracle on a hand-checkable
+// input: three trajectories along the bottom row of the grid, one along
+// the top row.
+func TestRunNEATTinyPipeline(t *testing.T) {
+	g := grid(t)
+	// Bottom row is nodes 0-1-2; its two segments connect them.
+	// Sample mid-segment points: segment from (0,0)-(100,0) etc.
+	seg := func(a, b roadnet.NodeID) roadnet.SegID {
+		for s := 0; s < g.NumSegments(); s++ {
+			sg := g.Segment(roadnet.SegID(s))
+			if (sg.NI == a && sg.NJ == b) || (sg.NI == b && sg.NJ == a) {
+				return roadnet.SegID(s)
+			}
+		}
+		t.Fatalf("no segment %d-%d", a, b)
+		return -1
+	}
+	bottom1, bottom2 := seg(0, 1), seg(1, 2)
+	top1, top2 := seg(6, 7), seg(7, 8)
+
+	mk := func(id traj.ID, s1, s2 roadnet.SegID) traj.Trajectory {
+		p1 := g.At(s1, 50).Pt
+		p2 := g.At(s2, 50).Pt
+		return traj.Trajectory{ID: id, Points: []traj.Location{
+			traj.Sample(s1, p1, 0),
+			traj.Sample(s2, p2, 10),
+		}}
+	}
+	ds := traj.Dataset{Name: "tiny", Trajectories: []traj.Trajectory{
+		mk(0, bottom1, bottom2),
+		mk(1, bottom1, bottom2),
+		mk(2, bottom1, bottom2),
+		mk(3, top1, top2),
+	}}
+
+	cfg := Config{WFlow: 1, Epsilon: 150}
+	res, err := RunNEAT(g, ds, cfg, LevelOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 fragments per trajectory (split at the shared junction).
+	if res.NumFragments != 8 {
+		t.Fatalf("fragments = %d, want 8", res.NumFragments)
+	}
+	// 4 base clusters (two bottom segments, two top segments), densest
+	// first: bottom segments have density 3.
+	if len(res.Base) != 4 {
+		t.Fatalf("base clusters = %d, want 4", len(res.Base))
+	}
+	if res.Base[0].Density() != 3 || res.Base[1].Density() != 3 {
+		t.Fatalf("bottom clusters not first: %+v", res.Base)
+	}
+	// Phase 2 merges each row into one flow: 2 flows.
+	if len(res.Flows) != 2 {
+		t.Fatalf("flows = %d, want 2", len(res.Flows))
+	}
+	for _, f := range res.Flows {
+		if len(f.Route) != 2 {
+			t.Fatalf("flow route %v, want 2 segments", f.Route)
+		}
+	}
+	// The rows are 200 m apart (> ε = 150): two separate clusters.
+	if len(res.Clusters) != 2 {
+		t.Fatalf("clusters = %d, want 2", len(res.Clusters))
+	}
+	// With ε = 250 the modified Hausdorff (max endpoint distance 200)
+	// merges them.
+	cfg.Epsilon = 250
+	res, err = RunNEAT(g, ds, cfg, LevelOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 1 {
+		t.Fatalf("ε=250 clusters = %d, want 1", len(res.Clusters))
+	}
+}
+
+// TestRunNEATMinCard checks the Phase 2 cardinality filter.
+func TestRunNEATMinCard(t *testing.T) {
+	g := grid(t)
+	s := roadnet.SegID(0)
+	p := g.At(s, 30).Pt
+	q := g.At(s, 70).Pt
+	ds := traj.Dataset{Name: "one", Trajectories: []traj.Trajectory{
+		{ID: 0, Points: []traj.Location{traj.Sample(s, p, 0), traj.Sample(s, q, 5)}},
+	}}
+	res, err := RunNEAT(g, ds, Config{WFlow: 1, MinCard: 2, Epsilon: 100}, LevelFlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Flows) != 0 || res.FilteredFlows != 1 {
+		t.Fatalf("flows=%d filtered=%d, want 0/1", len(res.Flows), res.FilteredFlows)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

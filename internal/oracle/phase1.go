@@ -1,0 +1,111 @@
+package oracle
+
+import (
+	"fmt"
+
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+)
+
+// partitionTrajectory is the reference Phase 1 (§III-A1): split the
+// trajectory at every junction passed between consecutive samples,
+// dropping interior samples. When consecutive samples sit on contiguous
+// segments the shared junction is inserted directly (NI preferred, as
+// in roadnet.Intersection); otherwise the gap is repaired with a
+// shortest travel route, trying the directed view first and falling
+// back to undirected. Junction timestamps are linearly interpolated in
+// cumulative arc length between the bounding samples.
+func partitionTrajectory(g *roadnet.Graph, tr traj.Trajectory) ([]traj.TFragment, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	var frags []traj.TFragment
+	cur := []traj.Location{tr.Points[0]}
+	curSeg := tr.Points[0].Seg
+
+	closeFragment := func(exit traj.Location) {
+		cur = append(cur, exit)
+		frags = append(frags, traj.TFragment{
+			Traj:   tr.ID,
+			Seg:    curSeg,
+			Points: cur,
+			Index:  len(frags),
+		})
+	}
+
+	for i := 1; i < len(tr.Points); i++ {
+		pt := tr.Points[i]
+		if pt.Seg == curSeg {
+			continue
+		}
+		prev := tr.Points[i-1]
+		junctions, segs, err := connect(g, prev, pt)
+		if err != nil {
+			return nil, fmt.Errorf("trajectory %d between samples %d and %d: %w", tr.ID, i-1, i, err)
+		}
+		times := interpolateTimes(g, prev, pt, junctions, segs)
+
+		closeFragment(traj.Location{Seg: curSeg, Pt: g.Node(junctions[0]).Pt, Time: times[0], Junction: junctions[0]})
+		for k, sid := range segs {
+			frags = append(frags, traj.TFragment{
+				Traj: tr.ID,
+				Seg:  sid,
+				Points: []traj.Location{
+					{Seg: sid, Pt: g.Node(junctions[k]).Pt, Time: times[k], Junction: junctions[k]},
+					{Seg: sid, Pt: g.Node(junctions[k+1]).Pt, Time: times[k+1], Junction: junctions[k+1]},
+				},
+				Index: len(frags),
+			})
+		}
+		lastJ := junctions[len(junctions)-1]
+		cur = []traj.Location{{Seg: pt.Seg, Pt: g.Node(lastJ).Pt, Time: times[len(times)-1], Junction: lastJ}}
+		curSeg = pt.Seg
+	}
+	closeFragment(tr.Points[len(tr.Points)-1])
+	return frags, nil
+}
+
+// connect returns the junction sequence and intermediate segments
+// between a sample on one segment and the next sample on a different
+// segment.
+func connect(g *roadnet.Graph, a, b traj.Location) ([]roadnet.NodeID, []roadnet.SegID, error) {
+	if j, ok := g.Intersection(a.Seg, b.Seg); ok {
+		return []roadnet.NodeID{j}, nil, nil
+	}
+	la, _ := g.Locate(a.Seg, a.Pt)
+	lb, _ := g.Locate(b.Seg, b.Pt)
+	nodes, segs, err := locationRoute(g, la, lb, false)
+	if err != nil {
+		nodes, segs, err = locationRoute(g, la, lb, true)
+		if err != nil {
+			return nil, nil, fmt.Errorf("gap repair failed: %w", err)
+		}
+	}
+	if len(nodes) == 0 || len(nodes) != len(segs)+1 {
+		return nil, nil, fmt.Errorf("gap repair returned inconsistent path (%d nodes, %d segments)", len(nodes), len(segs))
+	}
+	return nodes, segs, nil
+}
+
+// interpolateTimes assigns a timestamp to each junction by linear
+// interpolation in cumulative arc length from a to b.
+func interpolateTimes(g *roadnet.Graph, a, b traj.Location, junctions []roadnet.NodeID, segs []roadnet.SegID) []float64 {
+	cum := make([]float64, len(junctions))
+	d := a.Pt.Dist(g.Node(junctions[0]).Pt)
+	cum[0] = d
+	for k := range segs {
+		d += g.Segment(segs[k]).Length
+		cum[k+1] = d
+	}
+	total := d + g.Node(junctions[len(junctions)-1]).Pt.Dist(b.Pt)
+	dt := b.Time - a.Time
+	times := make([]float64, len(junctions))
+	for i, c := range cum {
+		if total <= 0 {
+			times[i] = a.Time
+			continue
+		}
+		times[i] = a.Time + dt*c/total
+	}
+	return times
+}

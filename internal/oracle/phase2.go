@@ -1,0 +1,274 @@
+package oracle
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+)
+
+// idSet is a sorted slice of distinct trajectory ids.
+type idSet []traj.ID
+
+func makeIDSet(ids []traj.ID) idSet {
+	s := append(idSet(nil), ids...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	out := s[:0]
+	for i, id := range s {
+		if i == 0 || id != s[i-1] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// intersectCount returns |a ∩ b| by a two-pointer scan.
+func intersectCount(a, b idSet) int {
+	n, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// union returns a ∪ b as a new sorted set.
+func union(a, b idSet) idSet {
+	out := make(idSet, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// netflow returns f(Si, Sj), the number of shared trajectories
+// (Definition 5).
+func netflow(a, b *BaseCluster) int {
+	return intersectCount(idSet(a.Trajs), idSet(b.Trajs))
+}
+
+// formBaseClusters is the reference Phase 1 step 2: group t-fragments
+// by segment and sort by density descending, segment id ascending.
+func formBaseClusters(frags []traj.TFragment) []*BaseCluster {
+	bySeg := map[roadnet.SegID]int{}
+	var order []*BaseCluster
+	var ids [][]traj.ID
+	for _, f := range frags {
+		k, ok := bySeg[f.Seg]
+		if !ok {
+			k = len(order)
+			bySeg[f.Seg] = k
+			order = append(order, &BaseCluster{Seg: f.Seg})
+			ids = append(ids, nil)
+		}
+		order[k].Fragments = append(order[k].Fragments, f)
+		ids[k] = append(ids[k], f.Traj)
+	}
+	for k, b := range order {
+		b.Trajs = makeIDSet(ids[k])
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].Density() != order[j].Density() {
+			return order[i].Density() > order[j].Density()
+		}
+		return order[i].Seg < order[j].Seg
+	})
+	return order
+}
+
+// formFlows is the reference Phase 2 (§III-B): starting from the
+// densest unmerged base cluster, repeatedly absorb the f-neighbor with
+// the highest merging selectivity at the back end, then at the front
+// end, applying domination rework when β is finite; finally filter by
+// minCard.
+func formFlows(g *roadnet.Graph, base []*BaseCluster, cfg Config) (flows []*Flow, filtered int) {
+	beta := cfg.beta()
+	bySeg := make(map[roadnet.SegID]*BaseCluster, len(base))
+	merged := make(map[roadnet.SegID]bool, len(base))
+	for _, b := range base {
+		bySeg[b.Seg] = b
+	}
+
+	neighborhood := func(s *BaseCluster, nu roadnet.NodeID) []*BaseCluster {
+		var out []*BaseCluster
+		for _, sid := range g.AdjacentAt(s.Seg, nu) {
+			if merged[sid] {
+				continue
+			}
+			cand, ok := bySeg[sid]
+			if !ok {
+				continue
+			}
+			if netflow(s, cand) > 0 {
+				out = append(out, cand)
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Seg < out[j].Seg })
+		return out
+	}
+
+	dominationRework := func(s *BaseCluster, neigh []*BaseCluster) []*BaseCluster {
+		if math.IsInf(beta, 1) {
+			return neigh
+		}
+		for {
+			if len(neigh) < 2 {
+				return neigh
+			}
+			maxFlow := 0
+			for _, nb := range neigh {
+				if nf := netflow(s, nb); nf > maxFlow {
+					maxFlow = nf
+				}
+			}
+			if maxFlow == 0 {
+				return neigh
+			}
+			removed := false
+			for i := 0; i < len(neigh) && !removed; i++ {
+				for j := i + 1; j < len(neigh) && !removed; j++ {
+					cross := netflow(neigh[i], neigh[j])
+					if cross > 0 && float64(cross)/float64(maxFlow) >= beta {
+						pair := [2]roadnet.SegID{neigh[i].Seg, neigh[j].Seg}
+						kept := neigh[:0]
+						for _, nb := range neigh {
+							if nb.Seg != pair[0] && nb.Seg != pair[1] {
+								kept = append(kept, nb)
+							}
+						}
+						neigh = kept
+						removed = true
+					}
+				}
+			}
+			if !removed {
+				return neigh
+			}
+		}
+	}
+
+	selectNeighbor := func(f *Flow, s *BaseCluster, neigh []*BaseCluster) *BaseCluster {
+		var densSum float64 = float64(s.Density())
+		var speedSum float64
+		for _, nb := range neigh {
+			densSum += float64(nb.Density())
+			speedSum += g.Segment(nb.Seg).SpeedLimit
+		}
+		card := float64(s.Cardinality())
+
+		const eps = 1e-12
+		var best *BaseCluster
+		var bestSF float64
+		var bestFlowTie int
+		for _, nb := range neigh {
+			q := 0.0
+			if card > 0 {
+				q = float64(netflow(s, nb)) / card
+			}
+			k := 0.0
+			if densSum > 0 {
+				k = float64(nb.Density()) / densSum
+			}
+			v := 0.0
+			if speedSum > 0 {
+				v = g.Segment(nb.Seg).SpeedLimit / speedSum
+			}
+			sf := cfg.WFlow*q + cfg.WDensity*k + cfg.WSpeed*v
+			switch {
+			case best == nil || sf > bestSF+eps:
+				best, bestSF, bestFlowTie = nb, sf, -1
+			case sf > bestSF-eps:
+				if bestFlowTie < 0 {
+					bestFlowTie = intersectCount(idSet(f.Trajs), idSet(best.Trajs))
+				}
+				ft := intersectCount(idSet(f.Trajs), idSet(nb.Trajs))
+				if ft > bestFlowTie || (ft == bestFlowTie && nb.Seg < best.Seg) {
+					best, bestSF, bestFlowTie = nb, sf, ft
+				}
+			}
+		}
+		return best
+	}
+
+	expand := func(f *Flow, atBack bool) bool {
+		var curB *BaseCluster
+		var nu roadnet.NodeID
+		if atBack {
+			curB = f.Members[len(f.Members)-1]
+			nu = f.Back
+		} else {
+			curB = f.Members[0]
+			nu = f.Front
+		}
+		neigh := neighborhood(curB, nu)
+		if len(neigh) == 0 {
+			return false
+		}
+		neigh = dominationRework(curB, neigh)
+		if len(neigh) == 0 {
+			return false
+		}
+		chosen := selectNeighbor(f, curB, neigh)
+		merged[chosen.Seg] = true
+		newEnd := g.Segment(chosen.Seg).OtherEnd(nu)
+		if atBack {
+			f.Members = append(f.Members, chosen)
+			f.Route = append(f.Route, chosen.Seg)
+			f.Back = newEnd
+		} else {
+			f.Members = append([]*BaseCluster{chosen}, f.Members...)
+			f.Route = append([]roadnet.SegID{chosen.Seg}, f.Route...)
+			f.Front = newEnd
+		}
+		f.Trajs = union(idSet(f.Trajs), idSet(chosen.Trajs))
+		return true
+	}
+
+	for _, seed := range base {
+		if merged[seed.Seg] {
+			continue
+		}
+		seg := g.Segment(seed.Seg)
+		f := &Flow{
+			Members: []*BaseCluster{seed},
+			Route:   []roadnet.SegID{seed.Seg},
+			Trajs:   append([]traj.ID(nil), seed.Trajs...),
+			Front:   seg.NI,
+			Back:    seg.NJ,
+		}
+		merged[seed.Seg] = true
+		for expand(f, true) {
+		}
+		for expand(f, false) {
+		}
+		if f.Cardinality() >= cfg.MinCard {
+			flows = append(flows, f)
+		} else {
+			filtered++
+		}
+	}
+	return flows, filtered
+}

@@ -1,0 +1,119 @@
+package proptest
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/mapgen"
+	"repro/internal/mobisim"
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+)
+
+// RandomScenario builds a random connected graph and a random fragment
+// set over it, for property checks. The fragments are synthetic (not
+// produced by Phase 1): each trajectory is a walk over adjacent
+// segments contributing one full-segment fragment per step.
+func RandomScenario(t testing.TB, rng *rand.Rand) (*roadnet.Graph, []traj.TFragment) {
+	t.Helper()
+	var b roadnet.Builder
+	nodes := 5 + rng.Intn(20)
+	for i := 0; i < nodes; i++ {
+		b.AddJunction(geo.Pt(rng.Float64()*2000, rng.Float64()*2000))
+	}
+	// Random spanning chain plus extra edges.
+	var segs []roadnet.SegID
+	perm := rng.Perm(nodes)
+	for i := 1; i < nodes; i++ {
+		s, err := b.AddSegment(roadnet.NodeID(perm[i-1]), roadnet.NodeID(perm[i]), roadnet.SegmentOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		segs = append(segs, s)
+	}
+	for i := 0; i < nodes/2; i++ {
+		a, c := rng.Intn(nodes), rng.Intn(nodes)
+		if a == c {
+			continue
+		}
+		if s, err := b.AddSegment(roadnet.NodeID(a), roadnet.NodeID(c), roadnet.SegmentOpts{}); err == nil {
+			segs = append(segs, s)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Random trajectories: random walks over adjacent segments.
+	var frags []traj.TFragment
+	numTrajs := 2 + rng.Intn(15)
+	for id := 0; id < numTrajs; id++ {
+		cur := segs[rng.Intn(len(segs))]
+		steps := 1 + rng.Intn(6)
+		for k := 0; k < steps; k++ {
+			gs := g.SegmentGeometry(cur)
+			frags = append(frags, traj.TFragment{
+				Traj:   traj.ID(id),
+				Seg:    cur,
+				Points: []traj.Location{traj.Sample(cur, gs.A, float64(k)), traj.Sample(cur, gs.B, float64(k)+1)},
+				Index:  k,
+			})
+			adj := g.Adjacent(cur)
+			if len(adj) == 0 {
+				break
+			}
+			cur = adj[rng.Intn(len(adj))]
+		}
+	}
+	return g, frags
+}
+
+// SimScenario builds the standard mid-size end-to-end fixture: a 400
+// junction map with hotspot-driven simulated trips.
+func SimScenario(t testing.TB, objects int) (*roadnet.Graph, traj.Dataset) {
+	t.Helper()
+	g, err := mapgen.Generate(mapgen.Config{
+		Name:            "e2e",
+		TargetJunctions: 400,
+		TargetSegments:  560,
+		AvgSegLenM:      150,
+		MaxDegree:       6,
+		DiagonalFrac:    0.1,
+		Seed:            21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := mobisim.New(g)
+	ds, _, err := sim.Simulate(mobisim.DefaultConfig("e2e", objects, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, ds
+}
+
+// BenchScenario builds a mid-size map with uniformly scattered trips,
+// which yields hundreds of distinct flows — the regime where Phase 3's
+// pairwise scan dominates (Table III / Fig 7).
+func BenchScenario(t testing.TB, objects int) (*roadnet.Graph, traj.Dataset) {
+	t.Helper()
+	g, err := mapgen.Generate(mapgen.Config{
+		Name:            "phase3",
+		TargetJunctions: 2500,
+		TargetSegments:  3600,
+		AvgSegLenM:      150,
+		MaxDegree:       6,
+		DiagonalFrac:    0.1,
+		Seed:            33,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mobisim.DefaultConfig("phase3", objects, 17)
+	ds, _, err := mobisim.New(g).SimulateModel(cfg, mobisim.TripUniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, ds
+}

@@ -1,0 +1,211 @@
+// Package proptest is the seeded input-generation substrate of the
+// repository's correctness harness. It produces random connected road
+// networks (via mapgen), random trajectory datasets with controllable
+// junction density and sampling gaps, and random pipeline parameter
+// draws, all deterministic functions of an explicit seed so that any
+// failure is reproducible from one integer. A minimal shrinker reduces
+// a failing dataset to a smaller counterexample.
+//
+// The package deliberately does NOT import internal/neat: the neat
+// package's own (in-package) test files use the fixture helpers here,
+// and a proptest -> neat dependency would create an import cycle for
+// them. Parameter draws are therefore encoded as the neutral Draw
+// struct; internal/selftest materializes a Draw into a neat.Config and
+// an oracle.Config.
+package proptest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/mapgen"
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+)
+
+// NewRand returns the deterministic random stream for a seed. All
+// generators in this package consume such streams; two calls with equal
+// seeds generate equal instances.
+func NewRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// GenGraph generates a small random connected road network. Size,
+// geometry, degree cap, diagonal fraction, and one-way fraction are all
+// drawn from rng, so consecutive calls explore different topologies.
+func GenGraph(rng *rand.Rand) (*roadnet.Graph, error) {
+	junctions := 16 + rng.Intn(60)
+	cfg := mapgen.Config{
+		Name:            "prop",
+		TargetJunctions: junctions,
+		TargetSegments:  junctions - 1 + rng.Intn(junctions),
+		AvgSegLenM:      80 + rng.Float64()*120,
+		MaxDegree:       3 + rng.Intn(4),
+		DiagonalFrac:    rng.Float64() * 0.3,
+		OneWayFrac:      rng.Float64() * 0.15,
+		Seed:            rng.Int63(),
+	}
+	g, err := mapgen.Generate(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("proptest: graph generation: %w", err)
+	}
+	return g, nil
+}
+
+// DatasetOpts controls GenDataset. The zero value selects moderate
+// defaults.
+type DatasetOpts struct {
+	// Trajectories is the number of trajectories; 0 draws 2-13.
+	Trajectories int
+	// MeanSegments is the mean number of road segments each trajectory
+	// traverses — the junction density knob: longer walks cross more
+	// junctions and split into more t-fragments. 0 selects 6.
+	MeanSegments int
+	// GapProb is the per-interior-segment probability that its sample
+	// is dropped, leaving consecutive samples on non-contiguous
+	// segments and forcing Phase 1's shortest-path gap repair.
+	GapProb float64
+}
+
+func (o DatasetOpts) withDefaults(rng *rand.Rand) DatasetOpts {
+	if o.Trajectories == 0 {
+		o.Trajectories = 2 + rng.Intn(12)
+	}
+	if o.MeanSegments == 0 {
+		o.MeanSegments = 6
+	}
+	return o
+}
+
+// GenDataset generates a random trajectory dataset over g: each
+// trajectory is a random walk over adjacent segments, sampled on-segment
+// with strictly increasing timestamps. The output always satisfies
+// Dataset.Validate and is partitionable by Phase 1 (gap repair falls
+// back to the undirected view, and mapgen graphs are connected).
+func GenDataset(rng *rand.Rand, g *roadnet.Graph, opts DatasetOpts) traj.Dataset {
+	opts = opts.withDefaults(rng)
+	ds := traj.Dataset{Name: "prop"}
+	for id := 0; id < opts.Trajectories; id++ {
+		ds.Trajectories = append(ds.Trajectories, genWalk(rng, g, traj.ID(id), opts))
+	}
+	return ds
+}
+
+// genWalk builds one trajectory: a walk entering each segment at one
+// endpoint and leaving at the other, emitting one sample per kept
+// segment at a random on-segment offset.
+func genWalk(rng *rand.Rand, g *roadnet.Graph, id traj.ID, opts DatasetOpts) traj.Trajectory {
+	steps := 1 + rng.Intn(2*opts.MeanSegments)
+	cur := roadnet.SegID(rng.Intn(g.NumSegments()))
+	entry := g.Segment(cur).NI
+	if rng.Intn(2) == 1 {
+		entry = g.Segment(cur).NJ
+	}
+
+	tr := traj.Trajectory{ID: id}
+	now := rng.Float64() * 100
+	speed := 8 + rng.Float64()*14 // m/s
+	emit := func(seg roadnet.SegID) {
+		s := g.Segment(seg)
+		loc := g.At(seg, rng.Float64()*s.Length)
+		tr.Points = append(tr.Points, traj.Sample(seg, loc.Pt, now))
+	}
+	for k := 0; k < steps; k++ {
+		// Interior segments may be skipped to force gap repair; the
+		// first and last segments are always sampled so the trip has
+		// anchored endpoints.
+		if k == 0 || k == steps-1 || rng.Float64() >= opts.GapProb {
+			emit(cur)
+		}
+		now += g.Segment(cur).Length / speed
+		exit := g.Segment(cur).OtherEnd(entry)
+		adj := g.AdjacentAt(cur, exit)
+		if len(adj) == 0 {
+			break
+		}
+		next := adj[rng.Intn(len(adj))]
+		entry = exit
+		cur = next
+	}
+	if len(tr.Points) == 1 {
+		// A one-sample trip is legal but dull; add a second sample on
+		// the same segment so partitioning has a terminal point.
+		emit(cur)
+		tr.Points[1].Time = tr.Points[0].Time + 1
+	}
+	return tr
+}
+
+// Weight presets a Draw can select, mirroring the presets of
+// internal/neat (§III-B2) without importing it.
+const (
+	WeightsFlowOnly = iota
+	WeightsDensityOnly
+	WeightsSpeedOnly
+	WeightsBalanced
+	WeightsTrafficMonitoring
+	numWeightPresets
+)
+
+// Pipeline levels a Draw can select.
+const (
+	LevelBase = iota
+	LevelFlow
+	LevelOpt
+)
+
+// Draw is one random pipeline parameterization, encoded neutrally (see
+// the package comment for why this is not a neat.Config).
+type Draw struct {
+	// Phase 2.
+	WeightsPreset int     // WeightsFlowOnly .. WeightsTrafficMonitoring
+	Beta          float64 // 0 disables domination rework
+	MinCard       int
+	// Phase 3.
+	Epsilon        float64
+	MinPts         int
+	UseELB         bool
+	Bounded        bool
+	CacheDistances bool
+	Algo           int // numeric value of a neat.SPAlgo
+	Workers        int // 0 = serial paper path
+	// Pipeline.
+	Level          int // LevelBase, LevelFlow, or LevelOpt
+	ParallelPhase1 bool
+}
+
+// DrawConfig draws a random pipeline parameterization. Every draw is
+// valid for neat.FlowConfig/RefineConfig validation; the optimization
+// toggles (ELB, bounding, caching, kernels, workers) vary freely
+// because none of them may change clustering output.
+func DrawConfig(rng *rand.Rand) Draw {
+	d := Draw{
+		WeightsPreset:  rng.Intn(numWeightPresets),
+		MinCard:        rng.Intn(5),
+		Epsilon:        200 + rng.Float64()*2800,
+		MinPts:         1,
+		UseELB:         rng.Intn(2) == 1,
+		Bounded:        rng.Intn(2) == 1,
+		CacheDistances: rng.Intn(2) == 1,
+		Algo:           rng.Intn(5),
+		Level:          LevelOpt,
+		ParallelPhase1: rng.Intn(3) == 0,
+	}
+	if rng.Intn(3) == 0 {
+		d.Beta = 1.5 + rng.Float64()*2
+	}
+	if rng.Intn(4) == 0 {
+		d.MinPts = 2 + rng.Intn(2)
+	}
+	switch rng.Intn(8) {
+	case 0:
+		d.Level = LevelBase
+	case 1:
+		d.Level = LevelFlow
+	}
+	switch rng.Intn(3) {
+	case 1:
+		d.Workers = 1
+	case 2:
+		d.Workers = 2 + rng.Intn(3)
+	}
+	return d
+}

@@ -1,0 +1,157 @@
+package proptest
+
+import (
+	"testing"
+
+	"repro/internal/traj"
+)
+
+// TestGeneratorsDeterministic: equal seeds must generate equal
+// instances — this is the property that makes every harness failure
+// reproducible from one integer.
+func TestGeneratorsDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		g1, err := GenGraph(NewRand(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		g2, err := GenGraph(NewRand(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if g1.NumNodes() != g2.NumNodes() || g1.NumSegments() != g2.NumSegments() {
+			t.Fatalf("seed %d: graphs differ (%d/%d nodes, %d/%d segments)",
+				seed, g1.NumNodes(), g2.NumNodes(), g1.NumSegments(), g2.NumSegments())
+		}
+
+		rng1, rng2 := NewRand(seed+1000), NewRand(seed+1000)
+		d1 := GenDataset(rng1, g1, DatasetOpts{GapProb: 0.3})
+		d2 := GenDataset(rng2, g2, DatasetOpts{GapProb: 0.3})
+		if len(d1.Trajectories) != len(d2.Trajectories) {
+			t.Fatalf("seed %d: trajectory counts differ", seed)
+		}
+		for i := range d1.Trajectories {
+			a, b := d1.Trajectories[i], d2.Trajectories[i]
+			if a.ID != b.ID || len(a.Points) != len(b.Points) {
+				t.Fatalf("seed %d traj %d: shape differs", seed, i)
+			}
+			for j := range a.Points {
+				if a.Points[j] != b.Points[j] {
+					t.Fatalf("seed %d traj %d point %d: %+v vs %+v", seed, i, j, a.Points[j], b.Points[j])
+				}
+			}
+		}
+
+		c1, c2 := DrawConfig(NewRand(seed)), DrawConfig(NewRand(seed))
+		if c1 != c2 {
+			t.Fatalf("seed %d: config draws differ: %+v vs %+v", seed, c1, c2)
+		}
+	}
+}
+
+// TestGenDatasetValid: generated datasets must pass Dataset.Validate
+// for any seed and gap probability.
+func TestGenDatasetValid(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := NewRand(seed)
+		g, err := GenGraph(rng)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, gap := range []float64{0, 0.3, 0.8} {
+			ds := GenDataset(rng, g, DatasetOpts{GapProb: gap})
+			if err := ds.Validate(); err != nil {
+				t.Fatalf("seed %d gap %v: invalid dataset: %v", seed, gap, err)
+			}
+			for _, tr := range ds.Trajectories {
+				if len(tr.Points) < 2 {
+					t.Fatalf("seed %d gap %v: trajectory %d has %d points", seed, gap, tr.ID, len(tr.Points))
+				}
+			}
+		}
+	}
+}
+
+// TestDrawConfigCoverage: the draw distribution must exercise every
+// level, every kernel, and the serial/parallel split — otherwise the
+// differential suite silently stops covering a code path.
+func TestDrawConfigCoverage(t *testing.T) {
+	rng := NewRand(7)
+	levels := map[int]bool{}
+	algos := map[int]bool{}
+	workers := map[bool]bool{}
+	for i := 0; i < 500; i++ {
+		d := DrawConfig(rng)
+		levels[d.Level] = true
+		algos[d.Algo] = true
+		workers[d.Workers > 0] = true
+		if d.Epsilon <= 0 {
+			t.Fatalf("draw %d: non-positive epsilon", i)
+		}
+		if d.Beta != 0 && d.Beta < 1 {
+			t.Fatalf("draw %d: invalid beta %v", i, d.Beta)
+		}
+		if d.MinPts < 1 {
+			t.Fatalf("draw %d: minPts %d", i, d.MinPts)
+		}
+	}
+	if len(levels) != 3 {
+		t.Errorf("levels covered: %v", levels)
+	}
+	if len(algos) != 5 {
+		t.Errorf("kernels covered: %v", algos)
+	}
+	if len(workers) != 2 {
+		t.Errorf("worker split covered: %v", workers)
+	}
+}
+
+// TestShrinkDataset: the shrinker must return a 1-minimal failing
+// dataset and never return a passing one.
+func TestShrinkDataset(t *testing.T) {
+	rng := NewRand(3)
+	g, err := GenGraph(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := GenDataset(rng, g, DatasetOpts{Trajectories: 12})
+
+	// Failure predicate: the dataset contains trajectories 3 and 7.
+	fails := func(d traj.Dataset) bool {
+		has := map[traj.ID]bool{}
+		for _, tr := range d.Trajectories {
+			has[tr.ID] = true
+		}
+		return has[3] && has[7]
+	}
+	small := ShrinkDataset(ds, fails)
+	if !fails(small) {
+		t.Fatal("shrinker returned a passing dataset")
+	}
+	if len(small.Trajectories) != 2 {
+		t.Fatalf("shrunk to %d trajectories, want 2", len(small.Trajectories))
+	}
+
+	// A predicate nothing satisfies after removal keeps the input.
+	same := ShrinkDataset(ds, func(d traj.Dataset) bool {
+		return len(d.Trajectories) == len(ds.Trajectories)
+	})
+	if len(same.Trajectories) != len(ds.Trajectories) {
+		t.Fatal("shrinker dropped trajectories the predicate needed")
+	}
+}
+
+// TestFixtures smoke-tests the consolidated fixture helpers.
+func TestFixtures(t *testing.T) {
+	g, frags := RandomScenario(t, NewRand(1))
+	if g.NumSegments() == 0 || len(frags) == 0 {
+		t.Fatal("RandomScenario empty")
+	}
+	gs, ds := SimScenario(t, 10)
+	if gs.NumSegments() == 0 || len(ds.Trajectories) == 0 {
+		t.Fatal("SimScenario empty")
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

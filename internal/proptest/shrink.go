@@ -1,0 +1,47 @@
+package proptest
+
+import "repro/internal/traj"
+
+// ShrinkDataset reduces a failing dataset to a smaller one that still
+// fails, by repeated bisection on the trajectory list: at each round it
+// tries dropping the first half, then the second half, then single
+// trajectories, keeping any reduction for which fails still returns
+// true. fails must be deterministic. The returned dataset is 1-minimal
+// with respect to trajectory removal (dropping any single remaining
+// trajectory makes the failure disappear).
+func ShrinkDataset(ds traj.Dataset, fails func(traj.Dataset) bool) traj.Dataset {
+	cur := ds.Trajectories
+	try := func(cand []traj.Trajectory) bool {
+		if len(cand) == len(cur) {
+			return false
+		}
+		if fails(traj.Dataset{Name: ds.Name, Trajectories: cand}) {
+			cur = cand
+			return true
+		}
+		return false
+	}
+
+	// Halving passes: drop a contiguous half while that still fails.
+	for len(cur) > 1 {
+		mid := len(cur) / 2
+		if try(cur[:mid]) || try(cur[mid:]) {
+			continue
+		}
+		break
+	}
+	// Minimization pass: drop single trajectories until none can go.
+	for removed := true; removed && len(cur) > 1; {
+		removed = false
+		for i := 0; i < len(cur); i++ {
+			cand := make([]traj.Trajectory, 0, len(cur)-1)
+			cand = append(cand, cur[:i]...)
+			cand = append(cand, cur[i+1:]...)
+			if try(cand) {
+				removed = true
+				break
+			}
+		}
+	}
+	return traj.Dataset{Name: ds.Name, Trajectories: cur}
+}

@@ -1,0 +1,201 @@
+package quality
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/neat"
+	"repro/internal/roadnet"
+	"repro/internal/traclus"
+	"repro/internal/traj"
+)
+
+// finiteMetrics fails the test if any metric is NaN or infinite —
+// degenerate inputs must degrade to zeros, never to NaN.
+func finiteMetrics(t *testing.T, name string, m Metrics) {
+	t.Helper()
+	for field, v := range map[string]float64{
+		"UnitCoverage":       m.UnitCoverage,
+		"TrajectoryCoverage": m.TrajectoryCoverage,
+		"AvgRepLength":       m.AvgRepLength,
+		"MaxRepLength":       m.MaxRepLength,
+		"FlowConsistency":    m.FlowConsistency,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("%s: %s = %v", name, field, v)
+		}
+	}
+}
+
+// singleFlowFixture builds a two-segment path graph with one flow
+// traversed end to end by one trajectory.
+func singleFlowFixture(t *testing.T) (*roadnet.Graph, *neat.Result) {
+	t.Helper()
+	var b roadnet.Builder
+	n0 := b.AddJunction(geo.Pt(0, 0))
+	n1 := b.AddJunction(geo.Pt(100, 0))
+	n2 := b.AddJunction(geo.Pt(200, 0))
+	s0, _ := b.AddSegment(n0, n1, roadnet.SegmentOpts{})
+	s1, _ := b.AddSegment(n1, n2, roadnet.SegmentOpts{})
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	frag := func(s roadnet.SegID, idx int) traj.TFragment {
+		gs := g.SegmentGeometry(s)
+		return traj.TFragment{Traj: 1, Seg: s, Index: idx,
+			Points: []traj.Location{traj.Sample(s, gs.A, 0), traj.Sample(s, gs.B, 1)}}
+	}
+	frags := []traj.TFragment{frag(s0, 0), frag(s1, 1)}
+	bs := neat.FormBaseClusters(frags)
+	flows, _, err := neat.FormFlowClusters(g, bs, neat.FlowConfig{Weights: neat.WeightsFlowOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, &neat.Result{Flows: flows, NumFragments: len(frags)}
+}
+
+func TestEvaluateNEATEdgeCases(t *testing.T) {
+	g, single := singleFlowFixture(t)
+	cases := []struct {
+		name  string
+		res   *neat.Result
+		total int
+		want  func(t *testing.T, m Metrics)
+	}{
+		{
+			name:  "empty clustering",
+			res:   &neat.Result{},
+			total: 0,
+			want: func(t *testing.T, m Metrics) {
+				if m != (Metrics{}) {
+					t.Errorf("metrics = %+v, want zero", m)
+				}
+			},
+		},
+		{
+			name:  "all flows filtered",
+			res:   &neat.Result{NumFragments: 8, FilteredFlows: 3},
+			total: 4,
+			want: func(t *testing.T, m Metrics) {
+				if m.NumClusters != 0 || m.UnitCoverage != 0 || m.TrajectoryCoverage != 0 {
+					t.Errorf("metrics = %+v, want zero coverage", m)
+				}
+			},
+		},
+		{
+			name:  "degenerate memberless flow",
+			res:   &neat.Result{NumFragments: 2, Flows: []*neat.FlowCluster{{}}},
+			total: 1,
+			want: func(t *testing.T, m Metrics) {
+				if m.NumClusters != 1 {
+					t.Errorf("NumClusters = %d", m.NumClusters)
+				}
+				if m.FlowConsistency != 0 || m.AvgRepLength != 0 {
+					t.Errorf("degenerate flow should score zero: %+v", m)
+				}
+			},
+		},
+		{
+			name:  "single cluster full traversal",
+			res:   single,
+			total: 1,
+			want: func(t *testing.T, m Metrics) {
+				if m.NumClusters != 1 || m.UnitCoverage != 1 || m.TrajectoryCoverage != 1 {
+					t.Errorf("metrics = %+v, want full coverage", m)
+				}
+				if math.Abs(m.FlowConsistency-1) > 1e-9 {
+					t.Errorf("FlowConsistency = %v, want 1", m.FlowConsistency)
+				}
+				if m.AvgRepLength != 200 || m.MaxRepLength != 200 {
+					t.Errorf("lengths = %v/%v, want 200/200", m.AvgRepLength, m.MaxRepLength)
+				}
+			},
+		},
+		{
+			name:  "zero trajectories with flows",
+			res:   single,
+			total: 0,
+			want: func(t *testing.T, m Metrics) {
+				if m.TrajectoryCoverage != 0 {
+					t.Errorf("TrajectoryCoverage = %v with no trajectories", m.TrajectoryCoverage)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := EvaluateNEAT(g, tc.res, tc.total)
+			finiteMetrics(t, tc.name, m)
+			tc.want(t, m)
+		})
+	}
+}
+
+func TestEvaluateTraClusEdgeCases(t *testing.T) {
+	seg := traclus.LineSegment{Traj: 1, A: geo.Pt(0, 0), B: geo.Pt(100, 0)}
+	cases := []struct {
+		name  string
+		res   *traclus.Result
+		total int
+		want  func(t *testing.T, m Metrics)
+	}{
+		{
+			name:  "empty result",
+			res:   &traclus.Result{},
+			total: 0,
+			want: func(t *testing.T, m Metrics) {
+				if m != (Metrics{}) {
+					t.Errorf("metrics = %+v, want zero", m)
+				}
+			},
+		},
+		{
+			name:  "all noise",
+			res:   &traclus.Result{NumSegments: 10, NoiseSegments: 10},
+			total: 5,
+			want: func(t *testing.T, m Metrics) {
+				if m.NumClusters != 0 || m.UnitCoverage != 0 || m.TrajectoryCoverage != 0 {
+					t.Errorf("metrics = %+v, want zero coverage", m)
+				}
+			},
+		},
+		{
+			name: "single cluster",
+			res: &traclus.Result{NumSegments: 2, Clusters: []*traclus.Cluster{{
+				Segments:       []traclus.LineSegment{seg, seg},
+				Representative: geo.Polyline{geo.Pt(0, 0), geo.Pt(100, 0)},
+				TrajCount:      1,
+			}}},
+			total: 1,
+			want: func(t *testing.T, m Metrics) {
+				if m.NumClusters != 1 || m.UnitCoverage != 1 || m.TrajectoryCoverage != 1 {
+					t.Errorf("metrics = %+v, want full coverage", m)
+				}
+				if m.AvgRepLength != 100 || m.MaxRepLength != 100 {
+					t.Errorf("lengths = %v/%v, want 100/100", m.AvgRepLength, m.MaxRepLength)
+				}
+			},
+		},
+		{
+			name: "cluster with empty representative",
+			res: &traclus.Result{NumSegments: 1, Clusters: []*traclus.Cluster{{
+				Segments: []traclus.LineSegment{seg},
+			}}},
+			total: 1,
+			want: func(t *testing.T, m Metrics) {
+				if m.AvgRepLength != 0 || m.MaxRepLength != 0 {
+					t.Errorf("lengths = %v/%v, want 0/0", m.AvgRepLength, m.MaxRepLength)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := EvaluateTraClus(tc.res, tc.total)
+			finiteMetrics(t, tc.name, m)
+			tc.want(t, m)
+		})
+	}
+}

@@ -1,0 +1,277 @@
+// Package selftest drives the differential correctness harness: it
+// generates seeded random instances with internal/proptest, runs the
+// optimized pipeline (internal/neat) and the naive reference
+// (internal/oracle) on each, and demands byte-identical canonical
+// summaries — cluster membership, representative routes, participant
+// sets, and filter counts. On a mismatch it bisects the dataset to a
+// minimal counterexample and reports a one-line reproduction command.
+//
+// The package exists separately from internal/proptest so that the
+// in-package tests of internal/neat can import proptest without an
+// import cycle, while this package may import neat, oracle, and
+// proptest together. It serves both `go test ./internal/selftest` and
+// `neatcli selftest`.
+package selftest
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/neat"
+	"repro/internal/oracle"
+	"repro/internal/proptest"
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+)
+
+// weightPresets maps proptest.Draw.WeightsPreset values to the neat
+// presets; the oracle config copies the identical float values.
+var weightPresets = []neat.Weights{
+	proptest.WeightsFlowOnly:          neat.WeightsFlowOnly,
+	proptest.WeightsDensityOnly:       neat.WeightsDensityOnly,
+	proptest.WeightsSpeedOnly:         neat.WeightsSpeedOnly,
+	proptest.WeightsBalanced:          neat.WeightsBalanced,
+	proptest.WeightsTrafficMonitoring: neat.WeightsTrafficMonitoring,
+}
+
+// Materialize converts a neutral parameter draw into the two pipelines'
+// configurations, copying identical numeric values into both.
+func Materialize(d proptest.Draw) (neat.Config, oracle.Config, neat.Level, oracle.Level) {
+	w := weightPresets[d.WeightsPreset]
+	ncfg := neat.Config{
+		Flow: neat.FlowConfig{Weights: w, Beta: d.Beta, MinCard: d.MinCard},
+		Refine: neat.RefineConfig{
+			Epsilon:        d.Epsilon,
+			MinPts:         d.MinPts,
+			UseELB:         d.UseELB,
+			Bounded:        d.Bounded,
+			CacheDistances: d.CacheDistances,
+			Algo:           neat.SPAlgo(d.Algo),
+			Workers:        d.Workers,
+		},
+	}
+	ocfg := oracle.Config{
+		WFlow: w.Flow, WDensity: w.Density, WSpeed: w.Speed,
+		Beta: d.Beta, MinCard: d.MinCard,
+		Epsilon: d.Epsilon, MinPts: d.MinPts,
+	}
+	var nl neat.Level
+	var ol oracle.Level
+	switch d.Level {
+	case proptest.LevelBase:
+		nl, ol = neat.LevelBase, oracle.LevelBase
+	case proptest.LevelFlow:
+		nl, ol = neat.LevelFlow, oracle.LevelFlow
+	default:
+		nl, ol = neat.LevelOpt, oracle.LevelOpt
+	}
+	return ncfg, ocfg, nl, ol
+}
+
+// Instance generates the seeded random instance for one seed: a graph,
+// a dataset over it, and a parameter draw.
+func Instance(seed int64) (*roadnet.Graph, traj.Dataset, proptest.Draw, error) {
+	rng := proptest.NewRand(seed)
+	g, err := proptest.GenGraph(rng)
+	if err != nil {
+		return nil, traj.Dataset{}, proptest.Draw{}, err
+	}
+	gap := rng.Float64() * 0.5
+	ds := proptest.GenDataset(rng, g, proptest.DatasetOpts{GapProb: gap})
+	d := proptest.DrawConfig(rng)
+	return g, ds, d, nil
+}
+
+// summary is the neutral canonical form both pipelines are rendered
+// into; byte-equal renderings mean equivalent outputs.
+type summary struct {
+	fragments int
+	base      []string
+	filtered  int
+	flows     []string
+	clusters  []string
+}
+
+func (s summary) render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fragments %d\n", s.fragments)
+	for _, l := range s.base {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "filtered %d\n", s.filtered)
+	for _, l := range s.flows {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	for _, l := range s.clusters {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CanonicalNEAT renders a neat result into the canonical form.
+func CanonicalNEAT(r *neat.Result) string {
+	s := summary{fragments: r.NumFragments, filtered: r.FilteredFlows}
+	for _, bc := range r.BaseClusters {
+		s.base = append(s.base, fmt.Sprintf("base seg=%d density=%d trajs=%v",
+			bc.Seg, bc.Density(), bc.ParticipatingTrajectories()))
+	}
+	index := make(map[*neat.FlowCluster]int, len(r.Flows))
+	for i, f := range r.Flows {
+		index[f] = i
+		s.flows = append(s.flows, fmt.Sprintf("flow %d route=%v trajs=%v", i, []roadnet.SegID(f.Route), flowTrajs(f)))
+	}
+	for ci, c := range r.Clusters {
+		idxs := make([]int, len(c.Flows))
+		for k, f := range c.Flows {
+			idxs[k] = index[f]
+		}
+		s.clusters = append(s.clusters, fmt.Sprintf("cluster %d flows=%v", ci, idxs))
+	}
+	return s.render()
+}
+
+// flowTrajs recovers a flow's sorted participant set from its members.
+func flowTrajs(f *neat.FlowCluster) []traj.ID {
+	seen := map[traj.ID]bool{}
+	var out []traj.ID
+	for _, m := range f.Members {
+		for _, id := range m.ParticipatingTrajectories() {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	sortIDs(out)
+	return out
+}
+
+func sortIDs(s []traj.ID) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// CanonicalOracle renders an oracle result into the canonical form.
+func CanonicalOracle(r *oracle.Result) string {
+	s := summary{fragments: r.NumFragments, filtered: r.FilteredFlows}
+	for _, bc := range r.Base {
+		s.base = append(s.base, fmt.Sprintf("base seg=%d density=%d trajs=%v",
+			bc.Seg, bc.Density(), bc.Trajs))
+	}
+	for i, f := range r.Flows {
+		s.flows = append(s.flows, fmt.Sprintf("flow %d route=%v trajs=%v", i, f.Route, f.Trajs))
+	}
+	for ci, c := range r.Clusters {
+		s.clusters = append(s.clusters, fmt.Sprintf("cluster %d flows=%v", ci, c.Flows))
+	}
+	return s.render()
+}
+
+// Diff returns the first line where two canonical renderings differ,
+// with one line of context from each side; "" when equal.
+func Diff(a, b string) string {
+	if a == b {
+		return ""
+	}
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) || i < len(bl); i++ {
+		var av, bv string
+		if i < len(al) {
+			av = al[i]
+		}
+		if i < len(bl) {
+			bv = bl[i]
+		}
+		if av != bv {
+			return fmt.Sprintf("line %d: neat %q vs oracle %q", i+1, av, bv)
+		}
+	}
+	return "renderings differ in length only"
+}
+
+// checkInstance runs both pipelines on one instance and compares their
+// canonical renderings.
+func checkInstance(g *roadnet.Graph, ds traj.Dataset, d proptest.Draw) error {
+	ncfg, ocfg, nl, ol := Materialize(d)
+	p := neat.NewPipeline(g)
+	var nres *neat.Result
+	var nerr error
+	if d.ParallelPhase1 {
+		nres, nerr = p.RunParallel(ds, ncfg, nl, 4)
+	} else {
+		nres, nerr = p.Run(ds, ncfg, nl)
+	}
+	ores, oerr := oracle.RunNEAT(g, ds, ocfg, ol)
+	if (nerr != nil) != (oerr != nil) {
+		return fmt.Errorf("error mismatch: neat=%v oracle=%v", nerr, oerr)
+	}
+	if nerr != nil {
+		return nil // both rejected the instance identically
+	}
+	if d := Diff(CanonicalNEAT(nres), CanonicalOracle(ores)); d != "" {
+		return fmt.Errorf("outputs diverge: %s", d)
+	}
+	return nil
+}
+
+// CheckSeed runs the differential check for one seed. A nil return
+// means the optimized pipeline and the oracle agreed byte for byte.
+func CheckSeed(seed int64) error {
+	g, ds, d, err := Instance(seed)
+	if err != nil {
+		return fmt.Errorf("seed %d: instance generation: %w", seed, err)
+	}
+	if err := checkInstance(g, ds, d); err != nil {
+		// Bisect the dataset to a minimal counterexample before
+		// reporting; the shrunk size tells the investigator how much
+		// input actually matters.
+		small := proptest.ShrinkDataset(ds, func(cand traj.Dataset) bool {
+			return checkInstance(g, cand, d) != nil
+		})
+		return fmt.Errorf("seed %d: %w (shrunk to %d of %d trajectories)\nreproduce: neatcli selftest -seed %d -n 1",
+			seed, err, len(small.Trajectories), len(ds.Trajectories), seed)
+	}
+	return nil
+}
+
+// Options parameterizes RunSuite.
+type Options struct {
+	// N is the number of consecutive seeds to check, starting at Seed.
+	N int
+	// Seed is the first seed.
+	Seed int64
+	// Out receives progress output; nil discards it.
+	Out io.Writer
+	// Verbose prints one line per seed rather than a final summary.
+	Verbose bool
+}
+
+// RunSuite checks N consecutive seeds and returns the seeds that
+// failed, printing each failure (with its reproduction line) to Out.
+func RunSuite(opts Options) []int64 {
+	out := opts.Out
+	if out == nil {
+		out = io.Discard
+	}
+	var failed []int64
+	for i := 0; i < opts.N; i++ {
+		seed := opts.Seed + int64(i)
+		if err := CheckSeed(seed); err != nil {
+			failed = append(failed, seed)
+			fmt.Fprintf(out, "FAIL %v\n", err)
+			continue
+		}
+		if opts.Verbose {
+			fmt.Fprintf(out, "ok seed %d\n", seed)
+		}
+	}
+	fmt.Fprintf(out, "selftest: %d/%d seeds passed\n", opts.N-len(failed), opts.N)
+	return failed
+}

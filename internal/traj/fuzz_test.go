@@ -1,0 +1,75 @@
+package traj
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzTrajCodec feeds arbitrary bytes to the trajectory CSV reader.
+// Two properties must hold: Read never panics, and when it accepts the
+// input, the codec is write-idempotent — Write quantizes coordinates
+// and timestamps to three decimals, so Write(Read(Write(ds))) must
+// reproduce Write(ds) byte for byte.
+func FuzzTrajCodec(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("1,2,100.5,200.25,0.0\n1,2,110.0,205.0,1.5\n"))
+	f.Add([]byte("7,0,-3.125,4.5,10\n7,1,0,0,11\n8,0,1,1,0\n"))
+	f.Add([]byte("1,2,3,4\n"))                         // wrong field count
+	f.Add([]byte("x,2,3,4,5\n"))                       // bad trid
+	f.Add([]byte("1,2,3,4,5\n1,2,3,4,1\n"))            // time goes backwards
+	f.Add([]byte("1,2,NaN,4,5\n"))                     // non-finite coordinate
+	f.Add([]byte("1,2,3,4,5\n2,0,0,0,0\n1,0,0,0,9\n")) // duplicate id
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ds, err := Read(bytes.NewReader(data), "fuzz")
+		if err != nil {
+			return
+		}
+		var first strings.Builder
+		if err := Write(&first, ds); err != nil {
+			t.Fatalf("write of accepted dataset failed: %v", err)
+		}
+		ds2, err := Read(strings.NewReader(first.String()), "fuzz")
+		if err != nil {
+			t.Fatalf("re-read of written dataset failed: %v\ninput: %q", err, first.String())
+		}
+		var second strings.Builder
+		if err := Write(&second, ds2); err != nil {
+			t.Fatal(err)
+		}
+		if first.String() != second.String() {
+			t.Fatalf("write not idempotent:\nfirst:  %q\nsecond: %q", first.String(), second.String())
+		}
+	})
+}
+
+// FuzzRawCodec is the raw-trace counterpart: ReadRaw never panics, and
+// accepted traces survive a quantizing round trip unchanged.
+func FuzzRawCodec(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("1,100.5,200.25,0.0\n1,110.0,205.0,1.5\n"))
+	f.Add([]byte("3,0,0,5\n3,1,1,4\n")) // time goes backwards
+	f.Add([]byte("1,2,3,4,5\n"))        // wrong field count
+	f.Add([]byte("q,2,3,4\n"))          // bad trid
+	f.Fuzz(func(t *testing.T, data []byte) {
+		traces, err := ReadRaw(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var first strings.Builder
+		if err := WriteRaw(&first, traces); err != nil {
+			t.Fatalf("write of accepted traces failed: %v", err)
+		}
+		traces2, err := ReadRaw(strings.NewReader(first.String()))
+		if err != nil {
+			t.Fatalf("re-read of written traces failed: %v\ninput: %q", err, first.String())
+		}
+		var second strings.Builder
+		if err := WriteRaw(&second, traces2); err != nil {
+			t.Fatal(err)
+		}
+		if first.String() != second.String() {
+			t.Fatalf("write not idempotent:\nfirst:  %q\nsecond: %q", first.String(), second.String())
+		}
+	})
+}
