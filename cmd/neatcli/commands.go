@@ -169,6 +169,7 @@ func cmdCluster(args []string) error {
 	weights := fs.String("weights", "flow", "merge weights: flow, density, speed, balanced, monitoring")
 	beta := fs.Float64("beta", 0, "domination threshold (0 = +Inf)")
 	workers := fs.Int("workers", 0, "parallel workers for Phases 1 and 3 (0 = serial, -1 = all CPUs)")
+	trace := fs.Bool("trace", false, "print the per-phase span breakdown after the run")
 	svg := fs.String("svg", "", "write clustering visualization to this SVG file")
 	jsonOut := fs.String("json", "", "write machine-readable results to this JSON file")
 	if err := fs.Parse(args); err != nil {
@@ -198,6 +199,7 @@ func cmdCluster(args []string) error {
 		Refine: neat.RefineConfig{Epsilon: *eps, UseELB: true, Bounded: true, Workers: *workers},
 	}
 	p := neat.NewPipeline(g)
+	p.EnableTracing(*trace)
 	var res *neat.Result
 	if *workers != 0 {
 		res, err = p.RunParallel(ds, cfg, lvl, *workers)
@@ -208,6 +210,10 @@ func cmdCluster(args []string) error {
 		return err
 	}
 	printResult(g, res)
+	if *trace {
+		fmt.Println("trace:")
+		res.Trace.WriteTree(os.Stdout)
+	}
 	if *svg != "" {
 		if err := writeClusterSVG(g, ds, res, *svg); err != nil {
 			return err

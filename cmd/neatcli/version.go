@@ -1,0 +1,33 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"repro/internal/obs"
+)
+
+// cmdVersion prints the binary's build description — the same data the
+// server reports in GET /v1/stats.
+func cmdVersion(args []string) error {
+	fs := newFlagSet("version")
+	jsonOut := fs.Bool("json", false, "emit machine-readable JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	b := obs.BuildInfo()
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			obs.Build
+			OS   string `json:"os"`
+			Arch string `json:"arch"`
+		}{b, runtime.GOOS, runtime.GOARCH})
+	}
+	fmt.Println(b)
+	fmt.Printf("%s/%s\n", runtime.GOOS, runtime.GOARCH)
+	return nil
+}

@@ -1,40 +1,53 @@
 // Command neatserver runs the NEAT trajectory-clustering service of
 // §II-C over a road network: clients POST trajectories and GET
-// clustering results.
+// clustering results. The process is fully observable: every request,
+// cache lookup, and pipeline run records into an internal/obs registry
+// scraped at /metrics, and SIGINT/SIGTERM drain in-flight requests
+// before exit.
 //
 // Usage:
 //
 //	neatserver -map map.csv [-addr :8080] [-datanodes 4] [-workers -1]
-//	neatserver -region ATL -scale 0.1 [-addr :8080]
+//	neatserver -region ATL -scale 0.1 [-addr :8080] [-drain 10s]
 //
 // API:
 //
 //	POST /v1/trajectories  {"trajectories":[{"trid":1,"points":[{"sid":0,"x":1,"y":2,"t":0}, ...]}]}
 //	GET  /v1/clusters?level=opt&eps=6500&mincard=5
 //	GET  /v1/stats
+//	GET  /metrics          Prometheus text exposition
+//	GET  /debug/vars       expvar-style JSON exposition
+//	GET  /debug/pprof/     net/http/pprof profiling
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/mapgen"
+	"repro/internal/obs"
 	"repro/internal/roadnet"
 	"repro/internal/server"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "neatserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("neatserver", flag.ContinueOnError)
 	fs.SetOutput(os.Stderr)
 	var (
@@ -44,6 +57,7 @@ func run(args []string) error {
 		scale     = fs.Float64("scale", 0.1, "scale for -region maps")
 		dataNodes = fs.Int("datanodes", 4, "preprocessing data nodes")
 		workers   = fs.Int("workers", 0, "Phase 3 refinement workers (0 = serial, -1 = all CPUs)")
+		drain     = fs.Duration("drain", 10*time.Second, "graceful shutdown timeout for in-flight requests")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -78,12 +92,55 @@ func run(args []string) error {
 		return fmt.Errorf("one of -map or -region is required")
 	}
 
-	srv := server.New(g, server.Config{DataNodes: *dataNodes, Workers: *workers})
+	reg := obs.NewRegistry()
+	srv := server.New(g, server.Config{DataNodes: *dataNodes, Workers: *workers, Obs: reg})
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           newMux(srv, reg),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	fmt.Printf("neatserver listening on %s — %s\n", *addr, roadnet.ComputeStats(g))
-	return httpSrv.ListenAndServe()
+	return serve(ctx, httpSrv, reg, *drain)
+}
+
+// newMux assembles the full handler: the API (already wrapped in the
+// obs middleware by server.Handler), the metrics expositions, and the
+// pprof profiling endpoints.
+func newMux(srv *server.Server, reg *obs.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	mux.Handle("/metrics", reg.MetricsHandler())
+	mux.Handle("/debug/vars", reg.VarsHandler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// serve runs httpSrv until it fails or ctx is cancelled (SIGINT or
+// SIGTERM in production). On cancellation it drains in-flight requests
+// via http.Server.Shutdown bounded by the drain timeout, then logs the
+// final metrics snapshot so a scrape gap around termination loses
+// nothing.
+func serve(ctx context.Context, httpSrv *http.Server, reg *obs.Registry, drain time.Duration) error {
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintf(os.Stderr, "neatserver: signal received, draining in-flight requests (timeout %s)\n", drain)
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	shutdownErr := httpSrv.Shutdown(sctx)
+	fmt.Fprintln(os.Stderr, "neatserver: final metrics snapshot:")
+	_ = reg.WritePrometheus(os.Stderr)
+	if shutdownErr != nil {
+		return fmt.Errorf("shutdown: %w", shutdownErr)
+	}
+	fmt.Fprintln(os.Stderr, "neatserver: shutdown complete")
+	return nil
 }

@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestRunArgValidation(t *testing.T) {
 	cases := [][]string{
@@ -10,7 +13,7 @@ func TestRunArgValidation(t *testing.T) {
 		{"-region", "ATL", "-badflag"}, // unknown flag
 	}
 	for _, args := range cases {
-		if err := run(args); err == nil {
+		if err := run(context.Background(), args); err == nil {
 			t.Errorf("neatserver %v succeeded, want error", args)
 		}
 	}

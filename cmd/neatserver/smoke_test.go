@@ -1,0 +1,168 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/mapgen"
+	"repro/internal/mobisim"
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// smokeApp boots the full neatserver handler stack (API + metrics +
+// pprof) over a small generated map, mirroring what CI's smoke job
+// asserts against the real binary.
+func smokeApp(t *testing.T) (*httptest.Server, *obs.Registry) {
+	t.Helper()
+	g, err := mapgen.Generate(mapgen.Config{
+		Name: "smoke", TargetJunctions: 200, TargetSegments: 280,
+		AvgSegLenM: 150, MaxDegree: 6, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	srv := server.New(g, server.Config{DataNodes: 2, Obs: reg})
+	ts := httptest.NewServer(newMux(srv, reg))
+	t.Cleanup(ts.Close)
+
+	// Ingest a small batch so pipeline/server series materialize.
+	ds, _, err := mobisim.New(g).Simulate(mobisim.DefaultConfig("smoke", 30, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := server.NewClient(ts.URL, ts.Client())
+	if _, err := c.Ingest(context.Background(), ds); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Clusters(context.Background(), server.ClusterQuery{Level: "opt", Epsilon: 1500, MinCard: 3}); err != nil {
+		t.Fatal(err)
+	}
+	return ts, reg
+}
+
+func TestServerSmoke(t *testing.T) {
+	ts, _ := smokeApp(t)
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, metrics := get("/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	// Pipeline-, server-, and HTTP-level series must all be present.
+	for _, name := range []string{
+		"neat_runs_total",
+		"neat_phase_seconds_bucket",
+		"neat_sp_queries_total",
+		"server_ingest_trajectories_total",
+		"server_cache_misses_total",
+		"http_request_duration_seconds_bucket",
+		"http_requests_total",
+	} {
+		if !strings.Contains(metrics, name) {
+			t.Errorf("/metrics missing %s", name)
+		}
+	}
+
+	code, vars := get("/debug/vars")
+	if code != 200 || !json.Valid([]byte(vars)) {
+		t.Errorf("/debug/vars: status %d, valid JSON %v", code, json.Valid([]byte(vars)))
+	}
+
+	code, stats := get("/v1/stats")
+	if code != 200 || !strings.Contains(stats, "go_version") {
+		t.Errorf("/v1/stats: status %d body %s", code, stats)
+	}
+
+	if code, _ := get("/debug/pprof/"); code != 200 {
+		t.Errorf("/debug/pprof/ status = %d", code)
+	}
+	if code, _ := get("/debug/pprof/cmdline"); code != 200 {
+		t.Errorf("/debug/pprof/cmdline status = %d", code)
+	}
+}
+
+// TestGracefulShutdown cancels the serve context mid-flight and
+// verifies the in-flight request completes, the listener closes
+// cleanly, and serve returns without error.
+func TestGracefulShutdown(t *testing.T) {
+	reg := obs.NewRegistry()
+	release := make(chan struct{})
+	started := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, _ *http.Request) {
+		close(started)
+		<-release
+		w.Write([]byte("done"))
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: obs.Middleware(reg, mux, "/slow")}
+	ctx, cancel := context.WithCancel(context.Background())
+	serveErr := make(chan error, 1)
+	go func() {
+		// Mirror serve() but over a pre-bound listener so the test
+		// knows the address; Serve vs ListenAndServe is the only delta.
+		errc := make(chan error, 1)
+		go func() { errc <- httpSrv.Serve(ln) }()
+		select {
+		case err := <-errc:
+			serveErr <- err
+			return
+		case <-ctx.Done():
+		}
+		sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer scancel()
+		serveErr <- httpSrv.Shutdown(sctx)
+	}()
+
+	reqDone := make(chan error, 1)
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/slow")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				err = io.ErrUnexpectedEOF
+			}
+		}
+		reqDone <- err
+	}()
+	<-started
+	cancel() // "signal" arrives while /slow is in flight
+	time.Sleep(50 * time.Millisecond)
+	close(release) // the handler finishes during the drain window
+
+	if err := <-reqDone; err != nil {
+		t.Errorf("in-flight request failed across shutdown: %v", err)
+	}
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Errorf("shutdown returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not return after drain")
+	}
+	if got := reg.Counter("http_requests_total", obs.L("route", "/slow"), obs.L("code", "200")).Value(); got != 1 {
+		t.Errorf("drained request not recorded: %d", got)
+	}
+}

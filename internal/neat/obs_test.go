@@ -1,0 +1,112 @@
+package neat
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/proptest"
+)
+
+// TestPipelineTrace verifies that a traced run produces the full span
+// tree with the expected phase nodes and work annotations.
+func TestPipelineTrace(t *testing.T) {
+	g, ds := proptest.SimScenario(t, 120)
+	p := NewPipeline(g)
+	p.EnableTracing(true)
+	cfg := Config{
+		Flow:   FlowConfig{Weights: WeightsFlowOnly, MinCard: 3},
+		Refine: RefineConfig{Epsilon: 2000, UseELB: true, Bounded: true},
+	}
+	res, err := p.Run(ds, cfg, LevelOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil {
+		t.Fatal("tracing enabled but Result.Trace is nil")
+	}
+	names := obs.SpanNames(res.Trace)
+	for _, want := range []string{
+		"neat.run", "phase1.partition", "phase1.base_clusters",
+		"phase2.flow_clusters", "phase3.refine", "phase3.eps_graph", "phase3.dbscan",
+	} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("span %q missing from trace (have %v)", want, names)
+		}
+	}
+	p3 := res.Trace.Find("phase3.refine")
+	labels := p3.LabelMap()
+	for _, key := range []string{"kernel", "pairs", "elb_pruned", "sp_queries", "settled_nodes", "clusters"} {
+		if _, ok := labels[key]; !ok {
+			t.Errorf("phase3 span missing %q annotation: %v", key, labels)
+		}
+	}
+	if labels["kernel"] != "dijkstra" {
+		t.Errorf("kernel = %q", labels["kernel"])
+	}
+	if res.RefineStats.Pairs > 0 {
+		if _, ok := labels["elb_prune_rate"]; !ok {
+			t.Errorf("elb_prune_rate missing with %d pairs", res.RefineStats.Pairs)
+		}
+	}
+	var b strings.Builder
+	res.Trace.WriteTree(&b)
+	if !strings.Contains(b.String(), "phase3.eps_graph") {
+		t.Errorf("tree rendering missing eps_graph:\n%s", b.String())
+	}
+
+	// Tracing off: no tree is built.
+	p.EnableTracing(false)
+	res2, err := p.Run(ds, cfg, LevelOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Trace != nil {
+		t.Error("tracing disabled but Result.Trace is non-nil")
+	}
+}
+
+// TestPipelineMetrics verifies that an instrumented pipeline records
+// run counters and per-phase histograms.
+func TestPipelineMetrics(t *testing.T) {
+	g, ds := proptest.SimScenario(t, 120)
+	reg := obs.NewRegistry()
+	p := NewPipeline(g)
+	p.Instrument(reg)
+	cfg := Config{
+		Flow:   FlowConfig{Weights: WeightsFlowOnly, MinCard: 3},
+		Refine: RefineConfig{Epsilon: 2000, UseELB: true, Bounded: true},
+	}
+	res, err := p.Run(ds, cfg, LevelOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("neat_runs_total").Value(); got != 1 {
+		t.Errorf("neat_runs_total = %d", got)
+	}
+	if got := reg.Counter("neat_fragments_total").Value(); got != int64(res.NumFragments) {
+		t.Errorf("neat_fragments_total = %d, want %d", got, res.NumFragments)
+	}
+	if got := reg.Counter("neat_sp_queries_total").Value(); got != res.RefineStats.SPQueries {
+		t.Errorf("neat_sp_queries_total = %d, want %d", got, res.RefineStats.SPQueries)
+	}
+	for _, phase := range []string{"1", "2", "3"} {
+		h := reg.Histogram("neat_phase_seconds", nil, obs.L("phase", phase))
+		if h.Count() != 1 {
+			t.Errorf("neat_phase_seconds{phase=%s} count = %d", phase, h.Count())
+		}
+	}
+	// A flow-level run observes only phases 1 and 2.
+	if _, err := p.Run(ds, cfg, LevelFlow); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Histogram("neat_phase_seconds", nil, obs.L("phase", "3")).Count(); got != 1 {
+		t.Errorf("phase 3 histogram grew on a flow-level run: %d", got)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/roadnet"
 	"repro/internal/shortest"
 	"repro/internal/traj"
@@ -93,6 +94,12 @@ type Result struct {
 	// counters (Fig 7).
 	Timing      Timing
 	RefineStats RefineStats
+	// Trace is the span tree of this run when tracing was enabled on
+	// the pipeline (see Pipeline.EnableTracing); nil otherwise. It
+	// carries the per-phase wall times plus work annotations (fragment
+	// counts, merge rounds, shortest-path query counts, ELB prune
+	// rates) and the Phase 3 ε-graph vs. DBSCAN split.
+	Trace *obs.Span
 }
 
 // Pipeline runs NEAT over a fixed road network. It owns the Phase 1
@@ -102,6 +109,9 @@ type Result struct {
 type Pipeline struct {
 	g    *roadnet.Graph
 	part *traj.Partitioner
+
+	trace bool
+	m     pipelineMetrics
 }
 
 // NewPipeline creates a Pipeline over g.
@@ -115,42 +125,99 @@ func NewPipeline(g *roadnet.Graph) *Pipeline {
 // Graph returns the pipeline's road network.
 func (p *Pipeline) Graph() *roadnet.Graph { return p.g }
 
+// pipelineMetrics holds pre-resolved metric handles. All fields are
+// nil on an uninstrumented pipeline, making every recording call a
+// no-op — observability never changes clustering output either way.
+type pipelineMetrics struct {
+	runs      *obs.Counter
+	fragments *obs.Counter
+	flows     *obs.Counter
+	clusters  *obs.Counter
+	spQueries *obs.Counter
+	settled   *obs.Counter
+	elbPruned *obs.Counter
+	phase     [3]*obs.Histogram
+}
+
+// phaseBuckets span sub-millisecond Phase 2 merges up to multi-second
+// Phase 1 partitionings (seconds).
+var phaseBuckets = []float64{.0001, .0005, .001, .005, .01, .05, .1, .5, 1, 5, 10, 30}
+
+// Instrument attaches a metrics registry: every subsequent run records
+// run/fragment/flow/cluster counters, shortest-path work totals, and
+// per-phase latency histograms. A nil registry detaches (the default).
+func (p *Pipeline) Instrument(reg *obs.Registry) {
+	p.m = pipelineMetrics{
+		runs:      reg.Counter("neat_runs_total"),
+		fragments: reg.Counter("neat_fragments_total"),
+		flows:     reg.Counter("neat_flows_total"),
+		clusters:  reg.Counter("neat_clusters_total"),
+		spQueries: reg.Counter("neat_sp_queries_total"),
+		settled:   reg.Counter("neat_settled_nodes_total"),
+		elbPruned: reg.Counter("neat_elb_pruned_total"),
+		phase: [3]*obs.Histogram{
+			reg.Histogram("neat_phase_seconds", phaseBuckets, obs.L("phase", "1")),
+			reg.Histogram("neat_phase_seconds", phaseBuckets, obs.L("phase", "2")),
+			reg.Histogram("neat_phase_seconds", phaseBuckets, obs.L("phase", "3")),
+		},
+	}
+}
+
+// EnableTracing toggles per-run span collection; when on, each run
+// returns its span tree in Result.Trace (neatcli -trace prints it).
+func (p *Pipeline) EnableTracing(on bool) { p.trace = on }
+
+// newRunSpan starts the root span of one run, or nil when tracing is
+// off (all span operations on nil are no-ops).
+func (p *Pipeline) newRunSpan(level Level) *obs.Span {
+	if !p.trace {
+		return nil
+	}
+	root := obs.StartSpan("neat.run")
+	root.Annotate("level", level)
+	return root
+}
+
+// finish closes the run: ends the root span, attaches it to the
+// result, and records the run's metrics.
+func (p *Pipeline) finish(res *Result, root *obs.Span) {
+	root.End()
+	res.Trace = root
+	p.m.runs.Inc()
+	p.m.fragments.Add(int64(res.NumFragments))
+	p.m.flows.Add(int64(len(res.Flows)))
+	p.m.clusters.Add(int64(len(res.Clusters)))
+	p.m.spQueries.Add(res.RefineStats.SPQueries)
+	p.m.settled.Add(res.RefineStats.SettledNodes)
+	p.m.elbPruned.Add(int64(res.RefineStats.ELBPruned))
+	p.m.phase[0].ObserveDuration(res.Timing.Phase1)
+	if res.Level >= LevelFlow {
+		p.m.phase[1].ObserveDuration(res.Timing.Phase2)
+	}
+	if res.Level >= LevelOpt {
+		p.m.phase[2].ObserveDuration(res.Timing.Phase3)
+	}
+}
+
 // Run executes NEAT on the dataset up to the requested level.
 func (p *Pipeline) Run(ds traj.Dataset, cfg Config, level Level) (*Result, error) {
-	res := &Result{Level: level}
-
+	root := p.newRunSpan(level)
+	sp := root.StartChild("phase1.partition")
+	sp.Annotate("trajectories", len(ds.Trajectories))
 	start := time.Now()
 	frags, err := p.part.PartitionDataset(ds)
 	if err != nil {
 		return nil, fmt.Errorf("neat: phase 1 partitioning: %w", err)
 	}
-	res.NumFragments = len(frags)
-	res.BaseClusters = FormBaseClusters(frags)
-	res.Timing.Phase1 = time.Since(start)
-	if level == LevelBase {
-		return res, nil
-	}
-
-	start = time.Now()
-	flows, filtered, err := FormFlowClusters(p.g, res.BaseClusters, cfg.Flow)
+	partTime := time.Since(start)
+	sp.Annotate("fragments", len(frags))
+	sp.End()
+	res, err := p.runFragments(frags, cfg, level, root)
 	if err != nil {
-		return nil, fmt.Errorf("neat: phase 2 flow formation: %w", err)
+		return nil, err
 	}
-	res.Flows = flows
-	res.FilteredFlows = filtered
-	res.Timing.Phase2 = time.Since(start)
-	if level == LevelFlow {
-		return res, nil
-	}
-
-	start = time.Now()
-	clusters, stats, err := RefineFlows(p.g, flows, cfg.Refine)
-	if err != nil {
-		return nil, fmt.Errorf("neat: phase 3 refinement: %w", err)
-	}
-	res.Clusters = clusters
-	res.RefineStats = stats
-	res.Timing.Phase3 = time.Since(start)
+	res.Timing.Phase1 += partTime
+	p.finish(res, root)
 	return res, nil
 }
 
@@ -171,18 +238,26 @@ func (p *Pipeline) RunParallel(ds traj.Dataset, cfg Config, level Level, workers
 		}
 		cfg.Refine.Workers = w
 	}
+	root := p.newRunSpan(level)
+	sp := root.StartChild("phase1.partition")
+	sp.Annotate("trajectories", len(ds.Trajectories))
+	sp.Annotate("workers", workers)
 	start := time.Now()
 	frags, err := traj.PartitionDatasetParallel(p.g, ds, workers)
 	if err != nil {
 		return nil, fmt.Errorf("neat: parallel phase 1 partitioning: %w", err)
 	}
-	res, err := p.RunFragments(frags, cfg, level)
+	partTime := time.Since(start)
+	sp.Annotate("fragments", len(frags))
+	sp.End()
+	res, err := p.runFragments(frags, cfg, level, root)
 	if err != nil {
 		return nil, err
 	}
-	// RunFragments charged only base-cluster formation to Phase 1;
+	// runFragments charged only base-cluster formation to Phase 1;
 	// fold the partitioning in.
-	res.Timing.Phase1 = time.Since(start) - res.Timing.Phase2 - res.Timing.Phase3
+	res.Timing.Phase1 += partTime
+	p.finish(res, root)
 	return res, nil
 }
 
@@ -191,15 +266,33 @@ func (p *Pipeline) RunParallel(ds traj.Dataset, cfg Config, level Level, workers
 // the first two phases run on each newly arrived batch and the
 // resulting flows merge with the standing flow set in Phase 3.
 func (p *Pipeline) RunFragments(frags []traj.TFragment, cfg Config, level Level) (*Result, error) {
+	root := p.newRunSpan(level)
+	res, err := p.runFragments(frags, cfg, level, root)
+	if err != nil {
+		return nil, err
+	}
+	p.finish(res, root)
+	return res, nil
+}
+
+// runFragments is the shared phase driver: base-cluster formation,
+// flow formation, refinement, with per-phase spans attached under
+// root (a nil root records nothing).
+func (p *Pipeline) runFragments(frags []traj.TFragment, cfg Config, level Level, root *obs.Span) (*Result, error) {
 	res := &Result{Level: level, NumFragments: len(frags)}
 
+	sp := root.StartChild("phase1.base_clusters")
 	start := time.Now()
 	res.BaseClusters = FormBaseClusters(frags)
 	res.Timing.Phase1 = time.Since(start)
+	sp.Annotate("fragments", len(frags))
+	sp.Annotate("base_clusters", len(res.BaseClusters))
+	sp.End()
 	if level == LevelBase {
 		return res, nil
 	}
 
+	sp = root.StartChild("phase2.flow_clusters")
 	start = time.Now()
 	flows, filtered, err := FormFlowClusters(p.g, res.BaseClusters, cfg.Flow)
 	if err != nil {
@@ -208,10 +301,17 @@ func (p *Pipeline) RunFragments(frags []traj.TFragment, cfg Config, level Level)
 	res.Flows = flows
 	res.FilteredFlows = filtered
 	res.Timing.Phase2 = time.Since(start)
+	// Each merge round seeds one flow from the densest unmerged base
+	// cluster; rounds that fail the minCard filter are counted too.
+	sp.Annotate("merge_rounds", len(flows)+filtered)
+	sp.Annotate("flows", len(flows))
+	sp.Annotate("filtered", filtered)
+	sp.End()
 	if level == LevelFlow {
 		return res, nil
 	}
 
+	sp = root.StartChild("phase3.refine")
 	start = time.Now()
 	clusters, stats, err := RefineFlows(p.g, flows, cfg.Refine)
 	if err != nil {
@@ -220,7 +320,37 @@ func (p *Pipeline) RunFragments(frags []traj.TFragment, cfg Config, level Level)
 	res.Clusters = clusters
 	res.RefineStats = stats
 	res.Timing.Phase3 = time.Since(start)
+	annotateRefine(sp, cfg.Refine, stats, len(clusters))
+	sp.End()
 	return res, nil
+}
+
+// annotateRefine attaches Phase 3's work counters to its span and
+// splits it into the ε-graph construction and DBSCAN sub-spans using
+// the durations RefineStats measured.
+func annotateRefine(sp *obs.Span, cfg RefineConfig, stats RefineStats, clusters int) {
+	if sp == nil {
+		return
+	}
+	sp.Annotate("kernel", cfg.Algo)
+	sp.Annotate("pairs", stats.Pairs)
+	sp.Annotate("elb_pruned", stats.ELBPruned)
+	if stats.Pairs > 0 {
+		sp.Annotate("elb_prune_rate", fmt.Sprintf("%.1f%%", 100*float64(stats.ELBPruned)/float64(stats.Pairs)))
+	}
+	sp.Annotate("sp_queries", stats.SPQueries)
+	sp.Annotate("settled_nodes", stats.SettledNodes)
+	if stats.Workers > 0 {
+		sp.Annotate("workers", stats.Workers)
+		sp.Annotate("expansions", stats.Expansions)
+		sp.Annotate("grid_pruned", stats.PrunedPairs)
+	}
+	sp.Annotate("clusters", clusters)
+	eg := sp.AddChild("phase3.eps_graph", sp.Start(), stats.GraphTime)
+	eg.Annotate("sp_queries", stats.SPQueries)
+	eg.Annotate("settled_nodes", stats.SettledNodes)
+	db := sp.AddChild("phase3.dbscan", sp.Start().Add(stats.GraphTime), stats.ClusterTime)
+	db.Annotate("clusters", clusters)
 }
 
 // Partition exposes the pipeline's Phase 1 partitioner for callers that

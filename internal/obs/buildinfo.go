@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Build describes the running binary, assembled from the information
+// the Go toolchain embeds at link time.
+type Build struct {
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string
+	// Module is the main module path ("repro").
+	Module string
+	// Version is the main module version; "(devel)" for local builds.
+	Version string
+	// Revision and Time are the VCS commit and commit time when the
+	// build had VCS metadata ("" otherwise); Dirty reports uncommitted
+	// changes at build time.
+	Revision string
+	Time     string
+	Dirty    bool
+}
+
+// String renders the build info as a short multi-line report.
+func (b Build) String() string {
+	s := fmt.Sprintf("%s %s (%s)", b.Module, b.Version, b.GoVersion)
+	if b.Revision != "" {
+		s += fmt.Sprintf("\nvcs %s", b.Revision)
+		if b.Time != "" {
+			s += " " + b.Time
+		}
+		if b.Dirty {
+			s += " (dirty)"
+		}
+	}
+	return s
+}
+
+// BuildInfo returns the binary's build description. The lookup runs
+// once; tests and binaries without embedded info get sensible
+// fallbacks.
+var BuildInfo = sync.OnceValue(func() Build {
+	b := Build{GoVersion: runtime.Version(), Module: "unknown", Version: "unknown"}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	if info.GoVersion != "" {
+		b.GoVersion = info.GoVersion
+	}
+	if info.Main.Path != "" {
+		b.Module = info.Main.Path
+	}
+	if info.Main.Version != "" {
+		b.Version = info.Main.Version
+	}
+	for _, kv := range info.Settings {
+		switch kv.Key {
+		case "vcs.revision":
+			b.Revision = kv.Value
+		case "vcs.time":
+			b.Time = kv.Value
+		case "vcs.modified":
+			b.Dirty = kv.Value == "true"
+		}
+	}
+	return b
+})

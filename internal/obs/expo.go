@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+)
+
+// fmtFloat renders a float the way the Prometheus text format expects:
+// shortest representation, +Inf for the unbounded bucket.
+func fmtFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes every registered series in the Prometheus
+// text exposition format (version 0.0.4), sorted by name for
+// deterministic output. Nil-safe: a nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	prevName := ""
+	for _, s := range r.snapshot() {
+		// One TYPE header per metric name; series sort groups names.
+		if s.name != prevName {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.name, s.kind); err != nil {
+				return err
+			}
+			prevName = s.name
+		}
+		var err error
+		switch s.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "%s %d\n", seriesID(s.name, s.labels), s.c.Value())
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "%s %s\n", seriesID(s.name, s.labels), fmtFloat(s.g.Value()))
+		case kindHistogram:
+			err = writePromHistogram(w, s)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, s *series) error {
+	bounds, cum := s.h.Buckets()
+	for i, b := range bounds {
+		labels := append(append([]Label{}, s.labels...), L("le", fmtFloat(b)))
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", s.name, labelString(labels), cum[i]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", s.name, suffixLabels(s.labels), fmtFloat(s.h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", s.name, suffixLabels(s.labels), s.h.Count())
+	return err
+}
+
+func suffixLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	return labelString(labels)
+}
+
+// jsonHistogram is the JSON shape of one histogram series.
+type jsonHistogram struct {
+	Count   int64            `json:"count"`
+	Sum     float64          `json:"sum"`
+	Buckets map[string]int64 `json:"buckets"` // le -> cumulative count
+}
+
+// jsonVars is the expvar-style document WriteJSON produces.
+type jsonVars struct {
+	Counters   map[string]int64         `json:"counters"`
+	Gauges     map[string]float64       `json:"gauges"`
+	Histograms map[string]jsonHistogram `json:"histograms"`
+}
+
+// WriteJSON writes every registered series as one expvar-style JSON
+// document keyed by series id. Keys are sorted by the JSON encoder, so
+// the output is deterministic. Nil-safe: a nil registry writes an
+// empty document.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	doc := jsonVars{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]jsonHistogram{},
+	}
+	if r != nil {
+		for _, s := range r.snapshot() {
+			id := seriesID(s.name, s.labels)
+			switch s.kind {
+			case kindCounter:
+				doc.Counters[id] = s.c.Value()
+			case kindGauge:
+				doc.Gauges[id] = s.g.Value()
+			case kindHistogram:
+				bounds, cum := s.h.Buckets()
+				jh := jsonHistogram{Count: s.h.Count(), Sum: s.h.Sum(), Buckets: map[string]int64{}}
+				for i, b := range bounds {
+					jh.Buckets[fmtFloat(b)] = cum[i]
+				}
+				doc.Histograms[id] = jh
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// MetricsHandler serves the Prometheus text exposition (a /metrics
+// endpoint). Nil-safe: a nil registry serves an empty body.
+func (r *Registry) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// VarsHandler serves the JSON exposition (a /debug/vars endpoint).
+func (r *Registry) VarsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+	})
+}

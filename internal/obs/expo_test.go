@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func expoRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("neat_runs_total").Add(3)
+	r.Counter("http_requests_total", L("route", "/v1/stats"), L("code", "200")).Add(2)
+	r.Gauge("stream_standing_flows").Set(12.5)
+	h := r.Histogram("lat_seconds", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+	return r
+}
+
+func TestWritePrometheus(t *testing.T) {
+	var b strings.Builder
+	if err := expoRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE neat_runs_total counter\nneat_runs_total 3\n",
+		"# TYPE http_requests_total counter\n" +
+			`http_requests_total{code="200",route="/v1/stats"} 2` + "\n",
+		"# TYPE stream_standing_flows gauge\nstream_standing_flows 12.5\n",
+		"# TYPE lat_seconds histogram\n",
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 2`,
+		`lat_seconds_bucket{le="+Inf"} 3`,
+		"lat_seconds_sum 2.55\n",
+		"lat_seconds_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic: a second rendering is byte-identical.
+	var b2 strings.Builder
+	r := expoRegistry()
+	_ = r.WritePrometheus(&b2)
+	var b3 strings.Builder
+	_ = r.WritePrometheus(&b3)
+	if b2.String() != b3.String() {
+		t.Error("repeated renderings differ")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var b strings.Builder
+	if err := expoRegistry().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Counters   map[string]int64   `json:"counters"`
+		Gauges     map[string]float64 `json:"gauges"`
+		Histograms map[string]struct {
+			Count   int64            `json:"count"`
+			Sum     float64          `json:"sum"`
+			Buckets map[string]int64 `json:"buckets"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if doc.Counters["neat_runs_total"] != 3 {
+		t.Errorf("counters = %v", doc.Counters)
+	}
+	if doc.Counters[`http_requests_total{code="200",route="/v1/stats"}`] != 2 {
+		t.Errorf("labeled counter missing: %v", doc.Counters)
+	}
+	if doc.Gauges["stream_standing_flows"] != 12.5 {
+		t.Errorf("gauges = %v", doc.Gauges)
+	}
+	h := doc.Histograms["lat_seconds"]
+	if h.Count != 3 || h.Sum != 2.55 || h.Buckets["+Inf"] != 3 || h.Buckets["0.1"] != 1 {
+		t.Errorf("histogram = %+v", h)
+	}
+}
+
+func TestNilRegistryExposition(t *testing.T) {
+	var r *Registry
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil || b.Len() != 0 {
+		t.Errorf("nil prometheus exposition: err=%v out=%q", err, b.String())
+	}
+	var j strings.Builder
+	if err := r.WriteJSON(&j); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid([]byte(j.String())) {
+		t.Errorf("nil JSON exposition invalid: %q", j.String())
+	}
+}
+
+func TestHandlers(t *testing.T) {
+	r := expoRegistry()
+	rec := httptest.NewRecorder()
+	r.MetricsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "neat_runs_total 3") {
+		t.Errorf("metrics handler: %d %q", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metrics content type = %q", ct)
+	}
+	rec = httptest.NewRecorder()
+	r.VarsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/vars", nil))
+	if rec.Code != 200 || !json.Valid(rec.Body.Bytes()) {
+		t.Errorf("vars handler: %d %q", rec.Code, rec.Body.String())
+	}
+}

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Middleware wraps next so every request records a latency histogram
+// (http_request_duration_seconds, labeled by route) and a counter
+// (http_requests_total, labeled by route and status code) in reg.
+//
+// routes is the closed set of paths served by next; requests whose
+// path is not in the set are recorded under route="other" so arbitrary
+// client paths cannot inflate series cardinality. Passing a nil
+// registry returns next unchanged.
+func Middleware(reg *Registry, next http.Handler, routes ...string) http.Handler {
+	if reg == nil {
+		return next
+	}
+	known := make(map[string]struct{}, len(routes))
+	for _, rt := range routes {
+		known[rt] = struct{}{}
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		route := r.URL.Path
+		if _, ok := known[route]; !ok {
+			route = "other"
+		}
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		reg.Histogram("http_request_duration_seconds", DefBuckets, L("route", route)).
+			ObserveDuration(time.Since(start))
+		reg.Counter("http_requests_total", L("route", route), L("code", strconv.Itoa(rec.status))).Inc()
+	})
+}
+
+// statusRecorder captures the status code written by the handler;
+// handlers that never call WriteHeader implicitly send 200.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	if !r.wrote {
+		r.status = status
+		r.wrote = true
+	}
+	r.ResponseWriter.WriteHeader(status)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	r.wrote = true
+	return r.ResponseWriter.Write(b)
+}

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMiddlewareRecords(t *testing.T) {
+	r := NewRegistry()
+	next := http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path == "/missing" {
+			http.Error(w, "nope", http.StatusNotFound)
+			return
+		}
+		w.Write([]byte("ok"))
+	})
+	h := Middleware(r, next, "/v1/stats", "/v1/clusters")
+
+	for _, path := range []string{"/v1/stats", "/v1/stats", "/missing", "/v1/clusters"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	}
+
+	if got := r.Counter("http_requests_total", L("route", "/v1/stats"), L("code", "200")).Value(); got != 2 {
+		t.Errorf("stats 200s = %d, want 2", got)
+	}
+	// Unknown paths collapse into route="other", keeping cardinality
+	// bounded, and the handler-written 404 is captured.
+	if got := r.Counter("http_requests_total", L("route", "other"), L("code", "404")).Value(); got != 1 {
+		t.Errorf("other 404s = %d, want 1", got)
+	}
+	if got := r.Histogram("http_request_duration_seconds", DefBuckets, L("route", "/v1/clusters")).Count(); got != 1 {
+		t.Errorf("clusters latency observations = %d, want 1", got)
+	}
+	var b strings.Builder
+	_ = r.WritePrometheus(&b)
+	if !strings.Contains(b.String(), "http_request_duration_seconds_bucket") {
+		t.Error("latency histogram missing from exposition")
+	}
+}
+
+func TestMiddlewareNilRegistry(t *testing.T) {
+	next := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) { w.WriteHeader(204) })
+	h := Middleware(nil, next)
+	if _, ok := h.(http.HandlerFunc); !ok {
+		t.Log("middleware wrapped despite nil registry (allowed but unexpected)")
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
+	if rec.Code != 204 {
+		t.Errorf("status = %d", rec.Code)
+	}
+}
+
+func TestBuildInfo(t *testing.T) {
+	b := BuildInfo()
+	if b.GoVersion == "" {
+		t.Error("no Go version")
+	}
+	if b.Module == "" || b.Version == "" {
+		t.Errorf("module/version empty: %+v", b)
+	}
+	if s := b.String(); !strings.Contains(s, b.GoVersion) {
+		t.Errorf("String() = %q", s)
+	}
+}

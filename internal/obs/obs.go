@@ -1,0 +1,64 @@
+// Package obs is the repo's dependency-free observability subsystem:
+// a concurrent metrics registry (counters, gauges, fixed-bucket
+// histograms) with Prometheus text and expvar-style JSON exposition,
+// lightweight span tracing for per-run phase breakdowns, HTTP
+// middleware, and build-info reporting.
+//
+// Everything is nil-safe: methods on a nil *Registry hand out nil
+// metric handles, and operations on nil handles (and nil *Span) are
+// no-ops. Code can therefore be instrumented unconditionally — when no
+// registry is attached the instrumentation reduces to a nil check and
+// never perturbs behavior. In particular the NEAT pipeline produces
+// byte-identical clustering output with observability on and off; the
+// differential selftest suite verifies this.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Label is one key=value dimension attached to a metric. Keep label
+// cardinality bounded (routes, status codes, phase names) — every
+// distinct label combination materializes a separate series.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// DefBuckets are general-purpose latency buckets in seconds, matching
+// the Prometheus client default.
+var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// seriesID produces the canonical identity of a metric: the name plus
+// the labels sorted by key. Two lookups with the same name and label
+// set — in any order — return the same series.
+func seriesID(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	return name + labelString(labels)
+}
+
+// labelString renders a sorted, escaped {k="v",...} block.
+func labelString(labels []Label) string {
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		// %q escapes exactly what the Prometheus text format requires
+		// inside label values: backslash, double quote, and newline.
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

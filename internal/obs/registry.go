@@ -1,0 +1,262 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry holds named metric series. All methods are safe for
+// concurrent use, and a nil *Registry is a valid no-op registry: it
+// returns nil handles whose operations do nothing, so instrumented
+// code needs no "is observability on" branches of its own.
+type Registry struct {
+	mu     sync.Mutex
+	series map[string]*series
+}
+
+// kind discriminates the series types for exposition.
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one registered metric: a name, a fixed label set, and
+// exactly one of the three value types.
+type series struct {
+	name   string
+	labels []Label
+	kind   kind
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{series: make(map[string]*series)}
+}
+
+// lookup returns the series for (name, labels), creating it with mk on
+// first use. Re-registering a name with a different kind is a
+// programming error and panics.
+func (r *Registry) lookup(name string, labels []Label, k kind, mk func(*series)) *series {
+	id := seriesID(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.series[id]; ok {
+		if s.kind != k {
+			panic(fmt.Sprintf("obs: metric %s registered as %s, requested as %s", id, s.kind, k))
+		}
+		return s
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	s := &series{name: name, labels: ls, kind: k}
+	mk(s)
+	r.series[id] = s
+	return s
+}
+
+// Counter returns the monotonically increasing counter for the given
+// name and labels, creating it on first use. Nil-safe.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, labels, kindCounter, func(s *series) { s.c = &Counter{} }).c
+}
+
+// Gauge returns the gauge for the given name and labels, creating it
+// on first use. Nil-safe.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, labels, kindGauge, func(s *series) { s.g = &Gauge{} }).g
+}
+
+// Histogram returns the fixed-bucket histogram for the given name and
+// labels, creating it on first use with the given bucket upper bounds
+// (ascending, in the observed unit; an implicit +Inf bucket is always
+// appended). Buckets are fixed at first registration; later lookups
+// ignore the argument. Nil-safe.
+func (r *Registry) Histogram(name string, buckets []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, labels, kindHistogram, func(s *series) { s.h = newHistogram(buckets) }).h
+}
+
+// snapshot returns the registered series sorted by (name, labels) for
+// deterministic exposition.
+func (r *Registry) snapshot() []*series {
+	r.mu.Lock()
+	out := make([]*series, 0, len(r.series))
+	for _, s := range r.series {
+		out = append(out, s)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].name != out[j].name {
+			return out[i].name < out[j].name
+		}
+		return labelString(out[i].labels) < labelString(out[j].labels)
+	})
+	return out
+}
+
+// Counter is a monotonically increasing count. The zero value is ready
+// to use; a nil *Counter is a no-op.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n, which must be non-negative (not checked: a negative add
+// would merely corrupt the series, not crash).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count; 0 on a nil counter.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down. The zero value is ready to
+// use; a nil *Gauge is a no-op.
+type Gauge struct {
+	bits atomic.Uint64 // math.Float64bits of the current value
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adjusts the value by delta.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value; 0 on a nil gauge.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets. Buckets hold the
+// upper bounds in ascending order; an implicit +Inf bucket catches the
+// rest. A nil *Histogram is a no-op.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: histogram buckets must be strictly ascending, got %v", buckets))
+		}
+	}
+	bounds := make([]float64, len(buckets))
+	copy(bounds, buckets)
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// First bucket whose upper bound admits v; bucket counts are kept
+	// non-cumulative and accumulated at exposition time.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d in seconds, the conventional unit for
+// latency histograms.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations; 0 on a nil histogram.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values; 0 on a nil histogram.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Buckets returns the bucket upper bounds and their cumulative counts,
+// ending with the +Inf bucket (bound math.Inf(1), count == Count()).
+func (h *Histogram) Buckets() (bounds []float64, cumulative []int64) {
+	if h == nil {
+		return nil, nil
+	}
+	bounds = make([]float64, len(h.bounds)+1)
+	copy(bounds, h.bounds)
+	bounds[len(bounds)-1] = math.Inf(1)
+	cumulative = make([]int64, len(h.counts))
+	var acc int64
+	for i := range h.counts {
+		acc += h.counts[i].Load()
+		cumulative[i] = acc
+	}
+	return bounds, cumulative
+}

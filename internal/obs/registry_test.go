@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestNilRegistryIsNoop(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", DefBuckets)
+	if c != nil || g != nil || h != nil {
+		t.Fatalf("nil registry returned non-nil handles: %v %v %v", c, g, h)
+	}
+	// All operations on nil handles must be safe no-ops.
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(-1)
+	h.Observe(0.5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil handles reported non-zero values")
+	}
+	if b, cum := h.Buckets(); b != nil || cum != nil {
+		t.Error("nil histogram reported buckets")
+	}
+}
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", L("code", "200"))
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	// Same name+labels (any order) returns the same series.
+	if r.Counter("requests_total", L("code", "200")) != c {
+		t.Error("lookup did not return the registered counter")
+	}
+	g := r.Gauge("standing")
+	g.Set(10)
+	g.Add(-2.5)
+	if got := g.Value(); got != 7.5 {
+		t.Errorf("gauge = %g, want 7.5", got)
+	}
+}
+
+func TestLabelOrderCanonical(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("m", L("x", "1"), L("y", "2"))
+	b := r.Counter("m", L("y", "2"), L("x", "1"))
+	if a != b {
+		t.Error("label order created distinct series")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("m")
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 1.0, 5, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Errorf("count = %d, want 6", h.Count())
+	}
+	if want := 0.05 + 0.1 + 0.5 + 1 + 5 + 100; math.Abs(h.Sum()-want) > 1e-12 {
+		t.Errorf("sum = %g, want %g", h.Sum(), want)
+	}
+	bounds, cum := h.Buckets()
+	if len(bounds) != 4 || !math.IsInf(bounds[3], 1) {
+		t.Fatalf("bounds = %v", bounds)
+	}
+	// le=0.1 admits 0.05 and the exactly-equal 0.1; le=1 adds 0.5 and
+	// 1.0; le=10 adds 5; +Inf catches 100.
+	want := []int64{2, 4, 5, 6}
+	for i := range want {
+		if cum[i] != want[i] {
+			t.Errorf("cumulative[%d] = %d, want %d (all %v)", i, cum[i], want[i], cum)
+		}
+	}
+}
+
+func TestHistogramBadBucketsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-ascending buckets did not panic")
+		}
+	}()
+	NewRegistry().Histogram("h", []float64{1, 1})
+}
+
+// TestRegistryConcurrency hammers one registry from many goroutines;
+// run under -race it verifies the lock/atomic discipline, and the
+// final values verify no increments are lost.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 16
+	const perG = 1000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				r.Counter("ops_total").Inc()
+				r.Gauge("level").Add(1)
+				r.Histogram("lat", DefBuckets, L("w", "x")).Observe(float64(j%7) / 10)
+				if j%100 == 0 {
+					// Exposition runs concurrently with writes.
+					var sink discard
+					_ = r.WritePrometheus(&sink)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := r.Counter("ops_total").Value(); got != goroutines*perG {
+		t.Errorf("counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := r.Gauge("level").Value(); got != goroutines*perG {
+		t.Errorf("gauge = %g, want %d", got, goroutines*perG)
+	}
+	if got := r.Histogram("lat", DefBuckets, L("w", "x")).Count(); got != goroutines*perG {
+		t.Errorf("histogram count = %d, want %d", got, goroutines*perG)
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilSpanIsNoop(t *testing.T) {
+	var s *Span
+	if c := s.StartChild("x"); c != nil {
+		t.Fatal("nil span spawned a child")
+	}
+	if c := s.AddChild("x", time.Now(), time.Second); c != nil {
+		t.Fatal("nil span added a child")
+	}
+	s.End()
+	s.Annotate("k", 1)
+	if s.Duration() != 0 || s.Name() != "" || s.Parent() != nil {
+		t.Error("nil span reported state")
+	}
+	if s.Children() != nil || s.Labels() != nil || s.LabelMap() != nil {
+		t.Error("nil span reported children/labels")
+	}
+	var b strings.Builder
+	s.WriteTree(&b)
+	if !strings.Contains(b.String(), "no trace") {
+		t.Errorf("nil tree rendering = %q", b.String())
+	}
+}
+
+func TestSpanTreeConstruction(t *testing.T) {
+	root := StartSpan("run")
+	p1 := root.StartChild("phase1")
+	p1.Annotate("fragments", 42)
+	p1.End()
+	p3 := root.StartChild("phase3")
+	p3.AddChild("epsgraph", p3.Start(), 3*time.Millisecond)
+	p3.AddChild("dbscan", p3.Start().Add(3*time.Millisecond), time.Millisecond)
+	p3.End()
+	root.End()
+
+	kids := root.Children()
+	if len(kids) != 2 || kids[0].Name() != "phase1" || kids[1].Name() != "phase3" {
+		t.Fatalf("children = %v", SpanNames(root))
+	}
+	if kids[0].Parent() != root || kids[1].Parent() != root {
+		t.Error("parent links broken")
+	}
+	if got := root.Find("dbscan"); got == nil || got.Parent() != p3 {
+		t.Error("Find failed to locate grandchild")
+	}
+	if root.Find("nope") != nil {
+		t.Error("Find invented a span")
+	}
+	if d := root.Find("epsgraph").Duration(); d != 3*time.Millisecond {
+		t.Errorf("externally timed child duration = %v", d)
+	}
+	if got := p1.LabelMap()["fragments"]; got != "42" {
+		t.Errorf("label = %q", got)
+	}
+	if root.Duration() <= 0 {
+		t.Error("root duration not positive")
+	}
+	// End is idempotent: a second End must not move the end time.
+	d := p1.Duration()
+	p1.End()
+	if p1.Duration() != d {
+		t.Error("second End moved the end time")
+	}
+}
+
+func TestWriteTree(t *testing.T) {
+	root := StartSpan("neat.run")
+	c := root.StartChild("phase1.partition")
+	c.Annotate("fragments", 7)
+	c.End()
+	root.End()
+	var b strings.Builder
+	root.WriteTree(&b)
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("tree rendering:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[0], "neat.run") {
+		t.Errorf("root line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "  phase1.partition") ||
+		!strings.Contains(lines[1], "fragments=7") ||
+		!strings.Contains(lines[1], "%)") {
+		t.Errorf("child line = %q", lines[1])
+	}
+}
+
+func TestSpanConcurrentChildren(t *testing.T) {
+	root := StartSpan("run")
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 100; j++ {
+				c := root.StartChild("w")
+				c.Annotate("j", j)
+				c.End()
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	root.End()
+	if got := len(root.Children()); got != 800 {
+		t.Errorf("children = %d, want 800", got)
+	}
+}

@@ -1,0 +1,48 @@
+package selftest
+
+import (
+	"testing"
+
+	"repro/internal/neat"
+	"repro/internal/obs"
+)
+
+// TestInstrumentationIsInert runs the differential-suite instances on
+// two pipelines — one fully instrumented (metrics registry + span
+// tracing), one bare — and demands byte-identical canonical
+// renderings. This is the obs subsystem's core guarantee: attaching
+// observability never perturbs clustering output.
+func TestInstrumentationIsInert(t *testing.T) {
+	const seeds = 25
+	for seed := int64(0); seed < seeds; seed++ {
+		g, ds, d, err := Instance(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		ncfg, _, nl, _ := Materialize(d)
+
+		bare := neat.NewPipeline(g)
+		reg := obs.NewRegistry()
+		instrumented := neat.NewPipeline(g)
+		instrumented.Instrument(reg)
+		instrumented.EnableTracing(true)
+
+		bres, berr := bare.Run(ds, ncfg, nl)
+		ires, ierr := instrumented.Run(ds, ncfg, nl)
+		if (berr != nil) != (ierr != nil) {
+			t.Fatalf("seed %d: error mismatch: bare=%v instrumented=%v", seed, berr, ierr)
+		}
+		if berr != nil {
+			continue // both rejected the instance identically
+		}
+		if diff := Diff(CanonicalNEAT(bres), CanonicalNEAT(ires)); diff != "" {
+			t.Errorf("seed %d: instrumented output diverges: %s", seed, diff)
+		}
+		if ires.Trace == nil {
+			t.Errorf("seed %d: instrumented run produced no trace", seed)
+		}
+		if reg.Counter("neat_runs_total").Value() == 0 {
+			t.Errorf("seed %d: instrumented run recorded no metrics", seed)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/geo"
 
 	"repro/internal/neat"
+	"repro/internal/obs"
 	"repro/internal/roadnet"
 	"repro/internal/shortest"
 	"repro/internal/traj"
@@ -33,6 +34,12 @@ type Config struct {
 	// negative uses all CPUs. The clustering output is identical either
 	// way, so it does not key the result cache.
 	Workers int
+	// Obs is the metrics registry the server records into: request
+	// latency/status per route, result-cache hits and misses, ingest
+	// volume, and the clustering pipeline's own series. Nil (the
+	// default) disables all instrumentation at zero cost; responses
+	// are byte-identical either way.
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -68,6 +75,20 @@ type Server struct {
 	// One partitioner per data node; acquired through a channel
 	// semaphore since partitioners are not concurrency-safe.
 	nodes chan *traj.Partitioner
+
+	// Pre-resolved metric handles; all nil when cfg.Obs is nil, making
+	// every recording a no-op.
+	m serverMetrics
+}
+
+// serverMetrics are the server-level series (the HTTP middleware and
+// the pipeline record their own).
+type serverMetrics struct {
+	cacheHits      *obs.Counter
+	cacheMisses    *obs.Counter
+	ingestTrajs    *obs.Counter
+	ingestFrags    *obs.Counter
+	ingestRejected *obs.Counter
 }
 
 // cachedClusters memoizes one clustering response until the next
@@ -91,10 +112,32 @@ func New(g *roadnet.Graph, cfg Config) *Server {
 	for i := 0; i < cfg.DataNodes; i++ {
 		s.nodes <- traj.NewPartitioner(g, shortest.New(g, nil))
 	}
+	s.m = serverMetrics{
+		cacheHits:      cfg.Obs.Counter("server_cache_hits_total"),
+		cacheMisses:    cfg.Obs.Counter("server_cache_misses_total"),
+		ingestTrajs:    cfg.Obs.Counter("server_ingest_trajectories_total"),
+		ingestFrags:    cfg.Obs.Counter("server_ingest_fragments_total"),
+		ingestRejected: cfg.Obs.Counter("server_ingest_rejected_total"),
+	}
 	return s
 }
 
-// Handler returns the HTTP handler exposing the API.
+// Routes returns the API paths the server responds on; the obs
+// middleware uses this closed set as its route label space.
+func (s *Server) Routes() []string {
+	return []string{
+		"/v1/trajectories",
+		"/v1/clusters",
+		"/v1/stats",
+		"/v1/network",
+		"/v1/trajectories/query",
+	}
+}
+
+// Handler returns the HTTP handler exposing the API. When the server
+// was configured with a metrics registry the handler is wrapped in the
+// obs middleware, recording per-route latency histograms and
+// per-route/status counters.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/trajectories", s.handleIngest)
@@ -102,7 +145,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/network", s.handleNetwork)
 	mux.HandleFunc("/v1/trajectories/query", s.handleQuery)
-	return mux
+	return obs.Middleware(s.cfg.Obs, mux, s.Routes()...)
 }
 
 // handleQuery answers spatio-temporal range queries over the ingested
@@ -205,14 +248,17 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	var req IngestRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.m.ingestRejected.Inc()
 		writeError(w, http.StatusBadRequest, "decode: %v", err)
 		return
 	}
 	if len(req.Trajectories) == 0 {
+		s.m.ingestRejected.Inc()
 		writeError(w, http.StatusBadRequest, "no trajectories")
 		return
 	}
 	if len(req.Trajectories) > s.cfg.MaxBatch {
+		s.m.ingestRejected.Inc()
 		writeError(w, http.StatusRequestEntityTooLarge, "batch of %d exceeds limit %d", len(req.Trajectories), s.cfg.MaxBatch)
 		return
 	}
@@ -235,12 +281,14 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.RUnlock()
 	if dup != "" {
+		s.m.ingestRejected.Inc()
 		writeError(w, http.StatusConflict, "%s", dup)
 		return
 	}
 
 	frags, trajs, err := s.preprocess(req.Trajectories)
 	if err != nil {
+		s.m.ingestRejected.Inc()
 		writeError(w, http.StatusBadRequest, "preprocess: %v", err)
 		return
 	}
@@ -250,6 +298,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	for id := range batchIDs {
 		if _, ok := s.seenIDs[id]; ok {
 			s.mu.Unlock()
+			s.m.ingestRejected.Inc()
 			writeError(w, http.StatusConflict, "trajectory %d already ingested", id)
 			return
 		}
@@ -263,6 +312,8 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	s.version++
 	total := len(s.fragments)
 	s.mu.Unlock()
+	s.m.ingestTrajs.Add(int64(len(req.Trajectories)))
+	s.m.ingestFrags.Add(int64(len(frags)))
 	writeJSON(w, http.StatusOK, IngestResponse{
 		Accepted:       len(req.Trajectories),
 		Fragments:      len(frags),
@@ -362,13 +413,16 @@ func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
 	s.cacheMu.Lock()
 	if hit, ok := s.cache[cacheKey]; ok && hit.version == version {
 		s.cacheMu.Unlock()
+		s.m.cacheHits.Inc()
 		writeJSON(w, http.StatusOK, hit.resp)
 		return
 	}
 	s.cacheMu.Unlock()
+	s.m.cacheMisses.Inc()
 
 	start := time.Now()
 	p := neat.NewPipeline(s.g)
+	p.Instrument(s.cfg.Obs)
 	res, err := p.RunFragments(frags, cfg, level)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "clustering: %v", err)
@@ -444,5 +498,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		TotalFragments: frags,
 		DataNodes:      s.cfg.DataNodes,
 		RefineWorkers:  s.cfg.Workers,
+		Build:          buildDTO(),
 	})
+}
+
+func buildDTO() BuildDTO {
+	b := obs.BuildInfo()
+	return BuildDTO{
+		GoVersion: b.GoVersion,
+		Module:    b.Module,
+		Version:   b.Version,
+		Revision:  b.Revision,
+		Time:      b.Time,
+		Dirty:     b.Dirty,
+	}
 }

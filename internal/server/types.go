@@ -82,6 +82,18 @@ type StatsResponse struct {
 	// RefineWorkers echoes the server's Phase 3 worker configuration
 	// (0 = serial refinement).
 	RefineWorkers int `json:"refine_workers"`
+	// Build identifies the running binary.
+	Build BuildDTO `json:"build"`
+}
+
+// BuildDTO is the build information embedded in GET /v1/stats.
+type BuildDTO struct {
+	GoVersion string `json:"go_version"`
+	Module    string `json:"module"`
+	Version   string `json:"version"`
+	Revision  string `json:"vcs_revision,omitempty"`
+	Time      string `json:"vcs_time,omitempty"`
+	Dirty     bool   `json:"vcs_dirty,omitempty"`
 }
 
 // QueryResponse is the body of GET /v1/trajectories/query.

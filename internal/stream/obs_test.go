@@ -1,0 +1,116 @@
+package stream
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestEvictionAccounting verifies the window bookkeeping exactly: the
+// flows evicted at each batch are precisely those that aged past the
+// window, snapshot counters reconcile (standing = sum(new) -
+// sum(evicted)), and the obs series mirror the snapshots.
+func TestEvictionAccounting(t *testing.T) {
+	g, ds := streamSetup(t)
+	cfg := streamConfig()
+	cfg.Window = 2
+	reg := obs.NewRegistry()
+	cfg.Obs = reg
+	c, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var newFlows []int // per-batch contribution
+	totalNew, totalEvicted := 0, 0
+	for i, b := range batches(ds, 5) {
+		snap, err := c.Ingest(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		newFlows = append(newFlows, snap.NewFlows)
+		totalNew += snap.NewFlows
+		totalEvicted += snap.EvictedFlows
+
+		// With window W, ingesting batch i evicts exactly the flows of
+		// batch i-W (earlier ones were already evicted).
+		wantEvicted := 0
+		if i >= cfg.Window {
+			wantEvicted = newFlows[i-cfg.Window]
+		}
+		if snap.EvictedFlows != wantEvicted {
+			t.Errorf("batch %d: evicted %d, want %d", i, snap.EvictedFlows, wantEvicted)
+		}
+		// Standing is exactly the last W batches' contributions.
+		wantStanding := 0
+		for j := max(0, i-cfg.Window+1); j <= i; j++ {
+			wantStanding += newFlows[j]
+		}
+		if snap.StandingFlows != wantStanding {
+			t.Errorf("batch %d: standing %d, want %d", i, snap.StandingFlows, wantStanding)
+		}
+		if snap.StandingFlows != totalNew-totalEvicted {
+			t.Errorf("batch %d: standing %d != new %d - evicted %d",
+				i, snap.StandingFlows, totalNew, totalEvicted)
+		}
+		if got := len(c.StandingFlows()); got != snap.StandingFlows {
+			t.Errorf("batch %d: StandingFlows() = %d, snapshot %d", i, got, snap.StandingFlows)
+		}
+
+		// The metrics registry tracks the same accounting.
+		if got := reg.Counter("stream_batches_total").Value(); got != int64(i+1) {
+			t.Errorf("batch %d: stream_batches_total = %d", i, got)
+		}
+		if got := reg.Counter("stream_evicted_flows_total").Value(); got != int64(totalEvicted) {
+			t.Errorf("batch %d: stream_evicted_flows_total = %d, want %d", i, got, totalEvicted)
+		}
+		if got := reg.Gauge("stream_standing_flows").Value(); got != float64(snap.StandingFlows) {
+			t.Errorf("batch %d: standing gauge = %g, want %d", i, got, snap.StandingFlows)
+		}
+	}
+	if totalEvicted == 0 {
+		t.Fatal("workload produced no evictions; accounting untested")
+	}
+	if got := reg.Counter("stream_new_flows_total").Value(); got != int64(totalNew) {
+		t.Errorf("stream_new_flows_total = %d, want %d", got, totalNew)
+	}
+	if got := reg.Histogram("stream_ingest_seconds", nil).Count(); got != 5 {
+		t.Errorf("ingest latency observations = %d, want 5", got)
+	}
+	// The embedded pipeline shares the registry.
+	if got := reg.Counter("neat_runs_total").Value(); got != 5 {
+		t.Errorf("neat_runs_total = %d, want 5", got)
+	}
+}
+
+// TestInstrumentationInertForStream runs the identical batch sequence
+// with and without a registry and demands identical snapshots.
+func TestInstrumentationInertForStream(t *testing.T) {
+	g, ds := streamSetup(t)
+	run := func(reg *obs.Registry) []Snapshot {
+		cfg := streamConfig()
+		cfg.Window = 2
+		cfg.Obs = reg
+		c, err := New(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []Snapshot
+		for _, b := range batches(ds, 4) {
+			snap, err := c.Ingest(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, snap)
+		}
+		return out
+	}
+	plain, instrumented := run(nil), run(obs.NewRegistry())
+	for i := range plain {
+		p, q := plain[i], instrumented[i]
+		if p.NewFlows != q.NewFlows || p.EvictedFlows != q.EvictedFlows ||
+			p.StandingFlows != q.StandingFlows || len(p.Clusters) != len(q.Clusters) {
+			t.Errorf("batch %d: snapshots diverge: %+v vs %+v", i, p, q)
+		}
+	}
+}

@@ -14,8 +14,10 @@ package stream
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/neat"
+	"repro/internal/obs"
 	"repro/internal/roadnet"
 	"repro/internal/traj"
 )
@@ -27,6 +29,11 @@ type Config struct {
 	// Window is the number of most recent batches whose flows are kept;
 	// 0 keeps everything.
 	Window int
+	// Obs is the metrics registry the clusterer records into: per-batch
+	// ingest latency, new/evicted flow counters, and the standing-flow
+	// gauge. Nil (the default) disables instrumentation; clustering
+	// output is identical either way.
+	Obs *obs.Registry
 }
 
 // Snapshot is the state of the clustering after an ingestion.
@@ -54,7 +61,23 @@ type Clusterer struct {
 
 	batch    int
 	standing []flowEntry
+
+	// Pre-resolved metric handles; all nil without a registry.
+	m streamMetrics
 }
+
+// streamMetrics are the streaming-mode series.
+type streamMetrics struct {
+	batches   *obs.Counter
+	newFlows  *obs.Counter
+	evictions *obs.Counter
+	standing  *obs.Gauge
+	ingest    *obs.Histogram
+}
+
+// ingestBuckets cover per-batch ingest latencies from sub-millisecond
+// micro-batches to multi-second windows (seconds).
+var ingestBuckets = []float64{.001, .005, .01, .05, .1, .5, 1, 5, 10, 30}
 
 type flowEntry struct {
 	flow  *neat.FlowCluster
@@ -72,16 +95,26 @@ func New(g *roadnet.Graph, cfg Config) (*Clusterer, error) {
 	if err := cfg.Neat.Refine.Validate(); err != nil {
 		return nil, err
 	}
+	pipeline := neat.NewPipeline(g)
+	pipeline.Instrument(cfg.Obs)
 	return &Clusterer{
 		g:        g,
-		pipeline: neat.NewPipeline(g),
+		pipeline: pipeline,
 		cfg:      cfg,
+		m: streamMetrics{
+			batches:   cfg.Obs.Counter("stream_batches_total"),
+			newFlows:  cfg.Obs.Counter("stream_new_flows_total"),
+			evictions: cfg.Obs.Counter("stream_evicted_flows_total"),
+			standing:  cfg.Obs.Gauge("stream_standing_flows"),
+			ingest:    cfg.Obs.Histogram("stream_ingest_seconds", ingestBuckets),
+		},
 	}, nil
 }
 
 // Ingest processes one batch: Phases 1-2 over the batch only, window
 // eviction, then Phase 3 over the standing flow set.
 func (c *Clusterer) Ingest(batch traj.Dataset) (Snapshot, error) {
+	start := time.Now()
 	res, err := c.pipeline.Run(batch, c.cfg.Neat, neat.LevelFlow)
 	if err != nil {
 		return Snapshot{}, fmt.Errorf("stream: batch %d: %w", c.batch, err)
@@ -116,6 +149,11 @@ func (c *Clusterer) Ingest(batch traj.Dataset) (Snapshot, error) {
 	}
 	snap.Clusters = clusters
 	snap.RefineStats = stats
+	c.m.batches.Inc()
+	c.m.newFlows.Add(int64(snap.NewFlows))
+	c.m.evictions.Add(int64(snap.EvictedFlows))
+	c.m.standing.Set(float64(snap.StandingFlows))
+	c.m.ingest.ObserveDuration(time.Since(start))
 	return snap, nil
 }
 
