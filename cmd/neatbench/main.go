@@ -4,18 +4,23 @@
 // Usage:
 //
 //	neatbench [-scale 0.1] [-out results/] [-exp fig5] [-exp table1] ...
+//	neatbench -scale 0.05 -phasejson results/BENCH_phase_times.json
 //
-// With no -exp flags, every experiment runs in the paper's order. The
+// With no -exp flags, every experiment runs in the paper's order;
+// -phasejson with no -exp runs only the fixed phase-timing scenario
+// and writes the per-phase JSON report (the CI bench artifact). The
 // scale factor shrinks maps and datasets together (see
 // internal/experiments); absolute times are machine-dependent, the
 // relationships between systems are the reproduction target.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/experiments"
@@ -40,10 +45,11 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("neatbench", flag.ContinueOnError)
 	fs.SetOutput(os.Stderr)
 	var (
-		scale  = fs.Float64("scale", 0.1, "map and dataset scale factor in (0, 1]")
-		out    = fs.String("out", "results", "directory for SVG artifacts")
-		format = fs.String("format", "text", "output format: text or md")
-		exps   expList
+		scale     = fs.Float64("scale", 0.1, "map and dataset scale factor in (0, 1]")
+		out       = fs.String("out", "results", "directory for SVG artifacts")
+		format    = fs.String("format", "text", "output format: text or md")
+		phaseJSON = fs.String("phasejson", "", "write the per-phase timing report of the fixed scenario to this JSON path")
+		exps      expList
 	)
 	fs.Var(&exps, "exp", "experiment id to run (repeatable); default all")
 	if err := fs.Parse(args); err != nil {
@@ -58,7 +64,7 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	ids := []string(exps)
-	if len(ids) == 0 {
+	if len(ids) == 0 && *phaseJSON == "" {
 		ids = experiments.Order()
 	}
 	fmt.Fprintf(stdout, "NEAT reproduction harness — scale %.3g, %d experiment(s)\n\n", *scale, len(ids))
@@ -77,5 +83,36 @@ func run(args []string, stdout io.Writer) error {
 		}
 		fmt.Fprintf(os.Stderr, "(%s completed in %s)\n", id, time.Since(start).Round(time.Millisecond))
 	}
+	if *phaseJSON != "" {
+		if err := writePhaseTimes(env, *phaseJSON, stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePhaseTimes runs the fixed phase-timing scenario and writes the
+// JSON report CI uploads as the BENCH_phase_times.json artifact.
+func writePhaseTimes(env *experiments.Env, path string, stdout io.Writer) error {
+	start := time.Now()
+	rep, err := experiments.PhaseTimes(env)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "phase times (%d trajectories, %d segments) written to %s\n",
+		rep.Trajectories, rep.Segments, path)
+	fmt.Fprintf(os.Stderr, "(phase-times completed in %s)\n", time.Since(start).Round(time.Millisecond))
 	return nil
 }

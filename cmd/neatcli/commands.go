@@ -169,6 +169,7 @@ func cmdCluster(args []string) error {
 	weights := fs.String("weights", "flow", "merge weights: flow, density, speed, balanced, monitoring")
 	beta := fs.Float64("beta", 0, "domination threshold (0 = +Inf)")
 	workers := fs.Int("workers", 0, "parallel workers for Phases 1 and 3 (0 = serial, -1 = all CPUs)")
+	shards := fs.Int("shards", 0, "road-network shards for Phases 1 and 2 (0 = unsharded; output is identical)")
 	trace := fs.Bool("trace", false, "print the per-phase span breakdown after the run")
 	svg := fs.String("svg", "", "write clustering visualization to this SVG file")
 	jsonOut := fs.String("json", "", "write machine-readable results to this JSON file")
@@ -197,6 +198,10 @@ func cmdCluster(args []string) error {
 	cfg := neat.Config{
 		Flow:   neat.FlowConfig{Weights: w, MinCard: *minCard, Beta: *beta},
 		Refine: neat.RefineConfig{Epsilon: *eps, UseELB: true, Bounded: true, Workers: *workers},
+		Shards: *shards,
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
 	}
 	p := neat.NewPipeline(g)
 	p.EnableTracing(*trace)
@@ -312,6 +317,9 @@ func parseWeights(s string) (neat.Weights, error) {
 
 func printResult(g *roadnet.Graph, res *neat.Result) {
 	fmt.Printf("%s results\n", res.Level)
+	if res.Shards > 0 {
+		fmt.Printf("  sharded over %d road-network regions\n", res.Shards)
+	}
 	fmt.Printf("  phase 1: %d t-fragments -> %d base clusters in %s\n",
 		res.NumFragments, len(res.BaseClusters), res.Timing.Phase1.Round(1e6))
 	if len(res.BaseClusters) > 0 {

@@ -45,6 +45,30 @@ func (l Level) String() string {
 type Config struct {
 	Flow   FlowConfig
 	Refine RefineConfig
+	// Shards > 1 partitions the road network into that many regions
+	// (clamped to the segment count) and executes Phases 1 and 2 per
+	// region, reconciling flows that cross region boundaries before the
+	// global Phase 3. Sharding changes only the execution shape: output
+	// is byte-identical to the unsharded run. 0 or 1 disables.
+	Shards int
+}
+
+// Validate checks the full configuration — both phase configs plus the
+// sharding knob — in one place. Entry points that run a subset of the
+// phases (NewPlan) validate only the stages they compose; boundary
+// layers (stream, server, the CLI) validate everything up front with
+// this.
+func (c Config) Validate() error {
+	if err := c.Flow.Validate(); err != nil {
+		return err
+	}
+	if err := c.Refine.Validate(); err != nil {
+		return err
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("neat: shards must be non-negative, got %d", c.Shards)
+	}
+	return nil
 }
 
 // DefaultConfig returns the configuration used for the paper's main
@@ -79,6 +103,10 @@ func (t Timing) Total() time.Duration { return t.Phase1 + t.Phase2 + t.Phase3 }
 // are empty (e.g. Clusters is nil for a flow-NEAT run).
 type Result struct {
 	Level Level
+	// Shards is the effective shard count the run executed with
+	// (requested Config.Shards clamped to the segment count); 0 for
+	// unsharded runs.
+	Shards int
 	// NumFragments is the number of t-fragments extracted in Phase 1.
 	NumFragments int
 	// BaseClusters is Phase 1's output, sorted by descending density;
@@ -112,6 +140,10 @@ type Pipeline struct {
 
 	trace bool
 	m     pipelineMetrics
+	// parts caches graph partitions by requested shard count: the
+	// partition is a pure function of (graph, count, seed), so sharded
+	// plans reuse it across runs.
+	parts map[int]*roadnet.GraphPartition
 }
 
 // NewPipeline creates a Pipeline over g.
@@ -120,6 +152,28 @@ func NewPipeline(g *roadnet.Graph) *Pipeline {
 		g:    g,
 		part: traj.NewPartitioner(g, shortest.New(g, nil)),
 	}
+}
+
+// shardSeed fixes the partition growth seed: the shard layout is an
+// execution detail, so one canonical layout per (graph, count) keeps
+// runs reproducible and the cache effective.
+const shardSeed = 1
+
+// graphPartition returns the cached partition of the pipeline's graph
+// into k regions, building it on first use.
+func (p *Pipeline) graphPartition(k int) (*roadnet.GraphPartition, error) {
+	if gp, ok := p.parts[k]; ok {
+		return gp, nil
+	}
+	gp, err := roadnet.PartitionGraph(p.g, k, shardSeed)
+	if err != nil {
+		return nil, err
+	}
+	if p.parts == nil {
+		p.parts = make(map[int]*roadnet.GraphPartition)
+	}
+	p.parts[k] = gp
+	return gp, nil
 }
 
 // Graph returns the pipeline's road network.
@@ -169,11 +223,11 @@ func (p *Pipeline) EnableTracing(on bool) { p.trace = on }
 
 // newRunSpan starts the root span of one run, or nil when tracing is
 // off (all span operations on nil are no-ops).
-func (p *Pipeline) newRunSpan(level Level) *obs.Span {
+func (p *Pipeline) newRunSpan(name string, level Level) *obs.Span {
 	if !p.trace {
 		return nil
 	}
-	root := obs.StartSpan("neat.run")
+	root := obs.StartSpan(name)
 	root.Annotate("level", level)
 	return root
 }
@@ -199,26 +253,15 @@ func (p *Pipeline) finish(res *Result, root *obs.Span) {
 	}
 }
 
-// Run executes NEAT on the dataset up to the requested level.
+// Run executes NEAT on the dataset up to the requested level. It is a
+// thin plan over the stage engine (see stage.go); phase sequencing
+// lives in NewPlan/RunPlan.
 func (p *Pipeline) Run(ds traj.Dataset, cfg Config, level Level) (*Result, error) {
-	root := p.newRunSpan(level)
-	sp := root.StartChild("phase1.partition")
-	sp.Annotate("trajectories", len(ds.Trajectories))
-	start := time.Now()
-	frags, err := p.part.PartitionDataset(ds)
-	if err != nil {
-		return nil, fmt.Errorf("neat: phase 1 partitioning: %w", err)
-	}
-	partTime := time.Since(start)
-	sp.Annotate("fragments", len(frags))
-	sp.End()
-	res, err := p.runFragments(frags, cfg, level, root)
+	plan, err := NewPlan(cfg, level, FromDataset, Exec{})
 	if err != nil {
 		return nil, err
 	}
-	res.Timing.Phase1 += partTime
-	p.finish(res, root)
-	return res, nil
+	return p.RunPlan(plan, Input{Dataset: ds})
 }
 
 // RunParallel is Run with Phase 1's trajectory partitioning sharded
@@ -231,34 +274,17 @@ func (p *Pipeline) Run(ds traj.Dataset, cfg Config, level Level) (*Result, error
 // kernel — see RefineConfig.Workers), whose output is identical to the
 // serial scan's, so results match Run exactly.
 func (p *Pipeline) RunParallel(ds traj.Dataset, cfg Config, level Level, workers int) (*Result, error) {
+	if workers <= 0 {
+		workers = -1 // resolve to GOMAXPROCS at the pools
+	}
 	if cfg.Refine.Workers == 0 {
-		w := workers
-		if w <= 0 {
-			w = -1 // resolve to GOMAXPROCS inside RefineFlows
-		}
-		cfg.Refine.Workers = w
+		cfg.Refine.Workers = workers
 	}
-	root := p.newRunSpan(level)
-	sp := root.StartChild("phase1.partition")
-	sp.Annotate("trajectories", len(ds.Trajectories))
-	sp.Annotate("workers", workers)
-	start := time.Now()
-	frags, err := traj.PartitionDatasetParallel(p.g, ds, workers)
-	if err != nil {
-		return nil, fmt.Errorf("neat: parallel phase 1 partitioning: %w", err)
-	}
-	partTime := time.Since(start)
-	sp.Annotate("fragments", len(frags))
-	sp.End()
-	res, err := p.runFragments(frags, cfg, level, root)
+	plan, err := NewPlan(cfg, level, FromDataset, Exec{Workers: workers})
 	if err != nil {
 		return nil, err
 	}
-	// runFragments charged only base-cluster formation to Phase 1;
-	// fold the partitioning in.
-	res.Timing.Phase1 += partTime
-	p.finish(res, root)
-	return res, nil
+	return p.RunPlan(plan, Input{Dataset: ds})
 }
 
 // RunFragments executes Phases 2 and 3 on pre-partitioned fragments,
@@ -266,63 +292,11 @@ func (p *Pipeline) RunParallel(ds traj.Dataset, cfg Config, level Level, workers
 // the first two phases run on each newly arrived batch and the
 // resulting flows merge with the standing flow set in Phase 3.
 func (p *Pipeline) RunFragments(frags []traj.TFragment, cfg Config, level Level) (*Result, error) {
-	root := p.newRunSpan(level)
-	res, err := p.runFragments(frags, cfg, level, root)
+	plan, err := NewPlan(cfg, level, FromFragments, Exec{})
 	if err != nil {
 		return nil, err
 	}
-	p.finish(res, root)
-	return res, nil
-}
-
-// runFragments is the shared phase driver: base-cluster formation,
-// flow formation, refinement, with per-phase spans attached under
-// root (a nil root records nothing).
-func (p *Pipeline) runFragments(frags []traj.TFragment, cfg Config, level Level, root *obs.Span) (*Result, error) {
-	res := &Result{Level: level, NumFragments: len(frags)}
-
-	sp := root.StartChild("phase1.base_clusters")
-	start := time.Now()
-	res.BaseClusters = FormBaseClusters(frags)
-	res.Timing.Phase1 = time.Since(start)
-	sp.Annotate("fragments", len(frags))
-	sp.Annotate("base_clusters", len(res.BaseClusters))
-	sp.End()
-	if level == LevelBase {
-		return res, nil
-	}
-
-	sp = root.StartChild("phase2.flow_clusters")
-	start = time.Now()
-	flows, filtered, err := FormFlowClusters(p.g, res.BaseClusters, cfg.Flow)
-	if err != nil {
-		return nil, fmt.Errorf("neat: phase 2 flow formation: %w", err)
-	}
-	res.Flows = flows
-	res.FilteredFlows = filtered
-	res.Timing.Phase2 = time.Since(start)
-	// Each merge round seeds one flow from the densest unmerged base
-	// cluster; rounds that fail the minCard filter are counted too.
-	sp.Annotate("merge_rounds", len(flows)+filtered)
-	sp.Annotate("flows", len(flows))
-	sp.Annotate("filtered", filtered)
-	sp.End()
-	if level == LevelFlow {
-		return res, nil
-	}
-
-	sp = root.StartChild("phase3.refine")
-	start = time.Now()
-	clusters, stats, err := RefineFlows(p.g, flows, cfg.Refine)
-	if err != nil {
-		return nil, fmt.Errorf("neat: phase 3 refinement: %w", err)
-	}
-	res.Clusters = clusters
-	res.RefineStats = stats
-	res.Timing.Phase3 = time.Since(start)
-	annotateRefine(sp, cfg.Refine, stats, len(clusters))
-	sp.End()
-	return res, nil
+	return p.RunPlan(plan, Input{Fragments: frags})
 }
 
 // annotateRefine attaches Phase 3's work counters to its span and
@@ -368,5 +342,13 @@ func (p *Pipeline) MergeFlows(existing, incoming []*FlowCluster, cfg RefineConfi
 	all := make([]*FlowCluster, 0, len(existing)+len(incoming))
 	all = append(all, existing...)
 	all = append(all, incoming...)
-	return RefineFlows(p.g, all, cfg)
+	plan, err := NewPlan(Config{Refine: cfg}, LevelOpt, FromFlows, Exec{})
+	if err != nil {
+		return nil, RefineStats{}, err
+	}
+	res, err := p.RunPlan(plan, Input{Flows: all})
+	if err != nil {
+		return nil, RefineStats{}, err
+	}
+	return res.Clusters, res.RefineStats, nil
 }

@@ -1,0 +1,314 @@
+package neat
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/conc"
+	"repro/internal/roadnet"
+	"repro/internal/shortest"
+	"repro/internal/traj"
+)
+
+// This file implements sharded execution of Phases 1 and 2 over a
+// roadnet.GraphPartition. The decomposition axis is the road network
+// itself: Phase 1 touches only per-trajectory and per-segment state,
+// and Phase 2's greedy never leaves a connected component of the
+// netflow-adjacency graph (base clusters as nodes, edges between
+// junction-adjacent clusters sharing a trajectory), so both phases run
+// per region and reconcile deterministically at the boundary
+// junctions. Every function here is byte-identical to its unsharded
+// counterpart for any shard and worker count; the differential
+// selftest suite pins that against the naive oracle (DESIGN.md §9).
+
+// partitionDatasetSharded splits Phase 1 trajectory partitioning by
+// graph shard: each trajectory is routed to the shard owning its first
+// sample's segment, and each shard's trajectories are processed in
+// dataset order by a worker holding a cloned gap-repair engine.
+// Fragments are reassembled in dataset order, so the output equals the
+// serial PartitionDataset byte for byte.
+func partitionDatasetSharded(g *roadnet.Graph, d traj.Dataset, gp *roadnet.GraphPartition, workers int) ([]traj.TFragment, error) {
+	n := len(d.Trajectories)
+	if n == 0 {
+		return nil, nil
+	}
+	k := gp.K()
+	byShard := make([][]int, k)
+	for i, tr := range d.Trajectories {
+		if err := tr.Validate(); err != nil {
+			return nil, err
+		}
+		byShard[gp.ShardOf(tr.Points[0].Seg)] = append(byShard[gp.ShardOf(tr.Points[0].Seg)], i)
+	}
+	w := conc.WorkersFor(workers, k)
+	pool := shortest.NewPool(g, nil, w)
+	perTraj := make([][]traj.TFragment, n)
+	errs := make([]error, k)
+	errIdx := make([]int, k)
+	var wg sync.WaitGroup
+	for wi := 0; wi < w; wi++ {
+		lo, hi := conc.Chunk(wi, w, k)
+		wg.Add(1)
+		go func(wi, lo, hi int) {
+			defer wg.Done()
+			p := traj.NewPartitioner(g, pool[wi])
+			for s := lo; s < hi; s++ {
+				for _, ti := range byShard[s] {
+					frags, err := p.Partition(d.Trajectories[ti])
+					if err != nil {
+						errs[s] = fmt.Errorf("traj: sharded partition trajectory %d: %w", d.Trajectories[ti].ID, err)
+						errIdx[s] = ti
+						break
+					}
+					perTraj[ti] = frags
+				}
+			}
+		}(wi, lo, hi)
+	}
+	wg.Wait()
+	// Deterministic error selection: the failure with the smallest
+	// dataset index wins, independent of shard/worker interleaving.
+	var firstErr error
+	first := n
+	for s := 0; s < k; s++ {
+		if errs[s] != nil && errIdx[s] < first {
+			firstErr, first = errs[s], errIdx[s]
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	var out []traj.TFragment
+	for _, frags := range perTraj {
+		out = append(out, frags...)
+	}
+	return out, nil
+}
+
+// formBaseClustersSharded groups t-fragments into base clusters shard
+// by shard: fragments are bucketed by their segment's shard (keeping
+// arrival order within each bucket), each bucket is clustered on its
+// own worker, and the per-shard lists are concatenated and re-sorted
+// by the global order key (density desc, segment id asc). Segments are
+// owned by exactly one shard, so the keys never collide and the result
+// equals the global FormBaseClusters byte for byte.
+func formBaseClustersSharded(frags []traj.TFragment, gp *roadnet.GraphPartition, workers int) []*BaseCluster {
+	k := gp.K()
+	byShard := make([][]traj.TFragment, k)
+	for _, f := range frags {
+		s := gp.ShardOf(f.Seg)
+		byShard[s] = append(byShard[s], f)
+	}
+	perShard := make([][]*BaseCluster, k)
+	w := conc.WorkersFor(workers, k)
+	var wg sync.WaitGroup
+	for wi := 0; wi < w; wi++ {
+		lo, hi := conc.Chunk(wi, w, k)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for s := lo; s < hi; s++ {
+				perShard[s] = FormBaseClusters(byShard[s])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	var all []*BaseCluster
+	for _, bs := range perShard {
+		all = append(all, bs...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Density() != all[j].Density() {
+			return all[i].Density() > all[j].Density()
+		}
+		return all[i].Seg < all[j].Seg
+	})
+	return all
+}
+
+// shardMergeStats summarizes a sharded Phase 2 run for observability.
+type shardMergeStats struct {
+	components      int // connected components of the netflow-adjacency graph
+	crossComponents int // components spanning more than one shard
+}
+
+// unionFind is a minimal disjoint-set forest with path halving.
+type unionFind struct{ parent []int }
+
+func newUnionFind(n int) *unionFind {
+	u := &unionFind{parent: make([]int, n)}
+	for i := range u.parent {
+		u.parent[i] = i
+	}
+	return u
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		u.parent[ra] = rb
+	}
+}
+
+// formFlowClustersSharded runs Phase 2 per graph shard, byte-identical
+// to the global FormFlowClusters. The correctness argument (DESIGN.md
+// §9): the greedy's every interaction — neighborhood lookup,
+// β-domination between co-neighbors, selectivity scoring, the merged
+// set — is confined to a connected component of the netflow-adjacency
+// graph, and running the greedy on any union of whole components in
+// the global density order reproduces the global result on exactly
+// those components. So:
+//
+//  1. Discover netflow-adjacency edges (parallel over base clusters)
+//     and union-find the components.
+//  2. Components fully inside shard s execute on s's worker task;
+//     components crossing a boundary junction (equivalently, spanning
+//     shards) are reconciled in one serial task.
+//  3. Each task runs the plain formFlows over its clusters in global
+//     density order; the per-task flow lists merge by global seed
+//     index, reconstructing the global emission order.
+func formFlowClustersSharded(g *roadnet.Graph, gp *roadnet.GraphPartition, base []*BaseCluster, cfg FlowConfig, workers int) (flows []*FlowCluster, filtered int, stats shardMergeStats, err error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, 0, stats, err
+	}
+	idxOf := make(map[roadnet.SegID]int, len(base))
+	for i, b := range base {
+		if _, dup := idxOf[b.Seg]; dup {
+			return nil, 0, stats, fmt.Errorf("neat: duplicate base cluster for segment %d", b.Seg)
+		}
+		idxOf[b.Seg] = i
+	}
+
+	// Step 1: netflow-adjacency edges, discovered in parallel. Each
+	// worker scans a static chunk of clusters and emits edges (i, j)
+	// with base[i].Seg < base[j].Seg; the union order does not affect
+	// the resulting partition into components.
+	n := len(base)
+	w := conc.WorkersFor(workers, n)
+	edges := make([][][2]int, w)
+	var wg sync.WaitGroup
+	for wi := 0; wi < w; wi++ {
+		lo, hi := conc.Chunk(wi, w, n)
+		wg.Add(1)
+		go func(wi, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				for _, sid := range g.Adjacent(base[i].Seg) {
+					if sid <= base[i].Seg {
+						continue
+					}
+					j, ok := idxOf[sid]
+					if !ok {
+						continue
+					}
+					if Netflow(base[i], base[j]) > 0 {
+						edges[wi] = append(edges[wi], [2]int{i, j})
+					}
+				}
+			}
+		}(wi, lo, hi)
+	}
+	wg.Wait()
+	uf := newUnionFind(n)
+	for _, es := range edges {
+		for _, e := range es {
+			uf.union(e[0], e[1])
+		}
+	}
+
+	// Step 2: classify components. A component lands in shard s iff all
+	// member segments live in s; otherwise it crosses a boundary
+	// junction and joins the serial reconcile task.
+	k := gp.K()
+	const cross = -1
+	compShard := make(map[int]int, n) // root → shard, or cross
+	for i, b := range base {
+		r := uf.find(i)
+		s := gp.ShardOf(b.Seg)
+		if prev, seen := compShard[r]; !seen {
+			compShard[r] = s
+		} else if prev != s {
+			compShard[r] = cross
+		}
+	}
+	stats.components = len(compShard)
+	for _, s := range compShard {
+		if s == cross {
+			stats.crossComponents++
+		}
+	}
+
+	// Step 3: build each task's cluster subset, preserving the global
+	// density order, with a parallel record of global indices.
+	subsets := make([][]*BaseCluster, k+1) // task k is the cross-shard reconcile
+	globals := make([][]int, k+1)
+	for i, b := range base {
+		t := compShard[uf.find(i)]
+		if t == cross {
+			t = k
+		}
+		subsets[t] = append(subsets[t], b)
+		globals[t] = append(globals[t], i)
+	}
+
+	// Run the k+1 independent tasks on the worker pool; the cross-shard
+	// reconcile is serial by construction (one task).
+	type emitted struct {
+		seed int // global index of the seeding base cluster
+		flow *FlowCluster
+	}
+	perTask := make([][]emitted, k+1)
+	perFiltered := make([]int, k+1)
+	taskErrs := make([]error, k+1)
+	tw := conc.WorkersFor(workers, k+1)
+	for wi := 0; wi < tw; wi++ {
+		lo, hi := conc.Chunk(wi, tw, k+1)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for t := lo; t < hi; t++ {
+				if len(subsets[t]) == 0 {
+					continue
+				}
+				fl, seeds, filt, err := formFlows(g, subsets[t], cfg)
+				if err != nil {
+					taskErrs[t] = err
+					continue
+				}
+				perFiltered[t] = filt
+				for fi, f := range fl {
+					perTask[t] = append(perTask[t], emitted{seed: globals[t][seeds[fi]], flow: f})
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	for _, e := range taskErrs {
+		if e != nil {
+			return nil, 0, stats, e
+		}
+	}
+
+	// Merge by global seed index: the global greedy emits flows in
+	// seed order, so sorting the union by seed reconstructs it exactly.
+	var all []emitted
+	for t := 0; t <= k; t++ {
+		all = append(all, perTask[t]...)
+		filtered += perFiltered[t]
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].seed < all[j].seed })
+	flows = make([]*FlowCluster, len(all))
+	for i, e := range all {
+		flows[i] = e.flow
+	}
+	return flows, filtered, stats, nil
+}

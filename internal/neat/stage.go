@@ -1,0 +1,373 @@
+package neat
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/traj"
+)
+
+// This file is the staged execution engine: NEAT's three phases as
+// composable stage values plus the planner that sequences them. The
+// paper's dataflow — partition → base clusters → flow merge → refine —
+// used to be hard-coded three separate times (Run, RunParallel,
+// RunFragments) and re-wrapped by hand in stream and server; it now
+// lives in exactly one place. Every entry point is a thin plan over
+// this engine:
+//
+//	Run            = NewPlan(cfg, level, FromDataset,   Exec{})
+//	RunParallel    = NewPlan(cfg, level, FromDataset,   Exec{Workers: w})
+//	RunFragments   = NewPlan(cfg, level, FromFragments, Exec{})
+//	MergeFlows     = NewPlan(cfg, LevelOpt, FromFlows,  Exec{})
+//	stream.Ingest  = a FromDataset flow plan + a FromFlows merge plan
+//
+// Each stage owns its obs span and work annotations, charges its phase
+// timer, and carries a deterministic contract: for fixed inputs the
+// outputs are byte-identical regardless of worker count or shard
+// count (the differential selftest suite pins this against the naive
+// oracle).
+
+// PlanInput selects the material a plan starts from.
+type PlanInput uint8
+
+const (
+	// FromDataset starts at raw trajectories: the plan opens with the
+	// Phase 1 partition stage.
+	FromDataset PlanInput = iota
+	// FromFragments starts at pre-extracted t-fragments (the
+	// incremental/online entry of §III-C): the partition stage is
+	// skipped.
+	FromFragments
+	// FromFlows starts at an existing flow set and runs refinement
+	// only — the standing-set merge of the streaming mode.
+	FromFlows
+)
+
+// String implements fmt.Stringer.
+func (in PlanInput) String() string {
+	switch in {
+	case FromDataset:
+		return "dataset"
+	case FromFragments:
+		return "fragments"
+	case FromFlows:
+		return "flows"
+	default:
+		return fmt.Sprintf("input(%d)", uint8(in))
+	}
+}
+
+// Exec carries the execution-shape knobs of a plan: how work is
+// scheduled, never what is computed. Clustering output is identical
+// for every Exec value.
+type Exec struct {
+	// Workers parallelizes Phase 1 trajectory partitioning (and, via
+	// the RunParallel convention, Phase 3 unless RefineConfig.Workers
+	// pins its own count): 0 = serial, negative = GOMAXPROCS.
+	Workers int
+}
+
+// Input is the starting material handed to RunPlan; only the field
+// matching the plan's PlanInput is consulted.
+type Input struct {
+	Dataset   traj.Dataset
+	Fragments []traj.TFragment
+	Flows     []*FlowCluster
+}
+
+// state threads the dataflow through a plan's stages.
+type state struct {
+	in    Input
+	frags []traj.TFragment
+	res   *Result
+}
+
+// Stage is one composable step of a NEAT execution plan. The concrete
+// stages — PartitionStage, BaseClusterStage, FlowMergeStage,
+// RefineStage — are the closed set the planner composes; each is a
+// plain value describing its inputs, so plans are inspectable and
+// comparable.
+type Stage interface {
+	// Name identifies the stage in plan renderings.
+	Name() string
+	// run executes the stage against the pipeline's graph, reading and
+	// writing the typed slots of st and annotating the run's span tree.
+	run(p *Pipeline, st *state) error
+}
+
+// PartitionStage is Phase 1, step 1: split every trajectory into its
+// t-fragment sequence, repairing sampling gaps with shortest-path
+// routes. Contract: the fragment list equals the serial
+// Partitioner.PartitionDataset output for any Workers/Shards value.
+type PartitionStage struct {
+	// Workers shards the trajectory loop; 0 = serial.
+	Workers int
+	// Shards > 1 routes each trajectory to the graph shard owning its
+	// first sample's segment and partitions shard-by-shard, each shard
+	// worker holding its own cloned gap-repair engine.
+	Shards int
+}
+
+// Name implements Stage.
+func (s PartitionStage) Name() string { return "partition" }
+
+func (s PartitionStage) run(p *Pipeline, st *state) error {
+	sp := st.res.Trace.StartChild("phase1.partition")
+	sp.Annotate("trajectories", len(st.in.Dataset.Trajectories))
+	start := time.Now()
+	var frags []traj.TFragment
+	var err error
+	switch {
+	case s.Shards > 1:
+		gp, perr := p.graphPartition(s.Shards)
+		if perr != nil {
+			return perr
+		}
+		sp.Annotate("shards", gp.K())
+		sp.Annotate("workers", s.Workers)
+		st.res.Shards = gp.K()
+		frags, err = partitionDatasetSharded(p.g, st.in.Dataset, gp, s.Workers)
+	case s.Workers != 0:
+		sp.Annotate("workers", s.Workers)
+		frags, err = traj.PartitionDatasetParallel(p.g, st.in.Dataset, s.Workers)
+	default:
+		frags, err = p.part.PartitionDataset(st.in.Dataset)
+	}
+	if err != nil {
+		return fmt.Errorf("neat: phase 1 partitioning: %w", err)
+	}
+	st.frags = frags
+	st.res.Timing.Phase1 += time.Since(start)
+	sp.Annotate("fragments", len(frags))
+	sp.End()
+	return nil
+}
+
+// BaseClusterStage is Phase 1, step 2: group t-fragments by road
+// segment into density-ordered base clusters. Contract: grouping is
+// per segment and the order key (density desc, segment id asc) is
+// total, so the sharded path — per-shard grouping then a global
+// re-sort — is byte-identical to the global FormBaseClusters.
+type BaseClusterStage struct {
+	// Shards > 1 buckets fragments by segment shard and forms each
+	// shard's clusters on its own worker.
+	Shards int
+	// Workers bounds the shard-task pool; 0 = one task at a time.
+	Workers int
+}
+
+// Name implements Stage.
+func (s BaseClusterStage) Name() string { return "base_clusters" }
+
+func (s BaseClusterStage) run(p *Pipeline, st *state) error {
+	if st.frags == nil {
+		st.frags = st.in.Fragments
+	}
+	st.res.NumFragments = len(st.frags)
+	sp := st.res.Trace.StartChild("phase1.base_clusters")
+	start := time.Now()
+	if s.Shards > 1 {
+		gp, err := p.graphPartition(s.Shards)
+		if err != nil {
+			return err
+		}
+		sp.Annotate("shards", gp.K())
+		st.res.Shards = gp.K()
+		st.res.BaseClusters = formBaseClustersSharded(st.frags, gp, s.Workers)
+	} else {
+		st.res.BaseClusters = FormBaseClusters(st.frags)
+	}
+	st.res.Timing.Phase1 += time.Since(start)
+	sp.Annotate("fragments", len(st.frags))
+	sp.Annotate("base_clusters", len(st.res.BaseClusters))
+	sp.End()
+	return nil
+}
+
+// FlowMergeStage is Phase 2: merge base clusters into flow clusters by
+// the greedy dense-core expansion of §III-B. Contract: the sharded
+// path decomposes the greedy along the connected components of the
+// netflow-adjacency graph (clusters as nodes, edges between
+// junction-adjacent clusters sharing a trajectory); components are
+// provably independent under the global greedy, so per-shard execution
+// plus the boundary reconcile reproduces the unsharded flow list byte
+// for byte (DESIGN.md §9).
+type FlowMergeStage struct {
+	Cfg FlowConfig
+	// Shards > 1 runs intra-shard components on per-shard workers and
+	// reconciles boundary-crossing components serially.
+	Shards int
+	// Workers bounds the shard-task pool; 0 = one task at a time.
+	Workers int
+}
+
+// Name implements Stage.
+func (s FlowMergeStage) Name() string { return "flow_merge" }
+
+func (s FlowMergeStage) run(p *Pipeline, st *state) error {
+	sp := st.res.Trace.StartChild("phase2.flow_clusters")
+	start := time.Now()
+	var flows []*FlowCluster
+	var filtered int
+	var err error
+	if s.Shards > 1 {
+		gp, gerr := p.graphPartition(s.Shards)
+		if gerr != nil {
+			return gerr
+		}
+		st.res.Shards = gp.K()
+		var ss shardMergeStats
+		flows, filtered, ss, err = formFlowClustersSharded(p.g, gp, st.res.BaseClusters, s.Cfg, s.Workers)
+		sp.Annotate("shards", gp.K())
+		sp.Annotate("boundary_junctions", len(gp.Boundary()))
+		sp.Annotate("components", ss.components)
+		sp.Annotate("cross_shard_components", ss.crossComponents)
+	} else {
+		flows, filtered, err = FormFlowClusters(p.g, st.res.BaseClusters, s.Cfg)
+	}
+	if err != nil {
+		return fmt.Errorf("neat: phase 2 flow formation: %w", err)
+	}
+	st.res.Flows = flows
+	st.res.FilteredFlows = filtered
+	st.res.Timing.Phase2 += time.Since(start)
+	// Each merge round seeds one flow from the densest unmerged base
+	// cluster; rounds that fail the minCard filter are counted too.
+	sp.Annotate("merge_rounds", len(flows)+filtered)
+	sp.Annotate("flows", len(flows))
+	sp.Annotate("filtered", filtered)
+	sp.End()
+	return nil
+}
+
+// RefineStage is Phase 3: merge flow clusters whose representative
+// routes end within network distance ε, via the modified Hausdorff
+// predicate and deterministic DBSCAN. The ε-graph construction
+// strategy (serial, batched one-to-many, sharded pairwise) comes from
+// Cfg.Workers; every strategy yields the identical clustering.
+type RefineStage struct {
+	Cfg RefineConfig
+	// FromFlows makes the stage consume the plan input's flow set
+	// instead of the Phase 2 output (the streaming merge).
+	FromFlows bool
+}
+
+// Name implements Stage.
+func (s RefineStage) Name() string { return "refine" }
+
+func (s RefineStage) run(p *Pipeline, st *state) error {
+	flows := st.res.Flows
+	if s.FromFlows {
+		flows = st.in.Flows
+		st.res.Flows = flows
+	}
+	sp := st.res.Trace.StartChild("phase3.refine")
+	start := time.Now()
+	clusters, stats, err := RefineFlows(p.g, flows, s.Cfg)
+	if err != nil {
+		return fmt.Errorf("neat: phase 3 refinement: %w", err)
+	}
+	st.res.Clusters = clusters
+	st.res.RefineStats = stats
+	st.res.Timing.Phase3 += time.Since(start)
+	annotateRefine(sp, s.Cfg, stats, len(clusters))
+	sp.End()
+	return nil
+}
+
+// Plan is an immutable, ordered stage composition for one (config,
+// level, input, exec) combination. Build one with NewPlan and execute
+// it any number of times with Pipeline.RunPlan.
+type Plan struct {
+	stages []Stage
+	level  Level
+	input  PlanInput
+}
+
+// NewPlan composes and validates the stage sequence for the requested
+// level over the given input. Validation is scoped to the stages the
+// plan actually contains: a base-NEAT plan does not require a valid
+// refinement config.
+func NewPlan(cfg Config, level Level, in PlanInput, ex Exec) (*Plan, error) {
+	if level > LevelOpt {
+		return nil, fmt.Errorf("neat: unknown level %d", level)
+	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("neat: shards must be non-negative, got %d", cfg.Shards)
+	}
+	pl := &Plan{level: level, input: in}
+	if in == FromFlows {
+		if level < LevelOpt {
+			return nil, fmt.Errorf("neat: a flow-input plan needs level opt-NEAT, got %s", level)
+		}
+		if err := cfg.Refine.Validate(); err != nil {
+			return nil, err
+		}
+		pl.stages = []Stage{RefineStage{Cfg: cfg.Refine, FromFlows: true}}
+		return pl, nil
+	}
+	if in == FromDataset {
+		pl.stages = append(pl.stages, PartitionStage{Workers: ex.Workers, Shards: cfg.Shards})
+	}
+	pl.stages = append(pl.stages, BaseClusterStage{Shards: cfg.Shards, Workers: ex.Workers})
+	if level >= LevelFlow {
+		if err := cfg.Flow.Validate(); err != nil {
+			return nil, err
+		}
+		pl.stages = append(pl.stages, FlowMergeStage{Cfg: cfg.Flow, Shards: cfg.Shards, Workers: ex.Workers})
+	}
+	if level >= LevelOpt {
+		if err := cfg.Refine.Validate(); err != nil {
+			return nil, err
+		}
+		pl.stages = append(pl.stages, RefineStage{Cfg: cfg.Refine})
+	}
+	return pl, nil
+}
+
+// Stages returns a copy of the plan's stage sequence.
+func (pl *Plan) Stages() []Stage { return append([]Stage(nil), pl.stages...) }
+
+// Level returns the plan's clustering level.
+func (pl *Plan) Level() Level { return pl.level }
+
+// Input returns where the plan starts.
+func (pl *Plan) Input() PlanInput { return pl.input }
+
+// String renders the plan as "input → stage → stage …".
+func (pl *Plan) String() string {
+	var b strings.Builder
+	b.WriteString(pl.input.String())
+	for _, s := range pl.stages {
+		b.WriteString(" → ")
+		b.WriteString(s.Name())
+	}
+	return b.String()
+}
+
+// RunPlan executes a plan over the given input. Full plans (dataset or
+// fragment input) record into the pipeline's metrics registry exactly
+// like the classic entry points; flow-input merge plans produce spans
+// and timings but stay metrics-silent, matching the historical
+// semantics of the streaming merge.
+func (p *Pipeline) RunPlan(plan *Plan, in Input) (*Result, error) {
+	res := &Result{Level: plan.level}
+	name := "neat.run"
+	if plan.input == FromFlows {
+		name = "neat.merge"
+	}
+	res.Trace = p.newRunSpan(name, plan.level)
+	st := &state{in: in, res: res}
+	for _, stage := range plan.stages {
+		if err := stage.run(p, st); err != nil {
+			return nil, err
+		}
+	}
+	if plan.input == FromFlows {
+		res.Trace.End()
+		return res, nil
+	}
+	p.finish(res, res.Trace)
+	return res, nil
+}

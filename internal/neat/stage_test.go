@@ -1,0 +1,309 @@
+package neat
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/proptest"
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+)
+
+// stageNames flattens a plan's stage sequence for comparison.
+func stageNames(p *Plan) []string {
+	var out []string
+	for _, s := range p.Stages() {
+		out = append(out, s.Name())
+	}
+	return out
+}
+
+func TestPlanComposition(t *testing.T) {
+	cfg := DefaultConfig()
+	cases := []struct {
+		level Level
+		in    PlanInput
+		want  []string
+	}{
+		{LevelBase, FromDataset, []string{"partition", "base_clusters"}},
+		{LevelFlow, FromDataset, []string{"partition", "base_clusters", "flow_merge"}},
+		{LevelOpt, FromDataset, []string{"partition", "base_clusters", "flow_merge", "refine"}},
+		{LevelBase, FromFragments, []string{"base_clusters"}},
+		{LevelOpt, FromFragments, []string{"base_clusters", "flow_merge", "refine"}},
+		{LevelOpt, FromFlows, []string{"refine"}},
+	}
+	for _, c := range cases {
+		plan, err := NewPlan(cfg, c.level, c.in, Exec{})
+		if err != nil {
+			t.Fatalf("%s/%s: %v", c.level, c.in, err)
+		}
+		got := stageNames(plan)
+		if fmt.Sprint(got) != fmt.Sprint(c.want) {
+			t.Errorf("%s/%s: stages %v, want %v", c.level, c.in, got, c.want)
+		}
+		if plan.Level() != c.level || plan.Input() != c.in {
+			t.Errorf("%s/%s: accessors report %s/%s", c.level, c.in, plan.Level(), plan.Input())
+		}
+		if s := plan.String(); !strings.HasPrefix(s, c.in.String()) {
+			t.Errorf("String() = %q, want %q prefix", s, c.in.String())
+		}
+	}
+}
+
+// TestPlanValidationScoping pins that validation covers exactly the
+// stages a plan composes: a flow-NEAT plan must not demand a valid
+// refinement config, while opt-NEAT and merge plans must.
+func TestPlanValidationScoping(t *testing.T) {
+	noRefine := Config{Flow: FlowConfig{Weights: WeightsFlowOnly}} // zero Refine: invalid for LevelOpt
+	if _, err := NewPlan(noRefine, LevelFlow, FromDataset, Exec{}); err != nil {
+		t.Errorf("flow-NEAT plan rejected a zero refine config: %v", err)
+	}
+	if _, err := NewPlan(noRefine, LevelOpt, FromDataset, Exec{}); err == nil {
+		t.Error("opt-NEAT plan accepted a zero refine config")
+	}
+	if _, err := NewPlan(noRefine, LevelOpt, FromFlows, Exec{}); err == nil {
+		t.Error("merge plan accepted a zero refine config")
+	}
+	if _, err := NewPlan(DefaultConfig(), LevelFlow, FromFlows, Exec{}); err == nil {
+		t.Error("merge plan accepted level flow-NEAT")
+	}
+	bad := DefaultConfig()
+	bad.Shards = -1
+	if _, err := NewPlan(bad, LevelFlow, FromDataset, Exec{}); err == nil {
+		t.Error("negative shard count accepted")
+	}
+	if _, err := NewPlan(DefaultConfig(), Level(9), FromDataset, Exec{}); err == nil {
+		t.Error("unknown level accepted")
+	}
+	badFlow := DefaultConfig()
+	badFlow.Flow.Beta = 0.5
+	if _, err := NewPlan(badFlow, LevelFlow, FromDataset, Exec{}); err == nil {
+		t.Error("invalid flow config accepted")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	bad := DefaultConfig()
+	bad.Refine.Epsilon = -1
+	if bad.Validate() == nil {
+		t.Error("negative epsilon accepted")
+	}
+	bad = DefaultConfig()
+	bad.Flow.MinCard = -2
+	if bad.Validate() == nil {
+		t.Error("negative minCard accepted")
+	}
+	bad = DefaultConfig()
+	bad.Shards = -4
+	if bad.Validate() == nil {
+		t.Error("negative shards accepted")
+	}
+	ok := DefaultConfig()
+	ok.Shards = 8
+	if err := ok.Validate(); err != nil {
+		t.Errorf("shards=8 rejected: %v", err)
+	}
+}
+
+// renderResult is the in-package canonical form used to compare runs
+// byte for byte (the cross-package differential harness has its own).
+func renderResult(r *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fragments %d filtered %d\n", r.NumFragments, r.FilteredFlows)
+	for _, bc := range r.BaseClusters {
+		fmt.Fprintf(&b, "base %d d=%d trajs=%v\n", bc.Seg, bc.Density(), bc.ParticipatingTrajectories())
+	}
+	index := make(map[*FlowCluster]int, len(r.Flows))
+	for i, f := range r.Flows {
+		index[f] = i
+		ids := make([]traj.ID, 0, len(f.trajs))
+		for id := range f.trajs {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		fmt.Fprintf(&b, "flow %d route=%v trajs=%v\n", i, []roadnet.SegID(f.Route), ids)
+	}
+	for ci, c := range r.Clusters {
+		idxs := make([]int, len(c.Flows))
+		for k, f := range c.Flows {
+			idxs[k] = index[f]
+		}
+		fmt.Fprintf(&b, "cluster %d flows=%v\n", ci, idxs)
+	}
+	return b.String()
+}
+
+// genInstance draws a random graph + dataset for the equivalence tests.
+func genInstance(t *testing.T, seed int64) (*roadnet.Graph, traj.Dataset) {
+	t.Helper()
+	rng := proptest.NewRand(seed)
+	g, err := proptest.GenGraph(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := proptest.GenDataset(rng, g, proptest.DatasetOpts{GapProb: rng.Float64() * 0.4})
+	return g, ds
+}
+
+// TestShardedMatchesUnsharded is the in-package determinism pin for
+// the sharded engine: for every level, shard count, and worker count,
+// the run renders byte-identically to the classic unsharded path.
+func TestShardedMatchesUnsharded(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		g, ds := genInstance(t, seed)
+		cfg := Config{
+			Flow:   FlowConfig{Weights: WeightsBalanced, MinCard: 1, Beta: 2},
+			Refine: RefineConfig{Epsilon: 1200, MinPts: 1},
+		}
+		p := NewPipeline(g)
+		for _, level := range []Level{LevelBase, LevelFlow, LevelOpt} {
+			ref, err := p.Run(ds, cfg, level)
+			if err != nil {
+				t.Fatalf("seed %d %s: unsharded: %v", seed, level, err)
+			}
+			want := renderResult(ref)
+			for _, shards := range []int{2, 3, 4} {
+				for _, workers := range []int{0, 3} {
+					scfg := cfg
+					scfg.Shards = shards
+					var res *Result
+					if workers != 0 {
+						res, err = p.RunParallel(ds, scfg, level, workers)
+					} else {
+						res, err = p.Run(ds, scfg, level)
+					}
+					if err != nil {
+						t.Fatalf("seed %d %s shards=%d w=%d: %v", seed, level, shards, workers, err)
+					}
+					if got := renderResult(res); got != want {
+						t.Fatalf("seed %d %s shards=%d w=%d: output diverges from unsharded run",
+							seed, level, shards, workers)
+					}
+					if res.Shards < 1 {
+						t.Fatalf("seed %d: sharded run reports Shards=%d", seed, res.Shards)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRunFragmentsSharded covers the fragment-input plan under
+// sharding (the server's path).
+func TestRunFragmentsSharded(t *testing.T) {
+	g, ds := genInstance(t, 3)
+	p := NewPipeline(g)
+	frags, err := p.Partition(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Flow: FlowConfig{Weights: WeightsFlowOnly}, Refine: RefineConfig{Epsilon: 900}}
+	ref, err := p.RunFragments(frags, cfg, LevelOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Shards = 3
+	res, err := p.RunFragments(frags, cfg, LevelOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderResult(res) != renderResult(ref) {
+		t.Fatal("sharded fragment run diverges from unsharded")
+	}
+}
+
+// TestMergePlanMetricsSilent pins the run-counting contract: full
+// plans count as pipeline runs, flow-input merge plans do not (the
+// streaming clusterer's per-batch run count must stay one per ingest).
+func TestMergePlanMetricsSilent(t *testing.T) {
+	g, ds := genInstance(t, 5)
+	reg := obs.NewRegistry()
+	p := NewPipeline(g)
+	p.Instrument(reg)
+	cfg := Config{Flow: FlowConfig{Weights: WeightsFlowOnly}, Refine: RefineConfig{Epsilon: 800}}
+	res, err := p.Run(ds, cfg, LevelFlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("neat_runs_total").Value(); got != 1 {
+		t.Fatalf("neat_runs_total = %d after one run", got)
+	}
+	if _, _, err := p.MergeFlows(res.Flows, nil, cfg.Refine); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := NewPlan(cfg, LevelOpt, FromFlows, Exec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.RunPlan(plan, Input{Flows: res.Flows}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("neat_runs_total").Value(); got != 1 {
+		t.Fatalf("neat_runs_total = %d after merges; merge plans must not count as runs", got)
+	}
+}
+
+// TestShardedTraceAnnotations checks the sharded stages annotate their
+// spans without renaming them.
+func TestShardedTraceAnnotations(t *testing.T) {
+	g, ds := genInstance(t, 9)
+	p := NewPipeline(g)
+	p.EnableTracing(true)
+	cfg := Config{Flow: FlowConfig{Weights: WeightsFlowOnly}, Refine: RefineConfig{Epsilon: 900}, Shards: 2}
+	res, err := p.Run(ds, cfg, LevelOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace.Name() != "neat.run" {
+		t.Fatalf("root span %q", res.Trace.Name())
+	}
+	for _, name := range []string{"phase1.partition", "phase1.base_clusters", "phase2.flow_clusters", "phase3.refine"} {
+		sp := res.Trace.Find(name)
+		if sp == nil {
+			t.Fatalf("span %s missing from sharded trace", name)
+		}
+		if name != "phase3.refine" {
+			if _, ok := sp.LabelMap()["shards"]; !ok {
+				t.Errorf("span %s lacks shards annotation", name)
+			}
+		}
+	}
+	p2 := res.Trace.Find("phase2.flow_clusters").LabelMap()
+	for _, key := range []string{"boundary_junctions", "components", "cross_shard_components"} {
+		if _, ok := p2[key]; !ok {
+			t.Errorf("phase2 span lacks %s annotation", key)
+		}
+	}
+}
+
+// TestMergeFlowsTraceName pins the merge plan's distinct root span.
+func TestMergeFlowsTraceName(t *testing.T) {
+	g, ds := genInstance(t, 11)
+	p := NewPipeline(g)
+	p.EnableTracing(true)
+	cfg := Config{Flow: FlowConfig{Weights: WeightsFlowOnly}, Refine: RefineConfig{Epsilon: 800}}
+	res, err := p.Run(ds, cfg, LevelFlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := NewPlan(cfg, LevelOpt, FromFlows, Exec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mres, err := p.RunPlan(plan, Input{Flows: res.Flows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mres.Trace.Name() != "neat.merge" {
+		t.Errorf("merge root span %q, want neat.merge", mres.Trace.Name())
+	}
+	if mres.Trace.Find("phase3.refine") == nil {
+		t.Error("merge trace lacks phase3.refine")
+	}
+}

@@ -69,6 +69,23 @@ func (s *Span) AddChild(name string, start time.Time, d time.Duration) *Span {
 	return c
 }
 
+// Adopt grafts an independently started span tree under s as a child,
+// re-parenting its root. The streaming clusterer uses it to collect
+// the per-batch pipeline run and the standing-set merge — each a root
+// tree produced by the stage executor — under one ingest span.
+// Nil-safe on both sides: adopting nil, or onto nil, is a no-op.
+func (s *Span) Adopt(child *Span) {
+	if s == nil || child == nil {
+		return
+	}
+	child.mu.Lock()
+	child.parent = s
+	child.mu.Unlock()
+	s.mu.Lock()
+	s.children = append(s.children, child)
+	s.mu.Unlock()
+}
+
 // End marks the span finished. The first call wins; later calls (and
 // calls on nil) are no-ops.
 func (s *Span) End() {

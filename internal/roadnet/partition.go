@@ -1,0 +1,248 @@
+package roadnet
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// GraphPartition is a deterministic split of a road network's segments
+// into K regions ("shards") plus the set of boundary junctions where
+// regions meet. It is the decomposition axis of the sharded clustering
+// plans: NEAT's Phase 1 and Phase 2 touch only segment-local and
+// junction-adjacent state, so they execute per shard and reconcile at
+// the boundary junctions (see internal/neat and DESIGN.md §9).
+//
+// A partition is a pure function of (graph, k, seed): rebuilding it on
+// the same inputs — on any machine, under any GOMAXPROCS — yields a
+// byte-identical assignment. All invariants below are checked at
+// construction:
+//
+//   - every segment is assigned to exactly one shard in [0, K);
+//   - shard sizes sum to the segment count;
+//   - the boundary set is exactly the junctions whose incident
+//     segments span more than one shard (the cut-edge junctions).
+type GraphPartition struct {
+	g    *Graph
+	k    int
+	seed int64
+
+	shard      []int32  // per-SegID shard index
+	sizes      []int    // segments per shard
+	boundary   []NodeID // sorted cut junctions
+	isBoundary []bool   // per-NodeID membership in boundary
+}
+
+// PartitionGraph splits g into k shards with a seeded balanced
+// BFS-growth over the segment adjacency. k is clamped to [1,
+// NumSegments]; the effective count is reported by K(). The algorithm:
+//
+//  1. Seed selection: the first seed segment is drawn from a
+//     deterministic RNG over seed; each further seed is the segment
+//     whose midpoint is Euclidean-farthest from all chosen seeds
+//     (ties by smallest SegID), spreading regions across the map.
+//  2. Balanced growth: repeatedly the smallest shard (ties by shard
+//     index) claims the next unassigned segment from its FIFO
+//     frontier, then enqueues that segment's unassigned neighbors in
+//     ascending SegID order.
+//  3. Refill: when a shard's frontier drains while unassigned
+//     segments remain (disconnected graphs), the smallest-id
+//     unassigned segment reseeds it.
+//
+// Both the claim order and the enqueue order are fully determined by
+// (g, k, seed), making the assignment byte-stable across runs.
+func PartitionGraph(g *Graph, k int, seed int64) (*GraphPartition, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("roadnet: partition shard count must be at least 1, got %d", k)
+	}
+	n := g.NumSegments()
+	if n == 0 {
+		return nil, fmt.Errorf("roadnet: cannot partition a graph with no segments")
+	}
+	if k > n {
+		k = n
+	}
+	p := &GraphPartition{
+		g:     g,
+		k:     k,
+		seed:  seed,
+		shard: make([]int32, n),
+		sizes: make([]int, k),
+	}
+	for i := range p.shard {
+		p.shard[i] = -1
+	}
+	p.grow(pickSeeds(g, k, seed))
+	p.findBoundary()
+	if err := p.validate(); err != nil {
+		return nil, fmt.Errorf("roadnet: partition invariant violated: %w", err)
+	}
+	return p, nil
+}
+
+// pickSeeds selects k well-spread starting segments: the first from a
+// seeded RNG, the rest by farthest-midpoint selection with SegID
+// tie-breaks.
+func pickSeeds(g *Graph, k int, seed int64) []SegID {
+	n := g.NumSegments()
+	rng := rand.New(rand.NewSource(seed))
+	seeds := []SegID{SegID(rng.Intn(n))}
+	// minDist[s] tracks the distance from segment s's midpoint to the
+	// nearest chosen seed midpoint.
+	minDist := make([]float64, n)
+	mid := func(s SegID) (x, y float64) {
+		seg := g.Segment(s)
+		a, b := g.Node(seg.NI).Pt, g.Node(seg.NJ).Pt
+		return (a.X + b.X) / 2, (a.Y + b.Y) / 2
+	}
+	sx, sy := mid(seeds[0])
+	for s := 0; s < n; s++ {
+		x, y := mid(SegID(s))
+		dx, dy := x-sx, y-sy
+		minDist[s] = dx*dx + dy*dy
+	}
+	for len(seeds) < k {
+		best, bestD := SegID(0), -1.0
+		for s := 0; s < n; s++ {
+			if d := minDist[s]; d > bestD {
+				best, bestD = SegID(s), d
+			}
+		}
+		seeds = append(seeds, best)
+		bx, by := mid(best)
+		for s := 0; s < n; s++ {
+			x, y := mid(SegID(s))
+			dx, dy := x-bx, y-by
+			if d := dx*dx + dy*dy; d < minDist[s] {
+				minDist[s] = d
+			}
+		}
+	}
+	return seeds
+}
+
+// grow runs the balanced BFS region growth from the seed segments.
+func (p *GraphPartition) grow(seeds []SegID) {
+	g, k := p.g, p.k
+	frontiers := make([][]SegID, k)
+	heads := make([]int, k) // FIFO read positions
+	for w, s := range seeds {
+		frontiers[w] = append(frontiers[w], s)
+	}
+	assigned := 0
+	n := g.NumSegments()
+	// nextUnassigned scans forward for refills; monotone, so the whole
+	// growth stays O(segments + adjacency).
+	nextUnassigned := 0
+	for assigned < n {
+		// The smallest shard claims next; ties by shard index.
+		w := 0
+		for i := 1; i < k; i++ {
+			if p.sizes[i] < p.sizes[w] {
+				w = i
+			}
+		}
+		// Pop the next unassigned frontier entry; refill on drain.
+		var s SegID = NoSeg
+		for heads[w] < len(frontiers[w]) {
+			cand := frontiers[w][heads[w]]
+			heads[w]++
+			if p.shard[cand] < 0 {
+				s = cand
+				break
+			}
+		}
+		if s == NoSeg {
+			for nextUnassigned < n && p.shard[nextUnassigned] >= 0 {
+				nextUnassigned++
+			}
+			s = SegID(nextUnassigned)
+		}
+		p.shard[s] = int32(w)
+		p.sizes[w]++
+		assigned++
+		// Enqueue unassigned neighbors in ascending SegID order
+		// (Adjacent returns NI-side then NJ-side segments, each sorted;
+		// re-sort the union for a stable frontier).
+		adj := g.Adjacent(s)
+		sort.Slice(adj, func(i, j int) bool { return adj[i] < adj[j] })
+		for _, nb := range adj {
+			if p.shard[nb] < 0 {
+				frontiers[w] = append(frontiers[w], nb)
+			}
+		}
+	}
+}
+
+// findBoundary computes the cut junctions: those whose incident
+// segments belong to more than one shard.
+func (p *GraphPartition) findBoundary() {
+	g := p.g
+	p.isBoundary = make([]bool, g.NumNodes())
+	for nid := 0; nid < g.NumNodes(); nid++ {
+		segs := g.SegmentsAt(NodeID(nid))
+		for i := 1; i < len(segs); i++ {
+			if p.shard[segs[i]] != p.shard[segs[0]] {
+				p.isBoundary[nid] = true
+				p.boundary = append(p.boundary, NodeID(nid))
+				break
+			}
+		}
+	}
+}
+
+// validate checks the structural invariants; see the type comment.
+func (p *GraphPartition) validate() error {
+	total := 0
+	for _, sz := range p.sizes {
+		total += sz
+	}
+	if total != p.g.NumSegments() {
+		return fmt.Errorf("shard sizes sum to %d, want %d segments", total, p.g.NumSegments())
+	}
+	for s, w := range p.shard {
+		if w < 0 || int(w) >= p.k {
+			return fmt.Errorf("segment %d assigned to shard %d outside [0, %d)", s, w, p.k)
+		}
+	}
+	return nil
+}
+
+// K returns the effective shard count (requested k clamped to the
+// segment count).
+func (p *GraphPartition) K() int { return p.k }
+
+// Seed returns the seed the partition was grown from.
+func (p *GraphPartition) Seed() int64 { return p.seed }
+
+// ShardOf returns the shard index of segment s.
+func (p *GraphPartition) ShardOf(s SegID) int { return int(p.shard[s]) }
+
+// Size returns the number of segments in shard w.
+func (p *GraphPartition) Size(w int) int { return p.sizes[w] }
+
+// Boundary returns the sorted boundary (cut) junctions; callers must
+// not modify the returned slice.
+func (p *GraphPartition) Boundary() []NodeID { return p.boundary }
+
+// IsBoundary reports whether junction n is a boundary junction.
+func (p *GraphPartition) IsBoundary(n NodeID) bool { return p.isBoundary[n] }
+
+// Fingerprint renders the full assignment as a canonical string; two
+// partitions are identical iff their fingerprints are byte-equal. The
+// partitioner tests pin byte-stability with it.
+func (p *GraphPartition) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "k=%d seed=%d\n", p.k, p.seed)
+	for s, w := range p.shard {
+		fmt.Fprintf(&b, "%d:%d\n", s, w)
+	}
+	fmt.Fprintf(&b, "boundary=%v\n", p.boundary)
+	return b.String()
+}
+
+// String summarizes the partition.
+func (p *GraphPartition) String() string {
+	return fmt.Sprintf("partition{k=%d seed=%d sizes=%v boundary=%d}", p.k, p.seed, p.sizes, len(p.boundary))
+}

@@ -1,0 +1,170 @@
+package roadnet_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/mapgen"
+	"repro/internal/roadnet"
+)
+
+// partitionGraph generates the fixed road network the partition tests
+// run over: large enough that every tested shard count produces
+// non-trivial regions and a non-empty boundary.
+func partitionGraph(t testing.TB) *roadnet.Graph {
+	t.Helper()
+	g, err := mapgen.Generate(mapgen.Config{
+		Name: "part", TargetJunctions: 120, TargetSegments: 180,
+		AvgSegLenM: 120, MaxDegree: 5, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestPartitionInvariants checks the structural contract across shard
+// counts and seeds: every segment in exactly one shard, sizes
+// consistent, and the boundary set equal to an independent
+// recomputation of the cut-edge junctions.
+func TestPartitionInvariants(t *testing.T) {
+	g := partitionGraph(t)
+	for _, k := range []int{1, 2, 3, 4, 7, 16} {
+		for _, seed := range []int64{1, 2, 99} {
+			p, err := roadnet.PartitionGraph(g, k, seed)
+			if err != nil {
+				t.Fatalf("k=%d seed=%d: %v", k, seed, err)
+			}
+			if p.K() != k {
+				t.Fatalf("k=%d seed=%d: K() = %d", k, seed, p.K())
+			}
+			// Every segment in exactly one shard; Size sums match.
+			counts := make([]int, k)
+			for s := 0; s < g.NumSegments(); s++ {
+				w := p.ShardOf(roadnet.SegID(s))
+				if w < 0 || w >= k {
+					t.Fatalf("k=%d seed=%d: segment %d in shard %d", k, seed, s, w)
+				}
+				counts[w]++
+			}
+			total := 0
+			for w := 0; w < k; w++ {
+				if counts[w] != p.Size(w) {
+					t.Fatalf("k=%d seed=%d: shard %d holds %d segments, Size says %d",
+						k, seed, w, counts[w], p.Size(w))
+				}
+				total += p.Size(w)
+			}
+			if total != g.NumSegments() {
+				t.Fatalf("k=%d seed=%d: sizes sum to %d, want %d", k, seed, total, g.NumSegments())
+			}
+			// Boundary set == cut-edge junctions, recomputed from scratch.
+			want := map[roadnet.NodeID]bool{}
+			for n := 0; n < g.NumNodes(); n++ {
+				segs := g.SegmentsAt(roadnet.NodeID(n))
+				for i := 1; i < len(segs); i++ {
+					if p.ShardOf(segs[i]) != p.ShardOf(segs[0]) {
+						want[roadnet.NodeID(n)] = true
+						break
+					}
+				}
+			}
+			got := p.Boundary()
+			if len(got) != len(want) {
+				t.Fatalf("k=%d seed=%d: %d boundary junctions, want %d", k, seed, len(got), len(want))
+			}
+			for i, n := range got {
+				if !want[n] {
+					t.Fatalf("k=%d seed=%d: junction %d reported as boundary but is not a cut", k, seed, n)
+				}
+				if !p.IsBoundary(n) {
+					t.Fatalf("k=%d seed=%d: IsBoundary(%d) = false for listed junction", k, seed, n)
+				}
+				if i > 0 && got[i-1] >= n {
+					t.Fatalf("k=%d seed=%d: boundary not sorted at %d", k, seed, i)
+				}
+			}
+			if k == 1 && len(got) != 0 {
+				t.Fatalf("seed=%d: single shard has %d boundary junctions", seed, len(got))
+			}
+			if k >= 2 && len(got) == 0 {
+				t.Fatalf("k=%d seed=%d: multi-shard split of a connected graph has no boundary", k, seed)
+			}
+		}
+	}
+}
+
+// TestPartitionByteStable pins determinism: for a fixed (graph, k,
+// seed) the full assignment fingerprint is byte-identical across
+// repeated builds, including builds racing on many goroutines (the
+// partitioner must not depend on scheduling).
+func TestPartitionByteStable(t *testing.T) {
+	g := partitionGraph(t)
+	for _, k := range []int{2, 4} {
+		ref, err := roadnet.PartitionGraph(g, k, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ref.Fingerprint()
+		const rebuilds = 8
+		got := make([]string, rebuilds)
+		var wg sync.WaitGroup
+		for i := 0; i < rebuilds; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				p, err := roadnet.PartitionGraph(g, k, 7)
+				if err == nil {
+					got[i] = p.Fingerprint()
+				}
+			}(i)
+		}
+		wg.Wait()
+		for i, fp := range got {
+			if fp != want {
+				t.Fatalf("k=%d: rebuild %d fingerprint diverged", k, i)
+			}
+		}
+	}
+}
+
+// TestPartitionSeedSensitivity checks the seed actually steers the
+// layout on a graph large enough for distinct growths.
+func TestPartitionSeedSensitivity(t *testing.T) {
+	g := partitionGraph(t)
+	a, err := roadnet.PartitionGraph(g, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := roadnet.PartitionGraph(g, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("seeds 1 and 2 grew identical partitions; seeding is inert")
+	}
+}
+
+// TestPartitionClampAndErrors covers the edge contract: k above the
+// segment count clamps, k below 1 errors.
+func TestPartitionClampAndErrors(t *testing.T) {
+	g := partitionGraph(t)
+	p, err := roadnet.PartitionGraph(g, g.NumSegments()*3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.K() != g.NumSegments() {
+		t.Errorf("K() = %d, want clamp to %d", p.K(), g.NumSegments())
+	}
+	for w := 0; w < p.K(); w++ {
+		if p.Size(w) != 1 {
+			t.Fatalf("shard %d holds %d segments under full clamp", w, p.Size(w))
+		}
+	}
+	if _, err := roadnet.PartitionGraph(g, 0, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := roadnet.PartitionGraph(g, -3, 1); err == nil {
+		t.Error("k=-3 accepted")
+	}
+}

@@ -196,27 +196,39 @@ func Diff(a, b string) string {
 	return "renderings differ in length only"
 }
 
-// checkInstance runs both pipelines on one instance and compares their
-// canonical renderings.
+// shardCounts are the shard settings every instance is checked under.
+// 1 exercises the classic unsharded plan; 2 and 4 exercise per-region
+// Phase 1/2 execution with the cross-shard reconcile. All three must
+// render byte-identically to the oracle.
+var shardCounts = []int{1, 2, 4}
+
+// checkInstance runs the oracle once and the optimized pipeline under
+// every shard count, comparing each canonical rendering. The sharded
+// executor's determinism contract — byte-identical output regardless
+// of shard and worker count — is pinned here.
 func checkInstance(g *roadnet.Graph, ds traj.Dataset, d proptest.Draw) error {
 	ncfg, ocfg, nl, ol := Materialize(d)
-	p := neat.NewPipeline(g)
-	var nres *neat.Result
-	var nerr error
-	if d.ParallelPhase1 {
-		nres, nerr = p.RunParallel(ds, ncfg, nl, 4)
-	} else {
-		nres, nerr = p.Run(ds, ncfg, nl)
-	}
 	ores, oerr := oracle.RunNEAT(g, ds, ocfg, ol)
-	if (nerr != nil) != (oerr != nil) {
-		return fmt.Errorf("error mismatch: neat=%v oracle=%v", nerr, oerr)
-	}
-	if nerr != nil {
-		return nil // both rejected the instance identically
-	}
-	if d := Diff(CanonicalNEAT(nres), CanonicalOracle(ores)); d != "" {
-		return fmt.Errorf("outputs diverge: %s", d)
+	p := neat.NewPipeline(g)
+	for _, shards := range shardCounts {
+		cfg := ncfg
+		cfg.Shards = shards
+		var nres *neat.Result
+		var nerr error
+		if d.ParallelPhase1 {
+			nres, nerr = p.RunParallel(ds, cfg, nl, 4)
+		} else {
+			nres, nerr = p.Run(ds, cfg, nl)
+		}
+		if (nerr != nil) != (oerr != nil) {
+			return fmt.Errorf("shards=%d: error mismatch: neat=%v oracle=%v", shards, nerr, oerr)
+		}
+		if nerr != nil {
+			continue // both rejected the instance identically
+		}
+		if diff := Diff(CanonicalNEAT(nres), CanonicalOracle(ores)); diff != "" {
+			return fmt.Errorf("shards=%d: outputs diverge: %s", shards, diff)
+		}
 	}
 	return nil
 }

@@ -34,6 +34,12 @@ type Config struct {
 	// negative uses all CPUs. The clustering output is identical either
 	// way, so it does not key the result cache.
 	Workers int
+	// Shards is the road-network shard count passed through to
+	// neat.Config.Shards: clustering requests then execute Phases 1-2
+	// per graph region. Like Workers it changes only the execution
+	// shape — output is byte-identical — so it does not key the result
+	// cache. 0 or 1 disables.
+	Shards int
 	// Obs is the metrics registry the server records into: request
 	// latency/status per route, result-cache hits and misses, ingest
 	// volume, and the clustering pipeline's own series. Nil (the
@@ -76,6 +82,13 @@ type Server struct {
 	// semaphore since partitioners are not concurrency-safe.
 	nodes chan *traj.Partitioner
 
+	// The shared clustering pipeline behind /v1/clusters. A Pipeline is
+	// not safe for concurrent use, so pipeMu serializes runs; sharing
+	// one instance keeps its graph-partition cache warm across
+	// requests when Shards is on.
+	pipeMu   sync.Mutex
+	pipeline *neat.Pipeline
+
 	// Pre-resolved metric handles; all nil when cfg.Obs is nil, making
 	// every recording a no-op.
 	m serverMetrics
@@ -112,6 +125,8 @@ func New(g *roadnet.Graph, cfg Config) *Server {
 	for i := 0; i < cfg.DataNodes; i++ {
 		s.nodes <- traj.NewPartitioner(g, shortest.New(g, nil))
 	}
+	s.pipeline = neat.NewPipeline(g)
+	s.pipeline.Instrument(cfg.Obs)
 	s.m = serverMetrics{
 		cacheHits:      cfg.Obs.Counter("server_cache_hits_total"),
 		cacheMisses:    cfg.Obs.Counter("server_cache_misses_total"),
@@ -381,6 +396,7 @@ func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
 	cfg := neat.Config{
 		Flow:   neat.FlowConfig{Weights: neat.WeightsFlowOnly, MinCard: 5},
 		Refine: neat.RefineConfig{Epsilon: 6500, UseELB: true, Bounded: true, Workers: s.cfg.Workers},
+		Shards: s.cfg.Shards,
 	}
 	if v := q.Get("eps"); v != "" {
 		eps, err := strconv.ParseFloat(v, 64)
@@ -397,6 +413,15 @@ func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		cfg.Flow.MinCard = mc
+	}
+	if err := cfg.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "config: %v", err)
+		return
+	}
+	plan, err := neat.NewPlan(cfg, level, neat.FromFragments, neat.Exec{})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "plan: %v", err)
+		return
 	}
 
 	s.mu.RLock()
@@ -421,9 +446,9 @@ func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
 	s.m.cacheMisses.Inc()
 
 	start := time.Now()
-	p := neat.NewPipeline(s.g)
-	p.Instrument(s.cfg.Obs)
-	res, err := p.RunFragments(frags, cfg, level)
+	s.pipeMu.Lock()
+	res, err := s.pipeline.RunPlan(plan, neat.Input{Fragments: frags})
+	s.pipeMu.Unlock()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "clustering: %v", err)
 		return
@@ -498,6 +523,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		TotalFragments: frags,
 		DataNodes:      s.cfg.DataNodes,
 		RefineWorkers:  s.cfg.Workers,
+		Shards:         s.cfg.Shards,
 		Build:          buildDTO(),
 	})
 }

@@ -1,0 +1,58 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+)
+
+// TestShardedClustersIdentical runs the same ingested dataset through
+// a sharded and an unsharded server and demands byte-identical
+// clustering responses: sharding is an execution knob, not a result
+// knob, so it deliberately does not key the result cache either.
+func TestShardedClustersIdentical(t *testing.T) {
+	g, ds := testSetup(t)
+	plain := httptest.NewServer(New(g, Config{DataNodes: 2}).Handler())
+	defer plain.Close()
+	sharded := httptest.NewServer(New(g, Config{DataNodes: 2, Shards: 4}).Handler())
+	defer sharded.Close()
+	ctx := context.Background()
+
+	for _, url := range []string{plain.URL, sharded.URL} {
+		if _, err := NewClient(url, plain.Client()).Ingest(ctx, ds); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := ClusterQuery{Level: "opt", Epsilon: 1500, MinCard: 3}
+	a, err := NewClient(plain.URL, plain.Client()).Clusters(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewClient(sharded.URL, sharded.Client()).Clusters(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Elapsed time legitimately differs; blank it before comparing.
+	a.ElapsedMs, b.ElapsedMs = 0, 0
+	if !reflect.DeepEqual(a, b) {
+		aj, _ := json.Marshal(a)
+		bj, _ := json.Marshal(b)
+		t.Fatalf("sharded response diverges:\nunsharded: %s\nsharded:   %s", aj, bj)
+	}
+}
+
+// TestStatsReportsShards pins the config echo in GET /v1/stats.
+func TestStatsReportsShards(t *testing.T) {
+	g, _ := testSetup(t)
+	srv := httptest.NewServer(New(g, Config{Shards: 8}).Handler())
+	defer srv.Close()
+	stats, err := NewClient(srv.URL, srv.Client()).Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Shards != 8 {
+		t.Errorf("stats shards = %d, want 8", stats.Shards)
+	}
+}

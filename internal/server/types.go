@@ -82,6 +82,9 @@ type StatsResponse struct {
 	// RefineWorkers echoes the server's Phase 3 worker configuration
 	// (0 = serial refinement).
 	RefineWorkers int `json:"refine_workers"`
+	// Shards echoes the server's road-network shard configuration
+	// (0 = unsharded execution).
+	Shards int `json:"shards"`
 	// Build identifies the running binary.
 	Build BuildDTO `json:"build"`
 }

@@ -1,0 +1,137 @@
+package stream
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestSnapshotTimingAndTrace covers the per-ingest observability the
+// batch Result always had: each Snapshot carries the phase breakdown,
+// and with Config.Trace on, a span tree with the batch run and the
+// standing-set merge grafted under one ingest root.
+func TestSnapshotTimingAndTrace(t *testing.T) {
+	g, ds := streamSetup(t)
+	cfg := streamConfig()
+	cfg.Trace = true
+	c, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range batches(ds, 2) {
+		snap, err := c.Ingest(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.Timing.Phase1 <= 0 {
+			t.Errorf("batch %d: Timing.Phase1 = %v", i, snap.Timing.Phase1)
+		}
+		if snap.Timing.Phase3 <= 0 {
+			t.Errorf("batch %d: Timing.Phase3 = %v", i, snap.Timing.Phase3)
+		}
+		if snap.Trace == nil {
+			t.Fatalf("batch %d: no trace despite Config.Trace", i)
+		}
+		if snap.Trace.Name() != "stream.ingest" {
+			t.Errorf("batch %d: root span %q", i, snap.Trace.Name())
+		}
+		if snap.Trace.Find("neat.run") == nil {
+			t.Errorf("batch %d: ingest trace lacks the batch run tree", i)
+		}
+		if snap.Trace.Find("neat.merge") == nil {
+			t.Errorf("batch %d: ingest trace lacks the merge tree", i)
+		}
+		if snap.Trace.Find("phase2.flow_clusters") == nil || snap.Trace.Find("phase3.refine") == nil {
+			t.Errorf("batch %d: ingest trace lacks phase spans", i)
+		}
+	}
+}
+
+// TestSnapshotTraceOffByDefault pins the zero-cost default.
+func TestSnapshotTraceOffByDefault(t *testing.T) {
+	g, ds := streamSetup(t)
+	c, err := New(g, streamConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := c.Ingest(batches(ds, 2)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Trace != nil {
+		t.Error("trace collected without Config.Trace")
+	}
+	if snap.Timing.Total() <= 0 {
+		t.Error("timing missing without tracing")
+	}
+}
+
+// TestStreamShardedMatchesUnsharded runs the same batch sequence with
+// and without road-network sharding and demands identical clusterings
+// (the stage engine's determinism contract, at the streaming layer).
+func TestStreamShardedMatchesUnsharded(t *testing.T) {
+	g, ds := streamSetup(t)
+	plain, err := New(g, streamConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scfg := streamConfig()
+	scfg.Neat.Shards = 4
+	sharded, err := New(g, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range batches(ds, 3) {
+		a, err := plain.Ingest(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := sharded.Ingest(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.NewFlows != s.NewFlows || a.StandingFlows != s.StandingFlows {
+			t.Fatalf("batch %d: flow counts diverge: %d/%d vs %d/%d",
+				i, a.NewFlows, a.StandingFlows, s.NewFlows, s.StandingFlows)
+		}
+		if len(a.Clusters) != len(s.Clusters) {
+			t.Fatalf("batch %d: %d clusters unsharded, %d sharded", i, len(a.Clusters), len(s.Clusters))
+		}
+		for ci := range a.Clusters {
+			af, sf := a.Clusters[ci].Flows, s.Clusters[ci].Flows
+			if len(af) != len(sf) {
+				t.Fatalf("batch %d cluster %d: sizes %d vs %d", i, ci, len(af), len(sf))
+			}
+			for fi := range af {
+				if fmt.Sprint(af[fi].Route) != fmt.Sprint(sf[fi].Route) {
+					t.Fatalf("batch %d cluster %d flow %d: routes diverge", i, ci, fi)
+				}
+			}
+		}
+	}
+}
+
+// TestNewValidatesWholeConfig pins that construction rejects any
+// invalid part of the neat config, including the sharding knob.
+func TestNewValidatesWholeConfig(t *testing.T) {
+	g, _ := streamSetup(t)
+	cfg := streamConfig()
+	cfg.Neat.Shards = -2
+	if _, err := New(g, cfg); err == nil {
+		t.Error("negative shard count accepted")
+	}
+	cfg = streamConfig()
+	cfg.Neat.Refine.Epsilon = -5
+	if _, err := New(g, cfg); err == nil {
+		t.Error("invalid refine config accepted")
+	}
+	cfg = streamConfig()
+	cfg.Neat.Flow.Beta = 0.1
+	if _, err := New(g, cfg); err == nil {
+		t.Error("invalid flow config accepted")
+	}
+	cfg = streamConfig()
+	cfg.Neat.Shards = 3
+	if _, err := New(g, cfg); err != nil {
+		t.Errorf("valid sharded config rejected: %v", err)
+	}
+}

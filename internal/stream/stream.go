@@ -34,6 +34,10 @@ type Config struct {
 	// gauge. Nil (the default) disables instrumentation; clustering
 	// output is identical either way.
 	Obs *obs.Registry
+	// Trace enables per-ingest span collection: each Snapshot then
+	// carries a "stream.ingest" tree with the batch's Phase 1-2 run and
+	// the standing-set merge grafted under it. Off by default.
+	Trace bool
 }
 
 // Snapshot is the state of the clustering after an ingestion.
@@ -50,6 +54,12 @@ type Snapshot struct {
 	Clusters []*neat.TrajectoryCluster
 	// RefineStats is the Phase 3 work of this merge.
 	RefineStats neat.RefineStats
+	// Timing is this ingest's per-phase breakdown: Phase1/Phase2 from
+	// the batch run, Phase3 from the standing-set merge.
+	Timing neat.Timing
+	// Trace is the ingest's span tree when Config.Trace is on; nil
+	// otherwise.
+	Trace *obs.Span
 }
 
 // Clusterer maintains NEAT clustering over a trajectory stream. Not
@@ -58,6 +68,12 @@ type Clusterer struct {
 	g        *roadnet.Graph
 	pipeline *neat.Pipeline
 	cfg      Config
+
+	// The two plans every ingest executes: Phases 1-2 over the new
+	// batch, then the Phase 3 merge over the standing flow set
+	// (§III-C's incremental mode, as two stage-engine plans).
+	ingestPlan *neat.Plan
+	mergePlan  *neat.Plan
 
 	batch    int
 	standing []flowEntry
@@ -89,18 +105,26 @@ func New(g *roadnet.Graph, cfg Config) (*Clusterer, error) {
 	if cfg.Window < 0 {
 		return nil, fmt.Errorf("stream: window must be non-negative, got %d", cfg.Window)
 	}
-	if err := cfg.Neat.Flow.Validate(); err != nil {
+	if err := cfg.Neat.Validate(); err != nil {
 		return nil, err
 	}
-	if err := cfg.Neat.Refine.Validate(); err != nil {
+	ingestPlan, err := neat.NewPlan(cfg.Neat, neat.LevelFlow, neat.FromDataset, neat.Exec{})
+	if err != nil {
+		return nil, err
+	}
+	mergePlan, err := neat.NewPlan(cfg.Neat, neat.LevelOpt, neat.FromFlows, neat.Exec{})
+	if err != nil {
 		return nil, err
 	}
 	pipeline := neat.NewPipeline(g)
 	pipeline.Instrument(cfg.Obs)
+	pipeline.EnableTracing(cfg.Trace)
 	return &Clusterer{
-		g:        g,
-		pipeline: pipeline,
-		cfg:      cfg,
+		g:          g,
+		pipeline:   pipeline,
+		cfg:        cfg,
+		ingestPlan: ingestPlan,
+		mergePlan:  mergePlan,
 		m: streamMetrics{
 			batches:   cfg.Obs.Counter("stream_batches_total"),
 			newFlows:  cfg.Obs.Counter("stream_new_flows_total"),
@@ -115,11 +139,17 @@ func New(g *roadnet.Graph, cfg Config) (*Clusterer, error) {
 // eviction, then Phase 3 over the standing flow set.
 func (c *Clusterer) Ingest(batch traj.Dataset) (Snapshot, error) {
 	start := time.Now()
-	res, err := c.pipeline.Run(batch, c.cfg.Neat, neat.LevelFlow)
+	var root *obs.Span
+	if c.cfg.Trace {
+		root = obs.StartSpan("stream.ingest")
+		root.Annotate("batch", c.batch)
+	}
+	res, err := c.pipeline.RunPlan(c.ingestPlan, neat.Input{Dataset: batch})
 	if err != nil {
 		return Snapshot{}, fmt.Errorf("stream: batch %d: %w", c.batch, err)
 	}
-	snap := Snapshot{Batch: c.batch, NewFlows: len(res.Flows)}
+	root.Adopt(res.Trace)
+	snap := Snapshot{Batch: c.batch, NewFlows: len(res.Flows), Timing: res.Timing}
 	for _, f := range res.Flows {
 		c.standing = append(c.standing, flowEntry{flow: f, batch: c.batch})
 	}
@@ -143,12 +173,16 @@ func (c *Clusterer) Ingest(batch traj.Dataset) (Snapshot, error) {
 	for i, e := range c.standing {
 		flows[i] = e.flow
 	}
-	clusters, stats, err := neat.RefineFlows(c.g, flows, c.cfg.Neat.Refine)
+	mres, err := c.pipeline.RunPlan(c.mergePlan, neat.Input{Flows: flows})
 	if err != nil {
 		return Snapshot{}, fmt.Errorf("stream: merge after batch %d: %w", snap.Batch, err)
 	}
-	snap.Clusters = clusters
-	snap.RefineStats = stats
+	root.Adopt(mres.Trace)
+	root.End()
+	snap.Clusters = mres.Clusters
+	snap.RefineStats = mres.RefineStats
+	snap.Timing.Phase3 = mres.Timing.Phase3
+	snap.Trace = root
 	c.m.batches.Inc()
 	c.m.newFlows.Add(int64(snap.NewFlows))
 	c.m.evictions.Add(int64(snap.EvictedFlows))
