@@ -5,10 +5,14 @@
 //
 //	neatbench [-scale 0.1] [-out results/] [-exp fig5] [-exp table1] ...
 //	neatbench -scale 0.05 -phasejson results/BENCH_phase_times.json
+//	neatbench -scale 0.05 -streamjson BENCH_stream_ingest.json -streamguard 1.5
 //
 // With no -exp flags, every experiment runs in the paper's order;
 // -phasejson with no -exp runs only the fixed phase-timing scenario
-// and writes the per-phase JSON report (the CI bench artifact). The
+// and writes the per-phase JSON report (the CI bench artifact);
+// -streamjson likewise runs only the steady-state streaming scenario
+// (persistent distance cache on vs off) and -streamguard fails the
+// process unless the cached mode is at least that factor faster. The
 // scale factor shrinks maps and datasets together (see
 // internal/experiments); absolute times are machine-dependent, the
 // relationships between systems are the reproduction target.
@@ -45,11 +49,13 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("neatbench", flag.ContinueOnError)
 	fs.SetOutput(os.Stderr)
 	var (
-		scale     = fs.Float64("scale", 0.1, "map and dataset scale factor in (0, 1]")
-		out       = fs.String("out", "results", "directory for SVG artifacts")
-		format    = fs.String("format", "text", "output format: text or md")
-		phaseJSON = fs.String("phasejson", "", "write the per-phase timing report of the fixed scenario to this JSON path")
-		exps      expList
+		scale       = fs.Float64("scale", 0.1, "map and dataset scale factor in (0, 1]")
+		out         = fs.String("out", "results", "directory for SVG artifacts")
+		format      = fs.String("format", "text", "output format: text or md")
+		phaseJSON   = fs.String("phasejson", "", "write the per-phase timing report of the fixed scenario to this JSON path")
+		streamJSON  = fs.String("streamjson", "", "write the steady-state stream-ingest report (cached vs uncached) to this JSON path")
+		streamGuard = fs.Float64("streamguard", 0, "fail unless the stream-ingest cached/uncached speedup is at least this factor (0 = no guard; implies the stream scenario runs)")
+		exps        expList
 	)
 	fs.Var(&exps, "exp", "experiment id to run (repeatable); default all")
 	if err := fs.Parse(args); err != nil {
@@ -64,7 +70,7 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	ids := []string(exps)
-	if len(ids) == 0 && *phaseJSON == "" {
+	if len(ids) == 0 && *phaseJSON == "" && *streamJSON == "" && *streamGuard == 0 {
 		ids = experiments.Order()
 	}
 	fmt.Fprintf(stdout, "NEAT reproduction harness — scale %.3g, %d experiment(s)\n\n", *scale, len(ids))
@@ -85,6 +91,11 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *phaseJSON != "" {
 		if err := writePhaseTimes(env, *phaseJSON, stdout); err != nil {
+			return err
+		}
+	}
+	if *streamJSON != "" || *streamGuard > 0 {
+		if err := runStreamIngest(env, *streamJSON, *streamGuard, stdout); err != nil {
 			return err
 		}
 	}
@@ -114,5 +125,43 @@ func writePhaseTimes(env *experiments.Env, path string, stdout io.Writer) error 
 	fmt.Fprintf(stdout, "phase times (%d trajectories, %d segments) written to %s\n",
 		rep.Trajectories, rep.Segments, path)
 	fmt.Fprintf(os.Stderr, "(phase-times completed in %s)\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// runStreamIngest runs the fixed steady-state streaming scenario
+// (cached vs uncached), optionally writes the JSON report CI uploads
+// as BENCH_stream_ingest.json, and optionally enforces a minimum
+// cached/uncached speedup — the CI bench-smoke guard against the
+// distance cache silently regressing into a no-op.
+func runStreamIngest(env *experiments.Env, path string, guard float64, stdout io.Writer) error {
+	start := time.Now()
+	rep, err := experiments.StreamIngest(env)
+	if err != nil {
+		return err
+	}
+	for _, m := range rep.Modes {
+		fmt.Fprintf(stdout, "stream-ingest %-9s %8.2f ms/ingest  (%d SP queries, %d cache hits / %d misses)\n",
+			m.Config, m.PerIngestMs, m.SPQueries, m.CacheHits, m.CacheMisses)
+	}
+	fmt.Fprintf(stdout, "stream-ingest speedup: %.2fx cached over uncached\n", rep.Speedup)
+	if path != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if dir := filepath.Dir(path); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return err
+			}
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "stream-ingest report written to %s\n", path)
+	}
+	fmt.Fprintf(os.Stderr, "(stream-ingest completed in %s)\n", time.Since(start).Round(time.Millisecond))
+	if guard > 0 && rep.Speedup < guard {
+		return fmt.Errorf("stream-ingest speedup %.2fx below the %.2gx guard", rep.Speedup, guard)
+	}
 	return nil
 }

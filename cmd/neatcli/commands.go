@@ -6,6 +6,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/distcache"
 	"repro/internal/mapgen"
 	"repro/internal/mobisim"
 	"repro/internal/neat"
@@ -170,6 +171,7 @@ func cmdCluster(args []string) error {
 	beta := fs.Float64("beta", 0, "domination threshold (0 = +Inf)")
 	workers := fs.Int("workers", 0, "parallel workers for Phases 1 and 3 (0 = serial, -1 = all CPUs)")
 	shards := fs.Int("shards", 0, "road-network shards for Phases 1 and 2 (0 = unsharded; output is identical)")
+	cacheEntries := fs.Int("cache-entries", -1, "distance cache entry budget for Phase 3 (0 = default budget, <0 = no cache; output is identical)")
 	trace := fs.Bool("trace", false, "print the per-phase span breakdown after the run")
 	svg := fs.String("svg", "", "write clustering visualization to this SVG file")
 	jsonOut := fs.String("json", "", "write machine-readable results to this JSON file")
@@ -200,6 +202,11 @@ func cmdCluster(args []string) error {
 		Refine: neat.RefineConfig{Epsilon: *eps, UseELB: true, Bounded: true, Workers: *workers},
 		Shards: *shards,
 	}
+	var cache *distcache.Cache
+	if *cacheEntries >= 0 {
+		cache = distcache.New(*cacheEntries)
+		cfg.Refine.Cache = cache
+	}
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
@@ -215,6 +222,11 @@ func cmdCluster(args []string) error {
 		return err
 	}
 	printResult(g, res)
+	if cache != nil {
+		st := cache.CacheStats()
+		fmt.Printf("  distance cache: %d/%d entries, %d hits / %d misses (%.1f%% hit rate)\n",
+			st.Entries, st.Capacity, st.Hits, st.Misses, 100*st.HitRate())
+	}
 	if *trace {
 		fmt.Println("trace:")
 		res.Trace.WriteTree(os.Stdout)

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	neatserver -map map.csv [-addr :8080] [-datanodes 4] [-workers -1] [-shards 4]
+//	neatserver -map map.csv [-addr :8080] [-datanodes 4] [-workers -1] [-shards 4] [-cache-entries 262144]
 //	neatserver -region ATL -scale 0.1 [-addr :8080] [-drain 10s]
 //
 // API:
@@ -58,6 +58,7 @@ func run(ctx context.Context, args []string) error {
 		dataNodes = fs.Int("datanodes", 4, "preprocessing data nodes")
 		workers   = fs.Int("workers", 0, "Phase 3 refinement workers (0 = serial, -1 = all CPUs)")
 		shards    = fs.Int("shards", 0, "road-network shards for Phases 1 and 2 (0 = unsharded; output is identical)")
+		cacheEnt  = fs.Int("cache-entries", 0, "distance cache entry budget shared across clustering requests (0 = default budget, <0 = no cache)")
 		drain     = fs.Duration("drain", 10*time.Second, "graceful shutdown timeout for in-flight requests")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -94,7 +95,7 @@ func run(ctx context.Context, args []string) error {
 	}
 
 	reg := obs.NewRegistry()
-	srv := server.New(g, server.Config{DataNodes: *dataNodes, Workers: *workers, Shards: *shards, Obs: reg})
+	srv := server.New(g, server.Config{DataNodes: *dataNodes, Workers: *workers, Shards: *shards, CacheEntries: *cacheEnt, Obs: reg})
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           newMux(srv, reg),

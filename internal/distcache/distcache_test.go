@@ -1,0 +1,249 @@
+package distcache
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestKeyCanonical(t *testing.T) {
+	if Key(3, 7) != Key(7, 3) {
+		t.Fatal("Key is not order-insensitive")
+	}
+	if Key(3, 7) == Key(3, 8) {
+		t.Fatal("distinct pairs collide")
+	}
+	if Key(0, 0) != 0 {
+		t.Fatalf("Key(0,0) = %d", Key(0, 0))
+	}
+}
+
+func TestLookupStoreRoundTrip(t *testing.T) {
+	c := New(1024)
+	inf := math.Inf(1)
+	if _, ok := c.Lookup(Key(1, 2), inf); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Store(Key(1, 2), 123.5, inf)
+	d, ok := c.Lookup(Key(1, 2), inf)
+	if !ok || d != 123.5 {
+		t.Fatalf("Lookup = %v, %v; want 123.5, true", d, ok)
+	}
+	// The reversed pair is the same key.
+	if d, ok := c.Lookup(Key(2, 1), inf); !ok || d != 123.5 {
+		t.Fatalf("reversed Lookup = %v, %v", d, ok)
+	}
+	st := c.CacheStats()
+	if st.Hits != 2 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestBoundClasses(t *testing.T) {
+	c := New(1024)
+	key := Key(5, 6)
+	// "Farther than 100" answers probes with ε <= 100 only.
+	c.Store(key, math.Inf(1), 100)
+	if d, ok := c.Lookup(key, 50); !ok || !math.IsInf(d, 1) {
+		t.Fatalf("narrow probe = %v, %v; want +Inf hit", d, ok)
+	}
+	if _, ok := c.Lookup(key, 200); ok {
+		t.Fatal("wide probe hit a narrower +Inf entry")
+	}
+	// A wider +Inf raises the bound in place.
+	c.Store(key, math.Inf(1), 300)
+	if _, ok := c.Lookup(key, 200); !ok {
+		t.Fatal("raised bound did not admit the wider probe")
+	}
+	// A finite distance supersedes the sentinel and answers any probe.
+	c.Store(key, 250, 300)
+	if d, ok := c.Lookup(key, math.Inf(1)); !ok || d != 250 {
+		t.Fatalf("exact probe after finite store = %v, %v", d, ok)
+	}
+	// A later +Inf must never downgrade a finite (exact) entry.
+	c.Store(key, math.Inf(1), 1000)
+	if d, ok := c.Lookup(key, math.Inf(1)); !ok || d != 250 {
+		t.Fatalf("finite entry downgraded: %v, %v", d, ok)
+	}
+	if n := c.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1 (merges must not duplicate)", n)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Capacity is divided across 64 shards; find keys in one shard so
+	// the per-shard LRU is observable.
+	c := New(64) // one entry per shard
+	var keys []uint64
+	target := c.shardFor(Key(0, 1))
+	for u := int32(0); len(keys) < 2; u++ {
+		k := Key(u, u+1)
+		if c.shardFor(k) == target {
+			keys = append(keys, k)
+		}
+	}
+	inf := math.Inf(1)
+	c.Store(keys[0], 1, inf)
+	c.Store(keys[1], 2, inf) // evicts keys[0]
+	if _, ok := c.Lookup(keys[0], inf); ok {
+		t.Fatal("evicted entry still readable")
+	}
+	if d, ok := c.Lookup(keys[1], inf); !ok || d != 2 {
+		t.Fatalf("newest entry lost: %v, %v", d, ok)
+	}
+	st := c.CacheStats()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.Entries != 1 {
+		t.Fatalf("entries = %d, want 1", st.Entries)
+	}
+}
+
+func TestLRURecency(t *testing.T) {
+	c := New(128) // two entries per shard
+	target := c.shardFor(Key(0, 1))
+	var keys []uint64
+	for u := int32(0); len(keys) < 3; u++ {
+		k := Key(u, u+1)
+		if c.shardFor(k) == target {
+			keys = append(keys, k)
+		}
+	}
+	inf := math.Inf(1)
+	c.Store(keys[0], 1, inf)
+	c.Store(keys[1], 2, inf)
+	// Touch keys[0] so keys[1] is now least-recently used.
+	if _, ok := c.Lookup(keys[0], inf); !ok {
+		t.Fatal("expected hit")
+	}
+	c.Store(keys[2], 3, inf)
+	if _, ok := c.Lookup(keys[1], inf); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if _, ok := c.Lookup(keys[0], inf); !ok {
+		t.Fatal("recently used entry was evicted")
+	}
+}
+
+func TestScopeInvalidation(t *testing.T) {
+	c := New(1024)
+	inf := math.Inf(1)
+	c.SetScope("graphA|undirected|dijkstra")
+	c.Store(Key(1, 2), 10, inf)
+	c.SetScope("graphB|undirected|dijkstra")
+	if _, ok := c.Lookup(Key(1, 2), inf); ok {
+		t.Fatal("entry from the old scope served")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("stale entry not reclaimed on lookup: Len = %d", c.Len())
+	}
+	// Same-scope SetScope must not invalidate.
+	c.Store(Key(1, 2), 20, inf)
+	c.SetScope("graphB|undirected|dijkstra")
+	if d, ok := c.Lookup(Key(1, 2), inf); !ok || d != 20 {
+		t.Fatalf("same-scope SetScope invalidated: %v, %v", d, ok)
+	}
+	if got := c.Scope(); got != "graphB|undirected|dijkstra" {
+		t.Fatalf("Scope = %q", got)
+	}
+	// A store under the new scope may overwrite a stale slot in place.
+	c.SetScope("graphC|undirected|dijkstra")
+	c.Store(Key(1, 2), 30, inf)
+	if d, ok := c.Lookup(Key(1, 2), inf); !ok || d != 30 {
+		t.Fatalf("stale-slot overwrite failed: %v, %v", d, ok)
+	}
+}
+
+func TestNilCacheSafe(t *testing.T) {
+	var c *Cache
+	if _, ok := c.Lookup(Key(1, 2), 10); ok {
+		t.Fatal("nil cache hit")
+	}
+	c.Store(Key(1, 2), 5, 10) // must not panic
+	c.SetScope("x")
+	c.Instrument(nil)
+	if c.Len() != 0 || c.Cap() != 0 || c.Scope() != "" {
+		t.Fatal("nil accessors not zero")
+	}
+	if st := c.CacheStats(); st != (Stats{}) {
+		t.Fatalf("nil stats = %+v", st)
+	}
+}
+
+func TestDefaultBudget(t *testing.T) {
+	if c := New(0); c.Cap() != DefaultEntries {
+		t.Fatalf("Cap = %d, want %d", c.Cap(), DefaultEntries)
+	}
+	if c := New(-5); c.Cap() != DefaultEntries {
+		t.Fatalf("Cap = %d, want %d", c.Cap(), DefaultEntries)
+	}
+	// Tiny budgets round up to one entry per shard.
+	if c := New(1); c.Cap() != 64 {
+		t.Fatalf("Cap = %d, want 64", c.Cap())
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	if r := (Stats{}).HitRate(); r != 0 {
+		t.Fatalf("zero-stats hit rate = %v", r)
+	}
+	if r := (Stats{Hits: 3, Misses: 1}).HitRate(); r != 0.75 {
+		t.Fatalf("hit rate = %v, want 0.75", r)
+	}
+}
+
+func TestInstrumentRegistersSeries(t *testing.T) {
+	c := New(1024)
+	inf := math.Inf(1)
+	c.Store(Key(1, 2), 1, inf) // pre-registration activity
+	reg := obs.NewRegistry()
+	c.Instrument(reg)
+	c.Store(Key(3, 4), 2, inf)
+	c.Lookup(Key(3, 4), inf)
+	c.Lookup(Key(9, 9), inf)
+	if v := reg.Counter("distcache_hits_total").Value(); v != 1 {
+		t.Fatalf("hits series = %v", v)
+	}
+	if v := reg.Counter("distcache_misses_total").Value(); v != 1 {
+		t.Fatalf("misses series = %v", v)
+	}
+	// The gauge was synced to the pre-registration entry count.
+	if v := reg.Gauge("distcache_entries").Value(); v != 2 {
+		t.Fatalf("entries gauge = %v, want 2", v)
+	}
+}
+
+// TestConcurrentAccess exercises racing lookups and stores across
+// goroutines (meaningful under -race): concurrent writers on one key
+// must converge to the most informative entry.
+func TestConcurrentAccess(t *testing.T) {
+	c := New(4096)
+	inf := math.Inf(1)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := int32(0); i < 500; i++ {
+				key := Key(i, i+1)
+				if d, ok := c.Lookup(key, inf); ok {
+					if d != float64(i) {
+						panic(fmt.Sprintf("key %d: got %v want %d", key, d, i))
+					}
+					continue
+				}
+				c.Store(key, float64(i), inf)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i := int32(0); i < 500; i++ {
+		if d, ok := c.Lookup(Key(i, i+1), inf); !ok || d != float64(i) {
+			t.Fatalf("key (%d,%d): %v, %v", i, i+1, d, ok)
+		}
+	}
+}

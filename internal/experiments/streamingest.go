@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/stream"
+	"repro/internal/traj"
+)
+
+// StreamIngestMode is one row of the stream-ingest artifact: the
+// steady-state windowed clusterer run with one cache setting.
+type StreamIngestMode struct {
+	Config        string  `json:"config"` // "cached" or "uncached"
+	CacheEntries  int     `json:"cache_entries"`
+	WarmMs        float64 `json:"warm_ms"`
+	SteadyIngests int     `json:"steady_ingests"`
+	PerIngestMs   float64 `json:"per_ingest_ms"`
+	SPQueries     int64   `json:"sp_queries"`
+	CacheHits     int64   `json:"cache_hits"`
+	CacheMisses   int64   `json:"cache_misses"`
+	Clusters      int     `json:"clusters"` // after the final ingest
+}
+
+// StreamIngestReport is the JSON document neatbench -streamjson emits:
+// the fixed streaming scenario ingested to a full window and then
+// driven through steady-state batches twice — once with the persistent
+// distance cache and incremental ε-graph (the default), once on the
+// legacy from-scratch merge — with the per-ingest wall clock of each.
+// CI uploads it as BENCH_stream_ingest.json and guards the speedup.
+type StreamIngestReport struct {
+	Scale        float64            `json:"scale"`
+	Region       string             `json:"region"`
+	Trajectories int                `json:"trajectories"`
+	Batches      int                `json:"batches"`
+	Window       int                `json:"window"`
+	Modes        []StreamIngestMode `json:"modes"`
+	// Speedup is uncached-per-ingest / cached-per-ingest.
+	Speedup float64 `json:"speedup"`
+}
+
+// streamBatches splits a dataset into n near-equal consecutive batches.
+func streamBatches(ds traj.Dataset, n int) []traj.Dataset {
+	per := (len(ds.Trajectories) + n - 1) / n
+	var out []traj.Dataset
+	for lo := 0; lo < len(ds.Trajectories); lo += per {
+		hi := lo + per
+		if hi > len(ds.Trajectories) {
+			hi = len(ds.Trajectories)
+		}
+		out = append(out, traj.Dataset{Name: ds.Name, Trajectories: ds.Trajectories[lo:hi]})
+	}
+	return out
+}
+
+// StreamIngest runs the fixed steady-state streaming scenario under
+// both cache settings and collects the report. It fails if the two
+// modes' clusterings ever diverge in shape — the cache and the
+// incremental ε-graph are perf knobs, not result knobs, and timings of
+// divergent runs would not be comparable.
+func StreamIngest(e *Env) (*StreamIngestReport, error) {
+	const (
+		window       = 4
+		totalBatches = 6
+		steadyRounds = 8 // measured ingests after the warm window
+	)
+	g, err := e.Graph("ATL")
+	if err != nil {
+		return nil, err
+	}
+	ds, err := e.Dataset("ATL", 2000)
+	if err != nil {
+		return nil, err
+	}
+	bs := streamBatches(ds, totalBatches)
+	rep := &StreamIngestReport{
+		Scale:        e.Scale(),
+		Region:       "ATL",
+		Trajectories: len(ds.Trajectories),
+		Batches:      len(bs),
+		Window:       window,
+	}
+	modes := []struct {
+		name    string
+		entries int
+	}{
+		{"cached", 0},    // persistent cache + incremental ε-graph
+		{"uncached", -1}, // legacy full merge, no cache
+	}
+	refClusters := make([]int, 0, window+steadyRounds)
+	for mi, mode := range modes {
+		cfg := stream.Config{Neat: e.NEATConfig(), Window: window, CacheEntries: mode.entries}
+		c, err := stream.New(g, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: stream-ingest %s: %w", mode.name, err)
+		}
+		row := StreamIngestMode{Config: mode.name, CacheEntries: mode.entries}
+		var steady time.Duration
+		for i := 0; i < window+steadyRounds; i++ {
+			start := time.Now()
+			snap, err := c.Ingest(bs[i%len(bs)])
+			took := time.Since(start)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: stream-ingest %s ingest %d: %w", mode.name, i, err)
+			}
+			if i < window {
+				row.WarmMs += ms(took)
+			} else {
+				steady += took
+				row.SteadyIngests++
+				row.SPQueries += snap.RefineStats.SPQueries
+			}
+			if mi == 0 {
+				refClusters = append(refClusters, len(snap.Clusters))
+			} else if len(snap.Clusters) != refClusters[i] {
+				return nil, fmt.Errorf("experiments: stream-ingest %s ingest %d: output diverges (%d clusters, cached had %d)",
+					mode.name, i, len(snap.Clusters), refClusters[i])
+			}
+			row.Clusters = len(snap.Clusters)
+		}
+		row.PerIngestMs = ms(steady) / float64(row.SteadyIngests)
+		cs := c.CacheStats()
+		row.CacheHits, row.CacheMisses = cs.Hits, cs.Misses
+		rep.Modes = append(rep.Modes, row)
+	}
+	if cached, uncached := rep.Modes[0].PerIngestMs, rep.Modes[1].PerIngestMs; cached > 0 {
+		rep.Speedup = uncached / cached
+	}
+	return rep, nil
+}

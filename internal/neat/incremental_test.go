@@ -1,0 +1,136 @@
+package neat
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/distcache"
+)
+
+// TestEpsGraphMatchesRebuild drives a maintained ε-graph through a
+// sliding-window churn (extend, evict a prefix, extend ...) and checks
+// after every step that (a) the adjacency equals a from-scratch build
+// over the surviving flows and (b) Cluster() output is identical to
+// RefineFlows over the same flows — the invariants the streaming
+// incremental merge rests on.
+func TestEpsGraphMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 8; trial++ {
+		g, flows := scenarioFlows(t, rng)
+		if len(flows) < 4 {
+			continue
+		}
+		cfg := RefineConfig{Epsilon: 1500, UseELB: true, Bounded: true, Cache: distcache.New(0)}
+		eg, err := NewEpsGraph(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Batch boundaries: split the flow list into ~4 chunks.
+		chunk := (len(flows) + 3) / 4
+		var standing []*FlowCluster
+		step := 0
+		check := func() {
+			step++
+			// (a) adjacency equality vs a fresh maintained graph built
+			// in one Extend over the survivors (which is exactly the
+			// serial builder's pair order).
+			fresh, err := NewEpsGraph(g, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh.Extend(standing)
+			if !reflect.DeepEqual(normalizeAdj(eg.adjacency), normalizeAdj(fresh.adjacency)) {
+				t.Fatalf("trial %d step %d: maintained adjacency diverged from rebuild", trial, step)
+			}
+			// (b) clustering equality vs the one-shot Phase 3 entry.
+			want, _, err := RefineFlows(g, standing, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _, err := eg.Cluster()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameClusters(want, got) {
+				t.Fatalf("trial %d step %d: maintained clustering diverged from RefineFlows", trial, step)
+			}
+		}
+
+		for lo := 0; lo < len(flows); lo += chunk {
+			hi := lo + chunk
+			if hi > len(flows) {
+				hi = len(flows)
+			}
+			// Window of 2 batches: evict everything older than the
+			// previous chunk before admitting the new one.
+			if len(standing) > hi-lo {
+				evict := len(standing) - (hi - lo)
+				eg.RemovePrefix(evict)
+				standing = standing[evict:]
+				check()
+			}
+			eg.Extend(flows[lo:hi])
+			standing = append(standing, flows[lo:hi]...)
+			check()
+		}
+	}
+}
+
+// normalizeAdj maps nil rows to empty ones so DeepEqual compares
+// neighbor content, not the nil-vs-empty distinction (a rebuild leaves
+// untouched rows nil where churn leaves emptied slices).
+func normalizeAdj(adj [][]int) [][]int {
+	out := make([][]int, len(adj))
+	for i, row := range adj {
+		if row == nil {
+			row = []int{}
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// TestEpsGraphRemovePrefix pins the row surgery directly on a
+// hand-built graph: dropped rows disappear, surviving rows lose
+// neighbors below the cut and renumber the rest, order preserved.
+func TestEpsGraphRemovePrefix(t *testing.T) {
+	eg := &EpsGraph{
+		flows:     make([]*FlowCluster, 5),
+		endpoints: make([]flowEnds, 5),
+		adjacency: [][]int{
+			{1, 3},
+			{0, 2, 4},
+			{1, 3, 4},
+			{0, 2},
+			{1, 2},
+		},
+	}
+	for i := range eg.flows {
+		eg.flows[i] = &FlowCluster{}
+	}
+	eg.RemovePrefix(2)
+	if eg.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", eg.Len())
+	}
+	// Cut k=2: survivors are old rows 2,3,4 renumbered to 0,1,2.
+	// Row 2 {1,3,4}: drop 1, keep 3→1, 4→2. Row 3 {0,2}: drop 0, keep
+	// 2→0. Row 4 {1,2}: drop 1, keep 2→0.
+	want := [][]int{{1, 2}, {0}, {0}}
+	if !reflect.DeepEqual(eg.adjacency, want) {
+		t.Fatalf("adjacency = %v, want %v", eg.adjacency, want)
+	}
+	// Removing everything empties the graph.
+	eg.RemovePrefix(3)
+	if eg.Len() != 0 || len(eg.adjacency) != 0 {
+		t.Fatalf("after full removal: %d flows, %d rows", eg.Len(), len(eg.adjacency))
+	}
+	// Out-of-range panics.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RemovePrefix out of range did not panic")
+		}
+	}()
+	eg.RemovePrefix(1)
+}

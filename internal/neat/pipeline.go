@@ -319,12 +319,25 @@ func annotateRefine(sp *obs.Span, cfg RefineConfig, stats RefineStats, clusters 
 		sp.Annotate("expansions", stats.Expansions)
 		sp.Annotate("grid_pruned", stats.PrunedPairs)
 	}
+	if probes := stats.CacheHits + stats.CacheMisses; probes > 0 {
+		sp.Annotate("cache_hits", stats.CacheHits)
+		sp.Annotate("cache_hit_rate", fmt.Sprintf("%.1f%%", 100*float64(stats.CacheHits)/float64(probes)))
+	}
 	sp.Annotate("clusters", clusters)
 	eg := sp.AddChild("phase3.eps_graph", sp.Start(), stats.GraphTime)
 	eg.Annotate("sp_queries", stats.SPQueries)
 	eg.Annotate("settled_nodes", stats.SettledNodes)
 	db := sp.AddChild("phase3.dbscan", sp.Start().Add(stats.GraphTime), stats.ClusterTime)
 	db.Annotate("clusters", clusters)
+}
+
+// AnnotateRefineSpan attaches Phase 3 work counters (and the ε-graph /
+// DBSCAN sub-spans) to a caller-owned span, exactly as the pipeline
+// annotates its own "phase3.refine" spans. Callers that run Phase 3
+// outside a plan — the streaming clusterer's incremental merge — use
+// this so their traces stay shape-compatible with pipeline traces.
+func AnnotateRefineSpan(sp *obs.Span, cfg RefineConfig, stats RefineStats, clusters int) {
+	annotateRefine(sp, cfg, stats, clusters)
 }
 
 // Partition exposes the pipeline's Phase 1 partitioner for callers that

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/dbscan"
+	"repro/internal/distcache"
 	"repro/internal/roadnet"
 	"repro/internal/shortest"
 	"repro/internal/traj"
@@ -77,15 +78,31 @@ type RefineConfig struct {
 	// Disable to reproduce the paper's opt-NEAT-Dijkstra curve, which
 	// computes complete shortest paths.
 	Bounded bool
-	// CacheDistances memoizes junction-pair network distances across
-	// the pairwise scan (an extension beyond the paper): flows
-	// frequently share endpoint junctions — they start at the same
-	// hotspots — so the same distances recur across pairs. Sound with
-	// Bounded too, because ε is fixed for the whole scan (a +Inf entry
-	// means "farther than ε", exactly what the predicate needs). Off
-	// by default so SPQueries matches the paper's four-per-pair
+	// CacheDistances memoizes junction-pair network distances in a
+	// private per-run, per-worker map (an extension beyond the paper):
+	// flows frequently share endpoint junctions — they start at the
+	// same hotspots — so the same distances recur across pairs. Sound
+	// with Bounded too, because ε is fixed for the whole scan (a +Inf
+	// entry means "farther than ε", exactly what the predicate needs).
+	// Off by default so SPQueries matches the paper's four-per-pair
 	// counting in Fig 7.
+	//
+	// Deprecated: set Cache instead. The shared cache memoizes across
+	// runs and workers, not just within one scan, and it is what the
+	// batched builder honors — CacheDistances only affects the serial
+	// and pairwise point-to-point paths (the batched builder already
+	// deduplicates by construction: one expansion per distinct
+	// junction). When Cache is non-nil, CacheDistances is ignored.
 	CacheDistances bool
+	// Cache is an optional shared distance cache consulted before any
+	// shortest-path computation and updated with every result. Unlike
+	// CacheDistances it persists across runs (streaming ingests, server
+	// requests) and is shared by all workers; it is scoped by (graph
+	// fingerprint, kernel) and bound-classed by ε, so entries are
+	// correct across configurations — see internal/distcache. Output is
+	// byte-identical with or without it; only the work counters
+	// (SPQueries, SettledNodes, Expansions) shrink.
+	Cache *distcache.Cache
 	// Algo selects the shortest-path kernel (ablation; the paper uses
 	// Dijkstra). Bounded is only honored by SPDijkstra.
 	Algo SPAlgo
@@ -148,6 +165,12 @@ type RefineStats struct {
 	// Workers is the worker count the ε-graph construction actually
 	// used; 0 means the serial paper path.
 	Workers int
+	// CacheHits and CacheMisses count shared-cache consultations
+	// (RefineConfig.Cache); both are 0 when no cache is attached. A hit
+	// replaces one or more shortest-path computations, so SPQueries +
+	// CacheHits is comparable across cached and uncached runs.
+	CacheHits   int64
+	CacheMisses int64
 	// GraphTime is the wall time spent building the ε-graph (distance
 	// computations and predicate evaluation); ClusterTime is the wall
 	// time of the DBSCAN pass over it.
@@ -220,17 +243,45 @@ type pairEvaluator struct {
 	alt       *shortest.ALT
 	ch        *shortest.CH
 	distCache map[[2]roadnet.NodeID]float64
+	shared    *distcache.Cache // cfg.Cache; overrides distCache when set
+	bound     float64          // ε-bound class of distances this config computes
 
 	elbPruned   int
 	spQueriesCH int64 // CH queries bypass the engine; folded in later
+	cacheHits   int64
+	cacheMisses int64
 }
 
 func newPairEvaluator(g *roadnet.Graph, cfg RefineConfig, endpoints []flowEnds, eng *shortest.Engine, alt *shortest.ALT, ch *shortest.CH) *pairEvaluator {
 	pe := &pairEvaluator{g: g, cfg: cfg, endpoints: endpoints, eng: eng, alt: alt, ch: ch}
-	if cfg.CacheDistances {
+	if cfg.Cache != nil {
+		pe.shared = cfg.Cache
+		pe.bound = cacheBound(cfg)
+	} else if cfg.CacheDistances {
 		pe.distCache = make(map[[2]roadnet.NodeID]float64)
 	}
 	return pe
+}
+
+// cacheScope is the shared-cache scope string for a Phase 3 run: the
+// graph fingerprint plus the traversal mode and kernel. The kernel is
+// part of the scope because kernels may legitimately differ in the
+// last ulp of a distance (e.g. the bidirectional kernel sums two
+// partial path costs), and byte-identical output requires a cached
+// value to be exactly the value a fresh computation would produce.
+func cacheScope(g *roadnet.Graph, cfg RefineConfig) string {
+	return g.Fingerprint() + "|undirected|" + cfg.Algo.String()
+}
+
+// cacheBound is the ε-bound class of the distances this config
+// computes: a bounded Dijkstra expansion only knows "farther than ε"
+// beyond its radius, while every other kernel returns exact distances
+// (+Inf only for unreachable pairs, i.e. bound ∞).
+func cacheBound(cfg RefineConfig) float64 {
+	if cfg.Algo == SPDijkstra && cfg.Bounded {
+		return cfg.Epsilon
+	}
+	return math.Inf(1)
 }
 
 func (pe *pairEvaluator) compute(u, v roadnet.NodeID) float64 {
@@ -255,6 +306,17 @@ func (pe *pairEvaluator) compute(u, v roadnet.NodeID) float64 {
 func (pe *pairEvaluator) netDist(u, v roadnet.NodeID) float64 {
 	if u == v {
 		return 0
+	}
+	if pe.shared != nil {
+		key := distcache.Key(int32(u), int32(v))
+		if d, ok := pe.shared.Lookup(key, pe.bound); ok {
+			pe.cacheHits++
+			return d
+		}
+		pe.cacheMisses++
+		d := pe.compute(u, v)
+		pe.shared.Store(key, d, pe.bound)
+		return d
 	}
 	if pe.distCache == nil {
 		return pe.compute(u, v)
@@ -379,6 +441,9 @@ func refineFlowsWith(g *roadnet.Graph, flows []*FlowCluster, cfg RefineConfig, s
 	if len(flows) == 0 {
 		return nil, RefineStats{}, nil
 	}
+	// Bind the shared cache to this (graph, kernel) scope; if it was
+	// last used against a different one, this invalidates every entry.
+	cfg.Cache.SetScope(cacheScope(g, cfg))
 
 	spStats := &shortest.Stats{}
 	stats := RefineStats{}
@@ -418,10 +483,28 @@ func refineFlowsWith(g *roadnet.Graph, flows []*FlowCluster, cfg RefineConfig, s
 	}
 	stats.GraphTime = time.Since(graphStart)
 
+	clusterStart := time.Now()
+	clusters, err := clusterEpsGraph(g, flows, adjacency, cfg)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.ClusterTime = time.Since(clusterStart)
+
+	q, settled := spStats.Snapshot()
+	stats.SPQueries += q
+	stats.SettledNodes += settled
+	return clusters, stats, nil
+}
+
+// clusterEpsGraph runs the deterministic DBSCAN pass over a completed
+// ε-graph and assembles the trajectory clusters. It is the shared tail
+// of refineFlowsWith and EpsGraph.Cluster: both the from-scratch and
+// the incrementally maintained graph feed the identical pass, which is
+// why incremental maintenance cannot change the output.
+func clusterEpsGraph(g *roadnet.Graph, flows []*FlowCluster, adjacency [][]int, cfg RefineConfig) ([]*TrajectoryCluster, error) {
 	// Deterministic seed order: longest representative route first
 	// (modification (4) of §III-C2); ties by route segment count, then
 	// first segment id.
-	clusterStart := time.Now()
 	order := make([]int, len(flows))
 	for i := range order {
 		order[i] = i
@@ -445,7 +528,7 @@ func refineFlowsWith(g *roadnet.Graph, flows []*FlowCluster, cfg RefineConfig, s
 		return adjacency[i]
 	})
 	if err != nil {
-		return nil, stats, fmt.Errorf("neat: refinement clustering: %w", err)
+		return nil, fmt.Errorf("neat: refinement clustering: %w", err)
 	}
 
 	clusters := make([]*TrajectoryCluster, res.NumClusters)
@@ -463,12 +546,7 @@ func refineFlowsWith(g *roadnet.Graph, flows []*FlowCluster, cfg RefineConfig, s
 		clusters[label].Flows = append(clusters[label].Flows, flows[i])
 	}
 	clusters = append(clusters, noise...)
-	stats.ClusterTime = time.Since(clusterStart)
-
-	q, settled := spStats.Snapshot()
-	stats.SPQueries += q
-	stats.SettledNodes += settled
-	return clusters, stats, nil
+	return clusters, nil
 }
 
 // buildEpsGraphSerial is the paper's pairwise scan: every one of the
@@ -487,5 +565,7 @@ func buildEpsGraphSerial(g *roadnet.Graph, flows []*FlowCluster, endpoints []flo
 	}
 	stats.ELBPruned = pe.elbPruned
 	stats.SPQueries += pe.spQueriesCH
+	stats.CacheHits += pe.cacheHits
+	stats.CacheMisses += pe.cacheMisses
 	return adjacency
 }

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/conc"
+	"repro/internal/distcache"
 	"repro/internal/geo"
 	"repro/internal/roadnet"
 	"repro/internal/shortest"
@@ -75,6 +76,8 @@ func buildEpsGraphPairwise(g *roadnet.Graph, flows []*FlowCluster, endpoints []f
 	for _, pe := range evals {
 		stats.ELBPruned += pe.elbPruned
 		stats.SPQueries += pe.spQueriesCH
+		stats.CacheHits += pe.cacheHits
+		stats.CacheMisses += pe.cacheMisses
 	}
 
 	k := 0
@@ -231,10 +234,40 @@ func buildEpsGraphBatched(g *roadnet.Graph, flows []*FlowCluster, endpoints []fl
 		sort.Slice(ts, func(a, b int) bool { return ts[a] < ts[b] })
 		targetsOf[si] = ts
 	}
+	// Consult the shared cache before scheduling any expansion: a hit
+	// removes that target from its source's list, and a source whose
+	// list empties skips its expansion entirely. A finite hit lands in
+	// the distance table; a +Inf hit means "beyond ε", which the lookup
+	// below already encodes as absence. In steady state (streaming
+	// ingest re-merging a mostly unchanged flow set) every pair hits
+	// and the expansion stage vanishes.
+	dist := make(map[[2]roadnet.NodeID]float64)
+	if cfg.Cache != nil {
+		for si, u := range sources {
+			kept := targetsOf[si][:0]
+			for _, v := range targetsOf[si] {
+				if d, ok := cfg.Cache.Lookup(distcache.Key(int32(u), int32(v)), eps); ok {
+					stats.CacheHits++
+					if !math.IsInf(d, 1) {
+						dist[[2]roadnet.NodeID{u, v}] = d
+					}
+					continue
+				}
+				stats.CacheMisses++
+				kept = append(kept, v)
+			}
+			targetsOf[si] = kept
+		}
+	}
+
 	results := make([][]float64, len(sources))
 	workers := conc.WorkersFor(cfg.Workers, len(sources))
 	stats.Workers = workers
-	stats.Expansions = int64(len(sources))
+	for _, ts := range targetsOf {
+		if len(ts) > 0 {
+			stats.Expansions++
+		}
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo, hi := conc.Chunk(w, workers, len(sources))
@@ -246,17 +279,24 @@ func buildEpsGraphBatched(g *roadnet.Graph, flows []*FlowCluster, endpoints []fl
 			defer wg.Done()
 			eng := shortest.New(g, spStats)
 			for si := lo; si < hi; si++ {
+				if len(targetsOf[si]) == 0 {
+					continue
+				}
 				results[si] = eng.DistancesTo(sources[si], shortest.Undirected, eps, targetsOf[si])
 			}
 		}(lo, hi)
 	}
 	wg.Wait()
 
-	// Merge the per-worker partial tables into one distance lookup.
-	dist := make(map[[2]roadnet.NodeID]float64)
+	// Merge the per-worker partial tables into the distance lookup,
+	// writing each computed row back to the shared cache (nil-safe):
+	// finite distances are exact, +Inf means "farther than ε" — the
+	// bound class the next run's probes will state.
 	for si, u := range sources {
 		for ti, v := range targetsOf[si] {
-			if d := results[si][ti]; !math.IsInf(d, 1) {
+			d := results[si][ti]
+			cfg.Cache.Store(distcache.Key(int32(u), int32(v)), d, eps)
+			if !math.IsInf(d, 1) {
 				dist[[2]roadnet.NodeID{u, v}] = d
 			}
 		}

@@ -1,0 +1,49 @@
+package roadnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// Fingerprint returns a short stable identifier of the graph's full
+// structure: junction coordinates, segment endpoints, lengths, speed
+// limits, classes, and directionality all contribute. Two graphs built
+// from the same inputs fingerprint identically; any structural change
+// produces a different value with overwhelming probability.
+//
+// The distance cache (internal/distcache) keys its scope by this value
+// so that memoized junction-pair network distances can never be served
+// against a different road network. The hash is computed lazily on
+// first use and memoized (the graph is immutable after Build), so
+// repeated calls on the request path are free.
+func (g *Graph) Fingerprint() string {
+	g.fpOnce.Do(func() {
+		h := fnv.New64a()
+		var buf [8]byte
+		w64 := func(v uint64) {
+			binary.LittleEndian.PutUint64(buf[:], v)
+			h.Write(buf[:])
+		}
+		wf := func(v float64) { w64(math.Float64bits(v)) }
+		w64(uint64(len(g.nodes)))
+		for _, n := range g.nodes {
+			wf(n.Pt.X)
+			wf(n.Pt.Y)
+		}
+		w64(uint64(len(g.segments)))
+		for _, s := range g.segments {
+			w64(uint64(uint32(s.NI))<<32 | uint64(uint32(s.NJ)))
+			wf(s.Length)
+			wf(s.SpeedLimit)
+			var bidi uint64
+			if s.Bidirectional {
+				bidi = 1
+			}
+			w64(uint64(s.Class)<<1 | bidi)
+		}
+		g.fp = fmt.Sprintf("g%d-%d-%016x", len(g.nodes), len(g.segments), h.Sum64())
+	})
+	return g.fp
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/geo"
 )
@@ -138,6 +139,11 @@ type Graph struct {
 	edgeBy  map[[2]NodeID]EdgeID
 	bounds  geo.Rect
 	totalLn float64
+
+	// fp memoizes Fingerprint; the graph is immutable after Build, so
+	// the hash is computed at most once.
+	fpOnce sync.Once
+	fp     string
 }
 
 // NumNodes returns the number of junctions.

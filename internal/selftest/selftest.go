@@ -18,6 +18,7 @@ import (
 	"io"
 	"strings"
 
+	"repro/internal/distcache"
 	"repro/internal/neat"
 	"repro/internal/oracle"
 	"repro/internal/proptest"
@@ -203,31 +204,42 @@ func Diff(a, b string) string {
 var shardCounts = []int{1, 2, 4}
 
 // checkInstance runs the oracle once and the optimized pipeline under
-// every shard count, comparing each canonical rendering. The sharded
-// executor's determinism contract — byte-identical output regardless
-// of shard and worker count — is pinned here.
+// every shard count, each both without and with a shared Phase 3
+// distance cache, comparing each canonical rendering. Two determinism
+// contracts are pinned here: the sharded executor's (byte-identical
+// output regardless of shard and worker count) and the distance
+// cache's (byte-identical output with and without a persistent cache).
+// One cache instance is deliberately reused across all cached runs of
+// the instance, so later runs hit entries written by earlier ones —
+// the cross-run reuse the streaming clusterer and the server rely on.
 func checkInstance(g *roadnet.Graph, ds traj.Dataset, d proptest.Draw) error {
 	ncfg, ocfg, nl, ol := Materialize(d)
 	ores, oerr := oracle.RunNEAT(g, ds, ocfg, ol)
 	p := neat.NewPipeline(g)
+	cache := distcache.New(0)
 	for _, shards := range shardCounts {
-		cfg := ncfg
-		cfg.Shards = shards
-		var nres *neat.Result
-		var nerr error
-		if d.ParallelPhase1 {
-			nres, nerr = p.RunParallel(ds, cfg, nl, 4)
-		} else {
-			nres, nerr = p.Run(ds, cfg, nl)
-		}
-		if (nerr != nil) != (oerr != nil) {
-			return fmt.Errorf("shards=%d: error mismatch: neat=%v oracle=%v", shards, nerr, oerr)
-		}
-		if nerr != nil {
-			continue // both rejected the instance identically
-		}
-		if diff := Diff(CanonicalNEAT(nres), CanonicalOracle(ores)); diff != "" {
-			return fmt.Errorf("shards=%d: outputs diverge: %s", shards, diff)
+		for _, cached := range []bool{false, true} {
+			cfg := ncfg
+			cfg.Shards = shards
+			if cached {
+				cfg.Refine.Cache = cache
+			}
+			var nres *neat.Result
+			var nerr error
+			if d.ParallelPhase1 {
+				nres, nerr = p.RunParallel(ds, cfg, nl, 4)
+			} else {
+				nres, nerr = p.Run(ds, cfg, nl)
+			}
+			if (nerr != nil) != (oerr != nil) {
+				return fmt.Errorf("shards=%d cache=%t: error mismatch: neat=%v oracle=%v", shards, cached, nerr, oerr)
+			}
+			if nerr != nil {
+				continue // both rejected the instance identically
+			}
+			if diff := Diff(CanonicalNEAT(nres), CanonicalOracle(ores)); diff != "" {
+				return fmt.Errorf("shards=%d cache=%t: outputs diverge: %s", shards, cached, diff)
+			}
 		}
 	}
 	return nil

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/geo"
 
+	"repro/internal/distcache"
 	"repro/internal/neat"
 	"repro/internal/obs"
 	"repro/internal/roadnet"
@@ -40,6 +41,13 @@ type Config struct {
 	// shape — output is byte-identical — so it does not key the result
 	// cache. 0 or 1 disables.
 	Shards int
+	// CacheEntries sizes the junction-pair distance cache shared by all
+	// clustering requests (internal/distcache): 0 selects the default
+	// budget, a negative value disables the cache. The cache is scoped
+	// to the server's graph by fingerprint, so a different network can
+	// never be served stale distances; like Workers it changes only the
+	// work performed, never the response bytes.
+	CacheEntries int
 	// Obs is the metrics registry the server records into: request
 	// latency/status per route, result-cache hits and misses, ingest
 	// volume, and the clustering pipeline's own series. Nil (the
@@ -89,6 +97,11 @@ type Server struct {
 	pipeMu   sync.Mutex
 	pipeline *neat.Pipeline
 
+	// distCache memoizes junction-pair network distances across
+	// clustering requests (and any future graph swap invalidates it by
+	// fingerprint-keyed scope); nil when cfg.CacheEntries < 0.
+	distCache *distcache.Cache
+
 	// Pre-resolved metric handles; all nil when cfg.Obs is nil, making
 	// every recording a no-op.
 	m serverMetrics
@@ -127,6 +140,10 @@ func New(g *roadnet.Graph, cfg Config) *Server {
 	}
 	s.pipeline = neat.NewPipeline(g)
 	s.pipeline.Instrument(cfg.Obs)
+	if cfg.CacheEntries >= 0 {
+		s.distCache = distcache.New(cfg.CacheEntries)
+		s.distCache.Instrument(cfg.Obs)
+	}
 	s.m = serverMetrics{
 		cacheHits:      cfg.Obs.Counter("server_cache_hits_total"),
 		cacheMisses:    cfg.Obs.Counter("server_cache_misses_total"),
@@ -395,7 +412,7 @@ func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
 	}
 	cfg := neat.Config{
 		Flow:   neat.FlowConfig{Weights: neat.WeightsFlowOnly, MinCard: 5},
-		Refine: neat.RefineConfig{Epsilon: 6500, UseELB: true, Bounded: true, Workers: s.cfg.Workers},
+		Refine: neat.RefineConfig{Epsilon: 6500, UseELB: true, Bounded: true, Workers: s.cfg.Workers, Cache: s.distCache},
 		Shards: s.cfg.Shards,
 	}
 	if v := q.Get("eps"); v != "" {
@@ -515,6 +532,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	frags := len(s.fragments)
 	trajs := s.trajCount
 	s.mu.RUnlock()
+	var dc *DistCacheDTO
+	if s.distCache != nil {
+		st := s.distCache.CacheStats()
+		dc = &DistCacheDTO{
+			Entries:   st.Entries,
+			Capacity:  st.Capacity,
+			Hits:      st.Hits,
+			Misses:    st.Misses,
+			Evictions: st.Evictions,
+			HitRate:   st.HitRate(),
+		}
+	}
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Junctions:      s.g.NumNodes(),
 		Segments:       s.g.NumSegments(),
@@ -524,6 +553,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		DataNodes:      s.cfg.DataNodes,
 		RefineWorkers:  s.cfg.Workers,
 		Shards:         s.cfg.Shards,
+		DistCache:      dc,
 		Build:          buildDTO(),
 	})
 }

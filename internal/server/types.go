@@ -85,8 +85,21 @@ type StatsResponse struct {
 	// Shards echoes the server's road-network shard configuration
 	// (0 = unsharded execution).
 	Shards int `json:"shards"`
+	// DistCache reports the shared junction-pair distance cache behind
+	// /v1/clusters; nil when the cache is disabled.
+	DistCache *DistCacheDTO `json:"dist_cache,omitempty"`
 	// Build identifies the running binary.
 	Build BuildDTO `json:"build"`
+}
+
+// DistCacheDTO is the distance-cache section of GET /v1/stats.
+type DistCacheDTO struct {
+	Entries   int64   `json:"entries"`
+	Capacity  int     `json:"capacity"`
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Evictions int64   `json:"evictions"`
+	HitRate   float64 `json:"hit_rate"`
 }
 
 // BuildDTO is the build information embedded in GET /v1/stats.

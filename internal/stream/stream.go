@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/distcache"
 	"repro/internal/neat"
 	"repro/internal/obs"
 	"repro/internal/roadnet"
@@ -29,6 +30,22 @@ type Config struct {
 	// Window is the number of most recent batches whose flows are kept;
 	// 0 keeps everything.
 	Window int
+	// CacheEntries sizes the persistent junction-pair distance cache
+	// (internal/distcache) the clusterer keeps across ingests, and
+	// selects the Phase 3 merge mode:
+	//
+	//	0 (default) — cache with distcache.DefaultEntries budget, and
+	//	  the ε-graph is maintained incrementally across ingests
+	//	  (adjacency rows of surviving flows are kept; only pairs
+	//	  involving a new flow are evaluated);
+	//	>0 — the same, with an explicit entry budget;
+	//	<0 — no cache, and every merge rebuilds the ε-graph from
+	//	  scratch (the pre-cache full-merge path; benchmarks compare
+	//	  against it).
+	//
+	// Clustering output is byte-identical in every mode; only the
+	// steady-state ingest cost changes.
+	CacheEntries int
 	// Obs is the metrics registry the clusterer records into: per-batch
 	// ingest latency, new/evicted flow counters, and the standing-flow
 	// gauge. Nil (the default) disables instrumentation; clustering
@@ -52,7 +69,10 @@ type Snapshot struct {
 	StandingFlows int
 	// Clusters is the current clustering of the standing flows.
 	Clusters []*neat.TrajectoryCluster
-	// RefineStats is the Phase 3 work of this merge.
+	// RefineStats is the Phase 3 work of this merge. In incremental
+	// mode (Config.CacheEntries >= 0) Pairs counts only the pairs this
+	// ingest actually evaluated — those involving a new flow — not the
+	// full standing-set pair count a from-scratch merge would scan.
 	RefineStats neat.RefineStats
 	// Timing is this ingest's per-phase breakdown: Phase1/Phase2 from
 	// the batch run, Phase3 from the standing-set merge.
@@ -69,11 +89,19 @@ type Clusterer struct {
 	pipeline *neat.Pipeline
 	cfg      Config
 
-	// The two plans every ingest executes: Phases 1-2 over the new
-	// batch, then the Phase 3 merge over the standing flow set
-	// (§III-C's incremental mode, as two stage-engine plans).
+	// Every ingest runs the Phases 1-2 plan over the new batch, then
+	// the Phase 3 merge over the standing flow set (§III-C's
+	// incremental mode). The merge is either the maintained ε-graph
+	// (eps, the default) or a from-scratch FromFlows plan (mergePlan,
+	// when Config.CacheEntries < 0).
 	ingestPlan *neat.Plan
 	mergePlan  *neat.Plan
+	eps        *neat.EpsGraph
+
+	// cache persists junction-pair network distances across ingests;
+	// nil when Config.CacheEntries < 0.
+	cache     *distcache.Cache
+	refineCfg neat.RefineConfig // Neat.Refine with the cache attached
 
 	batch    int
 	standing []flowEntry
@@ -112,7 +140,21 @@ func New(g *roadnet.Graph, cfg Config) (*Clusterer, error) {
 	if err != nil {
 		return nil, err
 	}
-	mergePlan, err := neat.NewPlan(cfg.Neat, neat.LevelOpt, neat.FromFlows, neat.Exec{})
+	var cache *distcache.Cache
+	if cfg.CacheEntries >= 0 {
+		cache = distcache.New(cfg.CacheEntries)
+		cache.Instrument(cfg.Obs)
+	}
+	refineCfg := cfg.Neat.Refine
+	refineCfg.Cache = cache
+	cfg.Neat.Refine = refineCfg
+	var mergePlan *neat.Plan
+	var eps *neat.EpsGraph
+	if cache != nil {
+		eps, err = neat.NewEpsGraph(g, refineCfg)
+	} else {
+		mergePlan, err = neat.NewPlan(cfg.Neat, neat.LevelOpt, neat.FromFlows, neat.Exec{})
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -125,6 +167,9 @@ func New(g *roadnet.Graph, cfg Config) (*Clusterer, error) {
 		cfg:        cfg,
 		ingestPlan: ingestPlan,
 		mergePlan:  mergePlan,
+		eps:        eps,
+		cache:      cache,
+		refineCfg:  refineCfg,
 		m: streamMetrics{
 			batches:   cfg.Obs.Counter("stream_batches_total"),
 			newFlows:  cfg.Obs.Counter("stream_new_flows_total"),
@@ -150,38 +195,45 @@ func (c *Clusterer) Ingest(batch traj.Dataset) (Snapshot, error) {
 	}
 	root.Adopt(res.Trace)
 	snap := Snapshot{Batch: c.batch, NewFlows: len(res.Flows), Timing: res.Timing}
-	for _, f := range res.Flows {
-		c.standing = append(c.standing, flowEntry{flow: f, batch: c.batch})
-	}
-	// Evict flows older than the window.
+	// Evict flows older than the window. The standing list is in batch
+	// order (each ingest appends), so the cutoff removes a prefix —
+	// which is exactly the edit the maintained ε-graph supports.
+	evicted := 0
 	if c.cfg.Window > 0 {
 		cutoff := c.batch - c.cfg.Window + 1
-		kept := c.standing[:0]
-		for _, e := range c.standing {
-			if e.batch >= cutoff {
-				kept = append(kept, e)
-			} else {
-				snap.EvictedFlows++
-			}
+		for evicted < len(c.standing) && c.standing[evicted].batch < cutoff {
+			evicted++
 		}
-		c.standing = kept
+	}
+	if evicted > 0 {
+		c.standing = append(c.standing[:0], c.standing[evicted:]...)
+	}
+	snap.EvictedFlows = evicted
+	for _, f := range res.Flows {
+		c.standing = append(c.standing, flowEntry{flow: f, batch: c.batch})
 	}
 	c.batch++
 	snap.StandingFlows = len(c.standing)
 
-	flows := make([]*neat.FlowCluster, len(c.standing))
-	for i, e := range c.standing {
-		flows[i] = e.flow
+	if c.eps != nil {
+		if err := c.mergeIncremental(&snap, res.Flows, evicted, root); err != nil {
+			return Snapshot{}, fmt.Errorf("stream: merge after batch %d: %w", snap.Batch, err)
+		}
+	} else {
+		flows := make([]*neat.FlowCluster, len(c.standing))
+		for i, e := range c.standing {
+			flows[i] = e.flow
+		}
+		mres, err := c.pipeline.RunPlan(c.mergePlan, neat.Input{Flows: flows})
+		if err != nil {
+			return Snapshot{}, fmt.Errorf("stream: merge after batch %d: %w", snap.Batch, err)
+		}
+		root.Adopt(mres.Trace)
+		snap.Clusters = mres.Clusters
+		snap.RefineStats = mres.RefineStats
+		snap.Timing.Phase3 = mres.Timing.Phase3
 	}
-	mres, err := c.pipeline.RunPlan(c.mergePlan, neat.Input{Flows: flows})
-	if err != nil {
-		return Snapshot{}, fmt.Errorf("stream: merge after batch %d: %w", snap.Batch, err)
-	}
-	root.Adopt(mres.Trace)
 	root.End()
-	snap.Clusters = mres.Clusters
-	snap.RefineStats = mres.RefineStats
-	snap.Timing.Phase3 = mres.Timing.Phase3
 	snap.Trace = root
 	c.m.batches.Inc()
 	c.m.newFlows.Add(int64(snap.NewFlows))
@@ -189,6 +241,45 @@ func (c *Clusterer) Ingest(batch traj.Dataset) (Snapshot, error) {
 	c.m.standing.Set(float64(snap.StandingFlows))
 	c.m.ingest.ObserveDuration(time.Since(start))
 	return snap, nil
+}
+
+// mergeIncremental is the default Phase 3 merge: instead of rebuilding
+// the ε-graph over the whole standing set, it drops the evicted prefix
+// from the maintained graph, evaluates only the pairs that involve a
+// flow from this batch (their distances mostly hitting the persistent
+// cache), and re-runs the deterministic DBSCAN pass. The result is
+// byte-identical to the from-scratch merge — see neat.EpsGraph.
+func (c *Clusterer) mergeIncremental(snap *Snapshot, newFlows []*neat.FlowCluster, evicted int, root *obs.Span) error {
+	c.eps.RemovePrefix(evicted)
+	stats := c.eps.Extend(newFlows)
+	clusters, clusterTime, err := c.eps.Cluster()
+	if err != nil {
+		return err
+	}
+	stats.ClusterTime = clusterTime
+	snap.Clusters = clusters
+	snap.RefineStats = stats
+	snap.Timing.Phase3 = stats.GraphTime + stats.ClusterTime
+	if root != nil {
+		// Synthesize the merge span the FromFlows plan would have
+		// produced, so traced snapshots keep the same shape in both
+		// merge modes.
+		m := obs.StartSpan("neat.merge")
+		m.Annotate("level", neat.LevelOpt)
+		m.Annotate("incremental", true)
+		sp := m.StartChild("phase3.refine")
+		neat.AnnotateRefineSpan(sp, c.refineCfg, stats, len(clusters))
+		sp.End()
+		m.End()
+		root.Adopt(m)
+	}
+	return nil
+}
+
+// CacheStats snapshots the persistent distance cache's counters; the
+// zero Stats when the cache is disabled (Config.CacheEntries < 0).
+func (c *Clusterer) CacheStats() distcache.Stats {
+	return c.cache.CacheStats()
 }
 
 // StandingFlows returns the current flow set (most recent last);
