@@ -1,0 +1,33 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+// cmdChaos runs the fault-injection soak: seeded scenarios against
+// the streaming clusterer and the HTTP service until the duration
+// elapses, failing on the first violated robustness invariant.
+func cmdChaos(args []string) error {
+	fs := newFlagSet("chaos")
+	dur := fs.Duration("duration", 30*time.Second, "how long to soak")
+	seed := fs.Int64("seed", 1, "first scenario seed")
+	quiet := fs.Bool("q", false, "suppress per-scenario lines")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var out io.Writer = os.Stdout
+	if *quiet {
+		out = nil
+	}
+	stats, err := chaos.Soak(*dur, *seed, out)
+	fmt.Printf("chaos: %s\n", stats)
+	if err != nil {
+		return err
+	}
+	return nil
+}

@@ -13,6 +13,7 @@
 //	neatcli export    -map map.csv [-traces traces.csv] -what flows -out flows.geojson
 //	neatcli stats     -map map.csv
 //	neatcli selftest  -seed 0 -n 200
+//	neatcli chaos     -duration 30s -seed 1
 //	neatcli version
 package main
 
@@ -51,6 +52,8 @@ func run(args []string) error {
 		return cmdMatch(args[1:])
 	case "selftest":
 		return cmdSelftest(args[1:])
+	case "chaos":
+		return cmdChaos(args[1:])
 	case "version":
 		return cmdVersion(args[1:])
 	case "-h", "--help", "help":
@@ -74,6 +77,7 @@ subcommands:
   export      write GeoJSON (network, traces, flows, or clusters)
   match       map-match raw GPS traces onto a road network
   selftest    differential-test the pipeline against the naive oracle
+  chaos       soak the engine and service under seeded fault injection
   version     print build and toolchain information
 
 run 'neatcli <subcommand> -h' for flags`)

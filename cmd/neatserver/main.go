@@ -8,7 +8,7 @@
 // Usage:
 //
 //	neatserver -map map.csv [-addr :8080] [-datanodes 4] [-workers -1] [-shards 4] [-cache-entries 262144]
-//	neatserver -region ATL -scale 0.1 [-addr :8080] [-drain 10s]
+//	neatserver -region ATL -scale 0.1 [-addr :8080] [-drain 10s] [-max-inflight 16] [-request-timeout 30s]
 //
 // API:
 //
@@ -59,6 +59,8 @@ func run(ctx context.Context, args []string) error {
 		workers   = fs.Int("workers", 0, "Phase 3 refinement workers (0 = serial, -1 = all CPUs)")
 		shards    = fs.Int("shards", 0, "road-network shards for Phases 1 and 2 (0 = unsharded; output is identical)")
 		cacheEnt  = fs.Int("cache-entries", 0, "distance cache entry budget shared across clustering requests (0 = default budget, <0 = no cache)")
+		inflight  = fs.Int("max-inflight", 0, "admission control: concurrent requests served before shedding with 429/503 (0 = 16, <0 = unbounded)")
+		reqTO     = fs.Duration("request-timeout", 0, "per-request deadline; expired requests degrade to the last-good snapshot or shed with 503 (0 = 30s, <0 = none)")
 		drain     = fs.Duration("drain", 10*time.Second, "graceful shutdown timeout for in-flight requests")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -95,7 +97,10 @@ func run(ctx context.Context, args []string) error {
 	}
 
 	reg := obs.NewRegistry()
-	srv := server.New(g, server.Config{DataNodes: *dataNodes, Workers: *workers, Shards: *shards, CacheEntries: *cacheEnt, Obs: reg})
+	srv := server.New(g, server.Config{
+		DataNodes: *dataNodes, Workers: *workers, Shards: *shards, CacheEntries: *cacheEnt,
+		MaxInflight: *inflight, RequestTimeout: *reqTO, Obs: reg,
+	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           newMux(srv, reg),

@@ -1,0 +1,187 @@
+// Package chaos is the fault-injection soak harness: it replays
+// seeded failure scenarios against the streaming clusterer and the
+// HTTP service with an active fault.Injector and checks the
+// robustness invariants the rest of the repository promises —
+//
+//   - no panic and no goroutine leak, under any injected fault
+//     sequence;
+//   - a failed operation commits nothing, so it can be retried, and
+//     once the injector heals the output is byte-identical to a
+//     never-faulted run;
+//   - an overloaded server sheds load with 429/503 (always carrying
+//     Retry-After) and never hangs a client or converts a timeout
+//     into a 500;
+//   - a degraded server serves the last-good clustering flagged
+//     Stale, and reports its state in /v1/stats.
+//
+// Every scenario is a pure function of one int64 seed (the seed
+// drives the topology, the dataset, the configuration draw, and the
+// injector's decision stream), so any failure reproduces from a
+// single integer. The package is a library — internal/chaos's own
+// tests run a fixed scenario sweep, and `neatcli chaos` runs Soak for
+// a wall-clock duration — so CI and an operator's terminal exercise
+// the same code.
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"time"
+
+	"repro/internal/neat"
+	"repro/internal/traj"
+)
+
+// Result summarizes one scenario run: what was injected and how the
+// system responded. Counters that do not apply to a scenario kind
+// (Shed/Stale for stream, Retries for server) stay zero.
+type Result struct {
+	// Seed reproduces the scenario.
+	Seed int64
+	// Kind is "stream" or "server".
+	Kind string
+	// Faults is how many error faults the injector fired.
+	Faults int64
+	// Slept is how many latency faults the injector fired.
+	Slept int64
+	// Retries is how many failed ingests were retried (stream).
+	Retries int
+	// Shed is how many requests were answered 429 or 503 by admission
+	// control (server).
+	Shed int
+	// Stale is how many degraded-mode responses were served from the
+	// last-good snapshot (server).
+	Stale int
+	// Elapsed is the scenario's wall-clock time.
+	Elapsed time.Duration
+}
+
+// SoakStats aggregates a Soak run.
+type SoakStats struct {
+	Scenarios int
+	Stream    int
+	Server    int
+	Faults    int64
+	Retries   int
+	Shed      int
+	Stale     int
+	Elapsed   time.Duration
+}
+
+func (s *SoakStats) add(r Result) {
+	s.Scenarios++
+	if r.Kind == "server" {
+		s.Server++
+	} else {
+		s.Stream++
+	}
+	s.Faults += r.Faults
+	s.Retries += r.Retries
+	s.Shed += r.Shed
+	s.Stale += r.Stale
+}
+
+// String renders the aggregate one-liner Soak prints at the end.
+func (s SoakStats) String() string {
+	return fmt.Sprintf("%d scenarios (%d stream, %d server) in %s: %d faults injected, %d ingests retried, %d requests shed, %d stale responses",
+		s.Scenarios, s.Stream, s.Server, s.Elapsed.Round(time.Millisecond), s.Faults, s.Retries, s.Shed, s.Stale)
+}
+
+// Soak replays scenarios with consecutive seeds, alternating between
+// the stream and server kinds, until d has elapsed (at least one
+// scenario always runs). Per-scenario lines go to out when non-nil.
+// It stops at the first failing scenario and returns its error; a
+// panicking scenario is converted into an error, not propagated.
+func Soak(d time.Duration, startSeed int64, out io.Writer) (SoakStats, error) {
+	var stats SoakStats
+	start := time.Now()
+	for seed := startSeed; stats.Scenarios == 0 || time.Since(start) < d; seed++ {
+		res, err := Run(seed)
+		stats.add(res)
+		if out != nil {
+			status := "ok"
+			if err != nil {
+				status = "FAIL"
+			}
+			fmt.Fprintf(out, "chaos: %-6s seed=%-5d faults=%-4d retries=%-3d shed=%-3d stale=%-2d %-8s %s\n",
+				res.Kind, res.Seed, res.Faults, res.Retries, res.Shed, res.Stale, res.Elapsed.Round(time.Millisecond), status)
+		}
+		if err != nil {
+			stats.Elapsed = time.Since(start)
+			return stats, err
+		}
+	}
+	stats.Elapsed = time.Since(start)
+	return stats, nil
+}
+
+// Run executes the scenario a seed selects (even seeds exercise the
+// streaming clusterer, odd seeds the HTTP service), converting a
+// panic into an error that carries the stack — a soak must report a
+// panicking scenario, not die with it.
+func Run(seed int64) (res Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("chaos: seed %d panicked: %v\n%s", seed, r, debug.Stack())
+		}
+	}()
+	if seed%2 == 0 {
+		return StreamScenario(seed)
+	}
+	return ServerScenario(seed)
+}
+
+// renderClusters canonicalizes a clustering structurally — cluster
+// order, flow order within each cluster, every flow's route — so two
+// runs are byte-identical iff their renderings are equal.
+func renderClusters(cs []*neat.TrajectoryCluster) string {
+	var b strings.Builder
+	for ci, c := range cs {
+		fmt.Fprintf(&b, "cluster %d:", ci)
+		for _, f := range c.Flows {
+			b.WriteString(" [")
+			for _, seg := range f.Route {
+				fmt.Fprintf(&b, "%d,", seg)
+			}
+			b.WriteString("]")
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// splitBatches cuts ds into n contiguous batches (the last takes the
+// remainder).
+func splitBatches(ds traj.Dataset, n int) []traj.Dataset {
+	per := len(ds.Trajectories) / n
+	out := make([]traj.Dataset, 0, n)
+	for i := 0; i < n; i++ {
+		lo, hi := i*per, (i+1)*per
+		if i == n-1 {
+			hi = len(ds.Trajectories)
+		}
+		out = append(out, traj.Dataset{Trajectories: ds.Trajectories[lo:hi]})
+	}
+	return out
+}
+
+// goroutinesSettle polls until the goroutine count returns to within
+// slack of base — the leak check every scenario ends with. Cancelled
+// pipeline workers and closed test servers wind down asynchronously,
+// hence the polling window.
+func goroutinesSettle(base, slack int, wait time.Duration) error {
+	deadline := time.Now().Add(wait)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base+slack {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("goroutine leak: %d running vs %d at scenario start", n, base)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,233 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/proptest"
+	"repro/internal/server"
+	"repro/internal/traj"
+)
+
+// ServerScenario drives the HTTP service through its degradation
+// ladder: a healthy baseline, an overload burst that must shed with
+// 429/503 (never hang, never 500), a faulted clustering path that
+// must fall back to the last-good snapshot flagged Stale, and a heal
+// that must restore fresh responses — with /v1/stats reporting the
+// truth at every step.
+func ServerScenario(seed int64) (Result, error) {
+	res := Result{Seed: seed, Kind: "server"}
+	start := time.Now()
+	base := runtime.NumGoroutine()
+	fail := func(format string, args ...any) (Result, error) {
+		return res, fmt.Errorf("chaos: server seed %d: %s", seed, fmt.Sprintf(format, args...))
+	}
+
+	rng := proptest.NewRand(seed)
+	g, err := proptest.GenGraph(rng)
+	if err != nil {
+		return fail("%v", err)
+	}
+	ds := proptest.GenDataset(rng, g, proptest.DatasetOpts{Trajectories: 8 + rng.Intn(8)})
+
+	// Ingest latency is the overload driver (a slow request holds its
+	// admission slot), SPQuery errors down the clustering path, cache
+	// pressure rides along. Disabled for the healthy baseline.
+	inj := fault.New(fault.Config{Seed: seed, Points: map[fault.Point]fault.Spec{
+		fault.Ingest:      {LatencyProb: 1, Latency: time.Duration(40+rng.Intn(80)) * time.Millisecond},
+		fault.SPQuery:     {ErrProb: 1},
+		fault.CacheLookup: {ErrProb: 0.25},
+	}})
+	inj.SetEnabled(false)
+	srv := server.New(g, server.Config{
+		DataNodes:      2,
+		MaxInflight:    1,
+		RequestTimeout: 2 * time.Second,
+		Fault:          inj,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	// The client timeout is the "never hangs" check: a shed or degraded
+	// request must answer long before it.
+	client := &http.Client{Timeout: 10 * time.Second}
+	defer client.CloseIdleConnections()
+	clustersURL := fmt.Sprintf("%s/v1/clusters?eps=50000&mincard=1", ts.URL)
+
+	// Healthy baseline: ingest succeeds, clustering is fresh, and the
+	// last-good snapshot for these parameters is now populated.
+	status, _, body, err := post(client, ts.URL+"/v1/trajectories", ingestBody(ds.Trajectories, 0))
+	if err != nil || status != http.StatusOK {
+		return fail("baseline ingest: status %d err %v (%s)", status, err, body)
+	}
+	var fresh server.ClusterResponse
+	status, _, body, err = get(client, clustersURL, &fresh)
+	if err != nil || status != http.StatusOK {
+		return fail("baseline clusters: status %d err %v (%s)", status, err, body)
+	}
+	if fresh.Stale {
+		return fail("baseline clusters flagged stale on a healthy server")
+	}
+
+	// Overload burst: concurrent slow ingests against MaxInflight=1.
+	// Every response must arrive (no hangs), be 200/429/503 (never a
+	// 500), and carry Retry-After when shed.
+	inj.SetEnabled(true)
+	var shed429, shed503 int
+	for round := 0; round < 2; round++ {
+		type outcome struct {
+			status     int
+			retryAfter string
+			err        error
+		}
+		const burst = 8
+		outs := make([]outcome, burst)
+		var wg sync.WaitGroup
+		for i := 0; i < burst; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				one := []traj.Trajectory{ds.Trajectories[i%len(ds.Trajectories)]}
+				st, hdr, _, err := post(client, ts.URL+"/v1/trajectories",
+					ingestBody(one, int32(1000+round*100+i)))
+				outs[i] = outcome{status: st, retryAfter: hdr.Get("Retry-After"), err: err}
+			}(i)
+		}
+		wg.Wait()
+		for i, o := range outs {
+			if o.err != nil {
+				return fail("overload round %d req %d: %v", round, i, o.err)
+			}
+			switch o.status {
+			case http.StatusOK:
+			case http.StatusTooManyRequests:
+				shed429++
+				if o.retryAfter == "" {
+					return fail("overload round %d req %d: 429 without Retry-After", round, i)
+				}
+			case http.StatusServiceUnavailable:
+				shed503++
+				if o.retryAfter == "" {
+					return fail("overload round %d req %d: 503 without Retry-After", round, i)
+				}
+			default:
+				return fail("overload round %d req %d: status %d", round, i, o.status)
+			}
+		}
+	}
+	res.Shed = shed429 + shed503
+
+	// Degraded clustering: a fresh ingest bumps the version, then the
+	// injector downs every shortest-path query, so the next clustering
+	// request must serve the baseline snapshot flagged Stale (provided
+	// Phase 3 had any pairs to evaluate — tiny seeds may not).
+	status, _, body, err = post(client, ts.URL+"/v1/trajectories", ingestBody(ds.Trajectories, 5000))
+	if err != nil || status != http.StatusOK {
+		return fail("degraded-phase ingest: status %d err %v (%s)", status, err, body)
+	}
+	spBefore := inj.Injected(fault.SPQuery)
+	var degraded server.ClusterResponse
+	status, _, body, err = get(client, clustersURL, &degraded)
+	if err != nil || status != http.StatusOK {
+		return fail("degraded clusters: status %d err %v (%s)", status, err, body)
+	}
+	if inj.Injected(fault.SPQuery) > spBefore {
+		if !degraded.Stale {
+			return fail("clustering failed on an injected SP fault but the response is not flagged stale")
+		}
+		res.Stale++
+	}
+	var stats server.StatsResponse
+	if status, _, body, err = get(client, ts.URL+"/v1/stats", &stats); err != nil || status != http.StatusOK {
+		return fail("stats under faults: status %d err %v (%s)", status, err, body)
+	}
+	if !stats.Robustness.FaultsEnabled {
+		return fail("stats do not report the active fault injector")
+	}
+	if res.Stale > 0 && stats.Robustness.StaleServed < 1 {
+		return fail("stale response served but stats report StaleServed=%d", stats.Robustness.StaleServed)
+	}
+	if shed429 > 0 && stats.Robustness.ShedQueueFull < 1 {
+		return fail("429s observed but stats report ShedQueueFull=%d", stats.Robustness.ShedQueueFull)
+	}
+
+	// Heal: fresh clustering again, and the stats reflect it.
+	inj.SetEnabled(false)
+	var healed server.ClusterResponse
+	status, _, body, err = get(client, clustersURL, &healed)
+	if err != nil || status != http.StatusOK {
+		return fail("healed clusters: status %d err %v (%s)", status, err, body)
+	}
+	if healed.Stale {
+		return fail("healed server still serving stale responses")
+	}
+	if status, _, body, err = get(client, ts.URL+"/v1/stats", &stats); err != nil || status != http.StatusOK {
+		return fail("stats after heal: status %d err %v (%s)", status, err, body)
+	}
+	if stats.Robustness.FaultsEnabled {
+		return fail("stats still report faults enabled after heal")
+	}
+
+	res.Faults = inj.TotalInjected()
+	for p := fault.Point(0); p < fault.NumPoints; p++ {
+		res.Slept += inj.Slept(p)
+	}
+	ts.Close()
+	client.CloseIdleConnections()
+	if err := goroutinesSettle(base, 5, 3*time.Second); err != nil {
+		return fail("%v", err)
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// ingestBody marshals trs as an ingest request, offsetting every
+// trajectory id so repeated bursts never collide with ids the server
+// has already accepted.
+func ingestBody(trs []traj.Trajectory, offset int32) []byte {
+	req := server.FromDataset(traj.Dataset{Trajectories: trs})
+	for i := range req.Trajectories {
+		req.Trajectories[i].ID += offset
+	}
+	b, err := json.Marshal(req)
+	if err != nil {
+		panic(err) // DTOs are always marshalable
+	}
+	return b
+}
+
+func post(client *http.Client, url string, body []byte) (int, http.Header, []byte, error) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	return readResp(resp, err)
+}
+
+// get performs a GET and, when out is non-nil and the status is 200,
+// decodes the JSON body into it.
+func get(client *http.Client, url string, out any) (int, http.Header, []byte, error) {
+	resp, err := client.Get(url)
+	status, hdr, raw, err := readResp(resp, err)
+	if err == nil && status == http.StatusOK && out != nil {
+		if derr := json.Unmarshal(raw, out); derr != nil {
+			return status, hdr, raw, fmt.Errorf("decode %s: %w", url, derr)
+		}
+	}
+	return status, hdr, raw, err
+}
+
+func readResp(resp *http.Response, err error) (int, http.Header, []byte, error) {
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return resp.StatusCode, resp.Header, nil, err
+	}
+	return resp.StatusCode, resp.Header, buf.Bytes(), nil
+}

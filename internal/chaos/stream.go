@@ -1,0 +1,131 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/neat"
+	"repro/internal/proptest"
+	"repro/internal/stream"
+)
+
+// streamAttemptCap bounds the retry loop of one batch; hitting it
+// heals the injector so the scenario always terminates. With the
+// per-attempt fault probabilities drawn below the cap is effectively
+// unreachable except when a dirty ε-graph rebuild has to survive many
+// per-pair draws in a row.
+const streamAttemptCap = 100
+
+// StreamScenario drives a faulty streaming clusterer and a fault-free
+// control through the same seeded batch sequence. The faulty side
+// suffers failed ingests, shortest-path faults mid-merge, cache
+// pressure, eviction storms, and one induced cancellation; every
+// failure must leave it retryable, and every successful snapshot must
+// be byte-identical to the control's.
+func StreamScenario(seed int64) (Result, error) {
+	res := Result{Seed: seed, Kind: "stream"}
+	start := time.Now()
+	base := runtime.NumGoroutine()
+	fail := func(format string, args ...any) (Result, error) {
+		return res, fmt.Errorf("chaos: stream seed %d: %s", seed, fmt.Sprintf(format, args...))
+	}
+
+	rng := proptest.NewRand(seed)
+	g, err := proptest.GenGraph(rng)
+	if err != nil {
+		return fail("%v", err)
+	}
+	nBatches := 3 + rng.Intn(3)
+	ds := proptest.GenDataset(rng, g, proptest.DatasetOpts{
+		Trajectories: 2*nBatches + rng.Intn(9),
+		GapProb:      rng.Float64() * 0.2,
+	})
+
+	cfg := stream.Config{
+		Neat: neat.Config{
+			Flow: neat.FlowConfig{Weights: neat.WeightsFlowOnly, MinCard: 1},
+			Refine: neat.RefineConfig{
+				Epsilon: 1000 + rng.Float64()*2500,
+				UseELB:  true,
+				Bounded: true,
+				Workers: []int{0, 0, 2, 4}[rng.Intn(4)],
+			},
+		},
+		Window:       rng.Intn(4),
+		CacheEntries: []int{0, 0, -1, 64}[rng.Intn(4)],
+	}
+	control, err := stream.New(g, cfg)
+	if err != nil {
+		return fail("control: %v", err)
+	}
+	inj := fault.New(fault.Config{Seed: seed, Points: map[fault.Point]fault.Spec{
+		fault.Ingest:      {ErrProb: 0.15 + rng.Float64()*0.2},
+		fault.SPQuery:     {ErrProb: rng.Float64() * 0.08, LatencyProb: rng.Float64() * 0.05, Latency: time.Millisecond},
+		fault.CacheLookup: {ErrProb: rng.Float64() * 0.3},
+		fault.CacheStore:  {ErrProb: rng.Float64() * 0.3},
+	}})
+	faultyCfg := cfg
+	faultyCfg.Fault = inj
+	faulty, err := stream.New(g, faultyCfg)
+	if err != nil {
+		return fail("faulty: %v", err)
+	}
+
+	cancelled, cancelNow := context.WithCancel(context.Background())
+	cancelNow()
+	for bi, b := range splitBatches(ds, nBatches) {
+		want, err := control.Ingest(b)
+		if err != nil {
+			return fail("control batch %d: %v", bi, err)
+		}
+		if bi == nBatches/2 {
+			// Induced cancellation: a pre-cancelled context must fail the
+			// ingest before anything is committed.
+			if _, err := faulty.IngestCtx(cancelled, b); err == nil {
+				return fail("batch %d: ingest with a cancelled context succeeded", bi)
+			}
+			if got := faulty.Batches(); got != bi {
+				return fail("batch %d: cancelled ingest advanced the batch index to %d", bi, got)
+			}
+		}
+		var got stream.Snapshot
+		for attempt := 0; ; attempt++ {
+			got, err = faulty.Ingest(b)
+			if err == nil {
+				break
+			}
+			res.Retries++
+			if !fault.IsInjected(err) && !errors.Is(err, context.Canceled) {
+				return fail("batch %d: non-injected failure: %v", bi, err)
+			}
+			if gotB := faulty.Batches(); gotB != bi {
+				return fail("batch %d: failed ingest advanced the batch index to %d", bi, gotB)
+			}
+			if attempt == streamAttemptCap {
+				inj.SetEnabled(false) // heal backstop: the scenario must terminate
+			}
+		}
+		if gw, ww := renderClusters(got.Clusters), renderClusters(want.Clusters); gw != ww {
+			return fail("batch %d: clustering diverged from the fault-free control\nfaulty:\n%s\ncontrol:\n%s", bi, gw, ww)
+		}
+		if got.StandingFlows != want.StandingFlows || got.EvictedFlows != want.EvictedFlows || got.NewFlows != want.NewFlows {
+			return fail("batch %d: accounting diverged (faulty %+v vs control %+v)", bi,
+				[3]int{got.NewFlows, got.EvictedFlows, got.StandingFlows},
+				[3]int{want.NewFlows, want.EvictedFlows, want.StandingFlows})
+		}
+	}
+	inj.SetEnabled(false)
+	res.Faults = inj.TotalInjected()
+	for p := fault.Point(0); p < fault.NumPoints; p++ {
+		res.Slept += inj.Slept(p)
+	}
+	if err := goroutinesSettle(base, 3, 3*time.Second); err != nil {
+		return fail("%v", err)
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

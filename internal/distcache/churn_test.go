@@ -1,0 +1,129 @@
+package distcache
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// TestEpochInvalidationUnderScopeChurn hammers one cache with
+// goroutines flipping the scope (as a graph-fingerprint change would)
+// while others store and look up entries mid-flip. Run under -race in
+// CI. The invariants checked are the ones epoch invalidation
+// guarantees regardless of interleaving:
+//
+//  1. a hit only ever returns a value some Store wrote for that key
+//     (values encode their key, so cross-key corruption is visible);
+//  2. after a final scope change, every entry written during the churn
+//     is unreadable — no lookup under the new scope sees old-scope
+//     data;
+//  3. the entry gauge stays within [0, capacity] and the cache remains
+//     fully usable afterwards.
+func TestEpochInvalidationUnderScopeChurn(t *testing.T) {
+	c := New(4096)
+	const (
+		flippers = 3
+		workers  = 6
+		keys     = 512
+		rounds   = 400
+	)
+	valueOf := func(k uint64) float64 { return float64(k%977) + 0.5 }
+
+	var wg sync.WaitGroup
+	for f := 0; f < flippers; f++ {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				c.SetScope(fmt.Sprintf("graph-fp-%d-%d", f, i))
+			}
+		}(f)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				k := Key(int32(w), int32(i%keys+workers))
+				c.Store(k, valueOf(k), math.Inf(1))
+				if d, ok := c.Lookup(k, math.Inf(1)); ok && d != valueOf(k) {
+					t.Errorf("lookup(%d) = %g, want %g: cross-key or cross-epoch value", k, d, valueOf(k))
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Invalidate everything written during the churn; nothing stored
+	// under an earlier fingerprint may answer under the new one.
+	c.SetScope("final-fingerprint")
+	for w := 0; w < workers; w++ {
+		for i := 0; i < keys; i++ {
+			k := Key(int32(w), int32(i+workers))
+			if d, ok := c.Lookup(k, math.Inf(1)); ok {
+				t.Fatalf("key %d survived the scope change with value %g", k, d)
+			}
+		}
+	}
+	st := c.CacheStats()
+	if st.Entries < 0 || st.Entries > int64(st.Capacity) {
+		t.Fatalf("entry gauge %d out of [0, %d]", st.Entries, st.Capacity)
+	}
+
+	// The cache stays serviceable under the new scope.
+	c.Store(Key(1, 2), 42, math.Inf(1))
+	if d, ok := c.Lookup(Key(1, 2), math.Inf(1)); !ok || d != 42 {
+		t.Fatalf("post-churn store/lookup = (%g, %t), want (42, true)", d, ok)
+	}
+}
+
+// TestScopeChurnWithInjectedPressure repeats a lighter churn with a
+// fault injector forcing misses and eviction storms, asserting the
+// cache degrades (counters move) without ever returning a wrong value.
+func TestScopeChurnWithInjectedPressure(t *testing.T) {
+	c := New(1024)
+	in := fault.New(fault.Config{Seed: 9, Points: map[fault.Point]fault.Spec{
+		fault.CacheLookup: {ErrProb: 0.3},
+		fault.CacheStore:  {ErrProb: 0.3},
+	}})
+	c.InjectFaults(in)
+	valueOf := func(k uint64) float64 { return float64(k % 131) }
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				if i%50 == 0 {
+					c.SetScope(fmt.Sprintf("fp-%d-%d", w, i))
+				}
+				k := Key(int32(w), int32(100+i%64))
+				c.Store(k, valueOf(k), math.Inf(1))
+				if d, ok := c.Lookup(k, math.Inf(1)); ok && d != valueOf(k) {
+					t.Errorf("lookup(%d) = %g, want %g", k, d, valueOf(k))
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if in.Injected(fault.CacheLookup) == 0 || in.Injected(fault.CacheStore) == 0 {
+		t.Fatalf("injector idle: lookup=%d store=%d",
+			in.Injected(fault.CacheLookup), in.Injected(fault.CacheStore))
+	}
+	// Healed, the cache behaves normally again.
+	in.SetEnabled(false)
+	c.SetScope("healed")
+	c.Store(Key(3, 4), 7, math.Inf(1))
+	if d, ok := c.Lookup(Key(3, 4), math.Inf(1)); !ok || d != 7 {
+		t.Fatalf("healed store/lookup = (%g, %t), want (7, true)", d, ok)
+	}
+}

@@ -51,6 +51,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 )
 
@@ -123,6 +124,12 @@ type Cache struct {
 	mMisses    *obs.Counter
 	mEvictions *obs.Counter
 	mEntries   *obs.Gauge
+
+	// faults is the optional injector simulating cache pressure:
+	// fault.CacheLookup forces misses, fault.CacheStore drops writes
+	// and evicts the LRU tail (an eviction storm). Both degradations
+	// are output-safe — a miss or a lost entry only costs a recompute.
+	faults *fault.Injector
 }
 
 // New creates a cache bounded to the given total entry budget; a
@@ -157,6 +164,17 @@ func (c *Cache) Instrument(reg *obs.Registry) {
 	c.mEvictions = reg.Counter("distcache_evictions_total")
 	c.mEntries = reg.Gauge("distcache_entries")
 	c.mEntries.Set(float64(c.entries.Load()))
+}
+
+// InjectFaults attaches a fault injector (nil detaches). Injected
+// cache faults degrade hit rates, never correctness: every path a
+// forced miss or dropped store takes is a path a cold cache takes
+// anyway. Nil-safe.
+func (c *Cache) InjectFaults(in *fault.Injector) {
+	if c == nil {
+		return
+	}
+	c.faults = in
 }
 
 // Key packs a junction pair into the canonical cache key (order-
@@ -209,6 +227,12 @@ func (c *Cache) Lookup(key uint64, bound float64) (float64, bool) {
 	if c == nil {
 		return 0, false
 	}
+	if c.faults.Hit(fault.CacheLookup) {
+		// Injected cache pressure: force a miss. The caller recomputes,
+		// which is exactly the cold-cache path.
+		c.miss()
+		return 0, false
+	}
 	ep := c.epoch.Load()
 	s := c.shardFor(key)
 	s.mu.Lock()
@@ -252,6 +276,23 @@ func (c *Cache) Store(key uint64, dist, bound float64) {
 	}
 	ep := c.epoch.Load()
 	s := c.shardFor(key)
+	if c.faults.Hit(fault.CacheStore) {
+		// Injected eviction storm: drop the write and shed the shard's
+		// LRU tail, shrinking the working set under the budget.
+		s.mu.Lock()
+		if old := s.tail; old != nil {
+			s.remove(old)
+			delete(s.m, old.key)
+			s.mu.Unlock()
+			c.entries.Add(-1)
+			c.mEntries.Add(-1)
+			c.evictions.Add(1)
+			c.mEvictions.Inc()
+			return
+		}
+		s.mu.Unlock()
+		return
+	}
 	s.mu.Lock()
 	if e := s.m[key]; e != nil {
 		if e.epoch != ep {

@@ -1,0 +1,271 @@
+// Package fault provides deterministic, seed-driven fault injection
+// for the NEAT engine and service. An Injector is configured with a
+// per-point fault specification (error probability, latency
+// probability and magnitude) and is consulted by the production code
+// at well-known injection points: shortest-path queries, distance
+// cache lookups and stores, and ingest admission. Every consultation
+// is a no-op on a nil *Injector, so the hooks cost one nil check in
+// production and the clustering output is byte-identical with the
+// injector absent or disabled.
+//
+// Determinism is per-injector: the decision stream is a pure function
+// of the seed and the consultation order. Single-goroutine scans
+// (the serial ε-graph builder, a single-threaded chaos scenario)
+// therefore see exactly reproducible fault sequences; concurrent
+// callers share the stream under a mutex, so which worker observes
+// which decision depends on scheduling — the chaos harness asserts
+// scheduling-independent invariants (no panic, no leak, healed output
+// equality), never a specific fault placement.
+//
+// The injector can be disabled and re-enabled at runtime
+// (SetEnabled), which is how the chaos harness "heals" a system mid-
+// scenario without rebuilding it.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Point identifies one fault-injection site.
+type Point uint8
+
+const (
+	// SPQuery is a shortest-path computation: the engine injects
+	// latency here, and the Phase 3 evaluators inject errors.
+	SPQuery Point = iota
+	// CacheLookup is a distance-cache probe: an injected fault forces
+	// a miss (cache pressure), which is always output-safe.
+	CacheLookup
+	// CacheStore is a distance-cache write: an injected fault drops
+	// the write and evicts the LRU tail (an eviction storm).
+	CacheStore
+	// Ingest is batch admission in the streaming clusterer and the
+	// server's ingest handler: errors simulate a failing ingest path,
+	// latency a slow one.
+	Ingest
+	// NumPoints bounds the Point space.
+	NumPoints
+)
+
+// String implements fmt.Stringer; the value doubles as the metric
+// label for this point.
+func (p Point) String() string {
+	switch p {
+	case SPQuery:
+		return "sp_query"
+	case CacheLookup:
+		return "cache_lookup"
+	case CacheStore:
+		return "cache_store"
+	case Ingest:
+		return "ingest"
+	default:
+		return fmt.Sprintf("point(%d)", uint8(p))
+	}
+}
+
+// Spec describes the faults injected at one point.
+type Spec struct {
+	// ErrProb is the probability that a consultation fails: Inject
+	// returns an *Error, Hit returns true. 0 disables error faults.
+	ErrProb float64
+	// LatencyProb is the probability that a consultation sleeps; the
+	// sleep duration is drawn uniformly from (0, Latency]. Both must
+	// be positive for latency faults to fire.
+	LatencyProb float64
+	// Latency is the maximum injected sleep.
+	Latency time.Duration
+}
+
+// Config parameterizes an Injector.
+type Config struct {
+	// Seed drives the decision stream; equal seeds and consultation
+	// orders yield equal decisions.
+	Seed int64
+	// Points holds the per-point fault specifications; points absent
+	// from the map inject nothing.
+	Points map[Point]Spec
+}
+
+// Error is the typed error returned by an injected failure.
+type Error struct {
+	// Point is the site the failure was injected at.
+	Point Point
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	return fmt.Sprintf("fault: injected %s failure", e.Point)
+}
+
+// IsInjected reports whether err is (or wraps) an injected fault.
+func IsInjected(err error) bool {
+	for err != nil {
+		if _, ok := err.(*Error); ok {
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// Injector draws fault decisions from a seeded stream. All methods
+// are safe for concurrent use and are no-ops on a nil receiver, so
+// call sites need no guards.
+type Injector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	specs [NumPoints]Spec
+
+	enabled atomic.Bool
+
+	errs  [NumPoints]atomic.Int64
+	slept [NumPoints]atomic.Int64
+
+	// Pre-resolved obs handles; nil without Instrument.
+	mErrs  [NumPoints]*obs.Counter
+	mSlept [NumPoints]*obs.Counter
+}
+
+// New creates an enabled Injector from cfg.
+func New(cfg Config) *Injector {
+	in := &Injector{rng: rand.New(rand.NewSource(cfg.Seed))}
+	for p, s := range cfg.Points {
+		if p < NumPoints {
+			in.specs[p] = s
+		}
+	}
+	in.enabled.Store(true)
+	return in
+}
+
+// SetEnabled toggles injection without losing the decision stream;
+// the chaos harness uses it to heal and re-break a running system.
+// Nil-safe.
+func (in *Injector) SetEnabled(on bool) {
+	if in == nil {
+		return
+	}
+	in.enabled.Store(on)
+}
+
+// Enabled reports whether injection is active. Nil-safe (false).
+func (in *Injector) Enabled() bool {
+	return in != nil && in.enabled.Load()
+}
+
+// Instrument registers the injector's series in reg: one
+// neat_faults_injected_total and neat_faults_slept_total counter per
+// point. A nil registry detaches. Nil-safe.
+func (in *Injector) Instrument(reg *obs.Registry) {
+	if in == nil {
+		return
+	}
+	for p := Point(0); p < NumPoints; p++ {
+		in.mErrs[p] = reg.Counter("neat_faults_injected_total", obs.L("point", p.String()))
+		in.mSlept[p] = reg.Counter("neat_faults_slept_total", obs.L("point", p.String()))
+	}
+}
+
+// draw consumes one decision for point p: whether to fail, and how
+// long to sleep (0 for no latency fault).
+func (in *Injector) draw(p Point) (fail bool, sleep time.Duration) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	s := in.specs[p]
+	if s.ErrProb > 0 && in.rng.Float64() < s.ErrProb {
+		fail = true
+	}
+	if s.LatencyProb > 0 && s.Latency > 0 && in.rng.Float64() < s.LatencyProb {
+		sleep = time.Duration(1 + in.rng.Int63n(int64(s.Latency)))
+	}
+	return fail, sleep
+}
+
+// Inject consults the error stream for p: it returns an *Error when a
+// failure fires, nil otherwise. It never sleeps — latency is a
+// separate concern (Sleep), so a layer that can only propagate errors
+// and a layer that can only stall never double-charge one decision.
+// Nil-safe and free when disabled.
+func (in *Injector) Inject(p Point) error {
+	if !in.Enabled() {
+		return nil
+	}
+	fail, _ := in.draw(p)
+	if !fail {
+		return nil
+	}
+	in.errs[p].Add(1)
+	in.mErrs[p].Inc()
+	return &Error{Point: p}
+}
+
+// Sleep consults the latency stream for p and blocks for the drawn
+// duration when a latency fault fires. Nil-safe and free when
+// disabled.
+func (in *Injector) Sleep(p Point) {
+	if !in.Enabled() {
+		return
+	}
+	_, d := in.draw(p)
+	if d <= 0 {
+		return
+	}
+	in.slept[p].Add(1)
+	in.mSlept[p].Inc()
+	time.Sleep(d)
+}
+
+// Hit consults the error stream for p as a boolean degradation draw —
+// the form used by sites that degrade service rather than fail (a
+// forced cache miss, a dropped write). Nil-safe (false) and free when
+// disabled.
+func (in *Injector) Hit(p Point) bool {
+	if !in.Enabled() {
+		return false
+	}
+	fail, _ := in.draw(p)
+	if fail {
+		in.errs[p].Add(1)
+		in.mErrs[p].Inc()
+	}
+	return fail
+}
+
+// Injected returns how many error faults have fired at p. Nil-safe.
+func (in *Injector) Injected(p Point) int64 {
+	if in == nil {
+		return 0
+	}
+	return in.errs[p].Load()
+}
+
+// Slept returns how many latency faults have fired at p. Nil-safe.
+func (in *Injector) Slept(p Point) int64 {
+	if in == nil {
+		return 0
+	}
+	return in.slept[p].Load()
+}
+
+// TotalInjected sums error faults across all points. Nil-safe.
+func (in *Injector) TotalInjected() int64 {
+	if in == nil {
+		return 0
+	}
+	var n int64
+	for p := Point(0); p < NumPoints; p++ {
+		n += in.errs[p].Load()
+	}
+	return n
+}

@@ -1,0 +1,167 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestNilInjectorIsNoOp(t *testing.T) {
+	var in *Injector
+	if err := in.Inject(SPQuery); err != nil {
+		t.Fatalf("nil Inject = %v", err)
+	}
+	in.Sleep(SPQuery)
+	if in.Hit(CacheLookup) {
+		t.Fatal("nil Hit = true")
+	}
+	if in.Enabled() {
+		t.Fatal("nil Enabled = true")
+	}
+	in.SetEnabled(true)
+	in.Instrument(obs.NewRegistry())
+	if in.Injected(SPQuery) != 0 || in.Slept(SPQuery) != 0 || in.TotalInjected() != 0 {
+		t.Fatal("nil counters non-zero")
+	}
+}
+
+func TestDeterministicStream(t *testing.T) {
+	mk := func() *Injector {
+		return New(Config{Seed: 42, Points: map[Point]Spec{
+			SPQuery: {ErrProb: 0.3},
+		}})
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 200; i++ {
+		ea, eb := a.Inject(SPQuery), b.Inject(SPQuery)
+		if (ea == nil) != (eb == nil) {
+			t.Fatalf("decision %d diverged: %v vs %v", i, ea, eb)
+		}
+	}
+	if a.Injected(SPQuery) == 0 {
+		t.Fatal("ErrProb 0.3 over 200 draws injected nothing")
+	}
+	if a.Injected(SPQuery) == 200 {
+		t.Fatal("ErrProb 0.3 injected on every draw")
+	}
+}
+
+func TestErrorTypeAndWrapping(t *testing.T) {
+	in := New(Config{Seed: 1, Points: map[Point]Spec{Ingest: {ErrProb: 1}}})
+	err := in.Inject(Ingest)
+	if err == nil {
+		t.Fatal("ErrProb 1 returned nil")
+	}
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Point != Ingest {
+		t.Fatalf("error %v is not an ingest *Error", err)
+	}
+	if !strings.Contains(err.Error(), "ingest") {
+		t.Fatalf("error text %q lacks point name", err)
+	}
+	wrapped := fmt.Errorf("outer: %w", err)
+	if !IsInjected(wrapped) {
+		t.Fatal("IsInjected(wrapped) = false")
+	}
+	if IsInjected(errors.New("plain")) {
+		t.Fatal("IsInjected(plain) = true")
+	}
+	if IsInjected(nil) {
+		t.Fatal("IsInjected(nil) = true")
+	}
+}
+
+func TestSetEnabledHealsAndRebreaks(t *testing.T) {
+	in := New(Config{Seed: 7, Points: map[Point]Spec{SPQuery: {ErrProb: 1}}})
+	if in.Inject(SPQuery) == nil {
+		t.Fatal("enabled injector did not inject")
+	}
+	in.SetEnabled(false)
+	for i := 0; i < 50; i++ {
+		if in.Inject(SPQuery) != nil {
+			t.Fatal("disabled injector injected")
+		}
+	}
+	if in.Hit(SPQuery) {
+		t.Fatal("disabled Hit = true")
+	}
+	in.SetEnabled(true)
+	if in.Inject(SPQuery) == nil {
+		t.Fatal("re-enabled injector did not inject")
+	}
+}
+
+func TestSleepInjectsLatency(t *testing.T) {
+	in := New(Config{Seed: 3, Points: map[Point]Spec{
+		SPQuery: {LatencyProb: 1, Latency: time.Millisecond},
+	}})
+	start := time.Now()
+	for i := 0; i < 5; i++ {
+		in.Sleep(SPQuery)
+	}
+	if in.Slept(SPQuery) != 5 {
+		t.Fatalf("Slept = %d, want 5", in.Slept(SPQuery))
+	}
+	if time.Since(start) == 0 {
+		t.Fatal("no time elapsed across 5 latency faults")
+	}
+	// Latency-only spec never returns errors.
+	if err := in.Inject(SPQuery); err != nil {
+		t.Fatalf("latency-only spec injected error %v", err)
+	}
+}
+
+func TestInstrumentCounts(t *testing.T) {
+	reg := obs.NewRegistry()
+	in := New(Config{Seed: 5, Points: map[Point]Spec{CacheLookup: {ErrProb: 1}}})
+	in.Instrument(reg)
+	in.Hit(CacheLookup)
+	in.Hit(CacheLookup)
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `neat_faults_injected_total{point="cache_lookup"} 2`) {
+		t.Fatalf("metrics missing injected counter:\n%s", b.String())
+	}
+}
+
+func TestConcurrentConsultation(t *testing.T) {
+	in := New(Config{Seed: 11, Points: map[Point]Spec{
+		SPQuery:     {ErrProb: 0.5},
+		CacheLookup: {ErrProb: 0.5},
+	}})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				_ = in.Inject(SPQuery)
+				_ = in.Hit(CacheLookup)
+			}
+		}()
+	}
+	wg.Wait()
+	total := in.TotalInjected()
+	if total == 0 || total == 8000 {
+		t.Fatalf("TotalInjected = %d, want strictly between 0 and 8000", total)
+	}
+}
+
+func TestPointString(t *testing.T) {
+	want := map[Point]string{SPQuery: "sp_query", CacheLookup: "cache_lookup", CacheStore: "cache_store", Ingest: "ingest"}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("%d.String() = %q, want %q", p, p.String(), s)
+		}
+	}
+	if Point(200).String() != "point(200)" {
+		t.Errorf("unknown point renders %q", Point(200).String())
+	}
+}

@@ -1,6 +1,7 @@
 package neat
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -109,7 +110,13 @@ func (eg *EpsGraph) RemovePrefix(k int) {
 // pairs that involve at least one of them, in the lexicographic order
 // the from-scratch serial scan would use. It returns the work counters
 // of this evaluation (Pairs counts only the newly evaluated pairs).
-func (eg *EpsGraph) Extend(flows []*FlowCluster) RefineStats {
+//
+// On context cancellation or an injected shortest-path fault
+// (RefineConfig.Fault) the extension rolls back completely — flow list,
+// endpoints, and every adjacency edge added this call are undone — and
+// the error is returned. A failed Extend therefore leaves the graph
+// exactly as it was, so the caller may retry the same batch later.
+func (eg *EpsGraph) Extend(ctx context.Context, flows []*FlowCluster) (RefineStats, error) {
 	// Rebind the shared cache in case another graph used it since the
 	// last call; a no-op when the scope is unchanged.
 	eg.cfg.Cache.SetScope(cacheScope(eg.g, eg.cfg))
@@ -125,7 +132,13 @@ func (eg *EpsGraph) Extend(flows []*FlowCluster) RefineStats {
 	stats := RefineStats{}
 	pe := newPairEvaluator(eg.g, eg.cfg, eg.endpoints, eg.eng, eg.alt, eg.ch)
 	n := len(eg.flows)
+	var abort error
+scan:
 	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			abort = err
+			break
+		}
 		jMin := i + 1
 		if jMin < old {
 			jMin = old
@@ -136,18 +149,40 @@ func (eg *EpsGraph) Extend(flows []*FlowCluster) RefineStats {
 				eg.adjacency[i] = append(eg.adjacency[i], j)
 				eg.adjacency[j] = append(eg.adjacency[j], i)
 			}
+			if pe.err != nil {
+				abort = pe.err
+				break scan
+			}
 		}
+	}
+	// Keep the engine-counter cursor current even on abort, so the next
+	// call's delta does not double-count this call's work.
+	q, settled := eg.spStats.Snapshot()
+	stats.SPQueries += q - eg.lastQueries
+	stats.SettledNodes = settled - eg.lastSettled
+	eg.lastQueries, eg.lastSettled = q, settled
+	if abort != nil {
+		// Roll back: drop the appended rows wholesale, and strip the
+		// new neighbors (all ≥ old, appended after any existing < old
+		// ones) from the surviving rows.
+		eg.flows = eg.flows[:old]
+		eg.endpoints = eg.endpoints[:old]
+		for i := 0; i < old; i++ {
+			row := eg.adjacency[i]
+			for len(row) > 0 && row[len(row)-1] >= old {
+				row = row[:len(row)-1]
+			}
+			eg.adjacency[i] = row
+		}
+		eg.adjacency = eg.adjacency[:old]
+		return stats, abort
 	}
 	stats.ELBPruned = pe.elbPruned
 	stats.SPQueries += pe.spQueriesCH
 	stats.CacheHits = pe.cacheHits
 	stats.CacheMisses = pe.cacheMisses
-	q, settled := eg.spStats.Snapshot()
-	stats.SPQueries += q - eg.lastQueries
-	stats.SettledNodes = settled - eg.lastSettled
-	eg.lastQueries, eg.lastSettled = q, settled
 	stats.GraphTime = time.Since(start)
-	return stats
+	return stats, nil
 }
 
 // Cluster runs the deterministic DBSCAN pass over the maintained graph

@@ -1,6 +1,7 @@
 package neat
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -40,7 +41,9 @@ func TestEpsGraphMatchesRebuild(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			fresh.Extend(standing)
+			if _, err := fresh.Extend(context.Background(), standing); err != nil {
+				t.Fatal(err)
+			}
 			if !reflect.DeepEqual(normalizeAdj(eg.adjacency), normalizeAdj(fresh.adjacency)) {
 				t.Fatalf("trial %d step %d: maintained adjacency diverged from rebuild", trial, step)
 			}
@@ -71,7 +74,9 @@ func TestEpsGraphMatchesRebuild(t *testing.T) {
 				standing = standing[evict:]
 				check()
 			}
-			eg.Extend(flows[lo:hi])
+			if _, err := eg.Extend(context.Background(), flows[lo:hi]); err != nil {
+				t.Fatal(err)
+			}
 			standing = append(standing, flows[lo:hi]...)
 			check()
 		}

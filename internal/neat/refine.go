@@ -1,6 +1,7 @@
 package neat
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -8,6 +9,7 @@ import (
 
 	"repro/internal/dbscan"
 	"repro/internal/distcache"
+	"repro/internal/fault"
 	"repro/internal/roadnet"
 	"repro/internal/shortest"
 	"repro/internal/traj"
@@ -78,31 +80,23 @@ type RefineConfig struct {
 	// Disable to reproduce the paper's opt-NEAT-Dijkstra curve, which
 	// computes complete shortest paths.
 	Bounded bool
-	// CacheDistances memoizes junction-pair network distances in a
-	// private per-run, per-worker map (an extension beyond the paper):
-	// flows frequently share endpoint junctions — they start at the
-	// same hotspots — so the same distances recur across pairs. Sound
-	// with Bounded too, because ε is fixed for the whole scan (a +Inf
-	// entry means "farther than ε", exactly what the predicate needs).
-	// Off by default so SPQueries matches the paper's four-per-pair
-	// counting in Fig 7.
-	//
-	// Deprecated: set Cache instead. The shared cache memoizes across
-	// runs and workers, not just within one scan, and it is what the
-	// batched builder honors — CacheDistances only affects the serial
-	// and pairwise point-to-point paths (the batched builder already
-	// deduplicates by construction: one expansion per distinct
-	// junction). When Cache is non-nil, CacheDistances is ignored.
-	CacheDistances bool
 	// Cache is an optional shared distance cache consulted before any
-	// shortest-path computation and updated with every result. Unlike
-	// CacheDistances it persists across runs (streaming ingests, server
-	// requests) and is shared by all workers; it is scoped by (graph
-	// fingerprint, kernel) and bound-classed by ε, so entries are
+	// shortest-path computation and updated with every result. It
+	// persists across runs (streaming ingests, server requests) and is
+	// shared by all workers; it is scoped by (graph fingerprint,
+	// kernel) and bound-classed by ε, so entries are
 	// correct across configurations — see internal/distcache. Output is
 	// byte-identical with or without it; only the work counters
 	// (SPQueries, SettledNodes, Expansions) shrink.
 	Cache *distcache.Cache
+	// Fault is an optional fault injector (internal/fault). When set,
+	// every shortest-path computation first consults it: an injected
+	// error aborts the refinement with a fault.*Error (propagated to
+	// the caller, partial work discarded), and the engines consult it
+	// for injected latency. Nil — the default — injects nothing, and a
+	// disabled injector is equally free; clustering output is identical
+	// whenever no fault fires.
+	Fault *fault.Injector
 	// Algo selects the shortest-path kernel (ablation; the paper uses
 	// Dijkstra). Bounded is only honored by SPDijkstra.
 	Algo SPAlgo
@@ -116,8 +110,8 @@ type RefineConfig struct {
 	// pairwise scan is additionally re-batched into bounded one-to-many
 	// expansions — one per distinct flow-endpoint junction, carrying
 	// only targets a Euclidean point-grid pre-filter admits — so
-	// Bounded and CacheDistances are implied and ignored; the other
-	// kernels keep point-to-point queries and shard the pair scan.
+	// Bounded is implied and ignored; the other kernels keep
+	// point-to-point queries and shard the pair scan.
 	// Clustering output is identical to the serial path in every case
 	// (the builders are merged deterministically); only the work
 	// accounting differs — see RefineStats.
@@ -242,23 +236,26 @@ type pairEvaluator struct {
 	eng       *shortest.Engine
 	alt       *shortest.ALT
 	ch        *shortest.CH
-	distCache map[[2]roadnet.NodeID]float64
-	shared    *distcache.Cache // cfg.Cache; overrides distCache when set
+	shared    *distcache.Cache // cfg.Cache
 	bound     float64          // ε-bound class of distances this config computes
 
 	elbPruned   int
 	spQueriesCH int64 // CH queries bypass the engine; folded in later
 	cacheHits   int64
 	cacheMisses int64
+	// err latches the first injected shortest-path fault
+	// (cfg.Fault). Once set, withinEps answers false without
+	// computing — the builder is expected to notice and abort, so the
+	// dont-care answers never reach a clustering.
+	err error
 }
 
 func newPairEvaluator(g *roadnet.Graph, cfg RefineConfig, endpoints []flowEnds, eng *shortest.Engine, alt *shortest.ALT, ch *shortest.CH) *pairEvaluator {
 	pe := &pairEvaluator{g: g, cfg: cfg, endpoints: endpoints, eng: eng, alt: alt, ch: ch}
+	eng.SetFaults(cfg.Fault)
 	if cfg.Cache != nil {
 		pe.shared = cfg.Cache
 		pe.bound = cacheBound(cfg)
-	} else if cfg.CacheDistances {
-		pe.distCache = make(map[[2]roadnet.NodeID]float64)
 	}
 	return pe
 }
@@ -307,6 +304,14 @@ func (pe *pairEvaluator) netDist(u, v roadnet.NodeID) float64 {
 	if u == v {
 		return 0
 	}
+	if err := pe.cfg.Fault.Inject(fault.SPQuery); err != nil {
+		// Simulated shortest-path failure. Latch it and return a
+		// don't-care; the builder aborts before the value matters.
+		if pe.err == nil {
+			pe.err = err
+		}
+		return math.Inf(1)
+	}
 	if pe.shared != nil {
 		key := distcache.Key(int32(u), int32(v))
 		if d, ok := pe.shared.Lookup(key, pe.bound); ok {
@@ -318,23 +323,14 @@ func (pe *pairEvaluator) netDist(u, v roadnet.NodeID) float64 {
 		pe.shared.Store(key, d, pe.bound)
 		return d
 	}
-	if pe.distCache == nil {
-		return pe.compute(u, v)
-	}
-	key := [2]roadnet.NodeID{u, v}
-	if u > v {
-		key = [2]roadnet.NodeID{v, u} // undirected: canonical order
-	}
-	if d, ok := pe.distCache[key]; ok {
-		return d
-	}
-	d := pe.compute(u, v)
-	pe.distCache[key] = d
-	return d
+	return pe.compute(u, v)
 }
 
 // withinEps evaluates distN(Fi, Fj) <= ε per Definition 11.
 func (pe *pairEvaluator) withinEps(i, j int) bool {
+	if pe.err != nil {
+		return false
+	}
 	ei, ej := pe.endpoints[i], pe.endpoints[j]
 	pi := [2]roadnet.NodeID{ei.a, ei.b}
 	pj := [2]roadnet.NodeID{ej.a, ej.b}
@@ -430,10 +426,19 @@ func (c RefineConfig) strategy() refineStrategy {
 // batched one-to-many, or sharded pairwise — see RefineConfig); every
 // strategy produces the identical clustering.
 func RefineFlows(g *roadnet.Graph, flows []*FlowCluster, cfg RefineConfig) ([]*TrajectoryCluster, RefineStats, error) {
-	return refineFlowsWith(g, flows, cfg, cfg.strategy())
+	return RefineFlowsCtx(context.Background(), g, flows, cfg)
 }
 
-func refineFlowsWith(g *roadnet.Graph, flows []*FlowCluster, cfg RefineConfig, strat refineStrategy) ([]*TrajectoryCluster, RefineStats, error) {
+// RefineFlowsCtx is RefineFlows with cooperative cancellation: when ctx
+// is cancelled mid-build, every builder stops promptly (workers drain,
+// no goroutine leaks), partial work is discarded, and the ctx error is
+// returned. A re-run with an uncancelled context is byte-identical to a
+// run that was never cancelled — cancellation never leaks into state.
+func RefineFlowsCtx(ctx context.Context, g *roadnet.Graph, flows []*FlowCluster, cfg RefineConfig) ([]*TrajectoryCluster, RefineStats, error) {
+	return refineFlowsWith(ctx, g, flows, cfg, cfg.strategy())
+}
+
+func refineFlowsWith(ctx context.Context, g *roadnet.Graph, flows []*FlowCluster, cfg RefineConfig, strat refineStrategy) ([]*TrajectoryCluster, RefineStats, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, RefineStats{}, err
 	}
@@ -472,11 +477,11 @@ func refineFlowsWith(g *roadnet.Graph, flows []*FlowCluster, cfg RefineConfig, s
 	var err error
 	switch strat {
 	case stratBatched:
-		adjacency, err = buildEpsGraphBatched(g, flows, endpoints, cfg, spStats, &stats)
+		adjacency, err = buildEpsGraphBatched(ctx, g, flows, endpoints, cfg, spStats, &stats)
 	case stratPairwise:
-		adjacency = buildEpsGraphPairwise(g, flows, endpoints, cfg, spStats, alt, ch, &stats)
+		adjacency, err = buildEpsGraphPairwise(ctx, g, flows, endpoints, cfg, spStats, alt, ch, &stats)
 	default:
-		adjacency = buildEpsGraphSerial(g, flows, endpoints, cfg, spStats, alt, ch, &stats)
+		adjacency, err = buildEpsGraphSerial(ctx, g, flows, endpoints, cfg, spStats, alt, ch, &stats)
 	}
 	if err != nil {
 		return nil, stats, err
@@ -550,16 +555,24 @@ func clusterEpsGraph(g *roadnet.Graph, flows []*FlowCluster, adjacency [][]int, 
 }
 
 // buildEpsGraphSerial is the paper's pairwise scan: every one of the
-// F·(F−1)/2 pairs is evaluated in order by a single evaluator.
-func buildEpsGraphSerial(g *roadnet.Graph, flows []*FlowCluster, endpoints []flowEnds, cfg RefineConfig, spStats *shortest.Stats, alt *shortest.ALT, ch *shortest.CH, stats *RefineStats) [][]int {
+// F·(F−1)/2 pairs is evaluated in order by a single evaluator. It
+// aborts on context cancellation or an injected shortest-path fault,
+// discarding the partial graph.
+func buildEpsGraphSerial(ctx context.Context, g *roadnet.Graph, flows []*FlowCluster, endpoints []flowEnds, cfg RefineConfig, spStats *shortest.Stats, alt *shortest.ALT, ch *shortest.CH, stats *RefineStats) ([][]int, error) {
 	pe := newPairEvaluator(g, cfg, endpoints, shortest.New(g, spStats), alt, ch)
 	adjacency := make([][]int, len(flows))
 	for i := 0; i < len(flows); i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for j := i + 1; j < len(flows); j++ {
 			stats.Pairs++
 			if pe.withinEps(i, j) {
 				adjacency[i] = append(adjacency[i], j)
 				adjacency[j] = append(adjacency[j], i)
+			}
+			if pe.err != nil {
+				return nil, pe.err
 			}
 		}
 	}
@@ -567,5 +580,5 @@ func buildEpsGraphSerial(g *roadnet.Graph, flows []*FlowCluster, endpoints []flo
 	stats.SPQueries += pe.spQueriesCH
 	stats.CacheHits += pe.cacheHits
 	stats.CacheMisses += pe.cacheMisses
-	return adjacency
+	return adjacency, nil
 }

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/distcache"
 	"repro/internal/proptest"
 )
 
@@ -60,12 +61,12 @@ func TestRefineOptimizationEquivalence(t *testing.T) {
 			{Epsilon: eps, UseELB: true},
 			{Epsilon: eps, Bounded: true},
 			{Epsilon: eps, UseELB: true, Bounded: true},
-			{Epsilon: eps, UseELB: true, Bounded: true, CacheDistances: true},
-			{Epsilon: eps, CacheDistances: true},
+			{Epsilon: eps, UseELB: true, Bounded: true, Cache: distcache.New(0)},
+			{Epsilon: eps, Cache: distcache.New(0)},
 			{Epsilon: eps, Algo: SPAStar, UseELB: true},
-			{Epsilon: eps, Algo: SPBidirectional, CacheDistances: true},
+			{Epsilon: eps, Algo: SPBidirectional, Cache: distcache.New(0)},
 			{Epsilon: eps, Algo: SPALT, UseELB: true},
-			{Epsilon: eps, Algo: SPCH, UseELB: true, CacheDistances: true},
+			{Epsilon: eps, Algo: SPCH, UseELB: true, Cache: distcache.New(0)},
 		}
 		for ci, cfg := range configs {
 			got, _, err := RefineFlows(g, flows, cfg)
@@ -104,7 +105,7 @@ func TestCacheReducesQueries(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		_, cached, err := RefineFlows(g, flows, RefineConfig{Epsilon: 1500, CacheDistances: true})
+		_, cached, err := RefineFlows(g, flows, RefineConfig{Epsilon: 1500, Cache: distcache.New(0)})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,18 +1,37 @@
 package neat
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/conc"
 	"repro/internal/distcache"
+	"repro/internal/fault"
 	"repro/internal/geo"
 	"repro/internal/roadnet"
 	"repro/internal/shortest"
 	"repro/internal/spatial"
 )
+
+// firstBuildError picks the error a parallel builder reports, making
+// the choice deterministic regardless of which worker tripped first in
+// wall-clock time: cancellation wins (the caller asked to stop), then
+// the lowest-indexed worker's error.
+func firstBuildError(ctx context.Context, errs []error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // This file holds the parallel ε-graph builders behind
 // RefineConfig.Workers. Both shard their work statically
@@ -39,40 +58,60 @@ import (
 // pairEvaluator (and engine, and distance cache) per worker. Pair
 // results land in a flat edge bitmap indexed by canonical pair index,
 // so the merge order is independent of goroutine scheduling.
-func buildEpsGraphPairwise(g *roadnet.Graph, flows []*FlowCluster, endpoints []flowEnds, cfg RefineConfig, spStats *shortest.Stats, alt *shortest.ALT, ch *shortest.CH, stats *RefineStats) [][]int {
+func buildEpsGraphPairwise(ctx context.Context, g *roadnet.Graph, flows []*FlowCluster, endpoints []flowEnds, cfg RefineConfig, spStats *shortest.Stats, alt *shortest.ALT, ch *shortest.CH, stats *RefineStats) ([][]int, error) {
 	n := len(flows)
 	total := n * (n - 1) / 2
 	stats.Pairs = total
 	adjacency := make([][]int, n)
 	if total == 0 {
-		return adjacency
+		return adjacency, nil
 	}
 	workers := conc.WorkersFor(cfg.Workers, total)
 	stats.Workers = workers
 
+	// stop flips when any worker hits an injected fault or observes
+	// cancellation; the others notice at their next pair and drain, so
+	// wg.Wait below never blocks on work nobody wants.
+	var stop atomic.Bool
 	edges := make([]bool, total)
 	evals := make([]*pairEvaluator, workers)
+	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		pe := newPairEvaluator(g, cfg, endpoints, shortest.New(g, spStats), alt, ch)
 		evals[w] = pe
 		lo, hi := conc.Chunk(w, workers, total)
 		wg.Add(1)
-		go func(pe *pairEvaluator, lo, hi int) {
+		go func(w int, pe *pairEvaluator, lo, hi int) {
 			defer wg.Done()
 			i, j := pairAt(lo, n)
 			for k := lo; k < hi; k++ {
+				if stop.Load() {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					stop.Store(true)
+					return
+				}
 				if pe.withinEps(i, j) {
 					edges[k] = true
+				}
+				if pe.err != nil {
+					errs[w] = pe.err
+					stop.Store(true)
+					return
 				}
 				if j++; j == n {
 					i++
 					j = i + 1
 				}
 			}
-		}(pe, lo, hi)
+		}(w, pe, lo, hi)
 	}
 	wg.Wait()
+	if err := firstBuildError(ctx, errs); err != nil {
+		return nil, err
+	}
 	for _, pe := range evals {
 		stats.ELBPruned += pe.elbPruned
 		stats.SPQueries += pe.spQueriesCH
@@ -90,7 +129,7 @@ func buildEpsGraphPairwise(g *roadnet.Graph, flows []*FlowCluster, endpoints []f
 			k++
 		}
 	}
-	return adjacency
+	return adjacency, nil
 }
 
 // pairAt returns the pair (i, j), i < j, at linear index k of the
@@ -111,7 +150,7 @@ func pairAt(k, n int) (int, int) {
 // the ε-graph construction): grid pre-filter, per-source expansions
 // sharded across workers, deterministic merge, then a cheap sequential
 // predicate pass over the candidate pairs.
-func buildEpsGraphBatched(g *roadnet.Graph, flows []*FlowCluster, endpoints []flowEnds, cfg RefineConfig, spStats *shortest.Stats, stats *RefineStats) ([][]int, error) {
+func buildEpsGraphBatched(ctx context.Context, g *roadnet.Graph, flows []*FlowCluster, endpoints []flowEnds, cfg RefineConfig, spStats *shortest.Stats, stats *RefineStats) ([][]int, error) {
 	n := len(flows)
 	stats.Pairs = n * (n - 1) / 2
 	adjacency := make([][]int, n)
@@ -268,6 +307,8 @@ func buildEpsGraphBatched(g *roadnet.Graph, flows []*FlowCluster, endpoints []fl
 			stats.Expansions++
 		}
 	}
+	var stop atomic.Bool
+	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo, hi := conc.Chunk(w, workers, len(sources))
@@ -275,18 +316,34 @@ func buildEpsGraphBatched(g *roadnet.Graph, flows []*FlowCluster, endpoints []fl
 			continue
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(w, lo, hi int) {
 			defer wg.Done()
 			eng := shortest.New(g, spStats)
+			eng.SetFaults(cfg.Fault)
 			for si := lo; si < hi; si++ {
+				if stop.Load() {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					stop.Store(true)
+					return
+				}
 				if len(targetsOf[si]) == 0 {
 					continue
 				}
+				if err := cfg.Fault.Inject(fault.SPQuery); err != nil {
+					errs[w] = err
+					stop.Store(true)
+					return
+				}
 				results[si] = eng.DistancesTo(sources[si], shortest.Undirected, eps, targetsOf[si])
 			}
-		}(lo, hi)
+		}(w, lo, hi)
 	}
 	wg.Wait()
+	if err := firstBuildError(ctx, errs); err != nil {
+		return nil, err
+	}
 
 	// Merge the per-worker partial tables into the distance lookup,
 	// writing each computed row back to the shared cache (nil-safe):

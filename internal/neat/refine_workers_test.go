@@ -1,9 +1,11 @@
 package neat
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
+	"repro/internal/distcache"
 	"repro/internal/proptest"
 	"repro/internal/roadnet"
 	"repro/internal/traj"
@@ -51,11 +53,11 @@ func TestRefineWorkersEquivalence(t *testing.T) {
 			{Epsilon: eps},
 			{Epsilon: eps, UseELB: true},
 			{Epsilon: eps, UseELB: true, Bounded: true},
-			{Epsilon: eps, UseELB: true, CacheDistances: true},
+			{Epsilon: eps, UseELB: true, Cache: distcache.New(0)},
 			{Epsilon: eps, Algo: SPAStar, UseELB: true},
 			{Epsilon: eps, Algo: SPBidirectional},
 			{Epsilon: eps, Algo: SPALT, UseELB: true},
-			{Epsilon: eps, Algo: SPCH, UseELB: true, CacheDistances: true},
+			{Epsilon: eps, Algo: SPCH, UseELB: true, Cache: distcache.New(0)},
 		} {
 			want, wantStats, err := RefineFlows(g, flows, base)
 			if err != nil {
@@ -193,7 +195,7 @@ func BenchmarkPhase3Refine(b *testing.B) {
 			b.Run(mode.name+"/flows="+itoa(len(flows)), func(b *testing.B) {
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					if _, _, err := refineFlowsWith(g, flows, mode.cfg, mode.strat); err != nil {
+					if _, _, err := refineFlowsWith(context.Background(), g, flows, mode.cfg, mode.strat); err != nil {
 						b.Fatal(err)
 					}
 				}

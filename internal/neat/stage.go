@@ -1,6 +1,7 @@
 package neat
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -78,6 +79,7 @@ type Input struct {
 
 // state threads the dataflow through a plan's stages.
 type state struct {
+	ctx   context.Context
 	in    Input
 	frags []traj.TFragment
 	res   *Result
@@ -264,7 +266,7 @@ func (s RefineStage) run(p *Pipeline, st *state) error {
 	}
 	sp := st.res.Trace.StartChild("phase3.refine")
 	start := time.Now()
-	clusters, stats, err := RefineFlows(p.g, flows, s.Cfg)
+	clusters, stats, err := RefineFlowsCtx(st.ctx, p.g, flows, s.Cfg)
 	if err != nil {
 		return fmt.Errorf("neat: phase 3 refinement: %w", err)
 	}
@@ -352,14 +354,30 @@ func (pl *Plan) String() string {
 // and timings but stay metrics-silent, matching the historical
 // semantics of the streaming merge.
 func (p *Pipeline) RunPlan(plan *Plan, in Input) (*Result, error) {
+	return p.RunPlanCtx(context.Background(), plan, in)
+}
+
+// RunPlanCtx is RunPlan with cooperative cancellation. The context is
+// checked between stages and threaded into Phase 3, whose builders
+// poll it pair-by-pair (expansion-by-expansion on the batched path);
+// Phase 1/2 stages are memory-bound and finish or fail atomically at
+// stage granularity. On cancellation the partial result is discarded
+// and the ctx error is returned — an identical re-run with a live
+// context produces output byte-identical to a never-cancelled run.
+func (p *Pipeline) RunPlanCtx(ctx context.Context, plan *Plan, in Input) (*Result, error) {
 	res := &Result{Level: plan.level}
 	name := "neat.run"
 	if plan.input == FromFlows {
 		name = "neat.merge"
 	}
 	res.Trace = p.newRunSpan(name, plan.level)
-	st := &state{in: in, res: res}
+	st := &state{ctx: ctx, in: in, res: res}
 	for _, stage := range plan.stages {
+		if err := ctx.Err(); err != nil {
+			res.Trace.Annotate("cancelled", stage.Name())
+			res.Trace.End()
+			return nil, err
+		}
 		if err := stage.run(p, st); err != nil {
 			return nil, err
 		}

@@ -160,13 +160,12 @@ type Draw struct {
 	Beta          float64 // 0 disables domination rework
 	MinCard       int
 	// Phase 3.
-	Epsilon        float64
-	MinPts         int
-	UseELB         bool
-	Bounded        bool
-	CacheDistances bool
-	Algo           int // numeric value of a neat.SPAlgo
-	Workers        int // 0 = serial paper path
+	Epsilon float64
+	MinPts  int
+	UseELB  bool
+	Bounded bool
+	Algo    int // numeric value of a neat.SPAlgo
+	Workers int // 0 = serial paper path
 	// Pipeline.
 	Level          int // LevelBase, LevelFlow, or LevelOpt
 	ParallelPhase1 bool
@@ -184,7 +183,6 @@ func DrawConfig(rng *rand.Rand) Draw {
 		MinPts:         1,
 		UseELB:         rng.Intn(2) == 1,
 		Bounded:        rng.Intn(2) == 1,
-		CacheDistances: rng.Intn(2) == 1,
 		Algo:           rng.Intn(5),
 		Level:          LevelOpt,
 		ParallelPhase1: rng.Intn(3) == 0,

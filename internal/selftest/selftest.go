@@ -43,13 +43,12 @@ func Materialize(d proptest.Draw) (neat.Config, oracle.Config, neat.Level, oracl
 	ncfg := neat.Config{
 		Flow: neat.FlowConfig{Weights: w, Beta: d.Beta, MinCard: d.MinCard},
 		Refine: neat.RefineConfig{
-			Epsilon:        d.Epsilon,
-			MinPts:         d.MinPts,
-			UseELB:         d.UseELB,
-			Bounded:        d.Bounded,
-			CacheDistances: d.CacheDistances,
-			Algo:           neat.SPAlgo(d.Algo),
-			Workers:        d.Workers,
+			Epsilon: d.Epsilon,
+			MinPts:  d.MinPts,
+			UseELB:  d.UseELB,
+			Bounded: d.Bounded,
+			Algo:    neat.SPAlgo(d.Algo),
+			Workers: d.Workers,
 		},
 	}
 	ocfg := oracle.Config{

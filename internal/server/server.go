@@ -1,17 +1,21 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/geo"
 
 	"repro/internal/distcache"
+	"repro/internal/fault"
 	"repro/internal/neat"
 	"repro/internal/obs"
 	"repro/internal/roadnet"
@@ -54,6 +58,24 @@ type Config struct {
 	// default) disables all instrumentation at zero cost; responses
 	// are byte-identical either way.
 	Obs *obs.Registry
+	// MaxInflight bounds concurrently served requests (admission
+	// control): up to MaxInflight requests run, up to another
+	// MaxInflight wait for a slot, and beyond that requests are shed
+	// immediately with 429 and a Retry-After header. A waiter whose
+	// deadline expires before a slot frees is shed with 503. Zero
+	// selects 16; negative disables admission control entirely.
+	MaxInflight int
+	// RequestTimeout is the per-request deadline attached to every
+	// request context; work in flight observes it cooperatively (the
+	// clustering pipeline polls it pair-by-pair). Zero selects 30s;
+	// negative disables deadlines.
+	RequestTimeout time.Duration
+	// Fault is an optional fault injector threaded into the ingest
+	// path (slow/failed ingests), the clustering pipeline (shortest-
+	// path faults), and the shared distance cache (pressure). With a
+	// nil or disabled injector the server's responses are byte-
+	// identical to an un-faulted build.
+	Fault *fault.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -62,6 +84,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 10000
+	}
+	if c.MaxInflight == 0 {
+		c.MaxInflight = 16
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
 	}
 	return c
 }
@@ -86,16 +114,39 @@ type Server struct {
 	cacheMu sync.Mutex
 	cache   map[string]cachedClusters
 
+	// lastGood holds, per parameter combination, the most recent
+	// successfully computed clustering response regardless of version —
+	// the degraded-mode snapshot served (flagged Stale) when a fresh
+	// clustering cannot be computed in time.
+	lastGoodMu sync.Mutex
+	lastGood   map[string]ClusterResponse
+
 	// One partitioner per data node; acquired through a channel
 	// semaphore since partitioners are not concurrency-safe.
 	nodes chan *traj.Partitioner
 
-	// The shared clustering pipeline behind /v1/clusters. A Pipeline is
-	// not safe for concurrent use, so pipeMu serializes runs; sharing
-	// one instance keeps its graph-partition cache warm across
-	// requests when Shards is on.
-	pipeMu   sync.Mutex
+	// Admission control (nil channels when cfg.MaxInflight < 0):
+	// queued bounds admitted-plus-waiting requests, inflight bounds
+	// concurrently served ones. Both are chan-semaphores so waiters
+	// can give up on context expiry.
+	queued   chan struct{}
+	inflight chan struct{}
+
+	// The shared clustering pipeline behind /v1/clusters. A Pipeline
+	// is not safe for concurrent use; pipeSem serializes runs (a chan,
+	// not a mutex, so a waiter can abandon the wait when its request
+	// deadline expires). Sharing one instance keeps its graph-
+	// partition cache warm across requests when Shards is on.
+	pipeSem  chan struct{}
 	pipeline *neat.Pipeline
+
+	// Degraded-mode bookkeeping: the last ingest failure (cleared by
+	// the next success) plus shed/stale counters surfaced in /v1/stats.
+	degMu         sync.Mutex
+	lastIngestErr string
+	staleServed   atomic.Int64
+	shedQueueFull atomic.Int64
+	shedTimeout   atomic.Int64
 
 	// distCache memoizes junction-pair network distances across
 	// clustering requests (and any future graph swap invalidates it by
@@ -115,6 +166,9 @@ type serverMetrics struct {
 	ingestTrajs    *obs.Counter
 	ingestFrags    *obs.Counter
 	ingestRejected *obs.Counter
+	shedQueueFull  *obs.Counter
+	shedTimeout    *obs.Counter
+	staleServed    *obs.Counter
 }
 
 // cachedClusters memoizes one clustering response until the next
@@ -129,11 +183,17 @@ type cachedClusters struct {
 func New(g *roadnet.Graph, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		g:       g,
-		cfg:     cfg,
-		seenIDs: make(map[traj.ID]struct{}),
-		cache:   make(map[string]cachedClusters),
-		nodes:   make(chan *traj.Partitioner, cfg.DataNodes),
+		g:        g,
+		cfg:      cfg,
+		seenIDs:  make(map[traj.ID]struct{}),
+		cache:    make(map[string]cachedClusters),
+		lastGood: make(map[string]ClusterResponse),
+		nodes:    make(chan *traj.Partitioner, cfg.DataNodes),
+		pipeSem:  make(chan struct{}, 1),
+	}
+	if cfg.MaxInflight > 0 {
+		s.inflight = make(chan struct{}, cfg.MaxInflight)
+		s.queued = make(chan struct{}, 2*cfg.MaxInflight)
 	}
 	for i := 0; i < cfg.DataNodes; i++ {
 		s.nodes <- traj.NewPartitioner(g, shortest.New(g, nil))
@@ -143,13 +203,18 @@ func New(g *roadnet.Graph, cfg Config) *Server {
 	if cfg.CacheEntries >= 0 {
 		s.distCache = distcache.New(cfg.CacheEntries)
 		s.distCache.Instrument(cfg.Obs)
+		s.distCache.InjectFaults(cfg.Fault)
 	}
+	cfg.Fault.Instrument(cfg.Obs)
 	s.m = serverMetrics{
 		cacheHits:      cfg.Obs.Counter("server_cache_hits_total"),
 		cacheMisses:    cfg.Obs.Counter("server_cache_misses_total"),
 		ingestTrajs:    cfg.Obs.Counter("server_ingest_trajectories_total"),
 		ingestFrags:    cfg.Obs.Counter("server_ingest_fragments_total"),
 		ingestRejected: cfg.Obs.Counter("server_ingest_rejected_total"),
+		shedQueueFull:  cfg.Obs.Counter("neat_shed_requests_total", obs.L("reason", "queue_full")),
+		shedTimeout:    cfg.Obs.Counter("neat_shed_requests_total", obs.L("reason", "timeout")),
+		staleServed:    cfg.Obs.Counter("server_stale_served_total"),
 	}
 	return s
 }
@@ -166,10 +231,11 @@ func (s *Server) Routes() []string {
 	}
 }
 
-// Handler returns the HTTP handler exposing the API. When the server
-// was configured with a metrics registry the handler is wrapped in the
-// obs middleware, recording per-route latency histograms and
-// per-route/status counters.
+// Handler returns the HTTP handler exposing the API. Requests pass
+// through admission control (load shedding and per-request deadlines;
+// see Config.MaxInflight and Config.RequestTimeout) and, when the
+// server was configured with a metrics registry, the obs middleware —
+// outermost, so shed requests are counted per route and status too.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/trajectories", s.handleIngest)
@@ -177,7 +243,49 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/network", s.handleNetwork)
 	mux.HandleFunc("/v1/trajectories/query", s.handleQuery)
-	return obs.Middleware(s.cfg.Obs, mux, s.Routes()...)
+	return obs.Middleware(s.cfg.Obs, s.admission(mux), s.Routes()...)
+}
+
+// admission is the load-shedding middleware: a bounded queue in front
+// of a bounded in-flight pool, plus the per-request deadline. An
+// overloaded server answers immediately — 429 when even the queue is
+// full, 503 when the deadline expires while queued — always with a
+// Retry-After header, and never hangs a client or surfaces a timeout
+// as a 500.
+func (s *Server) admission(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx := r.Context()
+		if s.cfg.RequestTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+			defer cancel()
+		}
+		if s.inflight == nil {
+			next.ServeHTTP(w, r.WithContext(ctx))
+			return
+		}
+		select {
+		case s.queued <- struct{}{}:
+			defer func() { <-s.queued }()
+		default:
+			s.shedQueueFull.Add(1)
+			s.m.shedQueueFull.Inc()
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "server overloaded: admission queue full")
+			return
+		}
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+		case <-ctx.Done():
+			s.shedTimeout.Add(1)
+			s.m.shedTimeout.Inc()
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "server overloaded: no slot within deadline")
+			return
+		}
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
 }
 
 // handleQuery answers spatio-temporal range queries over the ingested
@@ -273,9 +381,31 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
+// setIngestHealth records the ingest path's health: a failure puts the
+// server in degraded mode (surfaced in /v1/stats), a success clears it.
+func (s *Server) setIngestHealth(err error) {
+	s.degMu.Lock()
+	if err != nil {
+		s.lastIngestErr = err.Error()
+	} else {
+		s.lastIngestErr = ""
+	}
+	s.degMu.Unlock()
+}
+
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	s.cfg.Fault.Sleep(fault.Ingest)
+	if err := s.cfg.Fault.Inject(fault.Ingest); err != nil {
+		// Simulated ingest-path outage: nothing is committed, the
+		// server flags itself degraded, and the client may retry.
+		s.setIngestHealth(err)
+		s.m.ingestRejected.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "ingest unavailable: %v", err)
 		return
 	}
 	var req IngestRequest
@@ -318,9 +448,19 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	frags, trajs, err := s.preprocess(req.Trajectories)
+	frags, trajs, err := s.preprocess(r.Context(), req.Trajectories)
 	if err != nil {
 		s.m.ingestRejected.Inc()
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// Timed out mid-preprocess: nothing was committed (the
+			// commit below is atomic), so the batch is safely
+			// retryable — but the server is degraded, not the request
+			// malformed.
+			s.setIngestHealth(err)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "preprocess: %v", err)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "preprocess: %v", err)
 		return
 	}
@@ -344,6 +484,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	s.version++
 	total := len(s.fragments)
 	s.mu.Unlock()
+	s.setIngestHealth(nil)
 	s.m.ingestTrajs.Add(int64(len(req.Trajectories)))
 	s.m.ingestFrags.Add(int64(len(frags)))
 	writeJSON(w, http.StatusOK, IngestResponse{
@@ -355,7 +496,10 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 
 // preprocess shards t-fragment extraction across the data nodes. The
 // output preserves the request order so ingestion stays deterministic.
-func (s *Server) preprocess(dtos []TrajectoryDTO) ([]traj.TFragment, []traj.Trajectory, error) {
+// The context is observed before each trajectory is claimed, so an
+// expired request stops promptly (all spawned goroutines are always
+// joined — no leaks) and reports the ctx error.
+func (s *Server) preprocess(ctx context.Context, dtos []TrajectoryDTO) ([]traj.TFragment, []traj.Trajectory, error) {
 	type result struct {
 		idx   int
 		tr    traj.Trajectory
@@ -371,6 +515,10 @@ func (s *Server) preprocess(dtos []TrajectoryDTO) ([]traj.TFragment, []traj.Traj
 			defer wg.Done()
 			node := <-sem
 			defer func() { sem <- node }()
+			if err := ctx.Err(); err != nil {
+				results[i] = result{idx: i, err: err}
+				return
+			}
 			tr, err := dto.toTrajectory(s.g)
 			if err != nil {
 				results[i] = result{idx: i, err: err}
@@ -381,6 +529,11 @@ func (s *Server) preprocess(dtos []TrajectoryDTO) ([]traj.TFragment, []traj.Traj
 		}(i, dto)
 	}
 	wg.Wait()
+	// Deterministic error selection: ctx expiry first, else the first
+	// trajectory (in request order) that failed.
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	var out []traj.TFragment
 	var trajs []traj.Trajectory
 	for _, res := range results {
@@ -412,7 +565,7 @@ func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
 	}
 	cfg := neat.Config{
 		Flow:   neat.FlowConfig{Weights: neat.WeightsFlowOnly, MinCard: 5},
-		Refine: neat.RefineConfig{Epsilon: 6500, UseELB: true, Bounded: true, Workers: s.cfg.Workers, Cache: s.distCache},
+		Refine: neat.RefineConfig{Epsilon: 6500, UseELB: true, Bounded: true, Workers: s.cfg.Workers, Cache: s.distCache, Fault: s.cfg.Fault},
 		Shards: s.cfg.Shards,
 	}
 	if v := q.Get("eps"); v != "" {
@@ -463,10 +616,23 @@ func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
 	s.m.cacheMisses.Inc()
 
 	start := time.Now()
-	s.pipeMu.Lock()
-	res, err := s.pipeline.RunPlan(plan, neat.Input{Fragments: frags})
-	s.pipeMu.Unlock()
+	ctx := r.Context()
+	// The pipeline is single-flight; wait for it via a channel so a
+	// request whose deadline expires while queued degrades instead of
+	// blocking in an uninterruptible mutex wait.
+	select {
+	case s.pipeSem <- struct{}{}:
+	case <-ctx.Done():
+		s.degradeClusters(w, cacheKey, ctx.Err())
+		return
+	}
+	res, err := s.pipeline.RunPlanCtx(ctx, plan, neat.Input{Fragments: frags})
+	<-s.pipeSem
 	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || fault.IsInjected(err) {
+			s.degradeClusters(w, cacheKey, err)
+			return
+		}
 		writeError(w, http.StatusInternalServerError, "clustering: %v", err)
 		return
 	}
@@ -493,7 +659,35 @@ func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
 	}
 	s.cache[cacheKey] = cachedClusters{version: version, resp: resp}
 	s.cacheMu.Unlock()
+	s.lastGoodMu.Lock()
+	if len(s.lastGood) >= 32 {
+		s.lastGood = make(map[string]ClusterResponse)
+	}
+	s.lastGood[cacheKey] = resp
+	s.lastGoodMu.Unlock()
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// degradeClusters is the graceful-degradation tail of handleClusters:
+// when a fresh clustering cannot be computed (deadline expired, or an
+// injected fault downed the shortest-path engines), serve the last
+// successfully computed response for the same parameters — flagged
+// Stale, possibly predating recent ingests — or shed with 503 and
+// Retry-After when no snapshot exists. A timeout is never a 500: the
+// condition is the server's load, not a server bug.
+func (s *Server) degradeClusters(w http.ResponseWriter, cacheKey string, cause error) {
+	s.lastGoodMu.Lock()
+	snap, ok := s.lastGood[cacheKey]
+	s.lastGoodMu.Unlock()
+	if ok {
+		snap.Stale = true
+		s.staleServed.Add(1)
+		s.m.staleServed.Inc()
+		writeJSON(w, http.StatusOK, snap)
+		return
+	}
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable, "clustering unavailable: %v", cause)
 }
 
 // handleNetwork serves the road network as GeoJSON so clients can
@@ -544,6 +738,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			HitRate:   st.HitRate(),
 		}
 	}
+	s.degMu.Lock()
+	lastErr := s.lastIngestErr
+	s.degMu.Unlock()
+	rb := RobustnessDTO{
+		MaxInflight:      s.cfg.MaxInflight,
+		RequestTimeoutMs: float64(s.cfg.RequestTimeout.Microseconds()) / 1000,
+		Degraded:         lastErr != "",
+		LastIngestError:  lastErr,
+		StaleServed:      s.staleServed.Load(),
+		ShedQueueFull:    s.shedQueueFull.Load(),
+		ShedTimeout:      s.shedTimeout.Load(),
+		FaultsEnabled:    s.cfg.Fault.Enabled(),
+	}
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Junctions:      s.g.NumNodes(),
 		Segments:       s.g.NumSegments(),
@@ -554,6 +761,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		RefineWorkers:  s.cfg.Workers,
 		Shards:         s.cfg.Shards,
 		DistCache:      dc,
+		Robustness:     rb,
 		Build:          buildDTO(),
 	})
 }

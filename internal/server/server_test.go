@@ -85,7 +85,7 @@ func TestIngestShardingMatchesSerial(t *testing.T) {
 	g, ds := testSetup(t)
 	s := New(g, Config{DataNodes: 8})
 	req := FromDataset(ds)
-	got, gotTrajs, err := s.preprocess(req.Trajectories)
+	got, gotTrajs, err := s.preprocess(context.Background(), req.Trajectories)
 	if err != nil {
 		t.Fatal(err)
 	}

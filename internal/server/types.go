@@ -69,6 +69,11 @@ type ClusterResponse struct {
 	Flows        []FlowDTO    `json:"flows,omitempty"`
 	Clusters     []ClusterDTO `json:"clusters,omitempty"`
 	ElapsedMs    float64      `json:"elapsed_ms"`
+	// Stale marks a degraded-mode response: a fresh clustering could
+	// not be computed in time, so this is the last successfully
+	// computed result for the same parameters, possibly predating
+	// recent ingests.
+	Stale bool `json:"stale,omitempty"`
 }
 
 // StatsResponse is the body of GET /v1/stats.
@@ -88,8 +93,31 @@ type StatsResponse struct {
 	// DistCache reports the shared junction-pair distance cache behind
 	// /v1/clusters; nil when the cache is disabled.
 	DistCache *DistCacheDTO `json:"dist_cache,omitempty"`
+	// Robustness reports admission-control configuration and the
+	// server's degradation state.
+	Robustness RobustnessDTO `json:"robustness"`
 	// Build identifies the running binary.
 	Build BuildDTO `json:"build"`
+}
+
+// RobustnessDTO is the robustness section of GET /v1/stats: the
+// admission-control envelope plus live degradation state.
+type RobustnessDTO struct {
+	MaxInflight      int     `json:"max_inflight"`
+	RequestTimeoutMs float64 `json:"request_timeout_ms"`
+	// Degraded is true while the most recent ingest attempt failed
+	// (fault or timeout); the next successful ingest clears it.
+	Degraded        bool   `json:"degraded"`
+	LastIngestError string `json:"last_ingest_error,omitempty"`
+	// StaleServed counts degraded-mode cluster responses served from
+	// the last-good snapshot.
+	StaleServed int64 `json:"stale_served"`
+	// ShedQueueFull / ShedTimeout count requests shed with 429 / 503.
+	ShedQueueFull int64 `json:"shed_queue_full"`
+	ShedTimeout   int64 `json:"shed_timeout"`
+	// FaultsEnabled is true while a fault injector is attached and
+	// active (chaos testing).
+	FaultsEnabled bool `json:"faults_enabled"`
 }
 
 // DistCacheDTO is the distance-cache section of GET /v1/stats.

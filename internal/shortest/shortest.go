@@ -17,6 +17,7 @@ import (
 	"math"
 	"sync/atomic"
 
+	"repro/internal/fault"
 	"repro/internal/roadnet"
 )
 
@@ -56,6 +57,11 @@ func (s *Stats) Snapshot() (queries, settled int64) {
 type Engine struct {
 	g     *roadnet.Graph
 	stats *Stats
+	// faults is the optional latency injector consulted at every query
+	// entry (fault.SPQuery); nil — the default — costs one nil check.
+	// Latency only: an Engine has no error path, so failure injection
+	// happens in the callers that can propagate errors (internal/neat).
+	faults *fault.Injector
 
 	// Epoch-stamped work arrays, reused across queries.
 	dist    []float64
@@ -95,7 +101,11 @@ func New(g *roadnet.Graph, stats *Stats) *Engine {
 // Stats receiver. The clone has its own work arrays, so it may be used
 // from a different goroutine than the receiver (each still confined to
 // one goroutine at a time; see the Engine invariant).
-func (e *Engine) Clone() *Engine { return New(e.g, e.stats) }
+func (e *Engine) Clone() *Engine {
+	c := New(e.g, e.stats)
+	c.faults = e.faults
+	return c
+}
 
 // NewPool returns n independent Engines over g sharing one Stats
 // receiver (nil selects a private shared one), ready to be handed one
@@ -110,6 +120,12 @@ func NewPool(g *roadnet.Graph, stats *Stats, n int) []*Engine {
 	}
 	return pool
 }
+
+// SetFaults attaches a fault injector: every subsequent query first
+// consults it for injected latency (fault.SPQuery). Nil detaches (the
+// default). Latency injection never changes query results, only their
+// wall time.
+func (e *Engine) SetFaults(in *fault.Injector) { e.faults = in }
 
 // Stats returns the engine's counters.
 func (e *Engine) Stats() *Stats { return e.stats }
@@ -212,6 +228,7 @@ func (e *Engine) AStar(from, to roadnet.NodeID, mode Mode) Result {
 }
 
 func (e *Engine) pointToPoint(from, to roadnet.NodeID, mode Mode, astar bool) Result {
+	e.faults.Sleep(fault.SPQuery)
 	e.stats.Queries.Add(1)
 	e.newEpoch()
 	target := e.g.Node(to).Pt
@@ -310,6 +327,7 @@ func (e *Engine) Distance(from, to roadnet.NodeID, mode Mode) float64 {
 // it does not exceed maxDist, or +Inf otherwise. The expansion is
 // pruned at maxDist, which keeps epsilon-neighborhood probes cheap.
 func (e *Engine) BoundedDistance(from, to roadnet.NodeID, mode Mode, maxDist float64) float64 {
+	e.faults.Sleep(fault.SPQuery)
 	e.stats.Queries.Add(1)
 	if from == to {
 		return 0
@@ -353,6 +371,7 @@ func (e *Engine) BoundedDistance(from, to roadnet.NodeID, mode Mode, maxDist flo
 // junctions with bidirectional Dijkstra. It returns only the distance;
 // it exists as an ablation comparator for Phase 3's distance kernel.
 func (e *Engine) Bidirectional(from, to roadnet.NodeID, mode Mode) float64 {
+	e.faults.Sleep(fault.SPQuery)
 	e.stats.Queries.Add(1)
 	if from == to {
 		return 0
@@ -484,6 +503,7 @@ func (e *Engine) Tree(from roadnet.NodeID, mode Mode, maxDist float64) []float64
 // point-to-point probes from the same source into one Dijkstra pass
 // (generalizing Tree, which reports the whole radius-bounded tree).
 func (e *Engine) DistancesTo(from roadnet.NodeID, mode Mode, maxDist float64, targets []roadnet.NodeID) []float64 {
+	e.faults.Sleep(fault.SPQuery)
 	e.stats.Queries.Add(1)
 	out := make([]float64, len(targets))
 	// Targets may repeat; index positions by node so one settle fills

@@ -1,0 +1,146 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+)
+
+func TestCloseIsIdempotentAndTyped(t *testing.T) {
+	g, ds := streamSetup(t)
+	c, err := New(g, streamConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := batches(ds, 3)
+	if _, err := c.Ingest(bs[0]); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := c.Close(); err != nil {
+			t.Fatalf("Close #%d = %v", i+1, err)
+		}
+	}
+	_, err = c.Ingest(bs[1])
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("Ingest after Close: err = %v, want ErrClosed", err)
+	}
+	// Read-only accessors keep serving the final state.
+	if c.Batches() != 1 {
+		t.Fatalf("Batches after Close = %d, want 1", c.Batches())
+	}
+	if len(c.StandingFlows()) == 0 {
+		t.Fatal("StandingFlows empty after Close despite an ingest")
+	}
+}
+
+// TestFailedIngestRollsBackAndRetries drives the same batch sequence
+// through a faulty clusterer and a fault-free control. Every failed
+// ingest must leave the clusterer state untouched (batch index,
+// standing set) so the batch can be retried; once a retry succeeds the
+// snapshot must be byte-identical to the control's.
+func TestFailedIngestRollsBackAndRetries(t *testing.T) {
+	g, ds := streamSetup(t)
+	for _, cacheEntries := range []int{0, -1} {
+		cfg := streamConfig()
+		cfg.Window = 2
+		cfg.CacheEntries = cacheEntries
+		control, err := New(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := fault.New(fault.Config{Seed: 21, Points: map[fault.Point]fault.Spec{
+			fault.Ingest:  {ErrProb: 0.3},
+			fault.SPQuery: {ErrProb: 0.02},
+		}})
+		fcfg := cfg
+		fcfg.Fault = in
+		faulty, err := New(g, fcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sawFailure := false
+		for bi, b := range batches(ds, 4) {
+			want, err := control.Ingest(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got Snapshot
+			for attempt := 0; ; attempt++ {
+				got, err = faulty.Ingest(b)
+				if err == nil {
+					break
+				}
+				sawFailure = true
+				if !fault.IsInjected(err) {
+					t.Fatalf("cache=%d batch %d: non-injected failure %v", cacheEntries, bi, err)
+				}
+				if faulty.Batches() != bi {
+					t.Fatalf("cache=%d batch %d: batch index advanced to %d on failure", cacheEntries, bi, faulty.Batches())
+				}
+				if attempt == 50 {
+					// Statistically unreachable; heal as a backstop so
+					// the test cannot loop forever.
+					in.SetEnabled(false)
+				}
+			}
+			if renderClusters(got.Clusters) != renderClusters(want.Clusters) {
+				t.Fatalf("cache=%d batch %d: clusters diverged from control after retries", cacheEntries, bi)
+			}
+			if got.StandingFlows != want.StandingFlows {
+				t.Fatalf("cache=%d batch %d: standing %d vs control %d", cacheEntries, bi, got.StandingFlows, want.StandingFlows)
+			}
+		}
+		if !sawFailure {
+			t.Fatalf("cache=%d: injector never fired; test exercised nothing", cacheEntries)
+		}
+	}
+}
+
+// TestIngestCtxCancelRollsBack cancels an ingest mid-merge (injected
+// latency keeps the merge slow) and verifies the clusterer is left
+// exactly as before; the retried ingest matches a never-cancelled run.
+func TestIngestCtxCancelRollsBack(t *testing.T) {
+	g, ds := streamSetup(t)
+	cfg := streamConfig()
+	control, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := fault.New(fault.Config{Seed: 5, Points: map[fault.Point]fault.Spec{
+		fault.SPQuery: {LatencyProb: 1, Latency: 5 * time.Millisecond},
+	}})
+	in.SetEnabled(false)
+	fcfg := cfg
+	fcfg.Fault = in
+	slow, err := New(g, fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := batches(ds, 2)
+	want0, err := control.Ingest(bs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.SetEnabled(true)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	_, err = slow.IngestCtx(ctx, bs[0])
+	cancel()
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("cancelled ingest: err = %v, want context.DeadlineExceeded", err)
+	}
+	if slow.Batches() != 0 || len(slow.StandingFlows()) != 0 {
+		t.Fatalf("state leaked from cancelled ingest: batches=%d standing=%d", slow.Batches(), len(slow.StandingFlows()))
+	}
+	in.SetEnabled(false)
+	got0, err := slow.Ingest(bs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderClusters(got0.Clusters) != renderClusters(want0.Clusters) {
+		t.Fatal("retried ingest diverged from never-cancelled control")
+	}
+}

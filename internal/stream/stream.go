@@ -13,15 +13,22 @@
 package stream
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
 	"repro/internal/distcache"
+	"repro/internal/fault"
 	"repro/internal/neat"
 	"repro/internal/obs"
 	"repro/internal/roadnet"
 	"repro/internal/traj"
 )
+
+// ErrClosed is the sentinel a closed Clusterer's Ingest wraps; test
+// with errors.Is.
+var ErrClosed = errors.New("stream: clusterer is closed")
 
 // Config parameterizes a Clusterer.
 type Config struct {
@@ -55,6 +62,14 @@ type Config struct {
 	// carries a "stream.ingest" tree with the batch's Phase 1-2 run and
 	// the standing-set merge grafted under it. Off by default.
 	Trace bool
+	// Fault is an optional fault injector threaded through the whole
+	// ingest path: slow/failed ingests (fault.Ingest), shortest-path
+	// faults in the Phase 3 merge (unless Neat.Refine.Fault already
+	// pins one), and cache pressure on the persistent distance cache.
+	// A failed ingest leaves the clusterer exactly as it was — the
+	// batch can be retried — and clustering output with a nil or idle
+	// injector is byte-identical to an un-faulted run.
+	Fault *fault.Injector
 }
 
 // Snapshot is the state of the clustering after an ingestion.
@@ -105,6 +120,13 @@ type Clusterer struct {
 
 	batch    int
 	standing []flowEntry
+	closed   bool
+	// epsDirty flags that the maintained ε-graph no longer mirrors the
+	// standing set (a merge failed after eviction had been applied to
+	// the graph); the next merge rebuilds it from empty over the full
+	// standing set, which is byte-identical to incremental maintenance
+	// (see neat.EpsGraph).
+	epsDirty bool
 
 	// Pre-resolved metric handles; all nil without a registry.
 	m streamMetrics
@@ -144,9 +166,14 @@ func New(g *roadnet.Graph, cfg Config) (*Clusterer, error) {
 	if cfg.CacheEntries >= 0 {
 		cache = distcache.New(cfg.CacheEntries)
 		cache.Instrument(cfg.Obs)
+		cache.InjectFaults(cfg.Fault)
 	}
+	cfg.Fault.Instrument(cfg.Obs)
 	refineCfg := cfg.Neat.Refine
 	refineCfg.Cache = cache
+	if refineCfg.Fault == nil {
+		refineCfg.Fault = cfg.Fault
+	}
 	cfg.Neat.Refine = refineCfg
 	var mergePlan *neat.Plan
 	var eps *neat.EpsGraph
@@ -183,18 +210,41 @@ func New(g *roadnet.Graph, cfg Config) (*Clusterer, error) {
 // Ingest processes one batch: Phases 1-2 over the batch only, window
 // eviction, then Phase 3 over the standing flow set.
 func (c *Clusterer) Ingest(batch traj.Dataset) (Snapshot, error) {
+	return c.IngestCtx(context.Background(), batch)
+}
+
+// IngestCtx is Ingest with cooperative cancellation: the context is
+// threaded through the batch run and the standing-set merge. On any
+// failure — cancellation, deadline, or an injected fault — the
+// clusterer's state is exactly as it was before the call (nothing is
+// committed, the batch index does not advance), so the same batch can
+// be retried; a later successful retry produces output byte-identical
+// to a never-failed run.
+func (c *Clusterer) IngestCtx(ctx context.Context, batch traj.Dataset) (Snapshot, error) {
+	if c.closed {
+		return Snapshot{}, fmt.Errorf("stream: batch %d: %w", c.batch, ErrClosed)
+	}
 	start := time.Now()
+	c.cfg.Fault.Sleep(fault.Ingest)
+	if err := c.cfg.Fault.Inject(fault.Ingest); err != nil {
+		return Snapshot{}, fmt.Errorf("stream: batch %d: %w", c.batch, err)
+	}
 	var root *obs.Span
 	if c.cfg.Trace {
 		root = obs.StartSpan("stream.ingest")
 		root.Annotate("batch", c.batch)
 	}
-	res, err := c.pipeline.RunPlan(c.ingestPlan, neat.Input{Dataset: batch})
+	res, err := c.pipeline.RunPlanCtx(ctx, c.ingestPlan, neat.Input{Dataset: batch})
 	if err != nil {
+		// Nothing has been committed yet; state is untouched.
 		return Snapshot{}, fmt.Errorf("stream: batch %d: %w", c.batch, err)
 	}
 	root.Adopt(res.Trace)
 	snap := Snapshot{Batch: c.batch, NewFlows: len(res.Flows), Timing: res.Timing}
+	// The merge below can fail (cancellation, injected SP faults);
+	// snapshot the pre-batch state so failure rolls everything back.
+	prevStanding := append([]flowEntry(nil), c.standing...)
+	prevBatch := c.batch
 	// Evict flows older than the window. The standing list is in batch
 	// order (each ingest appends), so the cutoff removes a prefix —
 	// which is exactly the edit the maintained ε-graph supports.
@@ -216,7 +266,12 @@ func (c *Clusterer) Ingest(batch traj.Dataset) (Snapshot, error) {
 	snap.StandingFlows = len(c.standing)
 
 	if c.eps != nil {
-		if err := c.mergeIncremental(&snap, res.Flows, evicted, root); err != nil {
+		if err := c.mergeIncremental(ctx, &snap, res.Flows, evicted, root); err != nil {
+			c.standing = prevStanding
+			c.batch = prevBatch
+			// The graph may have already dropped the evicted prefix; it
+			// no longer mirrors the restored standing set.
+			c.epsDirty = true
 			return Snapshot{}, fmt.Errorf("stream: merge after batch %d: %w", snap.Batch, err)
 		}
 	} else {
@@ -224,8 +279,10 @@ func (c *Clusterer) Ingest(batch traj.Dataset) (Snapshot, error) {
 		for i, e := range c.standing {
 			flows[i] = e.flow
 		}
-		mres, err := c.pipeline.RunPlan(c.mergePlan, neat.Input{Flows: flows})
+		mres, err := c.pipeline.RunPlanCtx(ctx, c.mergePlan, neat.Input{Flows: flows})
 		if err != nil {
+			c.standing = prevStanding
+			c.batch = prevBatch
 			return Snapshot{}, fmt.Errorf("stream: merge after batch %d: %w", snap.Batch, err)
 		}
 		root.Adopt(mres.Trace)
@@ -243,15 +300,50 @@ func (c *Clusterer) Ingest(batch traj.Dataset) (Snapshot, error) {
 	return snap, nil
 }
 
+// Close marks the clusterer closed: subsequent Ingest calls fail with
+// an error wrapping ErrClosed. Close is idempotent and never fails;
+// read-only accessors (StandingFlows, CacheStats, Batches) keep
+// working on the final state.
+func (c *Clusterer) Close() error {
+	c.closed = true
+	return nil
+}
+
 // mergeIncremental is the default Phase 3 merge: instead of rebuilding
 // the ε-graph over the whole standing set, it drops the evicted prefix
 // from the maintained graph, evaluates only the pairs that involve a
 // flow from this batch (their distances mostly hitting the persistent
 // cache), and re-runs the deterministic DBSCAN pass. The result is
 // byte-identical to the from-scratch merge — see neat.EpsGraph.
-func (c *Clusterer) mergeIncremental(snap *Snapshot, newFlows []*neat.FlowCluster, evicted int, root *obs.Span) error {
-	c.eps.RemovePrefix(evicted)
-	stats := c.eps.Extend(newFlows)
+//
+// When a previous merge failed mid-edit (epsDirty), the maintained
+// graph is rebuilt from empty over the full standing set first —
+// structurally the same scan a from-scratch build runs, so the
+// recovered graph is byte-identical to an incrementally maintained one
+// (that ingest's Pairs counter covers the whole standing set).
+func (c *Clusterer) mergeIncremental(ctx context.Context, snap *Snapshot, newFlows []*neat.FlowCluster, evicted int, root *obs.Span) error {
+	var stats neat.RefineStats
+	if c.epsDirty {
+		fresh, err := neat.NewEpsGraph(c.g, c.refineCfg)
+		if err != nil {
+			return err
+		}
+		flows := make([]*neat.FlowCluster, len(c.standing))
+		for i, e := range c.standing {
+			flows[i] = e.flow
+		}
+		if stats, err = fresh.Extend(ctx, flows); err != nil {
+			return err
+		}
+		c.eps = fresh
+		c.epsDirty = false
+	} else {
+		c.eps.RemovePrefix(evicted)
+		var err error
+		if stats, err = c.eps.Extend(ctx, newFlows); err != nil {
+			return err
+		}
+	}
 	clusters, clusterTime, err := c.eps.Cluster()
 	if err != nil {
 		return err
