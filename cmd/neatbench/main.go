@@ -6,13 +6,16 @@
 //	neatbench [-scale 0.1] [-out results/] [-exp fig5] [-exp table1] ...
 //	neatbench -scale 0.05 -phasejson results/BENCH_phase_times.json
 //	neatbench -scale 0.05 -streamjson BENCH_stream_ingest.json -streamguard 1.5
+//	neatbench -scale 0.05 -recoveryjson BENCH_recovery.json
 //
 // With no -exp flags, every experiment runs in the paper's order;
 // -phasejson with no -exp runs only the fixed phase-timing scenario
 // and writes the per-phase JSON report (the CI bench artifact);
 // -streamjson likewise runs only the steady-state streaming scenario
 // (persistent distance cache on vs off) and -streamguard fails the
-// process unless the cached mode is at least that factor faster. The
+// process unless the cached mode is at least that factor faster;
+// -recoveryjson runs only the crash-recovery scenario (durable
+// restart vs cold start, time-to-first-ingest across windows). The
 // scale factor shrinks maps and datasets together (see
 // internal/experiments); absolute times are machine-dependent, the
 // relationships between systems are the reproduction target.
@@ -49,13 +52,14 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("neatbench", flag.ContinueOnError)
 	fs.SetOutput(os.Stderr)
 	var (
-		scale       = fs.Float64("scale", 0.1, "map and dataset scale factor in (0, 1]")
-		out         = fs.String("out", "results", "directory for SVG artifacts")
-		format      = fs.String("format", "text", "output format: text or md")
-		phaseJSON   = fs.String("phasejson", "", "write the per-phase timing report of the fixed scenario to this JSON path")
-		streamJSON  = fs.String("streamjson", "", "write the steady-state stream-ingest report (cached vs uncached) to this JSON path")
-		streamGuard = fs.Float64("streamguard", 0, "fail unless the stream-ingest cached/uncached speedup is at least this factor (0 = no guard; implies the stream scenario runs)")
-		exps        expList
+		scale        = fs.Float64("scale", 0.1, "map and dataset scale factor in (0, 1]")
+		out          = fs.String("out", "results", "directory for SVG artifacts")
+		format       = fs.String("format", "text", "output format: text or md")
+		phaseJSON    = fs.String("phasejson", "", "write the per-phase timing report of the fixed scenario to this JSON path")
+		streamJSON   = fs.String("streamjson", "", "write the steady-state stream-ingest report (cached vs uncached) to this JSON path")
+		streamGuard  = fs.Float64("streamguard", 0, "fail unless the stream-ingest cached/uncached speedup is at least this factor (0 = no guard; implies the stream scenario runs)")
+		recoveryJSON = fs.String("recoveryjson", "", "write the crash-recovery report (durable restart vs cold start) to this JSON path")
+		exps         expList
 	)
 	fs.Var(&exps, "exp", "experiment id to run (repeatable); default all")
 	if err := fs.Parse(args); err != nil {
@@ -70,7 +74,7 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	ids := []string(exps)
-	if len(ids) == 0 && *phaseJSON == "" && *streamJSON == "" && *streamGuard == 0 {
+	if len(ids) == 0 && *phaseJSON == "" && *streamJSON == "" && *streamGuard == 0 && *recoveryJSON == "" {
 		ids = experiments.Order()
 	}
 	fmt.Fprintf(stdout, "NEAT reproduction harness — scale %.3g, %d experiment(s)\n\n", *scale, len(ids))
@@ -96,6 +100,11 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *streamJSON != "" || *streamGuard > 0 {
 		if err := runStreamIngest(env, *streamJSON, *streamGuard, stdout); err != nil {
+			return err
+		}
+	}
+	if *recoveryJSON != "" {
+		if err := runRecovery(env, *recoveryJSON, stdout); err != nil {
 			return err
 		}
 	}
@@ -163,5 +172,35 @@ func runStreamIngest(env *experiments.Env, path string, guard float64, stdout io
 	if guard > 0 && rep.Speedup < guard {
 		return fmt.Errorf("stream-ingest speedup %.2fx below the %.2gx guard", rep.Speedup, guard)
 	}
+	return nil
+}
+
+// runRecovery runs the fixed crash-recovery scenario (durable restart
+// vs best-case cold start across window sizes) and writes the JSON
+// report CI uploads as BENCH_recovery.json.
+func runRecovery(env *experiments.Env, path string, stdout io.Writer) error {
+	start := time.Now()
+	rep, err := experiments.Recovery(env)
+	if err != nil {
+		return err
+	}
+	for _, r := range rep.Rows {
+		fmt.Fprintf(stdout, "recovery window=%d  cold %8.2f ms  recovered %8.2f ms  (open %.2f ms, %d records replayed, %.1fx)\n",
+			r.Window, r.ColdMs, r.RecoveredMs, r.OpenMs, r.ReplayedRecords, r.Speedup)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "recovery report written to %s\n", path)
+	fmt.Fprintf(os.Stderr, "(recovery completed in %s)\n", time.Since(start).Round(time.Millisecond))
 	return nil
 }

@@ -14,6 +14,7 @@
 //	neatcli stats     -map map.csv
 //	neatcli selftest  -seed 0 -n 200
 //	neatcli chaos     -duration 30s -seed 1
+//	neatcli wal       -dir /var/lib/neat [-verify]
 //	neatcli version
 package main
 
@@ -54,6 +55,8 @@ func run(args []string) error {
 		return cmdSelftest(args[1:])
 	case "chaos":
 		return cmdChaos(args[1:])
+	case "wal":
+		return cmdWAL(args[1:])
 	case "version":
 		return cmdVersion(args[1:])
 	case "-h", "--help", "help":
@@ -78,6 +81,7 @@ subcommands:
   match       map-match raw GPS traces onto a road network
   selftest    differential-test the pipeline against the naive oracle
   chaos       soak the engine and service under seeded fault injection
+  wal         inspect or verify a durability data directory
   version     print build and toolchain information
 
 run 'neatcli <subcommand> -h' for flags`)

@@ -9,6 +9,13 @@
 //
 //	neatserver -map map.csv [-addr :8080] [-datanodes 4] [-workers -1] [-shards 4] [-cache-entries 262144]
 //	neatserver -region ATL -scale 0.1 [-addr :8080] [-drain 10s] [-max-inflight 16] [-request-timeout 30s]
+//	neatserver -region ATL -data-dir /var/lib/neat [-fsync always] [-checkpoint-every 8]
+//
+// With -data-dir the server is durable: every acknowledged ingest is
+// written to a WAL before the response, the dataset is checkpointed
+// periodically and on shutdown, and a restart over the same directory
+// recovers every acknowledged batch (see /v1/stats' persistence
+// block).
 //
 // API:
 //
@@ -34,6 +41,7 @@ import (
 
 	"repro/internal/mapgen"
 	"repro/internal/obs"
+	"repro/internal/persist"
 	"repro/internal/roadnet"
 	"repro/internal/server"
 )
@@ -62,6 +70,9 @@ func run(ctx context.Context, args []string) error {
 		inflight  = fs.Int("max-inflight", 0, "admission control: concurrent requests served before shedding with 429/503 (0 = 16, <0 = unbounded)")
 		reqTO     = fs.Duration("request-timeout", 0, "per-request deadline; expired requests degrade to the last-good snapshot or shed with 503 (0 = 30s, <0 = none)")
 		drain     = fs.Duration("drain", 10*time.Second, "graceful shutdown timeout for in-flight requests")
+		dataDir   = fs.String("data-dir", "", "durable data directory (WAL + checkpoints); empty = in-memory only")
+		fsyncPol  = fs.String("fsync", "always", "WAL fsync policy with -data-dir: always, interval, or off")
+		ckptEvery = fs.Int("checkpoint-every", 0, "checkpoint the dataset every N ingests with -data-dir (0 = default 8, <0 = only on shutdown)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -97,17 +108,32 @@ func run(ctx context.Context, args []string) error {
 	}
 
 	reg := obs.NewRegistry()
-	srv := server.New(g, server.Config{
+	scfg := server.Config{
 		DataNodes: *dataNodes, Workers: *workers, Shards: *shards, CacheEntries: *cacheEnt,
 		MaxInflight: *inflight, RequestTimeout: *reqTO, Obs: reg,
-	})
+	}
+	if *dataDir != "" {
+		pol, err := persist.ParseFsyncPolicy(*fsyncPol)
+		if err != nil {
+			return err
+		}
+		scfg.Persist = &persist.Options{Dir: *dataDir, Fsync: pol, CheckpointEvery: *ckptEvery}
+	}
+	srv, err := server.Open(g, scfg)
+	if err != nil {
+		return err
+	}
+	if *dataDir != "" {
+		fmt.Printf("neatserver durable in %s (fsync=%s): recovered %d batches\n",
+			*dataDir, *fsyncPol, srv.RecoveredBatches())
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           newMux(srv, reg),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	fmt.Printf("neatserver listening on %s — %s\n", *addr, roadnet.ComputeStats(g))
-	return serve(ctx, httpSrv, reg, *drain)
+	return serve(ctx, httpSrv, srv, reg, *drain)
 }
 
 // newMux assembles the full handler: the API (already wrapped in the
@@ -128,10 +154,11 @@ func newMux(srv *server.Server, reg *obs.Registry) *http.ServeMux {
 
 // serve runs httpSrv until it fails or ctx is cancelled (SIGINT or
 // SIGTERM in production). On cancellation it drains in-flight requests
-// via http.Server.Shutdown bounded by the drain timeout, then logs the
-// final metrics snapshot so a scrape gap around termination loses
+// via http.Server.Shutdown bounded by the drain timeout, closes the
+// server's durability layer (final checkpoint + WAL flush), then logs
+// the final metrics snapshot so a scrape gap around termination loses
 // nothing.
-func serve(ctx context.Context, httpSrv *http.Server, reg *obs.Registry, drain time.Duration) error {
+func serve(ctx context.Context, httpSrv *http.Server, srv *server.Server, reg *obs.Registry, drain time.Duration) error {
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	select {
@@ -143,6 +170,9 @@ func serve(ctx context.Context, httpSrv *http.Server, reg *obs.Registry, drain t
 	sctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	shutdownErr := httpSrv.Shutdown(sctx)
+	if err := srv.Close(); err != nil && shutdownErr == nil {
+		shutdownErr = fmt.Errorf("close durability layer: %w", err)
+	}
 	fmt.Fprintln(os.Stderr, "neatserver: final metrics snapshot:")
 	_ = reg.WritePrometheus(os.Stderr)
 	if shutdownErr != nil {

@@ -12,7 +12,10 @@
 //     Retry-After) and never hangs a client or converts a timeout
 //     into a 500;
 //   - a degraded server serves the last-good clustering flagged
-//     Stale, and reports its state in /v1/stats.
+//     Stale, and reports its state in /v1/stats;
+//   - a durable clusterer killed mid-stream (even with its WAL cut at
+//     or inside a record boundary) recovers to a state byte-identical
+//     to an uncrashed run's, losing at most the torn final record.
 //
 // Every scenario is a pure function of one int64 seed (the seed
 // drives the topology, the dataset, the configuration draw, and the
@@ -55,6 +58,12 @@ type Result struct {
 	// Stale is how many degraded-mode responses were served from the
 	// last-good snapshot (server).
 	Stale int
+	// Replayed is how many WAL records recovery re-ingested after the
+	// simulated kill (crash).
+	Replayed int
+	// TornTails is how many torn final records the kill left in the
+	// WAL — each dropped whole on recovery (crash).
+	TornTails int64
 	// Elapsed is the scenario's wall-clock time.
 	Elapsed time.Duration
 }
@@ -64,35 +73,42 @@ type SoakStats struct {
 	Scenarios int
 	Stream    int
 	Server    int
+	Crash     int
 	Faults    int64
 	Retries   int
 	Shed      int
 	Stale     int
+	Replayed  int
 	Elapsed   time.Duration
 }
 
 func (s *SoakStats) add(r Result) {
 	s.Scenarios++
-	if r.Kind == "server" {
+	switch r.Kind {
+	case "server":
 		s.Server++
-	} else {
+	case "crash":
+		s.Crash++
+	default:
 		s.Stream++
 	}
 	s.Faults += r.Faults
 	s.Retries += r.Retries
 	s.Shed += r.Shed
 	s.Stale += r.Stale
+	s.Replayed += r.Replayed
 }
 
 // String renders the aggregate one-liner Soak prints at the end.
 func (s SoakStats) String() string {
-	return fmt.Sprintf("%d scenarios (%d stream, %d server) in %s: %d faults injected, %d ingests retried, %d requests shed, %d stale responses",
-		s.Scenarios, s.Stream, s.Server, s.Elapsed.Round(time.Millisecond), s.Faults, s.Retries, s.Shed, s.Stale)
+	return fmt.Sprintf("%d scenarios (%d stream, %d server, %d crash) in %s: %d faults injected, %d ingests retried, %d requests shed, %d stale responses, %d WAL records replayed",
+		s.Scenarios, s.Stream, s.Server, s.Crash, s.Elapsed.Round(time.Millisecond), s.Faults, s.Retries, s.Shed, s.Stale, s.Replayed)
 }
 
-// Soak replays scenarios with consecutive seeds, alternating between
-// the stream and server kinds, until d has elapsed (at least one
-// scenario always runs). Per-scenario lines go to out when non-nil.
+// Soak replays scenarios with consecutive seeds, rotating through the
+// stream, server, and crash-recovery kinds, until d has elapsed (at
+// least one scenario always runs). Per-scenario lines go to out when
+// non-nil.
 // It stops at the first failing scenario and returns its error; a
 // panicking scenario is converted into an error, not propagated.
 func Soak(d time.Duration, startSeed int64, out io.Writer) (SoakStats, error) {
@@ -118,20 +134,24 @@ func Soak(d time.Duration, startSeed int64, out io.Writer) (SoakStats, error) {
 	return stats, nil
 }
 
-// Run executes the scenario a seed selects (even seeds exercise the
-// streaming clusterer, odd seeds the HTTP service), converting a
-// panic into an error that carries the stack — a soak must report a
-// panicking scenario, not die with it.
+// Run executes the scenario a seed selects (seed mod 3: 0 exercises
+// the streaming clusterer, 1 the HTTP service, 2 crash recovery),
+// converting a panic into an error that carries the stack — a soak
+// must report a panicking scenario, not die with it.
 func Run(seed int64) (res Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("chaos: seed %d panicked: %v\n%s", seed, r, debug.Stack())
 		}
 	}()
-	if seed%2 == 0 {
+	switch mod := ((seed % 3) + 3) % 3; mod {
+	case 0:
 		return StreamScenario(seed)
+	case 1:
+		return ServerScenario(seed)
+	default:
+		return CrashRecoveryScenario(seed)
 	}
-	return ServerScenario(seed)
 }
 
 // renderClusters canonicalizes a clustering structurally — cluster

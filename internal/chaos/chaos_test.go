@@ -10,6 +10,30 @@ import (
 // CI chaos job); without the flag only the fixed sweeps below run.
 var soakFor = flag.Duration("chaos.soak", 0, "run the chaos soak for this long (0 skips)")
 
+// TestCrashScenarios sweeps the durable streaming clusterer through
+// 16 seeded kill-and-recover scenarios. Across the sweep both
+// recovery modes must occur: some WAL records replayed through ingest
+// and some torn final records dropped — a sweep that saw neither
+// exercised nothing.
+func TestCrashScenarios(t *testing.T) {
+	replayed := 0
+	var torn int64
+	for seed := int64(0); seed < 16; seed++ {
+		res, err := CrashRecoveryScenario(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		replayed += res.Replayed
+		torn += res.TornTails
+	}
+	if replayed == 0 {
+		t.Fatal("no WAL record was ever replayed across 16 crash scenarios")
+	}
+	if torn == 0 {
+		t.Fatal("no kill ever landed mid-record across 16 crash scenarios")
+	}
+}
+
 // TestStreamScenarios sweeps the streaming clusterer through 32
 // seeded fault scenarios. The aggregate fault counter must move: a
 // sweep that never injected anything proves nothing.
@@ -80,17 +104,13 @@ func (w testWriter) Write(p []byte) (int, error) {
 
 // TestRunRecoversPanic pins the soak's survival guarantee: Run turns
 // a panicking scenario into an error instead of crashing the sweep.
-// (No current scenario panics, so this drives Run through both kinds
-// and checks it stays well-formed.)
+// (No current scenario panics, so this drives Run through all three
+// kinds and checks it stays well-formed.)
 func TestRunRecoversPanic(t *testing.T) {
-	for _, seed := range []int64{2, 3} {
+	for seed, wantKind := range map[int64]string{3: "stream", 4: "server", 5: "crash"} {
 		res, err := Run(seed)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
-		}
-		wantKind := "stream"
-		if seed%2 == 1 {
-			wantKind = "server"
 		}
 		if res.Kind != wantKind {
 			t.Fatalf("seed %d: kind %q, want %q", seed, res.Kind, wantKind)

@@ -1,0 +1,168 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/neat"
+	"repro/internal/persist"
+	"repro/internal/proptest"
+	"repro/internal/stream"
+)
+
+// CrashRecoveryScenario kills a durable streaming clusterer
+// mid-stream and proves recovery is exact. One seed draws the
+// topology, the dataset, the durability configuration (checkpoint
+// cadence, segment size), the batch the crash lands on, and the kill
+// offset — placed exactly at a WAL record boundary, inside the final
+// record (a torn tail), or cleanly after the last append. The
+// reopened clusterer must hold exactly the batches the surviving log
+// covers, and after re-ingesting the remainder of the stream every
+// snapshot must be byte-identical to an uncrashed control's.
+func CrashRecoveryScenario(seed int64) (Result, error) {
+	res := Result{Seed: seed, Kind: "crash"}
+	start := time.Now()
+	base := runtime.NumGoroutine()
+	fail := func(format string, args ...any) (Result, error) {
+		return res, fmt.Errorf("chaos: crash seed %d: %s", seed, fmt.Sprintf(format, args...))
+	}
+
+	rng := proptest.NewRand(seed)
+	g, err := proptest.GenGraph(rng)
+	if err != nil {
+		return fail("%v", err)
+	}
+	nBatches := 3 + rng.Intn(3)
+	ds := proptest.GenDataset(rng, g, proptest.DatasetOpts{
+		Trajectories: 2*nBatches + rng.Intn(9),
+		GapProb:      rng.Float64() * 0.2,
+	})
+	batches := splitBatches(ds, nBatches)
+
+	cfg := stream.Config{
+		Neat: neat.Config{
+			Flow: neat.FlowConfig{Weights: neat.WeightsFlowOnly, MinCard: 1},
+			Refine: neat.RefineConfig{
+				Epsilon: 1000 + rng.Float64()*2500,
+				UseELB:  true,
+				Bounded: true,
+			},
+		},
+		Window:       rng.Intn(4),
+		CacheEntries: []int{0, 0, -1, 64}[rng.Intn(4)],
+	}
+	control, err := stream.New(g, cfg)
+	if err != nil {
+		return fail("control: %v", err)
+	}
+	oracle := make([]string, nBatches)
+	for bi, b := range batches {
+		snap, err := control.Ingest(b)
+		if err != nil {
+			return fail("control batch %d: %v", bi, err)
+		}
+		oracle[bi] = renderClusters(snap.Clusters)
+	}
+
+	dir, err := os.MkdirTemp("", "neatchaos-crash-")
+	if err != nil {
+		return fail("tempdir: %v", err)
+	}
+	defer os.RemoveAll(dir)
+	durableCfg := cfg
+	durableCfg.Persist = &persist.Options{
+		Dir:             dir,
+		Fsync:           persist.FsyncAlways,
+		CheckpointEvery: []int{-1, 1, 2, 3}[rng.Intn(4)],
+		SegmentBytes:    []int64{0, 1 << 12}[rng.Intn(2)],
+	}
+
+	crashAt := 1 + rng.Intn(nBatches-1)
+	victim, err := stream.New(g, durableCfg)
+	if err != nil {
+		return fail("victim: %v", err)
+	}
+	for bi := 0; bi < crashAt; bi++ {
+		snap, err := victim.Ingest(batches[bi])
+		if err != nil {
+			return fail("victim batch %d: %v", bi, err)
+		}
+		if got := renderClusters(snap.Clusters); got != oracle[bi] {
+			return fail("batch %d diverged from control before the crash", bi)
+		}
+	}
+	victim.Abort() // kill -9: no flush, no final checkpoint
+
+	// Place the kill offset inside the on-disk log.
+	rep, err := persist.Inspect(dir)
+	if err != nil {
+		return fail("inspect: %v", err)
+	}
+	if len(rep.Segments) == 0 {
+		return fail("no WAL segments after %d ingests", crashAt)
+	}
+	fin := rep.Segments[len(rep.Segments)-1]
+	if len(fin.Records) == 0 {
+		return fail("final segment holds no records")
+	}
+	last := fin.Records[len(fin.Records)-1]
+	ckptSeq := 0
+	for _, ck := range rep.Checkpoints {
+		if ck.Err == nil {
+			ckptSeq = int(ck.Seq)
+			break
+		}
+	}
+	whole := crashAt
+	cut := rng.Intn(3)
+	switch cut {
+	case 1: // mid-record: the final record is torn and must drop whole
+		if err := os.Truncate(fin.Path, last.Offset+1+rng.Int63n(last.Len-1)); err != nil {
+			return fail("truncate: %v", err)
+		}
+		whole = crashAt - 1
+	case 2: // at the boundary: the final record is lost cleanly
+		if err := os.Truncate(fin.Path, last.Offset); err != nil {
+			return fail("truncate: %v", err)
+		}
+		whole = crashAt - 1
+	}
+	expected := whole
+	if ckptSeq > expected {
+		expected = ckptSeq
+	}
+
+	recovered, err := stream.New(g, durableCfg)
+	if err != nil {
+		return fail("reopen after cut=%d: %v", cut, err)
+	}
+	pst := recovered.PersistStats()
+	res.Replayed = pst.Recovery.Replayed
+	res.TornTails = pst.Recovery.TornTails
+	if got := recovered.Batches(); got != expected {
+		return fail("cut=%d ckpt=%d: recovered %d batches, want %d", cut, ckptSeq, got, expected)
+	}
+	if wantTorn := cut == 1; (pst.Recovery.TornTails > 0) != wantTorn {
+		return fail("cut=%d: recovery reported %d torn tails", cut, pst.Recovery.TornTails)
+	}
+	for bi := expected; bi < nBatches; bi++ {
+		snap, err := recovered.Ingest(batches[bi])
+		if err != nil {
+			return fail("post-recovery batch %d: %v", bi, err)
+		}
+		if got := renderClusters(snap.Clusters); got != oracle[bi] {
+			return fail("batch %d after recovery diverged from control\ngot:\n%s\nwant:\n%s", bi, got, oracle[bi])
+		}
+	}
+	if err := recovered.Close(); err != nil {
+		return fail("close: %v", err)
+	}
+
+	if err := goroutinesSettle(base, 4, 2*time.Second); err != nil {
+		return fail("%v", err)
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

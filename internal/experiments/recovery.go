@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/persist"
+	"repro/internal/roadnet"
+	"repro/internal/stream"
+	"repro/internal/traj"
+)
+
+// RecoveryRow is one row of the recovery artifact: the durable
+// streaming clusterer crashed after a seeded history and restarted,
+// with one window size, timed against the cheapest possible cold
+// start (re-ingesting only the trailing window from raw batches).
+type RecoveryRow struct {
+	Window      int `json:"window"`
+	SeedIngests int `json:"seed_ingests"`
+	// WALBytes and CheckpointBytes describe the on-disk state the
+	// recovered start paid to read.
+	WALBytes        int64 `json:"wal_bytes"`
+	CheckpointBytes int64 `json:"checkpoint_bytes"`
+	ReplayedRecords int   `json:"replayed_records"`
+	// OpenMs is checkpoint load + WAL replay alone; RecoveredMs adds
+	// the first new ingest on top (time-to-first-ingest after a crash).
+	OpenMs      float64 `json:"open_ms"`
+	RecoveredMs float64 `json:"recovered_ms"`
+	// ColdMs is time-to-first-ingest for a process with no durable
+	// state: re-cluster the trailing window batches from the raw
+	// archive, then the same new ingest.
+	ColdMs float64 `json:"cold_ms"`
+	// Speedup is ColdMs / RecoveredMs.
+	Speedup float64 `json:"speedup"`
+}
+
+// RecoveryReport is the JSON document neatbench -recoveryjson emits:
+// the fixed crash-recovery scenario across window sizes, comparing a
+// durable restart (checkpoint + WAL replay through Phases 1-3)
+// against a best-case cold start. CI uploads it as
+// BENCH_recovery.json.
+type RecoveryReport struct {
+	Scale        float64       `json:"scale"`
+	Region       string        `json:"region"`
+	Trajectories int           `json:"trajectories"`
+	Batches      int           `json:"batches"`
+	Rows         []RecoveryRow `json:"rows"`
+}
+
+// Recovery runs the fixed crash-recovery scenario for each window
+// size and collects the report. The recovered and cold starts must
+// agree on the shape of the first post-restart clustering — recovery
+// is a durability mechanism, not a result knob, and timings of
+// divergent runs would not be comparable.
+func Recovery(e *Env) (*RecoveryReport, error) {
+	const (
+		totalBatches = 6
+		seedIngests  = 16 // ingests before the simulated crash
+		ckptEvery    = 3  // leaves a WAL tail to replay after the kill
+	)
+	g, err := e.Graph("ATL")
+	if err != nil {
+		return nil, err
+	}
+	ds, err := e.Dataset("ATL", 2000)
+	if err != nil {
+		return nil, err
+	}
+	bs := streamBatches(ds, totalBatches)
+	rep := &RecoveryReport{
+		Scale:        e.Scale(),
+		Region:       "ATL",
+		Trajectories: len(ds.Trajectories),
+		Batches:      len(bs),
+	}
+	for _, window := range []int{2, 4, 8, 16} {
+		row, err := recoveryWindow(e, g, bs, window, seedIngests, ckptEvery)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: recovery window %d: %w", window, err)
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}
+
+// recoveryWindow runs one window size: seed a durable clusterer with
+// seedIngests batches, kill it without flushing, then time the
+// recovered restart against the cold one.
+func recoveryWindow(e *Env, g *roadnet.Graph, bs []traj.Dataset, window, seedIngests, ckptEvery int) (RecoveryRow, error) {
+	row := RecoveryRow{Window: window, SeedIngests: seedIngests}
+	dir, err := os.MkdirTemp("", "neatbench-recovery-")
+	if err != nil {
+		return row, err
+	}
+	defer os.RemoveAll(dir)
+
+	durable := stream.Config{
+		Neat:   e.NEATConfig(),
+		Window: window,
+		Persist: &persist.Options{
+			Dir:             dir,
+			Fsync:           persist.FsyncAlways,
+			CheckpointEvery: ckptEvery,
+		},
+	}
+	victim, err := stream.New(g, durable)
+	if err != nil {
+		return row, err
+	}
+	for i := 0; i < seedIngests; i++ {
+		if _, err := victim.Ingest(bs[i%len(bs)]); err != nil {
+			return row, fmt.Errorf("seed ingest %d: %w", i, err)
+		}
+	}
+	victim.Abort() // kill -9: no flush, no final checkpoint
+
+	// Recovered start: open the data directory (checkpoint load + WAL
+	// replay through the normal ingest path), then the first new batch.
+	next := bs[seedIngests%len(bs)]
+	t0 := time.Now()
+	recovered, err := stream.New(g, durable)
+	if err != nil {
+		return row, fmt.Errorf("reopen: %w", err)
+	}
+	row.OpenMs = ms(time.Since(t0))
+	snap, err := recovered.Ingest(next)
+	if err != nil {
+		return row, fmt.Errorf("post-recovery ingest: %w", err)
+	}
+	row.RecoveredMs = ms(time.Since(t0))
+	pst := recovered.PersistStats()
+	row.WALBytes = pst.WALBytes
+	row.CheckpointBytes = pst.Recovery.CheckpointBytes
+	row.ReplayedRecords = pst.Recovery.Replayed
+	recoveredClusters := len(snap.Clusters)
+	if got := recovered.Batches(); got != seedIngests+1 {
+		return row, fmt.Errorf("recovered %d batches, want %d", got-1, seedIngests)
+	}
+	if err := recovered.Close(); err != nil {
+		return row, fmt.Errorf("close: %w", err)
+	}
+
+	// Cold start: no durable state, so re-cluster the trailing window
+	// from the raw batch archive before the same new ingest. This is
+	// the cheapest correct cold start (a real one would not know where
+	// the window begins without the log), so the speedup is a floor.
+	warm := window
+	if warm > seedIngests {
+		warm = seedIngests
+	}
+	coldCfg := stream.Config{Neat: e.NEATConfig(), Window: window}
+	t0 = time.Now()
+	cold, err := stream.New(g, coldCfg)
+	if err != nil {
+		return row, err
+	}
+	for i := seedIngests - warm; i < seedIngests; i++ {
+		if _, err := cold.Ingest(bs[i%len(bs)]); err != nil {
+			return row, fmt.Errorf("cold ingest %d: %w", i, err)
+		}
+	}
+	snap, err = cold.Ingest(next)
+	if err != nil {
+		return row, fmt.Errorf("cold final ingest: %w", err)
+	}
+	row.ColdMs = ms(time.Since(t0))
+	if len(snap.Clusters) != recoveredClusters {
+		return row, fmt.Errorf("cold start diverges: %d clusters, recovered had %d",
+			len(snap.Clusters), recoveredClusters)
+	}
+	if row.RecoveredMs > 0 {
+		row.Speedup = row.ColdMs / row.RecoveredMs
+	}
+	return row, nil
+}

@@ -47,7 +47,7 @@ func Order() []string {
 		"baselines": 10, "workloads": 11, "mapmatch": 12, "traclus-index": 13,
 		"scaling":          14,
 		"ablation-weights": 15, "ablation-beta": 16, "ablation-sp": 17,
-		"phase3-workers":   18,
+		"phase3-workers": 18,
 	}
 	sort.Slice(ids, func(i, j int) bool { return rank[ids[i]] < rank[ids[j]] })
 	return ids

@@ -49,6 +49,17 @@ const (
 	// server's ingest handler: errors simulate a failing ingest path,
 	// latency a slow one.
 	Ingest
+	// WALAppend is a write-ahead-log record write in internal/persist:
+	// an injected error fails the append (the segment is rewound, the
+	// owner rolls the batch back and can retry).
+	WALAppend
+	// WALFsync is a WAL flush: an injected error fails the sync, which
+	// under FsyncAlways fails the append like WALAppend does.
+	WALFsync
+	// CheckpointWrite is a checkpoint persist: an injected error skips
+	// the checkpoint, leaving the previous one (and the whole WAL) in
+	// place — durability degrades to longer replay, never to loss.
+	CheckpointWrite
 	// NumPoints bounds the Point space.
 	NumPoints
 )
@@ -65,6 +76,12 @@ func (p Point) String() string {
 		return "cache_store"
 	case Ingest:
 		return "ingest"
+	case WALAppend:
+		return "wal_append"
+	case WALFsync:
+		return "wal_fsync"
+	case CheckpointWrite:
+		return "checkpoint_write"
 	default:
 		return fmt.Sprintf("point(%d)", uint8(p))
 	}

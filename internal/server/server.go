@@ -18,6 +18,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/neat"
 	"repro/internal/obs"
+	"repro/internal/persist"
 	"repro/internal/roadnet"
 	"repro/internal/shortest"
 	"repro/internal/traj"
@@ -76,6 +77,15 @@ type Config struct {
 	// nil or disabled injector the server's responses are byte-
 	// identical to an un-faulted build.
 	Fault *fault.Injector
+	// Persist makes the ingested dataset durable: every acknowledged
+	// ingest batch is appended to a write-ahead log in Persist.Dir, the
+	// dataset (trajectories + fragments) is checkpointed every
+	// Persist.CheckpointEvery batches and on Close, and Open recovers
+	// by loading the newest valid checkpoint and re-partitioning the
+	// WAL tail through the normal preprocessing path. Requires the Open
+	// constructor; New ignores it. Persist.Obs and Persist.Fault
+	// default to Config.Obs and Config.Fault.
+	Persist *persist.Options
 }
 
 func (c Config) withDefaults() Config {
@@ -153,6 +163,15 @@ type Server struct {
 	// fingerprint-keyed scope); nil when cfg.CacheEntries < 0.
 	distCache *distcache.Cache
 
+	// Durability (nil store without Config.Persist): batches is the
+	// WAL sequence (ingests committed, guarded by mu like the dataset
+	// it counts), lastCkpt the sequence the newest checkpoint covers,
+	// recovered what Open restored.
+	store     *persist.Store
+	batches   uint64
+	lastCkpt  uint64
+	recovered uint64
+
 	// Pre-resolved metric handles; all nil when cfg.Obs is nil, making
 	// every recording a no-op.
 	m serverMetrics
@@ -179,8 +198,18 @@ type cachedClusters struct {
 	resp    ClusterResponse
 }
 
-// New creates a Server over g.
+// New creates an in-memory Server over g; Config.Persist is ignored
+// (use Open for a durable server — it is the constructor that can
+// fail).
 func New(g *roadnet.Graph, cfg Config) *Server {
+	cfg.Persist = nil
+	s, _ := Open(g, cfg)
+	return s
+}
+
+// Open creates a Server over g, recovering the ingested dataset from
+// Config.Persist's data directory when set (see Config.Persist).
+func Open(g *roadnet.Graph, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		g:        g,
@@ -216,7 +245,25 @@ func New(g *roadnet.Graph, cfg Config) *Server {
 		shedTimeout:    cfg.Obs.Counter("neat_shed_requests_total", obs.L("reason", "timeout")),
 		staleServed:    cfg.Obs.Counter("server_stale_served_total"),
 	}
-	return s
+	if cfg.Persist != nil {
+		o := *cfg.Persist
+		if o.Obs == nil {
+			o.Obs = cfg.Obs
+		}
+		if o.Fault == nil {
+			o.Fault = cfg.Fault
+		}
+		store, err := persist.Open(o)
+		if err != nil {
+			return nil, fmt.Errorf("server: open persistence: %w", err)
+		}
+		s.store = store
+		if err := s.recover(); err != nil {
+			store.Close()
+			return nil, fmt.Errorf("server: recover: %w", err)
+		}
+	}
+	return s, nil
 }
 
 // Routes returns the API paths the server responds on; the obs
@@ -482,8 +529,41 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	s.trajs = append(s.trajs, trajs...)
 	s.trajCount += len(req.Trajectories)
 	s.version++
+	// The batch is committed in memory; make it durable before
+	// acknowledging. An append failure rolls the whole commit back so
+	// the client can retry — the server never acknowledges a batch the
+	// log does not hold.
+	if s.store != nil {
+		if err := s.store.AppendBatch(s.batches, traj.Dataset{Trajectories: trajs}); err != nil {
+			for id := range batchIDs {
+				delete(s.seenIDs, id)
+			}
+			s.fragments = s.fragments[:len(s.fragments)-len(frags)]
+			s.trajs = s.trajs[:len(s.trajs)-len(trajs)]
+			s.trajCount -= len(req.Trajectories)
+			s.version--
+			s.mu.Unlock()
+			s.setIngestHealth(err)
+			s.m.ingestRejected.Inc()
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "ingest not durable: %v", err)
+			return
+		}
+	}
+	s.batches++
+	needCkpt := false
+	if s.store != nil {
+		if every := s.store.CheckpointEvery(); every > 0 && s.batches-s.lastCkpt >= uint64(every) {
+			needCkpt = true
+		}
+	}
 	total := len(s.fragments)
 	s.mu.Unlock()
+	if needCkpt {
+		// Best-effort: a failed checkpoint only delays WAL compaction;
+		// the error surfaces in /v1/stats' persistence block.
+		_ = s.checkpoint()
+	}
 	s.setIngestHealth(nil)
 	s.m.ingestTrajs.Add(int64(len(req.Trajectories)))
 	s.m.ingestFrags.Add(int64(len(frags)))
@@ -762,6 +842,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Shards:         s.cfg.Shards,
 		DistCache:      dc,
 		Robustness:     rb,
+		Persistence:    s.persistenceDTO(),
 		Build:          buildDTO(),
 	})
 }

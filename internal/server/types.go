@@ -96,6 +96,9 @@ type StatsResponse struct {
 	// Robustness reports admission-control configuration and the
 	// server's degradation state.
 	Robustness RobustnessDTO `json:"robustness"`
+	// Persistence reports the durability layer (WAL + checkpoints);
+	// nil when the server runs in-memory only.
+	Persistence *PersistenceDTO `json:"persistence,omitempty"`
 	// Build identifies the running binary.
 	Build BuildDTO `json:"build"`
 }
@@ -118,6 +121,29 @@ type RobustnessDTO struct {
 	// FaultsEnabled is true while a fault injector is attached and
 	// active (chaos testing).
 	FaultsEnabled bool `json:"faults_enabled"`
+}
+
+// PersistenceDTO is the durability section of GET /v1/stats: the WAL
+// and checkpoint counters plus what the last startup recovered.
+type PersistenceDTO struct {
+	Dir         string `json:"dir"`
+	Fsync       string `json:"fsync"`
+	WALSegments int    `json:"wal_segments"`
+	WALBytes    int64  `json:"wal_bytes"`
+	Appends     int64  `json:"appends"`
+	Fsyncs      int64  `json:"fsyncs"`
+	// CheckpointSeq is the batch sequence the newest checkpoint
+	// covers; Checkpoints counts checkpoints written by this process.
+	CheckpointSeq       uint64 `json:"checkpoint_seq"`
+	Checkpoints         int64  `json:"checkpoints"`
+	LastCheckpointError string `json:"last_checkpoint_error,omitempty"`
+	// RecoveredBatches is how many acknowledged batches startup
+	// restored; ReplayedRecords how many of those came from WAL
+	// replay rather than the checkpoint; TornTails how many torn
+	// final records the crash left (each dropped whole).
+	RecoveredBatches uint64 `json:"recovered_batches"`
+	ReplayedRecords  int    `json:"replayed_records"`
+	TornTails        int64  `json:"torn_tails"`
 }
 
 // DistCacheDTO is the distance-cache section of GET /v1/stats.

@@ -22,6 +22,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/neat"
 	"repro/internal/obs"
+	"repro/internal/persist"
 	"repro/internal/roadnet"
 	"repro/internal/traj"
 )
@@ -70,6 +71,18 @@ type Config struct {
 	// batch can be retried — and clustering output with a nil or idle
 	// injector is byte-identical to an un-faulted run.
 	Fault *fault.Injector
+	// Persist makes the clusterer durable: every acknowledged batch is
+	// appended to a write-ahead log in Persist.Dir, the full state
+	// (standing flows, batch index, ε-graph rows, optionally warm
+	// distance-cache entries) is checkpointed every
+	// Persist.CheckpointEvery batches and on Close, and New recovers by
+	// loading the newest valid checkpoint and replaying the WAL tail
+	// through the normal ingest path — so a reopened clusterer's
+	// snapshots are byte-identical to one that never crashed (it loses
+	// at most the torn final record a crash left unsynced). Nil (the
+	// default) keeps the clusterer in-memory only. Persist.Obs and
+	// Persist.Fault default to Config.Obs and Config.Fault.
+	Persist *persist.Options
 }
 
 // Snapshot is the state of the clustering after an ingestion.
@@ -117,6 +130,14 @@ type Clusterer struct {
 	// nil when Config.CacheEntries < 0.
 	cache     *distcache.Cache
 	refineCfg neat.RefineConfig // Neat.Refine with the cache attached
+
+	// store is the durability layer (nil without Config.Persist);
+	// lastCkpt is the batch index the newest checkpoint covers, and
+	// recovering flags that IngestCtx is replaying the WAL (so it must
+	// not re-append records or draw ingest-fault decisions).
+	store      *persist.Store
+	lastCkpt   int
+	recovering bool
 
 	batch    int
 	standing []flowEntry
@@ -188,7 +209,7 @@ func New(g *roadnet.Graph, cfg Config) (*Clusterer, error) {
 	pipeline := neat.NewPipeline(g)
 	pipeline.Instrument(cfg.Obs)
 	pipeline.EnableTracing(cfg.Trace)
-	return &Clusterer{
+	c := &Clusterer{
 		g:          g,
 		pipeline:   pipeline,
 		cfg:        cfg,
@@ -204,7 +225,86 @@ func New(g *roadnet.Graph, cfg Config) (*Clusterer, error) {
 			standing:  cfg.Obs.Gauge("stream_standing_flows"),
 			ingest:    cfg.Obs.Histogram("stream_ingest_seconds", ingestBuckets),
 		},
-	}, nil
+	}
+	if cfg.Persist != nil {
+		o := *cfg.Persist
+		if o.Obs == nil {
+			o.Obs = cfg.Obs
+		}
+		if o.Fault == nil {
+			o.Fault = cfg.Fault
+		}
+		store, err := persist.Open(o)
+		if err != nil {
+			return nil, fmt.Errorf("stream: open persistence: %w", err)
+		}
+		c.store = store
+		if err := c.recover(); err != nil {
+			store.Close()
+			return nil, fmt.Errorf("stream: recover: %w", err)
+		}
+	}
+	return c, nil
+}
+
+// recover restores the clusterer from the newest valid checkpoint and
+// replays the WAL tail through the normal ingest path. Replayed
+// batches re-run Phases 1-3 exactly as they did originally, so the
+// recovered standing set and ε-graph are byte-identical to an
+// uncrashed clusterer's — not an approximation loaded from disk.
+func (c *Clusterer) recover() error {
+	if seq, payload, ok := c.store.Checkpoint(); ok {
+		st, err := persist.DecodeStreamState(payload)
+		if err != nil {
+			return fmt.Errorf("checkpoint seq %d: %w", seq, err)
+		}
+		if err := c.restoreState(st); err != nil {
+			return fmt.Errorf("checkpoint seq %d: %w", seq, err)
+		}
+	}
+	c.recovering = true
+	defer func() { c.recovering = false }()
+	return c.store.Replay(uint64(c.batch), func(seq uint64, batch traj.Dataset) error {
+		if seq != uint64(c.batch) {
+			return fmt.Errorf("wal gap: expected batch %d, log has %d", c.batch, seq)
+		}
+		_, err := c.IngestCtx(context.Background(), batch)
+		return err
+	})
+}
+
+// restoreState loads a decoded checkpoint into the clusterer.
+func (c *Clusterer) restoreState(st persist.StreamState) error {
+	c.standing = c.standing[:0]
+	flows := make([]*neat.FlowCluster, len(st.Entries))
+	for i, e := range st.Entries {
+		c.standing = append(c.standing, flowEntry{flow: e.Flow, batch: e.Batch})
+		flows[i] = e.Flow
+	}
+	c.batch = st.Batch
+	c.lastCkpt = st.Batch
+	if c.eps != nil {
+		if st.Adjacency != nil {
+			eg, err := neat.RestoreEpsGraph(c.g, c.refineCfg, flows, st.Adjacency)
+			if err != nil {
+				return err
+			}
+			c.eps = eg
+		} else {
+			// The checkpoint was taken while the graph was dirty; the
+			// next merge rebuilds it over the full standing set.
+			c.epsDirty = true
+		}
+	}
+	if c.cache != nil && len(st.Cache) > 0 && st.CacheScope == neat.CacheScope(c.g, c.cfg.Neat.Refine) {
+		c.cache.SetScope(st.CacheScope)
+		entries := make([]distcache.Entry, len(st.Cache))
+		for i, e := range st.Cache {
+			entries[i] = distcache.Entry{Key: e.Key, Dist: e.Dist, Bound: e.Bound}
+		}
+		c.cache.Import(entries)
+	}
+	return nil
 }
 
 // Ingest processes one batch: Phases 1-2 over the batch only, window
@@ -225,9 +325,14 @@ func (c *Clusterer) IngestCtx(ctx context.Context, batch traj.Dataset) (Snapshot
 		return Snapshot{}, fmt.Errorf("stream: batch %d: %w", c.batch, ErrClosed)
 	}
 	start := time.Now()
-	c.cfg.Fault.Sleep(fault.Ingest)
-	if err := c.cfg.Fault.Inject(fault.Ingest); err != nil {
-		return Snapshot{}, fmt.Errorf("stream: batch %d: %w", c.batch, err)
+	if !c.recovering {
+		// WAL replay must not draw from the fault stream: the replayed
+		// ingests already "happened", and skipping the draws keeps the
+		// injector's deterministic sequence aligned with live traffic.
+		c.cfg.Fault.Sleep(fault.Ingest)
+		if err := c.cfg.Fault.Inject(fault.Ingest); err != nil {
+			return Snapshot{}, fmt.Errorf("stream: batch %d: %w", c.batch, err)
+		}
 	}
 	var root *obs.Span
 	if c.cfg.Trace {
@@ -290,6 +395,31 @@ func (c *Clusterer) IngestCtx(ctx context.Context, batch traj.Dataset) (Snapshot
 		snap.RefineStats = mres.RefineStats
 		snap.Timing.Phase3 = mres.Timing.Phase3
 	}
+	// The batch is committed in memory; make it durable before
+	// acknowledging. An append failure (disk full, injected fault)
+	// rolls the commit back so the caller can retry — the WAL never
+	// acknowledges a batch the log does not hold.
+	if c.store != nil && !c.recovering {
+		if err := c.store.AppendBatch(uint64(snap.Batch), batch); err != nil {
+			c.standing = prevStanding
+			c.batch = prevBatch
+			if c.eps != nil {
+				c.epsDirty = true
+			}
+			return Snapshot{}, fmt.Errorf("stream: wal append batch %d: %w", snap.Batch, err)
+		}
+	}
+	// Hand the caller a deep copy: snapshots must never alias the live
+	// flows the clusterer keeps merging (see TestSnapshotDoesNotAlias).
+	snap.Clusters = neat.CloneClusters(snap.Clusters)
+	if c.store != nil && !c.recovering {
+		if every := c.store.CheckpointEvery(); every > 0 && c.batch-c.lastCkpt >= every {
+			// Best-effort: a failed checkpoint only delays compaction
+			// (recovery replays more WAL); the error is surfaced in
+			// PersistStats().LastCheckpointError.
+			c.writeCheckpoint()
+		}
+	}
 	root.End()
 	snap.Trace = root
 	c.m.batches.Inc()
@@ -301,12 +431,88 @@ func (c *Clusterer) IngestCtx(ctx context.Context, batch traj.Dataset) (Snapshot
 }
 
 // Close marks the clusterer closed: subsequent Ingest calls fail with
-// an error wrapping ErrClosed. Close is idempotent and never fails;
-// read-only accessors (StandingFlows, CacheStats, Batches) keep
-// working on the final state.
+// an error wrapping ErrClosed. With durability enabled it also writes
+// a final checkpoint covering every ingested batch and closes the
+// store (flushing the WAL), and can then fail; without Config.Persist
+// it never does. Close is idempotent, and read-only accessors
+// (StandingFlows, CacheStats, Batches) keep working on the final
+// state.
 func (c *Clusterer) Close() error {
+	if c.closed {
+		return nil
+	}
 	c.closed = true
+	if c.store == nil {
+		return nil
+	}
+	var err error
+	if c.batch > c.lastCkpt {
+		err = c.writeCheckpoint()
+	}
+	if cerr := c.store.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Abort closes the clusterer without flushing or checkpointing — the
+// process-internal equivalent of kill -9, for crash-recovery tests.
+// Whatever the WAL holds on disk (plus the OS page cache for
+// same-process reopens) is what recovery will see.
+func (c *Clusterer) Abort() {
+	c.closed = true
+	if c.store != nil {
+		c.store.Abort()
+	}
+}
+
+// PersistStats snapshots the durability layer's counters; the zero
+// Stats when persistence is disabled.
+func (c *Clusterer) PersistStats() persist.Stats {
+	if c.store == nil {
+		return persist.Stats{}
+	}
+	return c.store.Stats()
+}
+
+// writeCheckpoint persists the full clusterer state as of the current
+// batch index.
+func (c *Clusterer) writeCheckpoint() error {
+	payload := persist.EncodeStreamState(c.checkpointState())
+	if err := c.store.WriteCheckpoint(uint64(c.batch), payload); err != nil {
+		return err
+	}
+	c.lastCkpt = c.batch
 	return nil
+}
+
+// checkpointState assembles the serializable clusterer state: the
+// standing flows with their batch indices, the maintained ε-graph's
+// adjacency rows (omitted while dirty — recovery then rebuilds the
+// graph), and, when Options.PersistCache is on, the warmest
+// distance-cache entries with their scope.
+func (c *Clusterer) checkpointState() persist.StreamState {
+	st := persist.StreamState{Batch: c.batch}
+	if len(c.standing) > 0 {
+		st.Entries = make([]persist.StreamEntry, len(c.standing))
+		for i, e := range c.standing {
+			st.Entries[i] = persist.StreamEntry{Batch: e.batch, Flow: e.flow}
+		}
+	}
+	if c.eps != nil && !c.epsDirty {
+		st.Adjacency = c.eps.Adjacency()
+	}
+	if on, limit := c.store.PersistCache(); on && c.cache != nil {
+		st.CacheScope = c.cache.Scope()
+		entries := c.cache.Export(limit)
+		if len(entries) > 0 {
+			st.Cache = make([]persist.CacheEntry, len(entries))
+			for i, e := range entries {
+				st.Cache[i] = persist.CacheEntry{Key: e.Key, Dist: e.Dist, Bound: e.Bound}
+			}
+		}
+	}
+	return st
 }
 
 // mergeIncremental is the default Phase 3 merge: instead of rebuilding
