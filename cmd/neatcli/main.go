@@ -12,6 +12,7 @@
 //	neatcli traclus   -map map.csv -traces traces.csv -eps 10 -minlns 5 [-svg out.svg]
 //	neatcli export    -map map.csv [-traces traces.csv] -what flows -out flows.geojson
 //	neatcli stats     -map map.csv
+//	neatcli sessions  -server http://localhost:8080 [-create beta -region SJ -scale 0.1 | -delete beta]
 //	neatcli selftest  -seed 0 -n 200
 //	neatcli chaos     -duration 30s -seed 1
 //	neatcli wal       -dir /var/lib/neat [-verify]
@@ -51,6 +52,8 @@ func run(args []string) error {
 		return cmdExport(args[1:])
 	case "match":
 		return cmdMatch(args[1:])
+	case "sessions":
+		return cmdSessions(args[1:])
 	case "selftest":
 		return cmdSelftest(args[1:])
 	case "chaos":
@@ -79,6 +82,7 @@ subcommands:
   stats       print Table I statistics of a road network
   export      write GeoJSON (network, traces, flows, or clusters)
   match       map-match raw GPS traces onto a road network
+  sessions    list, create, or delete tenants on a running neatserver
   selftest    differential-test the pipeline against the naive oracle
   chaos       soak the engine and service under seeded fault injection
   wal         inspect or verify a durability data directory

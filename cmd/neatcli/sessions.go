@@ -1,0 +1,67 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/server"
+)
+
+// cmdSessions administers the tenants of a running neatserver over
+// its /v1/sessions API: the default action lists them; -create
+// provisions one from a mapgen region preset and -delete removes one.
+// Data commands target a tenant by appending ?session=<name> to the
+// server routes (or via the client's Session method).
+func cmdSessions(args []string) error {
+	fs := newFlagSet("sessions")
+	addr := fs.String("server", "http://localhost:8080", "base URL of the running neatserver")
+	create := fs.String("create", "", "create a session with this name")
+	region := fs.String("region", "ATL", "mapgen preset for -create: ATL, SJ, or MIA")
+	scale := fs.Float64("scale", 0.1, "map scale for -create")
+	del := fs.String("delete", "", "delete the session with this name")
+	timeout := fs.Duration("timeout", 30*time.Second, "request timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *create != "" && *del != "" {
+		return fmt.Errorf("-create and -delete are mutually exclusive")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	c := server.NewClient(*addr, nil)
+
+	switch {
+	case *create != "":
+		dto, err := c.CreateSession(ctx, server.CreateSessionRequest{
+			Name: *create, Region: *region, Scale: *scale,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("created session %q: %d junctions, %d segments (durable=%v)\n",
+			dto.Name, dto.Junctions, dto.Segments, dto.Durable)
+		return nil
+	case *del != "":
+		if err := c.DeleteSession(ctx, *del); err != nil {
+			return err
+		}
+		fmt.Printf("deleted session %q\n", *del)
+		return nil
+	default:
+		ls, err := c.Sessions(ctx)
+		if err != nil {
+			return err
+		}
+		w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "NAME\tJUNCTIONS\tSEGMENTS\tTRAJECTORIES\tFRAGMENTS\tBATCHES\tDURABLE\tRECOVERED\tDEGRADED")
+		for _, s := range ls.Sessions {
+			fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%v\t%d\t%v\n",
+				s.Name, s.Junctions, s.Segments, s.Trajectories, s.TotalFragments,
+				s.Batches, s.Durable, s.RecoveredBatches, s.Degraded)
+		}
+		return w.Flush()
+	}
+}

@@ -10,6 +10,7 @@
 //	neatserver -map map.csv [-addr :8080] [-datanodes 4] [-workers -1] [-shards 4] [-cache-entries 262144]
 //	neatserver -region ATL -scale 0.1 [-addr :8080] [-drain 10s] [-max-inflight 16] [-request-timeout 30s]
 //	neatserver -region ATL -data-dir /var/lib/neat [-fsync always] [-checkpoint-every 8]
+//	neatserver -region ATL -max-sessions 32
 //
 // With -data-dir the server is durable: every acknowledged ingest is
 // written to a WAL before the response, the dataset is checkpointed
@@ -22,6 +23,13 @@
 //	POST /v1/trajectories  {"trajectories":[{"trid":1,"points":[{"sid":0,"x":1,"y":2,"t":0}, ...]}]}
 //	GET  /v1/clusters?level=opt&eps=6500&mincard=5
 //	GET  /v1/stats
+//	GET  /v1/sessions      list tenants; POST creates one, DELETE ?name= removes one
+//
+// Every data route accepts ?session=<name> to target a tenant created
+// via POST /v1/sessions (or recovered from <data-dir>/sessions/ on
+// boot); without it the default session answers, exactly as before
+// multi-tenancy existed.
+//
 //	GET  /metrics          Prometheus text exposition
 //	GET  /debug/vars       expvar-style JSON exposition
 //	GET  /debug/pprof/     net/http/pprof profiling
@@ -68,6 +76,7 @@ func run(ctx context.Context, args []string) error {
 		shards    = fs.Int("shards", 0, "road-network shards for Phases 1 and 2 (0 = unsharded; output is identical)")
 		cacheEnt  = fs.Int("cache-entries", 0, "distance cache entry budget shared across clustering requests (0 = default budget, <0 = no cache)")
 		inflight  = fs.Int("max-inflight", 0, "admission control: concurrent requests served before shedding with 429/503 (0 = 16, <0 = unbounded)")
+		maxSess   = fs.Int("max-sessions", 0, "cap on live sessions, the default session included (0 = 16)")
 		reqTO     = fs.Duration("request-timeout", 0, "per-request deadline; expired requests degrade to the last-good snapshot or shed with 503 (0 = 30s, <0 = none)")
 		drain     = fs.Duration("drain", 10*time.Second, "graceful shutdown timeout for in-flight requests")
 		dataDir   = fs.String("data-dir", "", "durable data directory (WAL + checkpoints); empty = in-memory only")
@@ -110,7 +119,7 @@ func run(ctx context.Context, args []string) error {
 	reg := obs.NewRegistry()
 	scfg := server.Config{
 		DataNodes: *dataNodes, Workers: *workers, Shards: *shards, CacheEntries: *cacheEnt,
-		MaxInflight: *inflight, RequestTimeout: *reqTO, Obs: reg,
+		MaxInflight: *inflight, MaxSessions: *maxSess, RequestTimeout: *reqTO, Obs: reg,
 	}
 	if *dataDir != "" {
 		pol, err := persist.ParseFsyncPolicy(*fsyncPol)
@@ -126,6 +135,10 @@ func run(ctx context.Context, args []string) error {
 	if *dataDir != "" {
 		fmt.Printf("neatserver durable in %s (fsync=%s): recovered %d batches\n",
 			*dataDir, *fsyncPol, srv.RecoveredBatches())
+		for _, sess := range srv.Sessions().List() {
+			fmt.Printf("neatserver session %q: %d batches recovered, %d trajectories\n",
+				sess.Name(), sess.RecoveredBatches(), len(sess.Current().Trajs))
+		}
 	}
 	httpSrv := &http.Server{
 		Addr:              *addr,

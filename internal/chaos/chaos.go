@@ -74,6 +74,7 @@ type SoakStats struct {
 	Stream    int
 	Server    int
 	Crash     int
+	Multi     int
 	Faults    int64
 	Retries   int
 	Shed      int
@@ -89,6 +90,8 @@ func (s *SoakStats) add(r Result) {
 		s.Server++
 	case "crash":
 		s.Crash++
+	case "multi":
+		s.Multi++
 	default:
 		s.Stream++
 	}
@@ -101,12 +104,12 @@ func (s *SoakStats) add(r Result) {
 
 // String renders the aggregate one-liner Soak prints at the end.
 func (s SoakStats) String() string {
-	return fmt.Sprintf("%d scenarios (%d stream, %d server, %d crash) in %s: %d faults injected, %d ingests retried, %d requests shed, %d stale responses, %d WAL records replayed",
-		s.Scenarios, s.Stream, s.Server, s.Crash, s.Elapsed.Round(time.Millisecond), s.Faults, s.Retries, s.Shed, s.Stale, s.Replayed)
+	return fmt.Sprintf("%d scenarios (%d stream, %d server, %d crash, %d multi) in %s: %d faults injected, %d ingests retried, %d requests shed, %d stale responses, %d WAL records replayed",
+		s.Scenarios, s.Stream, s.Server, s.Crash, s.Multi, s.Elapsed.Round(time.Millisecond), s.Faults, s.Retries, s.Shed, s.Stale, s.Replayed)
 }
 
 // Soak replays scenarios with consecutive seeds, rotating through the
-// stream, server, and crash-recovery kinds, until d has elapsed (at
+// stream, server, crash-recovery, and multi-session kinds, until d has elapsed (at
 // least one scenario always runs). Per-scenario lines go to out when
 // non-nil.
 // It stops at the first failing scenario and returns its error; a
@@ -134,23 +137,26 @@ func Soak(d time.Duration, startSeed int64, out io.Writer) (SoakStats, error) {
 	return stats, nil
 }
 
-// Run executes the scenario a seed selects (seed mod 3: 0 exercises
-// the streaming clusterer, 1 the HTTP service, 2 crash recovery),
-// converting a panic into an error that carries the stack — a soak
-// must report a panicking scenario, not die with it.
+// Run executes the scenario a seed selects (seed mod 4: 0 exercises
+// the streaming clusterer, 1 the HTTP service, 2 crash recovery, 3
+// multi-session tenant isolation), converting a panic into an error
+// that carries the stack — a soak must report a panicking scenario,
+// not die with it.
 func Run(seed int64) (res Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("chaos: seed %d panicked: %v\n%s", seed, r, debug.Stack())
 		}
 	}()
-	switch mod := ((seed % 3) + 3) % 3; mod {
+	switch mod := ((seed % 4) + 4) % 4; mod {
 	case 0:
 		return StreamScenario(seed)
 	case 1:
 		return ServerScenario(seed)
-	default:
+	case 2:
 		return CrashRecoveryScenario(seed)
+	default:
+		return MultiSessionScenario(seed)
 	}
 }
 

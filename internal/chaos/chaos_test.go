@@ -78,6 +78,24 @@ func TestServerScenarios(t *testing.T) {
 	}
 }
 
+// TestMultiSessionScenarios sweeps tenant isolation through 8 seeded
+// victim fault storms: the healthy tenant's responses must stay
+// byte-identical throughout, and the victim's injector must actually
+// fire (aggregate, like the other sweeps).
+func TestMultiSessionScenarios(t *testing.T) {
+	var faults int64
+	for seed := int64(0); seed < 16; seed += 2 {
+		res, err := MultiSessionScenario(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		faults += res.Faults
+	}
+	if faults == 0 {
+		t.Fatal("no faults injected across 8 multi-session scenarios; the harness exercised nothing")
+	}
+}
+
 // TestSoak is the wall-clock soak, off by default (see the
 // -chaos.soak flag above).
 func TestSoak(t *testing.T) {
@@ -104,10 +122,10 @@ func (w testWriter) Write(p []byte) (int, error) {
 
 // TestRunRecoversPanic pins the soak's survival guarantee: Run turns
 // a panicking scenario into an error instead of crashing the sweep.
-// (No current scenario panics, so this drives Run through all three
+// (No current scenario panics, so this drives Run through all four
 // kinds and checks it stays well-formed.)
 func TestRunRecoversPanic(t *testing.T) {
-	for seed, wantKind := range map[int64]string{3: "stream", 4: "server", 5: "crash"} {
+	for seed, wantKind := range map[int64]string{4: "stream", 5: "server", 6: "crash", 7: "multi"} {
 		res, err := Run(seed)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)

@@ -1,0 +1,217 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/proptest"
+	"repro/internal/server"
+	"repro/internal/session"
+)
+
+// MultiSessionScenario drives the tenant-isolation invariant: two
+// sessions on one server, a fault storm pinned to one of them via its
+// own injector, and the healthy tenant must not notice — its cluster
+// responses stay byte-identical to the pre-storm baseline (served from
+// the published snapshot, never the ingest path), its ingests keep
+// succeeding with fresh (never stale) clusterings, and its stats never
+// report degradation — while the victim degrades exactly the way the
+// single-tenant server scenario demands (no hangs, no 500s, stale
+// fallbacks flagged).
+func MultiSessionScenario(seed int64) (Result, error) {
+	res := Result{Seed: seed, Kind: "multi"}
+	start := time.Now()
+	base := runtime.NumGoroutine()
+	fail := func(format string, args ...any) (Result, error) {
+		return res, fmt.Errorf("chaos: multi seed %d: %s", seed, fmt.Sprintf(format, args...))
+	}
+
+	rng := proptest.NewRand(seed)
+	g, err := proptest.GenGraph(rng)
+	if err != nil {
+		return fail("%v", err)
+	}
+	ds := proptest.GenDataset(rng, g, proptest.DatasetOpts{Trajectories: 8 + rng.Intn(8)})
+	// The victim tenant gets its own topology and dataset — isolation
+	// must hold across heterogeneous graphs, not just shared ones.
+	vg, err := proptest.GenGraph(rng)
+	if err != nil {
+		return fail("%v", err)
+	}
+	vds := proptest.GenDataset(rng, vg, proptest.DatasetOpts{Trajectories: 8 + rng.Intn(8)})
+
+	// The injector belongs to the victim session alone: ingest faults
+	// and downed shortest-path queries, with latency to keep its WAL
+	// path slow while the storm runs.
+	vinj := fault.New(fault.Config{Seed: seed, Points: map[fault.Point]fault.Spec{
+		fault.Ingest:  {ErrProb: 1},
+		fault.SPQuery: {ErrProb: 1},
+	}})
+	vinj.SetEnabled(false)
+	srv := server.New(g, server.Config{
+		DataNodes:      2,
+		RequestTimeout: 5 * time.Second,
+	})
+	if _, err := srv.Sessions().Create("victim", vg, session.CreateOptions{Fault: vinj}); err != nil {
+		return fail("create victim session: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := &http.Client{Timeout: 10 * time.Second}
+	defer client.CloseIdleConnections()
+	healthyClusters := fmt.Sprintf("%s/v1/clusters?eps=50000&mincard=1", ts.URL)
+	victimClusters := healthyClusters + "&session=victim"
+
+	// Baseline: both tenants ingest and cluster cleanly; the healthy
+	// response bytes are the isolation yardstick for the whole storm
+	// (the snapshot does not change, so the memoized response — down to
+	// its elapsed-time field — must be served verbatim).
+	status, _, body, err := post(client, ts.URL+"/v1/trajectories", ingestBody(ds.Trajectories, 0))
+	if err != nil || status != http.StatusOK {
+		return fail("healthy baseline ingest: status %d err %v (%s)", status, err, body)
+	}
+	status, _, body, err = post(client, ts.URL+"/v1/trajectories?session=victim", ingestBody(vds.Trajectories, 0))
+	if err != nil || status != http.StatusOK {
+		return fail("victim baseline ingest: status %d err %v (%s)", status, err, body)
+	}
+	status, _, healthyBase, err := get(client, healthyClusters, nil)
+	if err != nil || status != http.StatusOK {
+		return fail("healthy baseline clusters: status %d err %v (%s)", status, err, healthyBase)
+	}
+	var victimFresh server.ClusterResponse
+	status, _, body, err = get(client, victimClusters, &victimFresh)
+	if err != nil || status != http.StatusOK {
+		return fail("victim baseline clusters: status %d err %v (%s)", status, err, body)
+	}
+	if victimFresh.Stale {
+		return fail("victim baseline flagged stale before any fault")
+	}
+
+	// Storm: every victim ingest fails, every victim clustering rides
+	// the stale fallback — while concurrent healthy reads must keep
+	// returning the exact baseline bytes.
+	vinj.SetEnabled(true)
+	const rounds = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, rounds*3)
+	for i := 0; i < rounds; i++ {
+		wg.Add(3)
+		go func(i int) {
+			defer wg.Done()
+			st, hdr, body, err := post(client, ts.URL+"/v1/trajectories?session=victim",
+				ingestBody(vds.Trajectories[:1], int32(1000+i)))
+			if err != nil {
+				errs <- fmt.Errorf("victim ingest %d: %v", i, err)
+				return
+			}
+			if st != http.StatusServiceUnavailable {
+				errs <- fmt.Errorf("victim ingest %d: status %d (%s), want 503 under ErrProb=1", i, st, body)
+				return
+			}
+			if hdr.Get("Retry-After") == "" {
+				errs <- fmt.Errorf("victim ingest %d: 503 without Retry-After", i)
+			}
+		}(i)
+		go func(i int) {
+			defer wg.Done()
+			var cr server.ClusterResponse
+			st, _, body, err := get(client, victimClusters, &cr)
+			if err != nil {
+				errs <- fmt.Errorf("victim clusters %d: %v", i, err)
+				return
+			}
+			switch st {
+			case http.StatusOK:
+				// Either the memoized baseline (same snapshot) or the
+				// stale fallback; both are legitimate degraded service.
+			case http.StatusServiceUnavailable:
+			default:
+				errs <- fmt.Errorf("victim clusters %d: status %d (%s)", i, st, body)
+			}
+		}(i)
+		go func(i int) {
+			defer wg.Done()
+			st, _, got, err := get(client, healthyClusters, nil)
+			if err != nil || st != http.StatusOK {
+				errs <- fmt.Errorf("healthy clusters %d during storm: status %d err %v", i, st, err)
+				return
+			}
+			if !bytes.Equal(got, healthyBase) {
+				errs <- fmt.Errorf("healthy clusters %d perturbed by victim storm:\n got %s\nwant %s", i, got, healthyBase)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return fail("%v", err)
+	}
+
+	// Mid-storm, the healthy tenant's ingest path must be fully live:
+	// new data lands with 200 and the next clustering is fresh, not a
+	// stale fallback.
+	status, _, body, err = post(client, ts.URL+"/v1/trajectories", ingestBody(ds.Trajectories, 5000))
+	if err != nil || status != http.StatusOK {
+		return fail("healthy mid-storm ingest: status %d err %v (%s)", status, err, body)
+	}
+	var healthyFresh server.ClusterResponse
+	status, _, body, err = get(client, healthyClusters, &healthyFresh)
+	if err != nil || status != http.StatusOK {
+		return fail("healthy mid-storm clusters: status %d err %v (%s)", status, err, body)
+	}
+	if healthyFresh.Stale {
+		return fail("healthy tenant served a stale response during the victim's storm")
+	}
+
+	// Stats tell the truth per tenant: the victim is degraded, the
+	// healthy session is not (and never served stale).
+	var hs, vs server.StatsResponse
+	if status, _, body, err = get(client, ts.URL+"/v1/stats", &hs); err != nil || status != http.StatusOK {
+		return fail("healthy stats: status %d err %v (%s)", status, err, body)
+	}
+	if status, _, body, err = get(client, ts.URL+"/v1/stats?session=victim", &vs); err != nil || status != http.StatusOK {
+		return fail("victim stats: status %d err %v (%s)", status, err, body)
+	}
+	if hs.Session != "default" || vs.Session != "victim" || hs.Sessions != 2 {
+		return fail("stats misreport sessions: %q/%d and %q/%d", hs.Session, hs.Sessions, vs.Session, vs.Sessions)
+	}
+	if !vs.Robustness.Degraded {
+		return fail("victim stats not degraded after an all-fault ingest storm")
+	}
+	if hs.Robustness.Degraded || hs.Robustness.StaleServed != 0 {
+		return fail("healthy stats degraded by the victim's storm: %+v", hs.Robustness)
+	}
+	res.Stale = int(vs.Robustness.StaleServed)
+
+	// Heal the victim: ingest succeeds again and clears its degraded
+	// flag.
+	vinj.SetEnabled(false)
+	status, _, body, err = post(client, ts.URL+"/v1/trajectories?session=victim", ingestBody(vds.Trajectories[:1], 9000))
+	if err != nil || status != http.StatusOK {
+		return fail("victim post-heal ingest: status %d err %v (%s)", status, err, body)
+	}
+	if status, _, body, err = get(client, ts.URL+"/v1/stats?session=victim", &vs); err != nil || status != http.StatusOK {
+		return fail("victim post-heal stats: status %d err %v (%s)", status, err, body)
+	}
+	if vs.Robustness.Degraded {
+		return fail("victim still degraded after heal")
+	}
+
+	res.Faults = vinj.TotalInjected()
+	for p := fault.Point(0); p < fault.NumPoints; p++ {
+		res.Slept += vinj.Slept(p)
+	}
+	ts.Close()
+	client.CloseIdleConnections()
+	if err := goroutinesSettle(base, 5, 3*time.Second); err != nil {
+		return fail("%v", err)
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,97 @@
+package distcache
+
+import (
+	"math"
+	"testing"
+)
+
+// fillDistinct stores n distinct keys drawn from a disjoint range per
+// stream id, returning the keys stored.
+func fillDistinct(c *Cache, stream, n int) []uint64 {
+	keys := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		k := Key(int32(stream*1_000_000+i), int32(stream*1_000_000+i+1))
+		c.Store(k, float64(i), math.Inf(1))
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// TestBudgetBoundsCrossCacheSum pins the multi-tenant memory bound:
+// two caches over one budget can never hold more live entries in
+// total than the budget grants. The fills interleave so both tenants
+// contend while budget remains (admission is first-come-first-served;
+// an exhausted budget lets a tenant recycle only its own entries).
+func TestBudgetBoundsCrossCacheSum(t *testing.T) {
+	b := NewBudget(256) // rounds to 4 per shard * 64 shards
+	a := NewShared(1<<16, b)
+	c := NewShared(1<<16, b)
+	for i := 0; i < 2000; i++ {
+		a.Store(Key(int32(1_000_000+i), int32(1_000_000+i+1)), float64(i), math.Inf(1))
+		c.Store(Key(int32(2_000_000+i), int32(2_000_000+i+1)), float64(i), math.Inf(1))
+	}
+	sum := a.Len() + c.Len()
+	if sum > b.Total() {
+		t.Fatalf("caches hold %d entries over a budget of %d", sum, b.Total())
+	}
+	if b.Used() != int64(sum) {
+		t.Fatalf("budget accounting drifted: used %d vs live %d", b.Used(), sum)
+	}
+	if a.Len() == 0 || c.Len() == 0 {
+		t.Fatalf("budget starved one cache entirely: %d / %d", a.Len(), c.Len())
+	}
+}
+
+// TestBudgetRecyclesWithinShard pins the exhausted-budget behavior:
+// stores keep landing (recycling the shard's own LRU tail) so a hot
+// tenant still turns over its working set instead of freezing.
+func TestBudgetRecyclesWithinShard(t *testing.T) {
+	b := NewBudget(64) // 1 per shard
+	a := NewShared(1<<16, b)
+	other := NewShared(1<<16, b)
+	fillDistinct(other, 7, 500) // spend the budget elsewhere
+	used := b.Used()
+	keys := fillDistinct(a, 8, 500)
+	if b.Used() > int64(b.Total()) {
+		t.Fatalf("budget overdrawn: %d > %d", b.Used(), b.Total())
+	}
+	if b.Used() < used {
+		t.Fatalf("recycling released budget it did not hold: %d < %d", b.Used(), used)
+	}
+	hits := 0
+	for _, k := range keys {
+		if _, ok := a.Lookup(k, math.Inf(1)); ok {
+			hits++
+		}
+	}
+	if a.Len() > 0 && hits == 0 {
+		t.Fatalf("cache holds %d entries but answered no lookups", a.Len())
+	}
+}
+
+// TestSharedSingleCacheIdentical pins the default-tenant guarantee: a
+// single cache holding the entire budget behaves exactly like an
+// unshared cache — same stores admitted, same lookups answered, same
+// stats — because the local shard capacities always bind first.
+func TestSharedSingleCacheIdentical(t *testing.T) {
+	const entries = 128
+	plain := New(entries)
+	shared := NewShared(entries, NewBudget(entries))
+	for i := 0; i < 3000; i++ {
+		k := Key(int32(i%700), int32(i%700+1+i%3))
+		d := float64(i)
+		plain.Store(k, d, math.Inf(1))
+		shared.Store(k, d, math.Inf(1))
+		if i%5 == 0 {
+			pd, pok := plain.Lookup(k, math.Inf(1))
+			sd, sok := shared.Lookup(k, math.Inf(1))
+			if pok != sok || pd != sd {
+				t.Fatalf("step %d: plain (%v,%v) vs shared (%v,%v)", i, pd, pok, sd, sok)
+			}
+		}
+	}
+	ps, ss := plain.CacheStats(), shared.CacheStats()
+	if ps != ss {
+		t.Fatalf("stats diverged: plain %+v vs shared %+v", ps, ss)
+	}
+}

@@ -102,12 +102,84 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
+// Budget is an entry budget shared by several caches: each NewShared
+// cache draws on it when growing and returns to it when shrinking, so
+// the sum of live entries across all member caches never exceeds the
+// budget — one tenant's hot working set cannot multiply the process's
+// cache memory by the tenant count. A nil *Budget never limits
+// anything, and a single cache holding the whole budget behaves
+// exactly like an unshared New cache (its local shard capacities bind
+// first).
+type Budget struct {
+	total int64
+	used  atomic.Int64
+}
+
+// NewBudget creates a budget of the given total entries, rounded the
+// same way New rounds a cache capacity (so a lone cache over the full
+// budget is bound by its shards, never by the budget). Non-positive
+// selects DefaultEntries.
+func NewBudget(entries int) *Budget {
+	if entries <= 0 {
+		entries = DefaultEntries
+	}
+	perShard := entries / shardCount
+	if perShard < 1 {
+		perShard = 1
+	}
+	return &Budget{total: int64(perShard * shardCount)}
+}
+
+// Total returns the budget's entry ceiling.
+func (b *Budget) Total() int {
+	if b == nil {
+		return 0
+	}
+	return int(b.total)
+}
+
+// Used returns the entries currently drawn across all member caches.
+func (b *Budget) Used() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.used.Load()
+}
+
+// reserve claims one entry; false when the budget is spent. Nil-safe
+// (always granted).
+func (b *Budget) reserve() bool {
+	if b == nil {
+		return true
+	}
+	for {
+		u := b.used.Load()
+		if u >= b.total {
+			return false
+		}
+		if b.used.CompareAndSwap(u, u+1) {
+			return true
+		}
+	}
+}
+
+// release returns n entries to the budget. Nil-safe.
+func (b *Budget) release(n int64) {
+	if b != nil {
+		b.used.Add(-n)
+	}
+}
+
 // Cache is a sharded, epoch-aware LRU distance cache. All methods are
 // safe for concurrent use. A nil *Cache is valid: lookups miss, stores
 // are dropped, and stats are zero, so call sites need no nil guards.
 type Cache struct {
 	shards   [shardCount]shard
 	capacity int
+
+	// budget is the optional cross-cache entry budget (see NewShared);
+	// nil for an unshared cache.
+	budget *Budget
 
 	scopeMu sync.Mutex
 	scope   string
@@ -150,19 +222,34 @@ func New(entries int) *Cache {
 	return c
 }
 
+// NewShared creates a cache like New whose growth additionally draws
+// on budget, shared with other NewShared caches (see Budget). Each
+// cache keeps its full local capacity — a lone tenant can use the
+// whole budget — but once the shared budget is spent a store that
+// would grow the cache recycles the shard's own LRU tail instead (or
+// is dropped when the shard is empty), so the cross-cache entry sum
+// stays bounded. A nil budget is exactly New.
+func NewShared(entries int, budget *Budget) *Cache {
+	c := New(entries)
+	c.budget = budget
+	return c
+}
+
 // Instrument registers the cache's series in reg: hit/miss/evict
-// counters and an entry-count gauge. The counters mirror the internal
-// atomics from the moment of registration (they are recorded alongside,
-// not sampled), so /metrics scrapes see live values. A nil registry
-// detaches. Nil-safe.
-func (c *Cache) Instrument(reg *obs.Registry) {
+// counters and an entry-count gauge, all carrying the given labels
+// (e.g. a session label, so per-tenant caches expose distinct
+// series). The counters mirror the internal atomics from the moment
+// of registration (they are recorded alongside, not sampled), so
+// /metrics scrapes see live values. A nil registry detaches.
+// Nil-safe.
+func (c *Cache) Instrument(reg *obs.Registry, labels ...obs.Label) {
 	if c == nil {
 		return
 	}
-	c.mHits = reg.Counter("distcache_hits_total")
-	c.mMisses = reg.Counter("distcache_misses_total")
-	c.mEvictions = reg.Counter("distcache_evictions_total")
-	c.mEntries = reg.Gauge("distcache_entries")
+	c.mHits = reg.Counter("distcache_hits_total", labels...)
+	c.mMisses = reg.Counter("distcache_misses_total", labels...)
+	c.mEvictions = reg.Counter("distcache_evictions_total", labels...)
+	c.mEntries = reg.Gauge("distcache_entries", labels...)
 	c.mEntries.Set(float64(c.entries.Load()))
 }
 
@@ -248,6 +335,7 @@ func (c *Cache) Lookup(key uint64, bound float64) (float64, bool) {
 		delete(s.m, key)
 		s.mu.Unlock()
 		c.entries.Add(-1)
+		c.budget.release(1)
 		c.mEntries.Add(-1)
 		c.miss()
 		return 0, false
@@ -285,6 +373,7 @@ func (c *Cache) Store(key uint64, dist, bound float64) {
 			delete(s.m, old.key)
 			s.mu.Unlock()
 			c.entries.Add(-1)
+			c.budget.release(1)
 			c.mEntries.Add(-1)
 			c.evictions.Add(1)
 			c.mEvictions.Inc()
@@ -315,6 +404,20 @@ func (c *Cache) Store(key uint64, dist, bound float64) {
 		s.remove(old)
 		delete(s.m, old.key)
 		evicted = true
+	} else if !c.budget.reserve() {
+		// The shared budget is spent by sibling caches (a lone cache
+		// fills all its shards before the budget runs out, so this
+		// branch never fires unshared): recycle this shard's LRU tail
+		// instead of growing, or drop the write when there is nothing
+		// to recycle.
+		if old := s.tail; old != nil {
+			s.remove(old)
+			delete(s.m, old.key)
+			evicted = true
+		} else {
+			s.mu.Unlock()
+			return
+		}
 	}
 	e := &entry{key: key, dist: dist, bound: bound, epoch: ep}
 	s.m[key] = e

@@ -1,0 +1,60 @@
+package obs
+
+import "sync"
+
+// OverflowValue is the label value a LabelCap assigns once its
+// distinct-value budget is spent; every further value aggregates into
+// this one shared series.
+const OverflowValue = "other"
+
+// LabelCap bounds the cardinality of one label key: the first Max
+// distinct values each get their own series, and everything after
+// aggregates into the shared OverflowValue series. A metrics registry
+// never forgets a series, so without this guard any caller-controlled
+// label (a session name, a tenant id) would let a churn workload grow
+// /metrics without bound.
+//
+// Admission is first-come-first-served and permanent: once a value is
+// admitted it keeps its own series for the registry's lifetime, and
+// once the cap is hit every new value shares OverflowValue — the cap
+// is a memory bound, not an LRU. All methods are safe for concurrent
+// use.
+type LabelCap struct {
+	key string
+	max int
+
+	mu   sync.Mutex
+	seen map[string]struct{}
+}
+
+// NewLabelCap creates a cap admitting up to max distinct values for
+// key (at least one).
+func NewLabelCap(key string, max int) *LabelCap {
+	if max < 1 {
+		max = 1
+	}
+	return &LabelCap{key: key, max: max, seen: make(map[string]struct{}, max)}
+}
+
+// Label returns the label to record value under: L(key, value) while
+// the cap has room (or value was admitted earlier), L(key, "other")
+// once it is spent.
+func (lc *LabelCap) Label(value string) Label {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	if _, ok := lc.seen[value]; ok {
+		return L(lc.key, value)
+	}
+	if len(lc.seen) < lc.max {
+		lc.seen[value] = struct{}{}
+		return L(lc.key, value)
+	}
+	return L(lc.key, OverflowValue)
+}
+
+// Admitted reports how many distinct values hold their own series.
+func (lc *LabelCap) Admitted() int {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	return len(lc.seen)
+}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestLabelCapAdmitsThenOverflows pins the cardinality guard: the
+// first max distinct values get their own label, everything after
+// lands on OverflowValue, and an admitted value keeps its label
+// forever (the cap is not an LRU).
+func TestLabelCapAdmitsThenOverflows(t *testing.T) {
+	lc := NewLabelCap("session", 3)
+	for _, name := range []string{"a", "b", "c"} {
+		if got := lc.Label(name); got != L("session", name) {
+			t.Fatalf("Label(%q) = %v, want own series", name, got)
+		}
+	}
+	for _, name := range []string{"d", "e"} {
+		if got := lc.Label(name); got != L("session", OverflowValue) {
+			t.Fatalf("Label(%q) = %v, want overflow", name, got)
+		}
+	}
+	// Early values stay admitted even after the cap is spent.
+	if got := lc.Label("b"); got != L("session", "b") {
+		t.Fatalf("admitted value lost its series: %v", got)
+	}
+	if lc.Admitted() != 3 {
+		t.Fatalf("Admitted() = %d, want 3", lc.Admitted())
+	}
+}
+
+// TestLabelCapBoundsRegistrySeries drives a churn workload through a
+// capped label into a real registry and asserts the series count in
+// the exposition stays bounded by cap+1, with the overflow aggregated.
+func TestLabelCapBoundsRegistrySeries(t *testing.T) {
+	reg := NewRegistry()
+	lc := NewLabelCap("session", 4)
+	for i := 0; i < 100; i++ {
+		reg.Counter("tenant_requests_total", lc.Label(fmt.Sprintf("s%03d", i))).Inc()
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	for _, line := range strings.Split(b.String(), "\n") {
+		if strings.HasPrefix(line, "tenant_requests_total{") {
+			lines++
+		}
+	}
+	if lines != 5 {
+		t.Fatalf("exposition has %d tenant series, want 4 admitted + 1 overflow:\n%s", lines, b.String())
+	}
+	if !strings.Contains(b.String(), `tenant_requests_total{session="other"} 96`) {
+		t.Fatalf("overflow series did not aggregate the 96 capped tenants:\n%s", b.String())
+	}
+}
+
+// TestLabelCapConcurrent hammers one cap from many goroutines; the
+// admitted count must never exceed the cap (run under -race).
+func TestLabelCapConcurrent(t *testing.T) {
+	lc := NewLabelCap("session", 8)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				lc.Label(fmt.Sprintf("g%d-%d", i, j%10))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if n := lc.Admitted(); n > 8 {
+		t.Fatalf("Admitted() = %d exceeds cap 8", n)
+	}
+}

@@ -9,16 +9,19 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"strings"
 
 	"repro/internal/traj"
 )
 
 // Client talks to a NEAT server. It plays the role of the paper's
 // client node: it records (or relays) trajectories and requests
-// clustering results.
+// clustering results. The zero session targets the server's default
+// session; Session derives a client bound to a named one.
 type Client struct {
-	base string
-	http *http.Client
+	base    string
+	session string
+	http    *http.Client
 }
 
 // NewClient creates a client for the server at baseURL (e.g.
@@ -30,7 +33,23 @@ func NewClient(baseURL string, httpClient *http.Client) *Client {
 	return &Client{base: baseURL, http: httpClient}
 }
 
+// Session returns a client whose requests target the named session
+// (every request carries ?session=name). An empty name targets the
+// default session, same as the parent client.
+func (c *Client) Session(name string) *Client {
+	out := *c
+	out.session = name
+	return &out
+}
+
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	if c.session != "" {
+		sep := "?"
+		if strings.Contains(path, "?") {
+			sep = "&"
+		}
+		path += sep + "session=" + url.QueryEscape(c.session)
+	}
 	var rdr io.Reader
 	if body != nil {
 		buf, err := json.Marshal(body)
@@ -51,7 +70,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		return fmt.Errorf("server client: %s %s: %w", method, path, err)
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
 		var apiErr ErrorResponse
 		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
 			return fmt.Errorf("server client: %s %s: %s (%d)", method, path, apiErr.Error, resp.StatusCode)
@@ -101,9 +120,30 @@ func (c *Client) Clusters(ctx context.Context, q ClusterQuery) (ClusterResponse,
 	return out, err
 }
 
-// Stats fetches server statistics.
+// Stats fetches server statistics (for the client's session).
 func (c *Client) Stats(ctx context.Context) (StatsResponse, error) {
 	var out StatsResponse
 	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out)
 	return out, err
+}
+
+// Sessions lists the server's live sessions.
+func (c *Client) Sessions(ctx context.Context) (SessionsResponse, error) {
+	var out SessionsResponse
+	err := c.do(ctx, http.MethodGet, "/v1/sessions", nil, &out)
+	return out, err
+}
+
+// CreateSession provisions a named session on the server; the server
+// generates its road network from the request's mapgen preset.
+func (c *Client) CreateSession(ctx context.Context, req CreateSessionRequest) (SessionDTO, error) {
+	var out SessionDTO
+	err := c.do(ctx, http.MethodPost, "/v1/sessions", req, &out)
+	return out, err
+}
+
+// DeleteSession closes and unregisters a named session; its durable
+// namespace (if any) stays on disk for the next boot to recover.
+func (c *Client) DeleteSession(ctx context.Context, name string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/sessions?name="+url.QueryEscape(name), nil, nil)
 }

@@ -1,0 +1,209 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/traj"
+)
+
+// TestReadsProceedDuringStalledIngest pins the snapshot read path's
+// core guarantee: with an ingest deterministically parked inside the
+// session's ingest lock (its convert callback blocks until released —
+// the same lock a WAL stall or fault storm would pin), every read
+// route still answers from the published snapshot. The old RWMutex
+// server serialized reads behind exactly this stall.
+func TestReadsProceedDuringStalledIngest(t *testing.T) {
+	g, ds := testSetup(t)
+	s := New(g, Config{DataNodes: 2})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	c := NewClient(srv.URL, srv.Client())
+	ctx := context.Background()
+
+	if _, err := c.Ingest(ctx, ds); err != nil {
+		t.Fatal(err)
+	}
+	// Warm the read state so the stalled-phase reads exercise the
+	// snapshot, not first-build latencies.
+	if _, err := c.Clusters(ctx, ClusterQuery{Level: "flow", Epsilon: 1500, MinCard: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	ingestDone := make(chan error, 1)
+	stalled := ds.Trajectories[0]
+	stalled.ID = 9999
+	go func() {
+		_, err := s.Sessions().Default().Ingest(ctx, []traj.ID{stalled.ID}, func(int) (traj.Trajectory, error) {
+			close(entered)
+			<-release
+			return stalled, nil
+		})
+		ingestDone <- err
+	}()
+	<-entered // the ingest now holds the session's ingest lock
+
+	reads := []string{
+		"/v1/clusters?level=flow&eps=1500&mincard=2",
+		"/v1/stats",
+		"/v1/network",
+		"/v1/trajectories/query?x0=-1e9&y0=-1e9&x1=1e9&y1=1e9&t0=0&t1=1e12",
+	}
+	for _, path := range reads {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s during stalled ingest: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s during stalled ingest: status %d", path, resp.StatusCode)
+		}
+	}
+	select {
+	case err := <-ingestDone:
+		t.Fatalf("ingest finished (err=%v) while its convert was parked", err)
+	default:
+		// Every read above completed while the ingest lock was held.
+	}
+	close(release)
+	if err := <-ingestDone; err != nil {
+		t.Fatalf("stalled ingest ultimately failed: %v", err)
+	}
+}
+
+// gatedWriter blocks the handler's first response Write until the
+// test releases it — a slow client frozen mid-body.
+type gatedWriter struct {
+	h       http.Header
+	started chan struct{}
+	gate    chan struct{}
+	once    sync.Once
+}
+
+func (w *gatedWriter) Header() http.Header { return w.h }
+func (w *gatedWriter) WriteHeader(int)     {}
+func (w *gatedWriter) Write(p []byte) (int, error) {
+	w.once.Do(func() { close(w.started) })
+	<-w.gate
+	return len(p), nil
+}
+
+// TestSlowClientDoesNotStallIngest is the encode-outside-the-lock
+// regression test: a client that stops reading mid-response pins its
+// handler inside the JSON encode, and ingest must still commit — the
+// old server encoded /v1/clusters while holding the read lock, so one
+// stuck client froze every write.
+func TestSlowClientDoesNotStallIngest(t *testing.T) {
+	g, ds := testSetup(t)
+	h := New(g, Config{DataNodes: 2}).Handler()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/stats", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatal(rec.Body.String())
+	}
+	ingest := func(lo, hi int) *httptest.ResponseRecorder {
+		body := marshalIngest(t, traj.Dataset{Trajectories: ds.Trajectories[lo:hi]})
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/v1/trajectories", body)
+		req.Header.Set("Content-Type", "application/json")
+		h.ServeHTTP(rec, req)
+		return rec
+	}
+	if rec := ingest(0, 30); rec.Code != http.StatusOK {
+		t.Fatalf("baseline ingest: %d %s", rec.Code, rec.Body.String())
+	}
+
+	gw := &gatedWriter{h: make(http.Header), started: make(chan struct{}), gate: make(chan struct{})}
+	clusterDone := make(chan struct{})
+	go func() {
+		defer close(clusterDone)
+		h.ServeHTTP(gw, httptest.NewRequest(http.MethodGet, "/v1/clusters?level=flow&eps=1500&mincard=2", nil))
+	}()
+	<-gw.started // the handler is now frozen inside its response write
+
+	ingestDone := make(chan *httptest.ResponseRecorder, 1)
+	go func() { ingestDone <- ingest(30, len(ds.Trajectories)) }()
+	select {
+	case rec := <-ingestDone:
+		if rec.Code != http.StatusOK {
+			t.Fatalf("ingest behind a slow client: %d %s", rec.Code, rec.Body.String())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ingest blocked behind a client stuck mid-response")
+	}
+	close(gw.gate)
+	<-clusterDone
+}
+
+// BenchmarkQueryDuringIngest measures the read path while a writer
+// continuously commits fresh batches — the latency a tenant's
+// dashboard sees during another client's bulk load.
+func BenchmarkQueryDuringIngest(b *testing.B) {
+	g, ds := testSetup(b)
+	h := New(g, Config{DataNodes: 2, MaxInflight: -1}).Handler()
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/v1/trajectories", marshalIngest(b, ds))
+	req.Header.Set("Content-Type", "application/json")
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatal(rec.Body.String())
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for off := int32(10_000); ; off += int32(len(ds.Trajectories)) {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			shifted := make([]traj.Trajectory, len(ds.Trajectories))
+			copy(shifted, ds.Trajectories)
+			for i := range shifted {
+				shifted[i].ID += traj.ID(off)
+			}
+			rec := httptest.NewRecorder()
+			req := httptest.NewRequest(http.MethodPost, "/v1/trajectories", marshalIngest(b, traj.Dataset{Trajectories: shifted}))
+			req.Header.Set("Content-Type", "application/json")
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Errorf("background ingest: %d %s", rec.Code, rec.Body.String())
+				return
+			}
+		}
+	}()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet,
+				"/v1/trajectories/query?x0=-1e9&y0=-1e9&x1=1e9&y1=1e9&t0=0&t1=1e12", nil))
+			if rec.Code != http.StatusOK {
+				b.Fatalf("query: %d %s", rec.Code, rec.Body.String())
+			}
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+}
+
+func marshalIngest(t testing.TB, ds traj.Dataset) io.Reader {
+	t.Helper()
+	b, err := json.Marshal(FromDataset(ds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(b)
+}

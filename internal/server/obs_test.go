@@ -32,16 +32,18 @@ func TestServerMetricsRecorded(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if got := reg.Counter("server_ingest_trajectories_total").Value(); got != int64(len(ds.Trajectories)) {
+	// Server series carry the session label (the default session here).
+	def := obs.L("session", "default")
+	if got := reg.Counter("server_ingest_trajectories_total", def).Value(); got != int64(len(ds.Trajectories)) {
 		t.Errorf("ingest trajectories counter = %d, want %d", got, len(ds.Trajectories))
 	}
-	if got := reg.Counter("server_ingest_fragments_total").Value(); got == 0 {
+	if got := reg.Counter("server_ingest_fragments_total", def).Value(); got == 0 {
 		t.Error("ingest fragments counter is zero")
 	}
-	if got := reg.Counter("server_cache_misses_total").Value(); got != 1 {
+	if got := reg.Counter("server_cache_misses_total", def).Value(); got != 1 {
 		t.Errorf("cache misses = %d, want 1", got)
 	}
-	if got := reg.Counter("server_cache_hits_total").Value(); got != 1 {
+	if got := reg.Counter("server_cache_hits_total", def).Value(); got != 1 {
 		t.Errorf("cache hits = %d, want 1", got)
 	}
 	// The clustering pipeline recorded its own series through the same
@@ -62,7 +64,7 @@ func TestServerMetricsRecorded(t *testing.T) {
 	if _, err := c.Ingest(ctx, traj.Dataset{Trajectories: ds.Trajectories[:1]}); err == nil {
 		t.Fatal("duplicate ingest accepted")
 	}
-	if got := reg.Counter("server_ingest_rejected_total").Value(); got != 1 {
+	if got := reg.Counter("server_ingest_rejected_total", def).Value(); got != 1 {
 		t.Errorf("rejected counter = %d, want 1", got)
 	}
 }
@@ -138,8 +140,8 @@ func TestConcurrentIngestQueryCacheConsistency(t *testing.T) {
 	if !sameFlowMultiset(got.Flows, want.Flows) {
 		t.Errorf("flow multisets differ:\n got %v\nwant %v", got.Flows, want.Flows)
 	}
-	hits := reg.Counter("server_cache_hits_total").Value()
-	misses := reg.Counter("server_cache_misses_total").Value()
+	hits := reg.Counter("server_cache_hits_total", obs.L("session", "default")).Value()
+	misses := reg.Counter("server_cache_misses_total", obs.L("session", "default")).Value()
 	if misses == 0 {
 		t.Error("no cache misses recorded despite clustering")
 	}

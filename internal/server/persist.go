@@ -1,129 +1,44 @@
 package server
 
 import (
-	"context"
-	"fmt"
-
 	"repro/internal/persist"
-	"repro/internal/traj"
+	"repro/internal/session"
 )
 
-// recover restores the ingested dataset from the newest valid
-// checkpoint and re-runs the WAL tail through the normal
-// preprocessing path (sharded t-fragment extraction, which is
-// deterministic), so the recovered fragment set is byte-identical to
-// the one the server held when each batch was first acknowledged.
-// Called from Open before the server is reachable, so no locking.
-func (s *Server) recover() error {
-	if seq, payload, ok := s.store.Checkpoint(); ok {
-		st, err := persist.DecodeServerState(payload)
-		if err != nil {
-			return fmt.Errorf("checkpoint seq %d: %w", seq, err)
-		}
-		s.trajs = st.Trajs
-		s.fragments = st.Fragments
-		s.batches = st.Batches
-		s.lastCkpt = st.Batches
-		for _, tr := range st.Trajs {
-			s.seenIDs[tr.ID] = struct{}{}
-		}
-		s.trajCount = len(st.Trajs)
-		s.version = st.Batches
-	}
-	err := s.store.Replay(s.batches, func(seq uint64, ds traj.Dataset) error {
-		if seq != s.batches {
-			return fmt.Errorf("wal gap: expected batch %d, log has %d", s.batches, seq)
-		}
-		frags, trajs, err := s.preprocess(context.Background(), FromDataset(ds).Trajectories)
-		if err != nil {
-			return fmt.Errorf("replay batch %d: %w", seq, err)
-		}
-		for _, tr := range trajs {
-			s.seenIDs[tr.ID] = struct{}{}
-		}
-		s.fragments = append(s.fragments, frags...)
-		s.trajs = append(s.trajs, trajs...)
-		s.trajCount += len(trajs)
-		s.version++
-		s.batches++
-		return nil
-	})
-	if err != nil {
-		return err
-	}
-	s.recovered = s.batches
-	return nil
-}
+// Close shuts every session down: final checkpoints covering every
+// acknowledged batch, then each WAL is flushed and closed. A no-op
+// (and nil) for an in-memory server. The HTTP handler is not torn down
+// here — stop serving before closing.
+func (s *Server) Close() error { return s.reg.Close() }
 
-// checkpoint persists the full ingested dataset as of the current
-// batch sequence.
-func (s *Server) checkpoint() error {
-	s.mu.RLock()
-	st := persist.ServerState{Batches: s.batches, Trajs: s.trajs, Fragments: s.fragments}
-	s.mu.RUnlock()
-	payload := persist.EncodeServerState(st)
-	if err := s.store.WriteCheckpoint(st.Batches, payload); err != nil {
-		return err
-	}
-	s.mu.Lock()
-	if st.Batches > s.lastCkpt {
-		s.lastCkpt = st.Batches
-	}
-	s.mu.Unlock()
-	return nil
-}
-
-// Close shuts the durability layer down: a final checkpoint covering
-// every acknowledged batch, then the WAL is flushed and closed. A
-// no-op (and nil) for an in-memory server. The HTTP handler is not
-// torn down here — stop serving before closing.
-func (s *Server) Close() error {
-	if s.store == nil {
-		return nil
-	}
-	var err error
-	s.mu.RLock()
-	dirty := s.batches > s.lastCkpt
-	s.mu.RUnlock()
-	if dirty {
-		err = s.checkpoint()
-	}
-	if cerr := s.store.Close(); err == nil {
-		err = cerr
-	}
-	return err
-}
-
-// Abort closes the durability layer without flushing or
+// Abort closes every session's durability layer without flushing or
 // checkpointing — the process-internal equivalent of kill -9, for
 // crash-recovery tests.
-func (s *Server) Abort() {
-	if s.store != nil {
-		s.store.Abort()
-	}
-}
+func (s *Server) Abort() { s.reg.Abort() }
 
-// PersistStats snapshots the durability layer's counters; the zero
-// Stats when persistence is disabled.
-func (s *Server) PersistStats() persist.Stats {
-	if s.store == nil {
-		return persist.Stats{}
-	}
-	return s.store.Stats()
-}
+// PersistStats snapshots the default session's durability counters;
+// the zero Stats when persistence is disabled. Per-session counters
+// are on Sessions().
+func (s *Server) PersistStats() persist.Stats { return s.reg.Default().PersistStats() }
 
 // RecoveredBatches reports how many acknowledged ingest batches Open
-// restored (checkpoint plus WAL replay); 0 for an in-memory server or
-// a fresh data directory.
-func (s *Server) RecoveredBatches() uint64 { return s.recovered }
+// restored into the default session (checkpoint plus WAL replay); 0
+// for an in-memory server or a fresh data directory.
+func (s *Server) RecoveredBatches() uint64 { return s.reg.Default().RecoveredBatches() }
 
-// persistenceDTO assembles the /v1/stats persistence block; nil when
-// persistence is disabled.
+// persistenceDTO assembles the default session's /v1/stats persistence
+// block; nil when persistence is disabled.
 func (s *Server) persistenceDTO() *PersistenceDTO {
-	if s.store == nil {
+	return persistenceDTO(s.reg.Default())
+}
+
+// persistenceDTO assembles one session's /v1/stats persistence block;
+// nil when the session is in-memory.
+func persistenceDTO(sess *session.Session) *PersistenceDTO {
+	if !sess.Durable() {
 		return nil
 	}
-	st := s.store.Stats()
+	st := sess.PersistStats()
 	return &PersistenceDTO{
 		Dir:                 st.Dir,
 		Fsync:               st.Fsync,
@@ -134,7 +49,7 @@ func (s *Server) persistenceDTO() *PersistenceDTO {
 		CheckpointSeq:       st.CheckpointSeq,
 		Checkpoints:         st.Checkpoints,
 		LastCheckpointError: st.LastCheckpointError,
-		RecoveredBatches:    s.recovered,
+		RecoveredBatches:    sess.RecoveredBatches(),
 		ReplayedRecords:     st.Recovery.Replayed,
 		TornTails:           st.Recovery.TornTails,
 	}

@@ -8,29 +8,26 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/geo"
 
-	"repro/internal/distcache"
 	"repro/internal/fault"
 	"repro/internal/neat"
 	"repro/internal/obs"
 	"repro/internal/persist"
 	"repro/internal/roadnet"
-	"repro/internal/shortest"
+	"repro/internal/session"
 	"repro/internal/traj"
-	"repro/internal/trajindex"
 	"repro/internal/viz"
 )
 
 // Config parameterizes a Server.
 type Config struct {
-	// DataNodes is the number of preprocessing workers the ingestion
-	// path shards trajectories across (the paper's data nodes). Zero
-	// selects 4.
+	// DataNodes is the number of preprocessing workers each session's
+	// ingestion path shards trajectories across (the paper's data
+	// nodes). Zero selects 4.
 	DataNodes int
 	// MaxBatch caps the number of trajectories per ingest request.
 	// Zero selects 10000.
@@ -46,26 +43,41 @@ type Config struct {
 	// shape — output is byte-identical — so it does not key the result
 	// cache. 0 or 1 disables.
 	Shards int
-	// CacheEntries sizes the junction-pair distance cache shared by all
-	// clustering requests (internal/distcache): 0 selects the default
-	// budget, a negative value disables the cache. The cache is scoped
-	// to the server's graph by fingerprint, so a different network can
-	// never be served stale distances; like Workers it changes only the
-	// work performed, never the response bytes.
+	// CacheEntries sizes the junction-pair distance cache budget shared
+	// by every session (internal/distcache): each session keeps its own
+	// cache instance — scoped to its graph by fingerprint — but all of
+	// them draw on one entry budget, so N tenants never multiply the
+	// cache memory. 0 selects the default budget, a negative value
+	// disables caching. Like Workers it changes only the work
+	// performed, never the response bytes.
 	CacheEntries int
 	// Obs is the metrics registry the server records into: request
 	// latency/status per route, result-cache hits and misses, ingest
-	// volume, and the clustering pipeline's own series. Nil (the
-	// default) disables all instrumentation at zero cost; responses
-	// are byte-identical either way.
+	// volume (all session-labeled, with bounded cardinality), and the
+	// clustering pipeline's own series. Nil (the default) disables all
+	// instrumentation at zero cost; responses are byte-identical either
+	// way.
 	Obs *obs.Registry
-	// MaxInflight bounds concurrently served requests (admission
-	// control): up to MaxInflight requests run, up to another
-	// MaxInflight wait for a slot, and beyond that requests are shed
-	// immediately with 429 and a Retry-After header. A waiter whose
-	// deadline expires before a slot frees is shed with 503. Zero
-	// selects 16; negative disables admission control entirely.
+	// MaxInflight bounds concurrently served requests across all
+	// sessions (global admission control): up to MaxInflight requests
+	// run, up to another MaxInflight wait for a slot, and beyond that
+	// requests are shed immediately with 429 and a Retry-After header.
+	// A waiter whose deadline expires before a slot frees is shed with
+	// 503. Zero selects 16; negative disables admission control
+	// entirely.
 	MaxInflight int
+	// SessionMaxInflight bounds concurrently served requests per
+	// session, underneath the global cap, so one tenant cannot occupy
+	// every slot. Zero selects MaxInflight (which never binds with a
+	// single session — the global cap saturates first, keeping the
+	// default session's behavior identical to the pre-session server);
+	// negative disables the per-session bound.
+	SessionMaxInflight int
+	// MaxSessions caps live sessions (the default session included);
+	// Create beyond it is rejected. Zero selects 16. The per-session
+	// metric label space is capped at the same count — overflow
+	// sessions aggregate into session="other" series.
+	MaxSessions int
 	// RequestTimeout is the per-request deadline attached to every
 	// request context; work in flight observes it cooperatively (the
 	// clustering pipeline polls it pair-by-pair). Zero selects 30s;
@@ -73,18 +85,20 @@ type Config struct {
 	RequestTimeout time.Duration
 	// Fault is an optional fault injector threaded into the ingest
 	// path (slow/failed ingests), the clustering pipeline (shortest-
-	// path faults), and the shared distance cache (pressure). With a
-	// nil or disabled injector the server's responses are byte-
-	// identical to an un-faulted build.
+	// path faults), and the distance caches (pressure). It applies to
+	// the default session and to created sessions that do not bring
+	// their own injector. With a nil or disabled injector the server's
+	// responses are byte-identical to an un-faulted build.
 	Fault *fault.Injector
-	// Persist makes the ingested dataset durable: every acknowledged
-	// ingest batch is appended to a write-ahead log in Persist.Dir, the
-	// dataset (trajectories + fragments) is checkpointed every
+	// Persist makes the ingested datasets durable: every acknowledged
+	// ingest batch is appended to a per-session write-ahead log under
+	// Persist.Dir (the default session keeps the root itself, named
+	// sessions live in sessions/<name> beneath it, with their road
+	// network persisted alongside), datasets are checkpointed every
 	// Persist.CheckpointEvery batches and on Close, and Open recovers
-	// by loading the newest valid checkpoint and re-partitioning the
-	// WAL tail through the normal preprocessing path. Requires the Open
-	// constructor; New ignores it. Persist.Obs and Persist.Fault
-	// default to Config.Obs and Config.Fault.
+	// every namespace found on boot. Requires the Open constructor; New
+	// ignores it. Persist.Obs and Persist.Fault default to Config.Obs
+	// and Config.Fault.
 	Persist *persist.Options
 }
 
@@ -98,104 +112,44 @@ func (c Config) withDefaults() Config {
 	if c.MaxInflight == 0 {
 		c.MaxInflight = 16
 	}
+	if c.SessionMaxInflight == 0 {
+		c.SessionMaxInflight = c.MaxInflight
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 16
+	}
 	if c.RequestTimeout == 0 {
 		c.RequestTimeout = 30 * time.Second
 	}
 	return c
 }
 
-// Server is the NEAT trajectory-clustering service over one road
-// network. It is safe for concurrent use.
+// Server is the NEAT trajectory-clustering service: a registry of
+// isolated sessions (each one road network + dataset + pipeline +
+// distance cache + durability namespace) behind one HTTP API. Requests
+// route to a session via ?session=; without the parameter they target
+// the default session, which behaves exactly like the pre-session
+// single-tenant server. It is safe for concurrent use: ingest is
+// serialized per session and concurrent across sessions, and every
+// read path serves from an immutable published snapshot without ever
+// taking an ingest lock.
 type Server struct {
-	g   *roadnet.Graph
 	cfg Config
+	reg *session.Registry
 
-	mu        sync.RWMutex
-	fragments []traj.TFragment
-	trajs     []traj.Trajectory
-	seenIDs   map[traj.ID]struct{}
-	trajCount int
-	version   uint64 // bumped on every ingest; keys the result cache
-
-	idxMu      sync.Mutex
-	idx        *trajindex.Index
-	idxVersion uint64
-
-	cacheMu sync.Mutex
-	cache   map[string]cachedClusters
-
-	// lastGood holds, per parameter combination, the most recent
-	// successfully computed clustering response regardless of version —
-	// the degraded-mode snapshot served (flagged Stale) when a fresh
-	// clustering cannot be computed in time.
-	lastGoodMu sync.Mutex
-	lastGood   map[string]ClusterResponse
-
-	// One partitioner per data node; acquired through a channel
-	// semaphore since partitioners are not concurrency-safe.
-	nodes chan *traj.Partitioner
-
-	// Admission control (nil channels when cfg.MaxInflight < 0):
+	// Global admission control (nil channels when cfg.MaxInflight < 0):
 	// queued bounds admitted-plus-waiting requests, inflight bounds
 	// concurrently served ones. Both are chan-semaphores so waiters
 	// can give up on context expiry.
 	queued   chan struct{}
 	inflight chan struct{}
 
-	// The shared clustering pipeline behind /v1/clusters. A Pipeline
-	// is not safe for concurrent use; pipeSem serializes runs (a chan,
-	// not a mutex, so a waiter can abandon the wait when its request
-	// deadline expires). Sharing one instance keeps its graph-
-	// partition cache warm across requests when Shards is on.
-	pipeSem  chan struct{}
-	pipeline *neat.Pipeline
-
-	// Degraded-mode bookkeeping: the last ingest failure (cleared by
-	// the next success) plus shed/stale counters surfaced in /v1/stats.
-	degMu         sync.Mutex
-	lastIngestErr string
-	staleServed   atomic.Int64
-	shedQueueFull atomic.Int64
-	shedTimeout   atomic.Int64
-
-	// distCache memoizes junction-pair network distances across
-	// clustering requests (and any future graph swap invalidates it by
-	// fingerprint-keyed scope); nil when cfg.CacheEntries < 0.
-	distCache *distcache.Cache
-
-	// Durability (nil store without Config.Persist): batches is the
-	// WAL sequence (ingests committed, guarded by mu like the dataset
-	// it counts), lastCkpt the sequence the newest checkpoint covers,
-	// recovered what Open restored.
-	store     *persist.Store
-	batches   uint64
-	lastCkpt  uint64
-	recovered uint64
-
-	// Pre-resolved metric handles; all nil when cfg.Obs is nil, making
-	// every recording a no-op.
-	m serverMetrics
-}
-
-// serverMetrics are the server-level series (the HTTP middleware and
-// the pipeline record their own).
-type serverMetrics struct {
-	cacheHits      *obs.Counter
-	cacheMisses    *obs.Counter
-	ingestTrajs    *obs.Counter
-	ingestFrags    *obs.Counter
-	ingestRejected *obs.Counter
-	shedQueueFull  *obs.Counter
-	shedTimeout    *obs.Counter
-	staleServed    *obs.Counter
-}
-
-// cachedClusters memoizes one clustering response until the next
-// ingestion invalidates it (clustering is deterministic for fixed
-// fragments and parameters).
-type cachedClusters struct {
-	version uint64
-	resp    ClusterResponse
+	// Shed counters surfaced in /v1/stats (global — shedding happens
+	// before a session is resolved).
+	shedQueueFull  atomic.Int64
+	shedTimeout    atomic.Int64
+	mShedQueueFull *obs.Counter
+	mShedTimeout   *obs.Counter
 }
 
 // New creates an in-memory Server over g; Config.Persist is ignored
@@ -207,64 +161,46 @@ func New(g *roadnet.Graph, cfg Config) *Server {
 	return s
 }
 
-// Open creates a Server over g, recovering the ingested dataset from
-// Config.Persist's data directory when set (see Config.Persist).
+// Open creates a Server over g (the default session's road network),
+// recovering every session from Config.Persist's data directory when
+// set (see Config.Persist).
 func Open(g *roadnet.Graph, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		g:        g,
-		cfg:      cfg,
-		seenIDs:  make(map[traj.ID]struct{}),
-		cache:    make(map[string]cachedClusters),
-		lastGood: make(map[string]ClusterResponse),
-		nodes:    make(chan *traj.Partitioner, cfg.DataNodes),
-		pipeSem:  make(chan struct{}, 1),
+		cfg:            cfg,
+		mShedQueueFull: cfg.Obs.Counter("neat_shed_requests_total", obs.L("reason", "queue_full")),
+		mShedTimeout:   cfg.Obs.Counter("neat_shed_requests_total", obs.L("reason", "timeout")),
 	}
 	if cfg.MaxInflight > 0 {
 		s.inflight = make(chan struct{}, cfg.MaxInflight)
 		s.queued = make(chan struct{}, 2*cfg.MaxInflight)
 	}
-	for i := 0; i < cfg.DataNodes; i++ {
-		s.nodes <- traj.NewPartitioner(g, shortest.New(g, nil))
+	reg, err := session.NewRegistry(session.Options{
+		Graph: g,
+		Session: session.Config{
+			DataNodes:   cfg.DataNodes,
+			MaxBatch:    cfg.MaxBatch,
+			Workers:     cfg.Workers,
+			Shards:      cfg.Shards,
+			MaxInflight: cfg.SessionMaxInflight,
+			Obs:         cfg.Obs,
+			Fault:       cfg.Fault,
+		},
+		CacheEntries: cfg.CacheEntries,
+		MaxSessions:  cfg.MaxSessions,
+		Persist:      cfg.Persist,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
 	}
-	s.pipeline = neat.NewPipeline(g)
-	s.pipeline.Instrument(cfg.Obs)
-	if cfg.CacheEntries >= 0 {
-		s.distCache = distcache.New(cfg.CacheEntries)
-		s.distCache.Instrument(cfg.Obs)
-		s.distCache.InjectFaults(cfg.Fault)
-	}
-	cfg.Fault.Instrument(cfg.Obs)
-	s.m = serverMetrics{
-		cacheHits:      cfg.Obs.Counter("server_cache_hits_total"),
-		cacheMisses:    cfg.Obs.Counter("server_cache_misses_total"),
-		ingestTrajs:    cfg.Obs.Counter("server_ingest_trajectories_total"),
-		ingestFrags:    cfg.Obs.Counter("server_ingest_fragments_total"),
-		ingestRejected: cfg.Obs.Counter("server_ingest_rejected_total"),
-		shedQueueFull:  cfg.Obs.Counter("neat_shed_requests_total", obs.L("reason", "queue_full")),
-		shedTimeout:    cfg.Obs.Counter("neat_shed_requests_total", obs.L("reason", "timeout")),
-		staleServed:    cfg.Obs.Counter("server_stale_served_total"),
-	}
-	if cfg.Persist != nil {
-		o := *cfg.Persist
-		if o.Obs == nil {
-			o.Obs = cfg.Obs
-		}
-		if o.Fault == nil {
-			o.Fault = cfg.Fault
-		}
-		store, err := persist.Open(o)
-		if err != nil {
-			return nil, fmt.Errorf("server: open persistence: %w", err)
-		}
-		s.store = store
-		if err := s.recover(); err != nil {
-			store.Close()
-			return nil, fmt.Errorf("server: recover: %w", err)
-		}
-	}
+	s.reg = reg
 	return s, nil
 }
+
+// Sessions exposes the session registry (tests, chaos scenarios, and
+// cmd/neatserver boot reporting use it; the HTTP API is the public
+// surface).
+func (s *Server) Sessions() *session.Registry { return s.reg }
 
 // Routes returns the API paths the server responds on; the obs
 // middleware uses this closed set as its route label space.
@@ -275,6 +211,7 @@ func (s *Server) Routes() []string {
 		"/v1/stats",
 		"/v1/network",
 		"/v1/trajectories/query",
+		"/v1/sessions",
 	}
 }
 
@@ -285,16 +222,17 @@ func (s *Server) Routes() []string {
 // outermost, so shed requests are counted per route and status too.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/trajectories", s.handleIngest)
-	mux.HandleFunc("/v1/clusters", s.handleClusters)
-	mux.HandleFunc("/v1/stats", s.handleStats)
-	mux.HandleFunc("/v1/network", s.handleNetwork)
-	mux.HandleFunc("/v1/trajectories/query", s.handleQuery)
+	mux.HandleFunc("/v1/trajectories", s.withSession(s.handleIngest))
+	mux.HandleFunc("/v1/clusters", s.withSession(s.handleClusters))
+	mux.HandleFunc("/v1/stats", s.withSession(s.handleStats))
+	mux.HandleFunc("/v1/network", s.withSession(s.handleNetwork))
+	mux.HandleFunc("/v1/trajectories/query", s.withSession(s.handleQuery))
+	mux.HandleFunc("/v1/sessions", s.handleSessions)
 	return obs.Middleware(s.cfg.Obs, s.admission(mux), s.Routes()...)
 }
 
-// admission is the load-shedding middleware: a bounded queue in front
-// of a bounded in-flight pool, plus the per-request deadline. An
+// admission is the global load-shedding middleware: a bounded queue in
+// front of a bounded in-flight pool, plus the per-request deadline. An
 // overloaded server answers immediately — 429 when even the queue is
 // full, 503 when the deadline expires while queued — always with a
 // Retry-After header, and never hangs a client or surfaces a timeout
@@ -316,7 +254,7 @@ func (s *Server) admission(next http.Handler) http.Handler {
 			defer func() { <-s.queued }()
 		default:
 			s.shedQueueFull.Add(1)
-			s.m.shedQueueFull.Inc()
+			s.mShedQueueFull.Inc()
 			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusTooManyRequests, "server overloaded: admission queue full")
 			return
@@ -326,7 +264,7 @@ func (s *Server) admission(next http.Handler) http.Handler {
 			defer func() { <-s.inflight }()
 		case <-ctx.Done():
 			s.shedTimeout.Add(1)
-			s.m.shedTimeout.Inc()
+			s.mShedTimeout.Inc()
 			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusServiceUnavailable, "server overloaded: no slot within deadline")
 			return
@@ -335,10 +273,34 @@ func (s *Server) admission(next http.Handler) http.Handler {
 	})
 }
 
+// withSession resolves the ?session= query parameter (default session
+// without it) and takes a per-session admission slot underneath the
+// global cap, so one tenant's slow requests cannot occupy every global
+// slot. An unknown session is a typed 404 with a JSON body.
+func (s *Server) withSession(h func(http.ResponseWriter, *http.Request, *session.Session)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sess, err := s.reg.Get(r.URL.Query().Get("session"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, "%v", err)
+			return
+		}
+		if !sess.Acquire(r.Context()) {
+			s.shedTimeout.Add(1)
+			s.mShedTimeout.Inc()
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "server overloaded: no session slot within deadline")
+			return
+		}
+		defer sess.Release()
+		h(w, r, sess)
+	}
+}
+
 // handleQuery answers spatio-temporal range queries over the ingested
 // trajectories: GET /v1/trajectories/query?x0=&y0=&x1=&y1=&t0=&t1=.
-// It serves from a SETI-style index rebuilt lazily after ingestions.
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+// It serves from a SETI-style index built lazily per published
+// snapshot — wait-free with respect to ingest.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, sess *session.Session) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "GET required")
 		return
@@ -376,7 +338,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	idx, err := s.index()
+	idx, err := sess.Current().Index(sess.Graph())
 	if err != nil {
 		writeError(w, http.StatusConflict, "%v", err)
 		return
@@ -389,35 +351,6 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// index returns the current spatio-temporal index, rebuilding it when
-// ingestions have changed the dataset since the last build.
-func (s *Server) index() (*trajindex.Index, error) {
-	s.mu.RLock()
-	version := s.version
-	trajs := s.trajs
-	s.mu.RUnlock()
-	if len(trajs) == 0 {
-		return nil, fmt.Errorf("no trajectories ingested yet")
-	}
-	s.idxMu.Lock()
-	defer s.idxMu.Unlock()
-	if s.idx != nil && s.idxVersion == version {
-		return s.idx, nil
-	}
-	// Cell size near the average segment length keeps occupancy low.
-	cell := 150.0
-	if n := s.g.NumSegments(); n > 0 {
-		cell = s.g.TotalLength() / float64(n)
-	}
-	idx, err := trajindex.New(traj.Dataset{Name: "server", Trajectories: trajs}, cell)
-	if err != nil {
-		return nil, err
-	}
-	s.idx = idx
-	s.idxVersion = version
-	return idx, nil
-}
-
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -428,205 +361,70 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
-// setIngestHealth records the ingest path's health: a failure puts the
-// server in degraded mode (surfaced in /v1/stats), a success clears it.
-func (s *Server) setIngestHealth(err error) {
-	s.degMu.Lock()
-	if err != nil {
-		s.lastIngestErr = err.Error()
-	} else {
-		s.lastIngestErr = ""
-	}
-	s.degMu.Unlock()
-}
-
-func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, sess *session.Session) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
-	s.cfg.Fault.Sleep(fault.Ingest)
-	if err := s.cfg.Fault.Inject(fault.Ingest); err != nil {
-		// Simulated ingest-path outage: nothing is committed, the
-		// server flags itself degraded, and the client may retry.
-		s.setIngestHealth(err)
-		s.m.ingestRejected.Inc()
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, "ingest unavailable: %v", err)
-		return
-	}
 	var req IngestRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.m.ingestRejected.Inc()
+		sess.Metrics().IngestRejected.Inc()
 		writeError(w, http.StatusBadRequest, "decode: %v", err)
 		return
 	}
 	if len(req.Trajectories) == 0 {
-		s.m.ingestRejected.Inc()
+		sess.Metrics().IngestRejected.Inc()
 		writeError(w, http.StatusBadRequest, "no trajectories")
 		return
 	}
-	if len(req.Trajectories) > s.cfg.MaxBatch {
-		s.m.ingestRejected.Inc()
-		writeError(w, http.StatusRequestEntityTooLarge, "batch of %d exceeds limit %d", len(req.Trajectories), s.cfg.MaxBatch)
+	if len(req.Trajectories) > sess.MaxBatch() {
+		sess.Metrics().IngestRejected.Inc()
+		writeError(w, http.StatusRequestEntityTooLarge, "batch of %d exceeds limit %d", len(req.Trajectories), sess.MaxBatch())
 		return
 	}
-	// Reject duplicate trajectory ids up front: downstream structures
-	// (netflow, the spatio-temporal index) key by trid.
-	s.mu.RLock()
-	dup := ""
-	batchIDs := make(map[traj.ID]struct{}, len(req.Trajectories))
-	for _, dto := range req.Trajectories {
-		id := traj.ID(dto.ID)
-		if _, ok := s.seenIDs[id]; ok {
-			dup = fmt.Sprintf("trajectory %d already ingested", dto.ID)
-			break
-		}
-		if _, ok := batchIDs[id]; ok {
-			dup = fmt.Sprintf("trajectory %d repeated in batch", dto.ID)
-			break
-		}
-		batchIDs[id] = struct{}{}
+	ids := make([]traj.ID, len(req.Trajectories))
+	for i, dto := range req.Trajectories {
+		ids[i] = traj.ID(dto.ID)
 	}
-	s.mu.RUnlock()
-	if dup != "" {
-		s.m.ingestRejected.Inc()
-		writeError(w, http.StatusConflict, "%s", dup)
-		return
-	}
-
-	frags, trajs, err := s.preprocess(r.Context(), req.Trajectories)
+	st, err := sess.Ingest(r.Context(), ids, func(i int) (traj.Trajectory, error) {
+		return req.Trajectories[i].toTrajectory(sess.Graph())
+	})
 	if err != nil {
-		s.m.ingestRejected.Inc()
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		var dup *session.DuplicateError
+		switch {
+		case errors.As(err, &dup):
+			writeError(w, http.StatusConflict, "%s", dup)
+		case errors.Is(err, session.ErrNotDurable):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+		case errors.Is(err, session.ErrClosed):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+		case fault.IsInjected(err):
+			// Simulated ingest-path outage: nothing is committed, the
+			// session flags itself degraded, and the client may retry.
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "ingest unavailable: %v", err)
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 			// Timed out mid-preprocess: nothing was committed (the
-			// commit below is atomic), so the batch is safely
+			// session's commit is atomic), so the batch is safely
 			// retryable — but the server is degraded, not the request
 			// malformed.
-			s.setIngestHealth(err)
 			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusServiceUnavailable, "preprocess: %v", err)
-			return
+		default:
+			writeError(w, http.StatusBadRequest, "preprocess: %v", err)
 		}
-		writeError(w, http.StatusBadRequest, "preprocess: %v", err)
 		return
 	}
-	// Commit atomically, re-checking ids: a concurrent ingest may have
-	// claimed one between the opportunistic check above and now.
-	s.mu.Lock()
-	for id := range batchIDs {
-		if _, ok := s.seenIDs[id]; ok {
-			s.mu.Unlock()
-			s.m.ingestRejected.Inc()
-			writeError(w, http.StatusConflict, "trajectory %d already ingested", id)
-			return
-		}
-	}
-	for id := range batchIDs {
-		s.seenIDs[id] = struct{}{}
-	}
-	s.fragments = append(s.fragments, frags...)
-	s.trajs = append(s.trajs, trajs...)
-	s.trajCount += len(req.Trajectories)
-	s.version++
-	// The batch is committed in memory; make it durable before
-	// acknowledging. An append failure rolls the whole commit back so
-	// the client can retry — the server never acknowledges a batch the
-	// log does not hold.
-	if s.store != nil {
-		if err := s.store.AppendBatch(s.batches, traj.Dataset{Trajectories: trajs}); err != nil {
-			for id := range batchIDs {
-				delete(s.seenIDs, id)
-			}
-			s.fragments = s.fragments[:len(s.fragments)-len(frags)]
-			s.trajs = s.trajs[:len(s.trajs)-len(trajs)]
-			s.trajCount -= len(req.Trajectories)
-			s.version--
-			s.mu.Unlock()
-			s.setIngestHealth(err)
-			s.m.ingestRejected.Inc()
-			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusServiceUnavailable, "ingest not durable: %v", err)
-			return
-		}
-	}
-	s.batches++
-	needCkpt := false
-	if s.store != nil {
-		if every := s.store.CheckpointEvery(); every > 0 && s.batches-s.lastCkpt >= uint64(every) {
-			needCkpt = true
-		}
-	}
-	total := len(s.fragments)
-	s.mu.Unlock()
-	if needCkpt {
-		// Best-effort: a failed checkpoint only delays WAL compaction;
-		// the error surfaces in /v1/stats' persistence block.
-		_ = s.checkpoint()
-	}
-	s.setIngestHealth(nil)
-	s.m.ingestTrajs.Add(int64(len(req.Trajectories)))
-	s.m.ingestFrags.Add(int64(len(frags)))
 	writeJSON(w, http.StatusOK, IngestResponse{
-		Accepted:       len(req.Trajectories),
-		Fragments:      len(frags),
-		TotalFragments: total,
+		Accepted:       st.Accepted,
+		Fragments:      st.Fragments,
+		TotalFragments: st.TotalFragments,
 	})
 }
 
-// preprocess shards t-fragment extraction across the data nodes. The
-// output preserves the request order so ingestion stays deterministic.
-// The context is observed before each trajectory is claimed, so an
-// expired request stops promptly (all spawned goroutines are always
-// joined — no leaks) and reports the ctx error.
-func (s *Server) preprocess(ctx context.Context, dtos []TrajectoryDTO) ([]traj.TFragment, []traj.Trajectory, error) {
-	type result struct {
-		idx   int
-		tr    traj.Trajectory
-		frags []traj.TFragment
-		err   error
-	}
-	results := make([]result, len(dtos))
-	var wg sync.WaitGroup
-	sem := s.nodes
-	for i, dto := range dtos {
-		wg.Add(1)
-		go func(i int, dto TrajectoryDTO) {
-			defer wg.Done()
-			node := <-sem
-			defer func() { sem <- node }()
-			if err := ctx.Err(); err != nil {
-				results[i] = result{idx: i, err: err}
-				return
-			}
-			tr, err := dto.toTrajectory(s.g)
-			if err != nil {
-				results[i] = result{idx: i, err: err}
-				return
-			}
-			frags, err := node.Partition(tr)
-			results[i] = result{idx: i, tr: tr, frags: frags, err: err}
-		}(i, dto)
-	}
-	wg.Wait()
-	// Deterministic error selection: ctx expiry first, else the first
-	// trajectory (in request order) that failed.
-	if err := ctx.Err(); err != nil {
-		return nil, nil, err
-	}
-	var out []traj.TFragment
-	var trajs []traj.Trajectory
-	for _, res := range results {
-		if res.err != nil {
-			return nil, nil, res.err
-		}
-		out = append(out, res.frags...)
-		trajs = append(trajs, res.tr)
-	}
-	return out, trajs, nil
-}
-
-func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request, sess *session.Session) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "GET required")
 		return
@@ -645,8 +443,8 @@ func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
 	}
 	cfg := neat.Config{
 		Flow:   neat.FlowConfig{Weights: neat.WeightsFlowOnly, MinCard: 5},
-		Refine: neat.RefineConfig{Epsilon: 6500, UseELB: true, Bounded: true, Workers: s.cfg.Workers, Cache: s.distCache, Fault: s.cfg.Fault},
-		Shards: s.cfg.Shards,
+		Refine: neat.RefineConfig{Epsilon: 6500, UseELB: true, Bounded: true, Workers: sess.Workers(), Cache: sess.Cache(), Fault: sess.Injector()},
+		Shards: sess.Shards(),
 	}
 	if v := q.Get("eps"); v != "" {
 		eps, err := strconv.ParseFloat(v, 64)
@@ -674,43 +472,28 @@ func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	s.mu.RLock()
-	frags := make([]traj.TFragment, len(s.fragments))
-	copy(frags, s.fragments)
-	version := s.version
-	s.mu.RUnlock()
-	if len(frags) == 0 {
+	// The published snapshot is the whole read state: no ingest lock,
+	// no copying — the fragment slice is immutable by construction and
+	// the pipeline only reads it.
+	sn := sess.Current()
+	if len(sn.Fragments) == 0 {
 		writeError(w, http.StatusConflict, "no trajectories ingested yet")
 		return
 	}
 
 	cacheKey := fmt.Sprintf("%d|%g|%d", level, cfg.Refine.Epsilon, cfg.Flow.MinCard)
-	s.cacheMu.Lock()
-	if hit, ok := s.cache[cacheKey]; ok && hit.version == version {
-		s.cacheMu.Unlock()
-		s.m.cacheHits.Inc()
-		writeJSON(w, http.StatusOK, hit.resp)
+	if hit, ok := sn.Result(cacheKey); ok {
+		sess.Metrics().CacheHits.Inc()
+		writeJSON(w, http.StatusOK, hit.(ClusterResponse))
 		return
 	}
-	s.cacheMu.Unlock()
-	s.m.cacheMisses.Inc()
+	sess.Metrics().CacheMisses.Inc()
 
 	start := time.Now()
-	ctx := r.Context()
-	// The pipeline is single-flight; wait for it via a channel so a
-	// request whose deadline expires while queued degrades instead of
-	// blocking in an uninterruptible mutex wait.
-	select {
-	case s.pipeSem <- struct{}{}:
-	case <-ctx.Done():
-		s.degradeClusters(w, cacheKey, ctx.Err())
-		return
-	}
-	res, err := s.pipeline.RunPlanCtx(ctx, plan, neat.Input{Fragments: frags})
-	<-s.pipeSem
+	res, err := sess.RunPlan(r.Context(), plan, neat.Input{Fragments: sn.Fragments})
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || fault.IsInjected(err) {
-			s.degradeClusters(w, cacheKey, err)
+			s.degradeClusters(w, sess, cacheKey, err)
 			return
 		}
 		writeError(w, http.StatusInternalServerError, "clustering: %v", err)
@@ -722,29 +505,19 @@ func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
 		ElapsedMs:    float64(time.Since(start).Microseconds()) / 1000,
 	}
 	for _, f := range res.Flows {
-		resp.Flows = append(resp.Flows, s.flowDTO(f))
+		resp.Flows = append(resp.Flows, flowDTO(sess.Graph(), f))
 	}
 	for _, c := range res.Clusters {
 		dto := ClusterDTO{Cardinality: c.Cardinality()}
 		for _, f := range c.Flows {
-			dto.Flows = append(dto.Flows, s.flowDTO(f))
+			dto.Flows = append(dto.Flows, flowDTO(sess.Graph(), f))
 		}
 		resp.Clusters = append(resp.Clusters, dto)
 	}
-	s.cacheMu.Lock()
-	// Bound the cache: distinct parameter combinations are few in
-	// practice, but a scan of query space must not grow memory.
-	if len(s.cache) >= 32 {
-		s.cache = make(map[string]cachedClusters)
-	}
-	s.cache[cacheKey] = cachedClusters{version: version, resp: resp}
-	s.cacheMu.Unlock()
-	s.lastGoodMu.Lock()
-	if len(s.lastGood) >= 32 {
-		s.lastGood = make(map[string]ClusterResponse)
-	}
-	s.lastGood[cacheKey] = resp
-	s.lastGoodMu.Unlock()
+	// Memoize on the snapshot (publication of the successor is the
+	// invalidation) and keep it as the degraded-mode fallback.
+	sn.StoreResult(cacheKey, resp)
+	sess.SetLastGood(cacheKey, resp)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -753,16 +526,13 @@ func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
 // injected fault downed the shortest-path engines), serve the last
 // successfully computed response for the same parameters — flagged
 // Stale, possibly predating recent ingests — or shed with 503 and
-// Retry-After when no snapshot exists. A timeout is never a 500: the
-// condition is the server's load, not a server bug.
-func (s *Server) degradeClusters(w http.ResponseWriter, cacheKey string, cause error) {
-	s.lastGoodMu.Lock()
-	snap, ok := s.lastGood[cacheKey]
-	s.lastGoodMu.Unlock()
-	if ok {
+// Retry-After when no last-good state exists. A timeout is never a
+// 500: the condition is the server's load, not a server bug.
+func (s *Server) degradeClusters(w http.ResponseWriter, sess *session.Session, cacheKey string, cause error) {
+	if v, ok := sess.LastGood(cacheKey); ok {
+		snap := v.(ClusterResponse)
 		snap.Stale = true
-		s.staleServed.Add(1)
-		s.m.staleServed.Inc()
+		sess.NoteStale()
 		writeJSON(w, http.StatusOK, snap)
 		return
 	}
@@ -770,24 +540,24 @@ func (s *Server) degradeClusters(w http.ResponseWriter, cacheKey string, cause e
 	writeError(w, http.StatusServiceUnavailable, "clustering unavailable: %v", cause)
 }
 
-// handleNetwork serves the road network as GeoJSON so clients can
-// render clustering results over it.
-func (s *Server) handleNetwork(w http.ResponseWriter, r *http.Request) {
+// handleNetwork serves the session's road network as GeoJSON so
+// clients can render clustering results over it.
+func (s *Server) handleNetwork(w http.ResponseWriter, r *http.Request, sess *session.Session) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
 	w.Header().Set("Content-Type", "application/geo+json")
-	if err := viz.WriteNetworkGeoJSON(w, s.g); err != nil {
+	if err := viz.WriteNetworkGeoJSON(w, sess.Graph()); err != nil {
 		// Headers are out; nothing more to do than log via the error
 		// path of the connection.
 		return
 	}
 }
 
-func (s *Server) flowDTO(f *neat.FlowCluster) FlowDTO {
+func flowDTO(g *roadnet.Graph, f *neat.FlowCluster) FlowDTO {
 	dto := FlowDTO{
-		RouteLength: f.RouteLength(s.g),
+		RouteLength: f.RouteLength(g),
 		Cardinality: f.Cardinality(),
 		Density:     f.Density(),
 	}
@@ -797,18 +567,15 @@ func (s *Server) flowDTO(f *neat.FlowCluster) FlowDTO {
 	return dto
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, sess *session.Session) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
-	s.mu.RLock()
-	frags := len(s.fragments)
-	trajs := s.trajCount
-	s.mu.RUnlock()
+	sn := sess.Current()
 	var dc *DistCacheDTO
-	if s.distCache != nil {
-		st := s.distCache.CacheStats()
+	if cache := sess.Cache(); cache != nil {
+		st := cache.CacheStats()
 		dc = &DistCacheDTO{
 			Entries:   st.Entries,
 			Capacity:  st.Capacity,
@@ -818,32 +585,33 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			HitRate:   st.HitRate(),
 		}
 	}
-	s.degMu.Lock()
-	lastErr := s.lastIngestErr
-	s.degMu.Unlock()
+	degraded, lastErr := sess.Health()
 	rb := RobustnessDTO{
 		MaxInflight:      s.cfg.MaxInflight,
 		RequestTimeoutMs: float64(s.cfg.RequestTimeout.Microseconds()) / 1000,
-		Degraded:         lastErr != "",
+		Degraded:         degraded,
 		LastIngestError:  lastErr,
-		StaleServed:      s.staleServed.Load(),
+		StaleServed:      sess.StaleServed(),
 		ShedQueueFull:    s.shedQueueFull.Load(),
 		ShedTimeout:      s.shedTimeout.Load(),
-		FaultsEnabled:    s.cfg.Fault.Enabled(),
+		FaultsEnabled:    sess.Injector().Enabled(),
 	}
+	g := sess.Graph()
 	writeJSON(w, http.StatusOK, StatsResponse{
-		Junctions:      s.g.NumNodes(),
-		Segments:       s.g.NumSegments(),
-		TotalLengthKm:  s.g.TotalLength() / 1000,
-		Trajectories:   trajs,
-		TotalFragments: frags,
+		Junctions:      g.NumNodes(),
+		Segments:       g.NumSegments(),
+		TotalLengthKm:  g.TotalLength() / 1000,
+		Trajectories:   len(sn.Trajs),
+		TotalFragments: len(sn.Fragments),
 		DataNodes:      s.cfg.DataNodes,
 		RefineWorkers:  s.cfg.Workers,
 		Shards:         s.cfg.Shards,
 		DistCache:      dc,
 		Robustness:     rb,
-		Persistence:    s.persistenceDTO(),
+		Persistence:    persistenceDTO(sess),
 		Build:          buildDTO(),
+		Session:        sess.Name(),
+		Sessions:       s.reg.Len(),
 	})
 }
 

@@ -85,7 +85,10 @@ func TestIngestShardingMatchesSerial(t *testing.T) {
 	g, ds := testSetup(t)
 	s := New(g, Config{DataNodes: 8})
 	req := FromDataset(ds)
-	got, gotTrajs, err := s.preprocess(context.Background(), req.Trajectories)
+	sess := s.Sessions().Default()
+	got, gotTrajs, err := sess.Preprocess(context.Background(), len(req.Trajectories), func(i int) (traj.Trajectory, error) {
+		return req.Trajectories[i].toTrajectory(g)
+	})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,105 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sort"
+
+	"repro/internal/mapgen"
+	"repro/internal/session"
+)
+
+// handleSessions is the session admin endpoint:
+//
+//	GET    /v1/sessions             list live sessions
+//	POST   /v1/sessions             create one (body: CreateSessionRequest)
+//	DELETE /v1/sessions?name=<name> close and unregister one
+//
+// It does not route through withSession — it operates on the registry
+// itself — but still runs inside the global admission envelope.
+func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		out := SessionsResponse{}
+		for _, sess := range s.reg.List() {
+			out.Sessions = append(out.Sessions, sessionDTO(sess))
+		}
+		writeJSON(w, http.StatusOK, out)
+	case http.MethodPost:
+		var req CreateSessionRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "decode: %v", err)
+			return
+		}
+		region := req.Region
+		if region == "" {
+			region = "ATL"
+		}
+		preset, ok := mapgen.Presets()[region]
+		if !ok {
+			names := make([]string, 0, len(mapgen.Presets()))
+			for name := range mapgen.Presets() {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			writeError(w, http.StatusBadRequest, "unknown region %q (have %v)", req.Region, names)
+			return
+		}
+		if req.Scale < 0 {
+			writeError(w, http.StatusBadRequest, "bad scale %g", req.Scale)
+			return
+		}
+		if req.Scale > 0 {
+			preset = preset.Scaled(req.Scale)
+		}
+		g, err := mapgen.Generate(preset)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "generate network: %v", err)
+			return
+		}
+		sess, err := s.reg.Create(req.Name, g, session.CreateOptions{})
+		switch {
+		case err == nil:
+			writeJSON(w, http.StatusCreated, sessionDTO(sess))
+		case errors.Is(err, session.ErrSessionExists):
+			writeError(w, http.StatusConflict, "%v", err)
+		case errors.Is(err, session.ErrTooManySessions):
+			writeError(w, http.StatusTooManyRequests, "%v", err)
+		default:
+			writeError(w, http.StatusBadRequest, "%v", err)
+		}
+	case http.MethodDelete:
+		name := r.URL.Query().Get("name")
+		err := s.reg.Remove(name)
+		switch {
+		case err == nil:
+			writeJSON(w, http.StatusOK, struct {
+				Removed string `json:"removed"`
+			}{name})
+		case errors.Is(err, session.ErrUnknownSession):
+			writeError(w, http.StatusNotFound, "%v", err)
+		default:
+			writeError(w, http.StatusBadRequest, "%v", err)
+		}
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "GET, POST or DELETE required")
+	}
+}
+
+func sessionDTO(sess *session.Session) SessionDTO {
+	sn := sess.Current()
+	degraded, _ := sess.Health()
+	g := sess.Graph()
+	return SessionDTO{
+		Name:             sess.Name(),
+		Junctions:        g.NumNodes(),
+		Segments:         g.NumSegments(),
+		Trajectories:     len(sn.Trajs),
+		TotalFragments:   len(sn.Fragments),
+		Batches:          sn.Version,
+		Durable:          sess.Durable(),
+		RecoveredBatches: sess.RecoveredBatches(),
+		Degraded:         degraded,
+	}
+}

@@ -101,6 +101,46 @@ type StatsResponse struct {
 	Persistence *PersistenceDTO `json:"persistence,omitempty"`
 	// Build identifies the running binary.
 	Build BuildDTO `json:"build"`
+	// Session names the session this response describes (the ?session=
+	// parameter, or "default"); Sessions counts live sessions on the
+	// server.
+	Session  string `json:"session"`
+	Sessions int    `json:"sessions"`
+}
+
+// SessionDTO describes one live session in GET /v1/sessions (and is
+// the body of a successful POST).
+type SessionDTO struct {
+	Name           string `json:"name"`
+	Junctions      int    `json:"junctions"`
+	Segments       int    `json:"segments"`
+	Trajectories   int    `json:"trajectories"`
+	TotalFragments int    `json:"total_fragments"`
+	// Batches is the session's committed ingest-batch count (also its
+	// WAL sequence head).
+	Batches uint64 `json:"batches"`
+	Durable bool   `json:"durable"`
+	// RecoveredBatches is how many acknowledged batches boot restored
+	// into this session.
+	RecoveredBatches uint64 `json:"recovered_batches"`
+	Degraded         bool   `json:"degraded"`
+}
+
+// SessionsResponse is the body of GET /v1/sessions; the default
+// session is always first.
+type SessionsResponse struct {
+	Sessions []SessionDTO `json:"sessions"`
+}
+
+// CreateSessionRequest is the body of POST /v1/sessions. The server
+// generates the session's road network from a mapgen preset, so a
+// client can provision a tenant without shipping a graph.
+type CreateSessionRequest struct {
+	Name string `json:"name"`
+	// Region picks the mapgen preset ("ATL" when empty).
+	Region string `json:"region,omitempty"`
+	// Scale scales the preset's junction count (0 keeps it as-is).
+	Scale float64 `json:"scale,omitempty"`
 }
 
 // RobustnessDTO is the robustness section of GET /v1/stats: the

@@ -1,0 +1,93 @@
+package session
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/roadnet"
+	"repro/internal/traj"
+	"repro/internal/trajindex"
+)
+
+// ErrNoData is returned by read paths before the session's first
+// ingest; test with errors.Is. Its text is the API error body the
+// server has always used for the empty case.
+var ErrNoData = errors.New("no trajectories ingested yet")
+
+// maxResults bounds the per-snapshot result cache: distinct parameter
+// combinations are few in practice, but a scan of query space must
+// not grow memory (the same bound the pre-session server applied to
+// its version-keyed cache).
+const maxResults = 32
+
+// Snapshot is one immutable published state of a session: the dataset
+// as of a committed ingest, plus lazily built read-side artifacts (the
+// spatio-temporal index, memoized clustering responses). A snapshot is
+// reachable only through Session.Current's atomic pointer, so readers
+// hold it without any lock and concurrent ingest can never mutate what
+// they see — a new ingest publishes a new Snapshot instead.
+//
+// The Fragments and Trajs slices are three-index views into the
+// session's live backing arrays: ingest, serialized by the session's
+// ingest mutex, appends only at indices at or beyond every published
+// view's length (or into a fresh array after reallocation), and the
+// atomic publication orders those writes before any reader's loads.
+// The capped capacity keeps a snapshot consumer's own append from ever
+// touching shared memory.
+type Snapshot struct {
+	// Version counts committed ingest batches; it is also the WAL
+	// sequence the next batch will be appended under.
+	Version uint64
+	// Fragments is every t-fragment ingested, in commit order.
+	Fragments []traj.TFragment
+	// Trajs is every trajectory ingested, in commit order.
+	Trajs []traj.Trajectory
+
+	// Lazily built spatio-temporal index over Trajs; built at most once
+	// per snapshot, shared by every reader of this snapshot.
+	idxOnce sync.Once
+	idx     *trajindex.Index
+	idxErr  error
+
+	// results memoizes rendered clustering responses by parameter key.
+	// Publication of a new snapshot is the invalidation: a result is
+	// only ever correct for the exact dataset the snapshot froze.
+	results   sync.Map
+	resultCnt atomic.Int32
+}
+
+// Index returns the snapshot's spatio-temporal index, building it on
+// first use (wait-free for ingest: the build touches only the frozen
+// snapshot). ErrNoData before any ingest.
+func (sn *Snapshot) Index(g *roadnet.Graph) (*trajindex.Index, error) {
+	if len(sn.Trajs) == 0 {
+		return nil, ErrNoData
+	}
+	sn.idxOnce.Do(func() {
+		// Cell size near the average segment length keeps occupancy low.
+		cell := 150.0
+		if n := g.NumSegments(); n > 0 {
+			cell = g.TotalLength() / float64(n)
+		}
+		sn.idx, sn.idxErr = trajindex.New(traj.Dataset{Name: "server", Trajectories: sn.Trajs}, cell)
+	})
+	return sn.idx, sn.idxErr
+}
+
+// Result returns the memoized response stored under key, if any.
+func (sn *Snapshot) Result(key string) (any, bool) {
+	return sn.results.Load(key)
+}
+
+// StoreResult memoizes a response for key; past maxResults distinct
+// keys further stores are dropped (the bound, not an LRU — parameter
+// scans repeat few combinations).
+func (sn *Snapshot) StoreResult(key string, v any) {
+	if sn.resultCnt.Load() >= maxResults {
+		return
+	}
+	if _, loaded := sn.results.LoadOrStore(key, v); !loaded {
+		sn.resultCnt.Add(1)
+	}
+}

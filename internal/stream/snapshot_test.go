@@ -1,9 +1,65 @@
 package stream
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"testing"
 )
+
+// TestCurrentPublishesCommittedSnapshots pins the lock-free read path:
+// Current is nil before the first commit, tracks each committed batch
+// afterwards, and a failed ingest never publishes. Concurrent readers
+// run against a live ingest (meaningful under -race).
+func TestCurrentPublishesCommittedSnapshots(t *testing.T) {
+	g, ds := streamSetup(t)
+	c, err := New(g, streamConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Current() != nil {
+		t.Fatal("Current non-nil before any ingest")
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if sn := c.Current(); sn != nil && len(sn.Clusters) > 0 {
+					_ = sn.Clusters[0].Cardinality()
+				}
+			}
+		}()
+	}
+	for i, b := range batches(ds, 3) {
+		snap, err := c.Ingest(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur := c.Current()
+		if cur == nil || cur.Batch != snap.Batch || cur.StandingFlows != snap.StandingFlows {
+			t.Fatalf("batch %d: Current = %+v, want the committed snapshot %+v", i, cur, snap)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	before := c.Current()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.IngestCtx(ctx, batches(ds, 3)[0]); err == nil {
+		t.Fatal("canceled ingest succeeded")
+	}
+	if c.Current() != before {
+		t.Error("failed ingest published a snapshot")
+	}
+}
 
 // TestSnapshotTimingAndTrace covers the per-ingest observability the
 // batch Result always had: each Snapshot carries the phase breakdown,

@@ -16,6 +16,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/distcache"
@@ -138,6 +139,11 @@ type Clusterer struct {
 	store      *persist.Store
 	lastCkpt   int
 	recovering bool
+
+	// current is the last committed snapshot, published atomically
+	// after each commit so concurrent readers observe the clustering
+	// without synchronizing with Ingest (see Current).
+	current atomic.Pointer[Snapshot]
 
 	batch    int
 	standing []flowEntry
@@ -427,8 +433,18 @@ func (c *Clusterer) IngestCtx(ctx context.Context, batch traj.Dataset) (Snapshot
 	c.m.evictions.Add(int64(snap.EvictedFlows))
 	c.m.standing.Set(float64(snap.StandingFlows))
 	c.m.ingest.ObserveDuration(time.Since(start))
+	pub := snap
+	c.current.Store(&pub)
 	return snap, nil
 }
+
+// Current returns the most recently committed snapshot, or nil before
+// the first one. It never blocks: the pointer is published atomically
+// after each commit and the snapshot's clusters are already deep-copied
+// off the live standing set, so readers can hold it across later
+// ingests (treat it as read-only — it is shared with every other
+// Current caller). A failed or rolled-back ingest never publishes.
+func (c *Clusterer) Current() *Snapshot { return c.current.Load() }
 
 // Close marks the clusterer closed: subsequent Ingest calls fail with
 // an error wrapping ErrClosed. With durability enabled it also writes
