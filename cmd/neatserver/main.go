@@ -11,6 +11,17 @@
 //	neatserver -region ATL -scale 0.1 [-addr :8080] [-drain 10s] [-max-inflight 16] [-request-timeout 30s]
 //	neatserver -region ATL -data-dir /var/lib/neat [-fsync always] [-checkpoint-every 8]
 //	neatserver -region ATL -max-sessions 32
+//	neatserver -region ATL -guard-qps 50 -guard-points-per-sec 100000 -guard-trip-after 5 -guard-watchdog 30s
+//
+// The -guard-* flags arm per-session tenant-isolation guardrails:
+// token-bucket rate limits on ingest requests and points (shed with
+// 429 + Retry-After), a circuit breaker that quarantines a session
+// after consecutive infra-class ingest failures (writes shed 503,
+// reads serve the last-good snapshot flagged stale, and a successful
+// probe after the cooldown heals it by replaying its WAL), and a
+// watchdog converting stuck ingests into typed failures. Limits can
+// be overridden per session at runtime via POST /v1/sessions/limits
+// (`neatcli sessions -limits`).
 //
 // With -data-dir the server is durable: every acknowledged ingest is
 // written to a WAL before the response, the dataset is checkpointed
@@ -47,6 +58,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/guard"
 	"repro/internal/mapgen"
 	"repro/internal/obs"
 	"repro/internal/persist"
@@ -82,6 +94,17 @@ func run(ctx context.Context, args []string) error {
 		dataDir   = fs.String("data-dir", "", "durable data directory (WAL + checkpoints); empty = in-memory only")
 		fsyncPol  = fs.String("fsync", "always", "WAL fsync policy with -data-dir: always, interval, or off")
 		ckptEvery = fs.Int("checkpoint-every", 0, "checkpoint the dataset every N ingests with -data-dir (0 = default 8, <0 = only on shutdown)")
+
+		// Tenant-isolation guardrails: per-session defaults, overridable
+		// at runtime via POST /v1/sessions/limits.
+		guardQPS      = fs.Float64("guard-qps", 0, "per-session ingest requests/sec before shedding 429 (0 = unlimited)")
+		guardBurst    = fs.Int("guard-burst", 0, "per-session ingest burst (0 = derived from -guard-qps)")
+		guardPPS      = fs.Float64("guard-points-per-sec", 0, "per-session trajectory points/sec before shedding 429 (0 = unlimited)")
+		guardPtBurst  = fs.Int("guard-point-burst", 0, "per-session point burst (0 = derived from -guard-points-per-sec)")
+		guardTrip     = fs.Int("guard-trip-after", 0, "consecutive infra-class ingest failures that quarantine a session (0 = breaker off)")
+		guardCooldown = fs.Duration("guard-cooldown", 0, "quarantine cooldown before a half-open probe (0 = 30s)")
+		guardProbes   = fs.Int("guard-probes", 0, "successful probes required to heal a quarantined session (0 = 1)")
+		guardWatchdog = fs.Duration("guard-watchdog", 0, "per-ingest watchdog budget; stuck ingests fail typed and count toward the breaker (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -120,6 +143,16 @@ func run(ctx context.Context, args []string) error {
 	scfg := server.Config{
 		DataNodes: *dataNodes, Workers: *workers, Shards: *shards, CacheEntries: *cacheEnt,
 		MaxInflight: *inflight, MaxSessions: *maxSess, RequestTimeout: *reqTO, Obs: reg,
+		Guard: guard.Config{
+			Limits: guard.Limits{
+				IngestQPS: *guardQPS, IngestBurst: *guardBurst,
+				PointsPerSec: *guardPPS, PointBurst: *guardPtBurst,
+			},
+			Breaker: guard.BreakerConfig{
+				TripAfter: *guardTrip, Cooldown: *guardCooldown, ProbeSuccesses: *guardProbes,
+			},
+			Watchdog: *guardWatchdog,
+		},
 	}
 	if *dataDir != "" {
 		pol, err := persist.ParseFsyncPolicy(*fsyncPol)

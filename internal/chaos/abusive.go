@@ -1,0 +1,307 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/guard"
+	"repro/internal/persist"
+	"repro/internal/proptest"
+	"repro/internal/roadnet"
+	"repro/internal/server"
+	"repro/internal/session"
+)
+
+// AbusiveTenantScenario drives the full tenant-isolation guardrail
+// stack against one abusive tenant sharing a durable server with a
+// healthy one:
+//
+//   - the abuser is rate limited via the per-session admin API; a
+//     frozen injected clock makes the flood outcome exact (first
+//     request passes, every other is 429 + Retry-After);
+//   - a fault storm then trips the abuser's circuit breaker: writes
+//     shed 503, reads ride the last-good snapshot, and the session
+//     lists as quarantined;
+//   - after the (injected-clock) cooldown a probe ingest heals it
+//     through the WAL replay path;
+//   - throughout, the healthy tenant is never shed, never stale, and
+//     finishes byte-identical to a solo control server fed the same
+//     batches — as does the healed abuser.
+//
+// Every decision is a function of the seed and the manual clock: no
+// wall-clock dependence anywhere in the limiter or breaker path.
+func AbusiveTenantScenario(seed int64) (Result, error) {
+	res := Result{Seed: seed, Kind: "abusive"}
+	start := time.Now()
+	base := runtime.NumGoroutine()
+	fail := func(format string, args ...any) (Result, error) {
+		return res, fmt.Errorf("chaos: abusive seed %d: %s", seed, fmt.Sprintf(format, args...))
+	}
+
+	rng := proptest.NewRand(seed)
+	g, err := proptest.GenGraph(rng)
+	if err != nil {
+		return fail("%v", err)
+	}
+	ds := proptest.GenDataset(rng, g, proptest.DatasetOpts{Trajectories: 8 + rng.Intn(8)})
+	ag, err := proptest.GenGraph(rng)
+	if err != nil {
+		return fail("%v", err)
+	}
+	ads := proptest.GenDataset(rng, ag, proptest.DatasetOpts{Trajectories: 8 + rng.Intn(8)})
+
+	dir, err := os.MkdirTemp("", "chaos-abusive-*")
+	if err != nil {
+		return fail("%v", err)
+	}
+	defer os.RemoveAll(dir)
+
+	clk := guard.NewManualClock(time.Unix(1_700_000_000, 0).Add(time.Duration(seed)))
+	ainj := fault.New(fault.Config{Seed: seed, Points: map[fault.Point]fault.Spec{
+		fault.Ingest: {ErrProb: 1},
+	}})
+	ainj.SetEnabled(false)
+	const cooldown = 10 * time.Second
+	srv := server.New(g, server.Config{
+		DataNodes:      2,
+		RequestTimeout: 5 * time.Second,
+		Persist:        &persist.Options{Dir: dir, CheckpointEvery: 1},
+		Guard: guard.Config{
+			Breaker: guard.BreakerConfig{TripAfter: 2, Cooldown: cooldown},
+			Now:     clk.Now,
+		},
+	})
+	if _, err := srv.Sessions().Create("abuser", ag, session.CreateOptions{Fault: ainj}); err != nil {
+		return fail("create abuser session: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := &http.Client{Timeout: 10 * time.Second}
+	defer client.CloseIdleConnections()
+	healthyClusters := fmt.Sprintf("%s/v1/clusters?eps=50000&mincard=1", ts.URL)
+	abuserClusters := healthyClusters + "&session=abuser"
+
+	// assertHealthy runs one healthy-tenant probe: ingest must land 200
+	// (never shed) and the next clustering must be fresh, never stale.
+	// Every committed body is recorded for the end-of-run control replay.
+	healthyOffset := int32(0)
+	var healthyCommits [][]byte
+	assertHealthy := func(when string, ingestN int) error {
+		if ingestN > 0 {
+			healthyOffset += 1000
+			b := ingestBody(ds.Trajectories[:ingestN], healthyOffset)
+			st, _, body, err := post(client, ts.URL+"/v1/trajectories", b)
+			if err != nil || st != http.StatusOK {
+				return fmt.Errorf("healthy ingest %s: status %d err %v (%s)", when, st, err, body)
+			}
+			healthyCommits = append(healthyCommits, b)
+		}
+		var cr server.ClusterResponse
+		st, _, body, err := get(client, healthyClusters, &cr)
+		if err != nil || st != http.StatusOK {
+			return fmt.Errorf("healthy clusters %s: status %d err %v (%s)", when, st, err, body)
+		}
+		if cr.Stale {
+			return fmt.Errorf("healthy clusters %s flagged stale", when)
+		}
+		return nil
+	}
+
+	// Baseline: both tenants commit one batch.
+	healthyCommits = append(healthyCommits, ingestBody(ds.Trajectories, 0))
+	st, _, body, err := post(client, ts.URL+"/v1/trajectories", healthyCommits[0])
+	if err != nil || st != http.StatusOK {
+		return fail("healthy baseline ingest: status %d err %v (%s)", st, err, body)
+	}
+	st, _, body, err = post(client, ts.URL+"/v1/trajectories?session=abuser", ingestBody(ads.Trajectories, 0))
+	if err != nil || st != http.StatusOK {
+		return fail("abuser baseline ingest: status %d err %v (%s)", st, err, body)
+	}
+
+	// Clamp the abuser through the admin API: one ingest per second,
+	// burst 1. The buckets restart full, so under the frozen clock the
+	// flood below has an exact outcome.
+	limits, err := json.Marshal(server.SessionLimitsDTO{Session: "abuser", IngestQPS: 1, IngestBurst: 1})
+	if err != nil {
+		return fail("%v", err)
+	}
+	if st, _, body, err = post(client, ts.URL+"/v1/sessions/limits", limits); err != nil || st != http.StatusOK {
+		return fail("set abuser limits: status %d err %v (%s)", st, err, body)
+	}
+
+	// Flood: 1 + rounds rapid ingests against a frozen clock. The first
+	// drains the bucket and commits; every later one must shed 429 with
+	// Retry-After, and the healthy tenant interleaved through the flood
+	// must never notice.
+	rounds := 4 + int(((seed%3)+3)%3)
+	st, _, body, err = post(client, ts.URL+"/v1/trajectories?session=abuser", ingestBody(ads.Trajectories[:1], 2000))
+	if err != nil || st != http.StatusOK {
+		return fail("abuser flood ingest 0 (full bucket): status %d err %v (%s)", st, err, body)
+	}
+	for i := 1; i <= rounds; i++ {
+		st, hdr, body, err := post(client, ts.URL+"/v1/trajectories?session=abuser", ingestBody(ads.Trajectories[:1], int32(2000+i)))
+		if err != nil {
+			return fail("abuser flood ingest %d: %v", i, err)
+		}
+		if st != http.StatusTooManyRequests {
+			return fail("abuser flood ingest %d: status %d (%s), want 429 under a frozen clock", i, st, body)
+		}
+		if hdr.Get("Retry-After") == "" {
+			return fail("abuser flood ingest %d: 429 without Retry-After", i)
+		}
+		res.Shed++
+		if err := assertHealthy(fmt.Sprintf("during flood round %d", i), 1); err != nil {
+			return fail("%v", err)
+		}
+	}
+
+	// Fault storm: each attempt refills the bucket by advancing the
+	// injected clock, then fails on the armed injector; TripAfter=2
+	// consecutive failures quarantine the abuser.
+	ainj.SetEnabled(true)
+	for i := 0; i < 2; i++ {
+		clk.Advance(time.Second)
+		st, _, body, err = post(client, ts.URL+"/v1/trajectories?session=abuser", ingestBody(ads.Trajectories[:1], int32(3000+i)))
+		if err != nil || st != http.StatusServiceUnavailable {
+			return fail("abuser storm ingest %d: status %d err %v (%s), want 503", i, st, err, body)
+		}
+	}
+	var stats server.StatsResponse
+	if st, _, body, err = get(client, ts.URL+"/v1/stats?session=abuser", &stats); err != nil || st != http.StatusOK {
+		return fail("abuser stats: status %d err %v (%s)", st, err, body)
+	}
+	if stats.Guard == nil || stats.Guard.BreakerState != "open" || stats.Guard.Trips != 1 {
+		return fail("abuser guard stats after storm = %+v, want open/1 trip", stats.Guard)
+	}
+	var sessions server.SessionsResponse
+	if st, _, body, err = get(client, ts.URL+"/v1/sessions", &sessions); err != nil || st != http.StatusOK {
+		return fail("sessions list: status %d err %v (%s)", st, err, body)
+	}
+	for _, s := range sessions.Sessions {
+		if s.Name == "abuser" && !s.Quarantined {
+			return fail("abuser not listed quarantined after trip")
+		}
+		if s.Name == "default" && s.Quarantined {
+			return fail("healthy tenant listed quarantined")
+		}
+	}
+
+	// Quarantine semantics: writes shed 503 + Retry-After even with a
+	// full token bucket; reads ride the last-good snapshot flagged
+	// stale; the healthy tenant still never notices.
+	clk.Advance(time.Second)
+	st, hdr, body, err := post(client, ts.URL+"/v1/trajectories?session=abuser", ingestBody(ads.Trajectories[:1], 4000))
+	if err != nil || st != http.StatusServiceUnavailable {
+		return fail("quarantined write: status %d err %v (%s), want 503", st, err, body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		return fail("quarantined 503 without Retry-After")
+	}
+	res.Shed++
+	var stale server.ClusterResponse
+	st, _, body, err = get(client, abuserClusters, &stale)
+	switch {
+	case err != nil:
+		return fail("quarantined read: %v", err)
+	case st == http.StatusOK:
+		if !stale.Stale {
+			return fail("quarantined read not flagged stale (%s)", body)
+		}
+		res.Stale++
+	case st == http.StatusServiceUnavailable:
+		// No last-good clustering for these parameters: shedding is the
+		// honest degraded answer.
+	default:
+		return fail("quarantined read: status %d (%s)", st, body)
+	}
+	if err := assertHealthy("during quarantine", 1); err != nil {
+		return fail("%v", err)
+	}
+
+	// Heal: clear the fault, let the injected cooldown elapse, probe.
+	// The probe replays the abuser's WAL (checkpoint + tail), so the
+	// healed state is rebuilt from durable history, not trusted memory.
+	ainj.SetEnabled(false)
+	clk.Advance(cooldown)
+	st, _, body, err = post(client, ts.URL+"/v1/trajectories?session=abuser", ingestBody(ads.Trajectories[:1], 9000))
+	if err != nil || st != http.StatusOK {
+		return fail("abuser probe ingest: status %d err %v (%s)", st, err, body)
+	}
+	if st, _, body, err = get(client, ts.URL+"/v1/stats?session=abuser", &stats); err != nil || st != http.StatusOK {
+		return fail("abuser post-heal stats: status %d err %v (%s)", st, err, body)
+	}
+	if stats.Guard == nil || stats.Guard.BreakerState != "closed" || stats.Guard.Heals != 1 {
+		return fail("abuser guard stats after heal = %+v, want closed/1 heal", stats.Guard)
+	}
+
+	// Convergence: both tenants must now be byte-identical (modulo the
+	// elapsed-time field) to solo control servers that ingested exactly
+	// the committed batches and never saw a limiter, a breaker, or a
+	// fault.
+	abuserCommits := [][]byte{
+		ingestBody(ads.Trajectories, 0),
+		ingestBody(ads.Trajectories[:1], 2000),
+		ingestBody(ads.Trajectories[:1], 9000),
+	}
+	if err := compareToSoloControl(client, healthyClusters, g, healthyCommits); err != nil {
+		return fail("healthy tenant diverged from solo control: %v", err)
+	}
+	if err := compareToSoloControl(client, abuserClusters, ag, abuserCommits); err != nil {
+		return fail("healed abuser diverged from solo control: %v", err)
+	}
+
+	res.Faults = ainj.TotalInjected()
+	ts.Close()
+	client.CloseIdleConnections()
+	if err := goroutinesSettle(base, 5, 3*time.Second); err != nil {
+		return fail("%v", err)
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// compareToSoloControl spins up a fresh single-tenant server over g,
+// feeds it the exact committed batches, and compares its clustering to
+// the multi-tenant server's response at url — byte-identical after
+// canonicalizing the elapsed-time field, which measures the machine,
+// not the clustering.
+func compareToSoloControl(client *http.Client, url string, g *roadnet.Graph, commits [][]byte) error {
+	ctrl := server.New(g, server.Config{DataNodes: 2, RequestTimeout: 5 * time.Second})
+	cts := httptest.NewServer(ctrl.Handler())
+	defer cts.Close()
+	for i, b := range commits {
+		if st, _, body, err := post(client, cts.URL+"/v1/trajectories", b); err != nil || st != http.StatusOK {
+			return fmt.Errorf("control ingest %d: status %d err %v (%s)", i, st, err, body)
+		}
+	}
+	var got, want server.ClusterResponse
+	if st, _, body, err := get(client, url, &got); err != nil || st != http.StatusOK {
+		return fmt.Errorf("subject clusters: status %d err %v (%s)", st, err, body)
+	}
+	if st, _, body, err := get(client, cts.URL+"/v1/clusters?eps=50000&mincard=1", &want); err != nil || st != http.StatusOK {
+		return fmt.Errorf("control clusters: status %d err %v (%s)", st, err, body)
+	}
+	if got.Stale {
+		return fmt.Errorf("subject still serving stale responses")
+	}
+	// The elapsed-time field measures the machine, not the clustering.
+	got.ElapsedMs, want.ElapsedMs = 0, 0
+	gb, err := json.Marshal(got)
+	if err != nil {
+		return err
+	}
+	wb, err := json.Marshal(want)
+	if err != nil {
+		return err
+	}
+	if string(gb) != string(wb) {
+		return fmt.Errorf("clusterings differ:\n got %s\nwant %s", gb, wb)
+	}
+	return nil
+}

@@ -75,6 +75,7 @@ type SoakStats struct {
 	Server    int
 	Crash     int
 	Multi     int
+	Abusive   int
 	Faults    int64
 	Retries   int
 	Shed      int
@@ -92,6 +93,8 @@ func (s *SoakStats) add(r Result) {
 		s.Crash++
 	case "multi":
 		s.Multi++
+	case "abusive":
+		s.Abusive++
 	default:
 		s.Stream++
 	}
@@ -104,14 +107,14 @@ func (s *SoakStats) add(r Result) {
 
 // String renders the aggregate one-liner Soak prints at the end.
 func (s SoakStats) String() string {
-	return fmt.Sprintf("%d scenarios (%d stream, %d server, %d crash, %d multi) in %s: %d faults injected, %d ingests retried, %d requests shed, %d stale responses, %d WAL records replayed",
-		s.Scenarios, s.Stream, s.Server, s.Crash, s.Multi, s.Elapsed.Round(time.Millisecond), s.Faults, s.Retries, s.Shed, s.Stale, s.Replayed)
+	return fmt.Sprintf("%d scenarios (%d stream, %d server, %d crash, %d multi, %d abusive) in %s: %d faults injected, %d ingests retried, %d requests shed, %d stale responses, %d WAL records replayed",
+		s.Scenarios, s.Stream, s.Server, s.Crash, s.Multi, s.Abusive, s.Elapsed.Round(time.Millisecond), s.Faults, s.Retries, s.Shed, s.Stale, s.Replayed)
 }
 
 // Soak replays scenarios with consecutive seeds, rotating through the
-// stream, server, crash-recovery, and multi-session kinds, until d has elapsed (at
-// least one scenario always runs). Per-scenario lines go to out when
-// non-nil.
+// stream, server, crash-recovery, multi-session, and abusive-tenant
+// kinds, until d has elapsed (at least one scenario always runs).
+// Per-scenario lines go to out when non-nil.
 // It stops at the first failing scenario and returns its error; a
 // panicking scenario is converted into an error, not propagated.
 func Soak(d time.Duration, startSeed int64, out io.Writer) (SoakStats, error) {
@@ -137,26 +140,28 @@ func Soak(d time.Duration, startSeed int64, out io.Writer) (SoakStats, error) {
 	return stats, nil
 }
 
-// Run executes the scenario a seed selects (seed mod 4: 0 exercises
+// Run executes the scenario a seed selects (seed mod 5: 0 exercises
 // the streaming clusterer, 1 the HTTP service, 2 crash recovery, 3
-// multi-session tenant isolation), converting a panic into an error
-// that carries the stack — a soak must report a panicking scenario,
-// not die with it.
+// multi-session tenant isolation, 4 the abusive-tenant guardrails),
+// converting a panic into an error that carries the stack — a soak
+// must report a panicking scenario, not die with it.
 func Run(seed int64) (res Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("chaos: seed %d panicked: %v\n%s", seed, r, debug.Stack())
 		}
 	}()
-	switch mod := ((seed % 4) + 4) % 4; mod {
+	switch mod := ((seed % 5) + 5) % 5; mod {
 	case 0:
 		return StreamScenario(seed)
 	case 1:
 		return ServerScenario(seed)
 	case 2:
 		return CrashRecoveryScenario(seed)
-	default:
+	case 3:
 		return MultiSessionScenario(seed)
+	default:
+		return AbusiveTenantScenario(seed)
 	}
 }
 

@@ -96,6 +96,31 @@ func TestMultiSessionScenarios(t *testing.T) {
 	}
 }
 
+// TestAbusiveTenantScenarios sweeps the guardrail stack through 8
+// seeded abusive-tenant runs (run under -race in CI): every seed must
+// shed flood requests, trip and heal the abuser's breaker, and leave
+// both tenants byte-identical to solo controls — the per-seed
+// invariants live in the scenario; the sweep asserts the harness
+// actually exercised shedding and fault injection.
+func TestAbusiveTenantScenarios(t *testing.T) {
+	shed := 0
+	var faults int64
+	for seed := int64(0); seed < 8; seed++ {
+		res, err := AbusiveTenantScenario(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shed += res.Shed
+		faults += res.Faults
+	}
+	if shed == 0 {
+		t.Fatal("no flood request was ever shed across 8 abusive scenarios")
+	}
+	if faults == 0 {
+		t.Fatal("no faults injected across 8 abusive scenarios; the harness exercised nothing")
+	}
+}
+
 // TestSoak is the wall-clock soak, off by default (see the
 // -chaos.soak flag above).
 func TestSoak(t *testing.T) {
@@ -122,10 +147,10 @@ func (w testWriter) Write(p []byte) (int, error) {
 
 // TestRunRecoversPanic pins the soak's survival guarantee: Run turns
 // a panicking scenario into an error instead of crashing the sweep.
-// (No current scenario panics, so this drives Run through all four
+// (No current scenario panics, so this drives Run through all five
 // kinds and checks it stays well-formed.)
 func TestRunRecoversPanic(t *testing.T) {
-	for seed, wantKind := range map[int64]string{4: "stream", 5: "server", 6: "crash", 7: "multi"} {
+	for seed, wantKind := range map[int64]string{5: "stream", 6: "server", 7: "crash", 8: "multi", 9: "abusive"} {
 		res, err := Run(seed)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)

@@ -60,6 +60,11 @@ const (
 	// the checkpoint, leaving the previous one (and the whole WAL) in
 	// place — durability degrades to longer replay, never to loss.
 	CheckpointWrite
+	// IngestPanic makes an ingest panic mid-pipeline instead of
+	// returning an error: the guard layer must contain it, roll the
+	// batch back, and convert it into a typed error that trips the
+	// session's breaker.
+	IngestPanic
 	// NumPoints bounds the Point space.
 	NumPoints
 )
@@ -82,6 +87,8 @@ func (p Point) String() string {
 		return "wal_fsync"
 	case CheckpointWrite:
 		return "checkpoint_write"
+	case IngestPanic:
+		return "ingest_panic"
 	default:
 		return fmt.Sprintf("point(%d)", uint8(p))
 	}
@@ -98,6 +105,15 @@ type Spec struct {
 	LatencyProb float64
 	// Latency is the maximum injected sleep.
 	Latency time.Duration
+	// MaxErrs, when positive, caps how many error faults the point
+	// fires over the injector's lifetime: after MaxErrs failures the
+	// point stops failing even while enabled. The rng stream is still
+	// consumed identically, so capping a point never shifts the
+	// decisions of any other point. This lets an HTTP-only harness
+	// (the CI smoke test) configure a session that fails exactly N
+	// times and then deterministically heals, with no in-process
+	// SetEnabled call.
+	MaxErrs int64
 }
 
 // Config parameterizes an Injector.
@@ -202,6 +218,9 @@ func (in *Injector) draw(p Point) (fail bool, sleep time.Duration) {
 	s := in.specs[p]
 	if s.ErrProb > 0 && in.rng.Float64() < s.ErrProb {
 		fail = true
+	}
+	if fail && s.MaxErrs > 0 && in.errs[p].Load() >= s.MaxErrs {
+		fail = false // cap reached: suppress after the draw, stream intact
 	}
 	if s.LatencyProb > 0 && s.Latency > 0 && in.rng.Float64() < s.LatencyProb {
 		sleep = time.Duration(1 + in.rng.Int63n(int64(s.Latency)))

@@ -1,0 +1,199 @@
+package guard
+
+import (
+	"context"
+	"sync"
+)
+
+// AIMD is an adaptive concurrency limiter: the admitted-inflight limit
+// grows by one on each success (additive increase) up to a ceiling and
+// halves on each congestion signal (multiplicative decrease) down to a
+// floor. It replaces a static per-session inflight split — a hot tenant
+// that keeps missing deadlines shrinks its own window instead of
+// monopolizing the shared queue, and earns it back as requests start
+// succeeding again.
+//
+// The limiter starts at the ceiling, so until the first congestion
+// signal it behaves exactly like the static limit it replaces. A
+// ceiling <= 0 disables it: Acquire always succeeds immediately.
+type AIMD struct {
+	mu       sync.Mutex
+	limit    int
+	min, max int
+	inflight int
+	waiters  []chan struct{}
+	shrinks  int64
+}
+
+// NewAIMD builds a limiter with the given floor and ceiling. max <= 0
+// disables limiting; min < 1 is raised to 1.
+func NewAIMD(min, max int) *AIMD {
+	if min < 1 {
+		min = 1
+	}
+	if max > 0 && min > max {
+		min = max
+	}
+	return &AIMD{limit: max, min: min, max: max}
+}
+
+// Acquire blocks until an inflight slot is free or ctx is done,
+// returning ctx.Err() in the latter case. Callers must Release exactly
+// once per successful Acquire.
+func (a *AIMD) Acquire(ctx context.Context) error {
+	a.mu.Lock()
+	if a.max <= 0 || a.inflight < a.limit {
+		a.inflight++
+		a.mu.Unlock()
+		return nil
+	}
+	w := make(chan struct{}, 1)
+	a.waiters = append(a.waiters, w)
+	a.mu.Unlock()
+
+	select {
+	case <-w:
+		return nil
+	case <-ctx.Done():
+	}
+	// Cancelled: either remove our waiter, or — if a grant raced the
+	// cancellation — consume it and hand the slot to the next waiter.
+	a.mu.Lock()
+	for i, q := range a.waiters {
+		if q == w {
+			a.waiters = append(a.waiters[:i], a.waiters[i+1:]...)
+			a.mu.Unlock()
+			return ctx.Err()
+		}
+	}
+	// The grant already incremented inflight on our behalf.
+	a.releaseLocked()
+	a.mu.Unlock()
+	return ctx.Err()
+}
+
+// TryAcquire takes a slot only if one is immediately free.
+func (a *AIMD) TryAcquire() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.max <= 0 || a.inflight < a.limit {
+		a.inflight++
+		return true
+	}
+	return false
+}
+
+// Release returns a slot and wakes a waiter if the window has room.
+func (a *AIMD) Release() {
+	a.mu.Lock()
+	a.releaseLocked()
+	a.mu.Unlock()
+}
+
+func (a *AIMD) releaseLocked() {
+	if a.inflight > 0 {
+		a.inflight--
+	}
+	if a.max > 0 {
+		a.wakeLocked()
+	}
+}
+
+// wakeLocked grants slots to queued waiters while the window has room.
+// A granted waiter's inflight is counted here, not in Acquire, so a
+// cancellation racing the grant can hand the slot straight back.
+func (a *AIMD) wakeLocked() {
+	for len(a.waiters) > 0 && a.inflight < a.limit {
+		w := a.waiters[0]
+		a.waiters = a.waiters[1:]
+		a.inflight++
+		w <- struct{}{}
+	}
+}
+
+// OnSuccess is the additive increase: the window grows by one, capped
+// at the ceiling, and any waiter the new room admits is woken.
+func (a *AIMD) OnSuccess() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.max <= 0 {
+		return
+	}
+	if a.limit < a.max {
+		a.limit++
+		a.wakeLocked()
+	}
+}
+
+// OnCongestion is the multiplicative decrease: a deadline miss or shed
+// halves the window (floored at min). In-flight requests above the new
+// limit finish normally; the shrink only gates new admissions.
+func (a *AIMD) OnCongestion() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.max <= 0 {
+		return
+	}
+	if a.limit > a.min {
+		a.limit /= 2
+		if a.limit < a.min {
+			a.limit = a.min
+		}
+		a.shrinks++
+	}
+}
+
+// SetMax reconfigures the ceiling (and floor) at runtime; the current
+// window is clamped into the new bounds. max <= 0 disables limiting
+// and wakes every waiter.
+func (a *AIMD) SetMax(min, max int) {
+	if min < 1 {
+		min = 1
+	}
+	if max > 0 && min > max {
+		min = max
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.min, a.max = min, max
+	if max <= 0 {
+		a.limit = 0
+		for _, w := range a.waiters {
+			a.inflight++
+			w <- struct{}{}
+		}
+		a.waiters = nil
+		return
+	}
+	if a.limit > max || a.limit == 0 {
+		a.limit = max
+	}
+	if a.limit < min {
+		a.limit = min
+	}
+	a.wakeLocked()
+}
+
+// Limit reports the current window (0 when disabled).
+func (a *AIMD) Limit() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.max <= 0 {
+		return 0
+	}
+	return a.limit
+}
+
+// Inflight reports how many slots are held right now.
+func (a *AIMD) Inflight() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inflight
+}
+
+// Shrinks reports how many times congestion has halved the window.
+func (a *AIMD) Shrinks() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.shrinks
+}

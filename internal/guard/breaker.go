@@ -1,0 +1,274 @@
+package guard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrStuck marks an ingest the watchdog abandoned: the pipeline ran
+// past its stall budget while the client was still waiting. It counts
+// as a breaker failure — a session that keeps wedging gets quarantined.
+var ErrStuck = errors.New("guard: ingest exceeded watchdog deadline")
+
+// QuarantinedError is returned for writes to a session whose breaker
+// is open: the session is serving reads from its last-good snapshot
+// while it waits out the cooldown (or a half-open probe is already in
+// flight). RetryAfter is how long until the next admission attempt can
+// succeed.
+type QuarantinedError struct {
+	Session    string
+	RetryAfter time.Duration
+}
+
+func (e *QuarantinedError) Error() string {
+	return fmt.Sprintf("guard: session %q quarantined (retry in %s)", e.Session, e.RetryAfter)
+}
+
+// PanicError wraps a panic recovered inside an ingest so it propagates
+// as an ordinary typed error: the request fails, the breaker counts a
+// failure, and the process survives.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("guard: ingest panicked: %v", e.Value)
+}
+
+// State is a breaker's position in its lifecycle:
+// Closed → (TripAfter consecutive failures) → Open →
+// (Cooldown elapses) → HalfOpen → (ProbeSuccesses probes succeed) →
+// Closed, or (probe fails) → Open again.
+type State int32
+
+const (
+	Closed State = iota
+	Open
+	HalfOpen
+)
+
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("state(%d)", int32(s))
+	}
+}
+
+// Decision is a breaker admission verdict.
+type Decision int
+
+const (
+	// Admit lets the request through normally (breaker closed or
+	// disabled).
+	Admit Decision = iota
+	// Probe lets exactly one request through a half-open breaker to
+	// test whether the session has healed; its outcome decides
+	// whether the breaker closes or reopens.
+	Probe
+	// Reject sheds the request: the breaker is open (cooldown
+	// running) or a probe is already in flight.
+	Reject
+)
+
+// Breaker is a per-session circuit breaker over an injected clock. Trip
+// and recovery decisions never read the wall clock directly, so a test
+// driving a ManualClock sees identical transitions every run. Safe for
+// concurrent use. The zero-config breaker (TripAfter <= 0) is disabled:
+// Allow always admits and reports are no-ops.
+type Breaker struct {
+	cfg BreakerConfig
+	now Clock
+
+	mu       sync.Mutex
+	state    State
+	fails    int // consecutive failures while Closed
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+	probeOK  int  // consecutive probe successes while HalfOpen
+	trips    int64
+	heals    int64
+
+	// onTransition, when set, observes every state change under the
+	// breaker's lock; keep it cheap (metric bumps only).
+	onTransition func(State)
+}
+
+// NewBreaker builds a breaker; now nil selects time.Now.
+func NewBreaker(cfg BreakerConfig, now Clock) *Breaker {
+	if now == nil {
+		now = time.Now
+	}
+	return &Breaker{cfg: cfg.withDefaults(), now: now}
+}
+
+// Enabled reports whether the breaker can ever trip.
+func (b *Breaker) Enabled() bool { return b.cfg.TripAfter > 0 }
+
+// Allow decides whether an ingest may proceed. Reject comes with how
+// long until an admission can next succeed (the remaining cooldown, or
+// one second while a probe holds the half-open slot).
+func (b *Breaker) Allow() (Decision, time.Duration) {
+	if !b.Enabled() {
+		return Admit, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpenLocked()
+	switch b.state {
+	case Closed:
+		return Admit, 0
+	case HalfOpen:
+		if b.probing {
+			return Reject, time.Second
+		}
+		b.probing = true
+		return Probe, 0
+	default: // Open
+		remain := b.cfg.Cooldown - b.now().Sub(b.openedAt)
+		if remain < time.Second {
+			remain = time.Second
+		}
+		return Reject, remain
+	}
+}
+
+// maybeHalfOpenLocked performs the lazy Open → HalfOpen transition once
+// the cooldown has elapsed. Lazy, because with an injected clock there
+// is no timer to fire: the state advances when someone next asks.
+func (b *Breaker) maybeHalfOpenLocked() {
+	if b.state == Open && b.now().Sub(b.openedAt) >= b.cfg.Cooldown {
+		b.setStateLocked(HalfOpen)
+		b.probing = false
+		b.probeOK = 0
+	}
+}
+
+// Success reports a completed ingest. In Closed it clears the
+// consecutive-failure run; in HalfOpen it scores the probe and — once
+// ProbeSuccesses probes have passed — closes the breaker and reports
+// healed=true, the caller's cue to rebuild session state from the WAL.
+func (b *Breaker) Success() (healed bool) {
+	if !b.Enabled() {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		b.fails = 0
+	case HalfOpen:
+		b.probing = false
+		b.probeOK++
+		if b.probeOK >= b.cfg.ProbeSuccesses {
+			b.setStateLocked(Closed)
+			b.fails = 0
+			b.heals++
+			return true
+		}
+	}
+	// Open: a late report from a request admitted before the trip;
+	// the cooldown stands.
+	return false
+}
+
+// Failure reports a failed ingest. In Closed it counts toward the trip
+// threshold; in HalfOpen it fails the probe and reopens the breaker for
+// a fresh cooldown.
+func (b *Breaker) Failure() {
+	if !b.Enabled() {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		b.fails++
+		if b.fails >= b.cfg.TripAfter {
+			b.setStateLocked(Open)
+			b.openedAt = b.now()
+			b.trips++
+		}
+	case HalfOpen:
+		b.probing = false
+		b.probeOK = 0
+		b.setStateLocked(Open)
+		b.openedAt = b.now()
+		b.trips++
+	}
+}
+
+func (b *Breaker) setStateLocked(s State) {
+	if b.state == s {
+		return
+	}
+	b.state = s
+	if b.onTransition != nil {
+		b.onTransition(s)
+	}
+}
+
+// State reports the current state, applying the lazy half-open
+// transition first so an expired cooldown is visible to stats readers,
+// not only to the next Allow.
+func (b *Breaker) State() State {
+	if !b.Enabled() {
+		return Closed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpenLocked()
+	return b.state
+}
+
+// Quarantined reports whether writes are currently rejected (state
+// Open, cooldown still running).
+func (b *Breaker) Quarantined() bool { return b.State() != Closed }
+
+// Trips and Heals report lifetime transition counts.
+func (b *Breaker) Trips() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+// Heals reports how many times the breaker has closed after a
+// successful probe sequence.
+func (b *Breaker) Heals() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.heals
+}
+
+// CooldownRemaining reports how long until an open breaker half-opens
+// (zero when not open).
+func (b *Breaker) CooldownRemaining() time.Duration {
+	if !b.Enabled() {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != Open {
+		return 0
+	}
+	remain := b.cfg.Cooldown - b.now().Sub(b.openedAt)
+	if remain < 0 {
+		remain = 0
+	}
+	return remain
+}
+
+// ConsecutiveFails reports the current failure run while Closed.
+func (b *Breaker) ConsecutiveFails() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.fails
+}

@@ -1,0 +1,101 @@
+package guard
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// TokenBucket is a classic refilling bucket over an injected clock:
+// capacity burst, refill rate tokens/sec, and a Take that either debits
+// or reports how long until the debit would succeed (the Retry-After a
+// shed response carries). A rate <= 0 disables the bucket: Take always
+// succeeds. Safe for concurrent use.
+type TokenBucket struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    Clock
+	denied int64
+}
+
+// NewTokenBucket builds a bucket starting full. burst <= 0 derives
+// max(1, ceil(rate)). now nil selects time.Now.
+func NewTokenBucket(rate float64, burst int, now Clock) *TokenBucket {
+	if now == nil {
+		now = time.Now
+	}
+	b := &TokenBucket{now: now}
+	b.configure(rate, burst)
+	return b
+}
+
+func (b *TokenBucket) configure(rate float64, burst int) {
+	b.rate = rate
+	if rate <= 0 {
+		b.burst, b.tokens = 0, 0
+		return
+	}
+	if burst <= 0 {
+		burst = int(math.Ceil(rate))
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	b.burst = float64(burst)
+	b.tokens = b.burst
+	b.last = b.now()
+}
+
+// Reconfigure swaps the rate and burst; the bucket restarts full so a
+// limit change takes effect immediately rather than inheriting debt
+// from the old configuration.
+func (b *TokenBucket) Reconfigure(rate float64, burst int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.configure(rate, burst)
+}
+
+// Take debits n tokens if available. When it cannot, it reports false
+// and how long until n tokens will have refilled — the Retry-After for
+// the shed response. A demand larger than the burst is clamped to the
+// burst (it drains a full bucket) so oversized batches are expensive
+// but not unadmittable.
+func (b *TokenBucket) Take(n float64) (ok bool, retryAfter time.Duration) {
+	if n <= 0 {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.rate <= 0 {
+		return true, 0
+	}
+	if n > b.burst {
+		n = b.burst
+	}
+	t := b.now()
+	if dt := t.Sub(b.last); dt > 0 {
+		b.tokens = math.Min(b.burst, b.tokens+b.rate*dt.Seconds())
+		b.last = t
+	}
+	if b.tokens >= n {
+		b.tokens -= n
+		return true, 0
+	}
+	b.denied++
+	wait := time.Duration((n - b.tokens) / b.rate * float64(time.Second))
+	if wait < time.Second {
+		wait = time.Second // Retry-After granularity is whole seconds
+	}
+	return false, wait
+}
+
+// Denied reports how many Takes have been refused since creation (the
+// counter survives Reconfigure).
+func (b *TokenBucket) Denied() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.denied
+}

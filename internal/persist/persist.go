@@ -313,6 +313,36 @@ func (s *Store) Checkpoint() (seq uint64, payload []byte, ok bool) {
 	return s.rec.CheckpointSeq, s.payload, true
 }
 
+// ReloadCheckpoint re-reads the newest valid checkpoint from disk,
+// falling back across corrupt files exactly like Open. Unlike
+// Checkpoint — which only serves the payload held since Open and is
+// superseded by the first WriteCheckpoint — this works mid-life, which
+// is what a quarantined session needs to rebuild itself from
+// checkpoint + WAL replay without restarting the process. ok is false
+// when the directory holds no usable checkpoint (recovery then replays
+// the WAL from the start).
+func (s *Store) ReloadCheckpoint() (seq uint64, payload []byte, ok bool) {
+	cks, err := listCheckpoints(s.opts.Dir)
+	if err != nil {
+		return 0, nil, false
+	}
+	for _, ci := range cks {
+		if ci.Err != nil {
+			continue
+		}
+		data, err := os.ReadFile(ci.Path)
+		if err != nil {
+			continue
+		}
+		seq, payload, err := decodeCheckpoint(data)
+		if err != nil {
+			continue
+		}
+		return seq, payload, true
+	}
+	return 0, nil, false
+}
+
 // Replay streams every valid WAL record with Seq >= from, in sequence
 // order, decoding each body as a trajectory batch. The owner pushes
 // each batch through its normal ingest path, which is what makes the

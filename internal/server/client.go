@@ -6,13 +6,39 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/traj"
 )
+
+// RetryPolicy bounds the client's automatic retries. Retries apply
+// only when the server definitively rejected the request without
+// acting on it — a 429 (rate limited / shed) or 503 (quarantined /
+// degraded) response. A transport-level failure where no response
+// arrived is ambiguous: the server may have committed the request
+// before the connection dropped, so only idempotent (GET) requests
+// are retried there. Non-idempotent ingest is never replayed after
+// an ambiguous failure — a duplicate batch would poison the session.
+type RetryPolicy struct {
+	MaxRetries int           // additional attempts after the first (0 disables)
+	BaseDelay  time.Duration // first backoff step (default 100ms)
+	MaxDelay   time.Duration // backoff ceiling (default 5s)
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 5 * time.Second
+	}
+	return p
+}
 
 // Client talks to a NEAT server. It plays the role of the paper's
 // client node: it records (or relays) trajectories and requests
@@ -22,6 +48,9 @@ type Client struct {
 	base    string
 	session string
 	http    *http.Client
+	retry   RetryPolicy
+	sleep   func(context.Context, time.Duration) error // test hook
+	jitter  func() float64                             // test hook, in [0,1)
 }
 
 // NewClient creates a client for the server at baseURL (e.g.
@@ -30,7 +59,26 @@ func NewClient(baseURL string, httpClient *http.Client) *Client {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	return &Client{base: baseURL, http: httpClient}
+	return &Client{base: baseURL, http: httpClient, sleep: sleepCtx, jitter: rand.Float64}
+}
+
+// WithRetry returns a client that retries shed requests under the
+// given policy. See RetryPolicy for what is (and is not) retried.
+func (c *Client) WithRetry(p RetryPolicy) *Client {
+	out := *c
+	out.retry = p.withDefaults()
+	return &out
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // Session returns a client whose requests target the named session
@@ -50,39 +98,88 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		}
 		path += sep + "session=" + url.QueryEscape(c.session)
 	}
-	var rdr io.Reader
+	var buf []byte
 	if body != nil {
-		buf, err := json.Marshal(body)
-		if err != nil {
+		var err error
+		if buf, err = json.Marshal(body); err != nil {
 			return fmt.Errorf("server client: marshal: %w", err)
 		}
-		rdr = bytes.NewReader(buf)
+	}
+	for attempt := 0; ; attempt++ {
+		retryAfter, retriable, err := c.attempt(ctx, method, path, buf, out)
+		if err == nil {
+			return nil
+		}
+		if !retriable || attempt >= c.retry.MaxRetries {
+			return err
+		}
+		delay := c.backoff(attempt)
+		if retryAfter > delay {
+			delay = retryAfter
+		}
+		if c.sleep(ctx, delay) != nil {
+			return err
+		}
+	}
+}
+
+// attempt runs one HTTP round trip. retriable reports whether do may
+// try again: true for a 429/503 response (the server sheds before
+// acting, so the request provably did not commit) and for transport
+// failures on GETs; false for a transport failure on anything else —
+// with no response, a POST may already have been applied.
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any) (retryAfter time.Duration, retriable bool, err error) {
+	var rdr io.Reader
+	if body != nil {
+		rdr = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rdr)
 	if err != nil {
-		return fmt.Errorf("server client: request: %w", err)
+		return 0, false, fmt.Errorf("server client: request: %w", err)
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return fmt.Errorf("server client: %s %s: %w", method, path, err)
+		return 0, method == http.MethodGet && ctx.Err() == nil,
+			fmt.Errorf("server client: %s %s: %w", method, path, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+		shed := resp.StatusCode == http.StatusTooManyRequests ||
+			resp.StatusCode == http.StatusServiceUnavailable
+		if shed {
+			if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs > 0 {
+				retryAfter = time.Duration(secs) * time.Second
+			}
+		}
 		var apiErr ErrorResponse
 		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
-			return fmt.Errorf("server client: %s %s: %s (%d)", method, path, apiErr.Error, resp.StatusCode)
+			return retryAfter, shed, fmt.Errorf("server client: %s %s: %s (%d)", method, path, apiErr.Error, resp.StatusCode)
 		}
-		return fmt.Errorf("server client: %s %s: status %d", method, path, resp.StatusCode)
+		return retryAfter, shed, fmt.Errorf("server client: %s %s: status %d", method, path, resp.StatusCode)
 	}
 	if out != nil {
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			return fmt.Errorf("server client: decode: %w", err)
+			return 0, false, fmt.Errorf("server client: decode: %w", err)
 		}
 	}
-	return nil
+	return 0, false, nil
+}
+
+// backoff computes the equal-jitter exponential delay for a retry:
+// half the window is deterministic, half random, so synchronized
+// clients spread out instead of re-stampeding the server together.
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.retry.BaseDelay
+	for i := 0; i < attempt && d < c.retry.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > c.retry.MaxDelay {
+		d = c.retry.MaxDelay
+	}
+	return d/2 + time.Duration(c.jitter()*float64(d/2))
 }
 
 // Ingest uploads a dataset of trajectories.
@@ -146,4 +243,19 @@ func (c *Client) CreateSession(ctx context.Context, req CreateSessionRequest) (S
 // namespace (if any) stays on disk for the next boot to recover.
 func (c *Client) DeleteSession(ctx context.Context, name string) error {
 	return c.do(ctx, http.MethodDelete, "/v1/sessions?name="+url.QueryEscape(name), nil, nil)
+}
+
+// SessionLimits fetches a session's current guard limits.
+func (c *Client) SessionLimits(ctx context.Context, name string) (SessionLimitsDTO, error) {
+	var out SessionLimitsDTO
+	err := c.do(ctx, http.MethodGet, "/v1/sessions/limits?session="+url.QueryEscape(name), nil, &out)
+	return out, err
+}
+
+// SetSessionLimits replaces a session's guard limits (limits.Session
+// names the target) and returns the applied set.
+func (c *Client) SetSessionLimits(ctx context.Context, limits SessionLimitsDTO) (SessionLimitsDTO, error) {
+	var out SessionLimitsDTO
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/limits", limits, &out)
+	return out, err
 }

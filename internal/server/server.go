@@ -14,6 +14,7 @@ import (
 	"repro/internal/geo"
 
 	"repro/internal/fault"
+	"repro/internal/guard"
 	"repro/internal/neat"
 	"repro/internal/obs"
 	"repro/internal/persist"
@@ -71,8 +72,19 @@ type Config struct {
 	// every slot. Zero selects MaxInflight (which never binds with a
 	// single session — the global cap saturates first, keeping the
 	// default session's behavior identical to the pre-session server);
-	// negative disables the per-session bound.
+	// negative disables the per-session bound. The value seeds each
+	// session's adaptive (AIMD) admission window: the window starts
+	// here and halves on deadline misses and sheds, so a hot tenant
+	// shrinks its own footprint instead of monopolizing the global
+	// queue (see internal/guard).
 	SessionMaxInflight int
+	// Guard is the per-session isolation template applied to every
+	// session (the default session included): token-bucket ingest rate
+	// limits, circuit-breaker trip policy, and the ingest watchdog.
+	// Individual sessions can be overridden at runtime through the
+	// /v1/sessions/limits admin endpoint. The zero value disables all
+	// of it, preserving pre-guard behavior exactly.
+	Guard guard.Config
 	// MaxSessions caps live sessions (the default session included);
 	// Create beyond it is rejected. Zero selects 16. The per-session
 	// metric label space is capped at the same count — overflow
@@ -183,6 +195,7 @@ func Open(g *roadnet.Graph, cfg Config) (*Server, error) {
 			Workers:     cfg.Workers,
 			Shards:      cfg.Shards,
 			MaxInflight: cfg.SessionMaxInflight,
+			Guard:       cfg.Guard,
 			Obs:         cfg.Obs,
 			Fault:       cfg.Fault,
 		},
@@ -212,6 +225,7 @@ func (s *Server) Routes() []string {
 		"/v1/network",
 		"/v1/trajectories/query",
 		"/v1/sessions",
+		"/v1/sessions/limits",
 	}
 }
 
@@ -228,6 +242,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/network", s.withSession(s.handleNetwork))
 	mux.HandleFunc("/v1/trajectories/query", s.withSession(s.handleQuery))
 	mux.HandleFunc("/v1/sessions", s.handleSessions)
+	mux.HandleFunc("/v1/sessions/limits", s.handleSessionLimits)
 	return obs.Middleware(s.cfg.Obs, s.admission(mux), s.Routes()...)
 }
 
@@ -285,10 +300,13 @@ func (s *Server) withSession(h func(http.ResponseWriter, *http.Request, *session
 			return
 		}
 		if !sess.Acquire(r.Context()) {
-			s.shedTimeout.Add(1)
-			s.mShedTimeout.Inc()
+			// A per-tenant shed, not a global one: record it under the
+			// session's own capped label and reason so /metrics can tell
+			// which tenant ran out of window (the session's AIMD guard
+			// has already counted the congestion signal).
+			sess.Metrics().ShedSessionSlot.Inc()
 			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusServiceUnavailable, "server overloaded: no session slot within deadline")
+			writeError(w, http.StatusServiceUnavailable, "session %q overloaded: no session slot within deadline", sess.Name())
 			return
 		}
 		defer sess.Release()
@@ -361,9 +379,28 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
+// retryAfter formats a duration for the Retry-After header (whole
+// seconds, at least 1).
+func retryAfter(d time.Duration) string {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, sess *session.Session) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	// Rate-limit gate 1: the per-session request bucket, consulted
+	// before the body is even decoded so an abusive tenant costs the
+	// server nothing but this check.
+	if ok, retry := sess.Guard().AllowRequest(); !ok {
+		sess.Metrics().ShedRateLimit.Inc()
+		w.Header().Set("Retry-After", retryAfter(retry))
+		writeError(w, http.StatusTooManyRequests, "session %q rate limited: ingest QPS budget exhausted", sess.Name())
 		return
 	}
 	var req IngestRequest
@@ -382,6 +419,18 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, sess *sess
 		writeError(w, http.StatusRequestEntityTooLarge, "batch of %d exceeds limit %d", len(req.Trajectories), sess.MaxBatch())
 		return
 	}
+	// Rate-limit gate 2: the point budget, now that the batch size is
+	// known — still before any pipeline work.
+	points := 0
+	for _, dto := range req.Trajectories {
+		points += len(dto.Points)
+	}
+	if ok, retry := sess.Guard().AllowPoints(points); !ok {
+		sess.Metrics().ShedPointBudget.Inc()
+		w.Header().Set("Retry-After", retryAfter(retry))
+		writeError(w, http.StatusTooManyRequests, "session %q rate limited: point budget exhausted (%d points)", sess.Name(), points)
+		return
+	}
 	ids := make([]traj.ID, len(req.Trajectories))
 	for i, dto := range req.Trajectories {
 		ids[i] = traj.ID(dto.ID)
@@ -391,9 +440,27 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, sess *sess
 	})
 	if err != nil {
 		var dup *session.DuplicateError
+		var quar *guard.QuarantinedError
+		var pan *guard.PanicError
 		switch {
 		case errors.As(err, &dup):
 			writeError(w, http.StatusConflict, "%s", dup)
+		case errors.As(err, &quar):
+			// The session's breaker is open: writes shed until the
+			// cooldown elapses and a probe succeeds; reads keep serving
+			// the last-good snapshot.
+			sess.Metrics().ShedQuarantined.Inc()
+			w.Header().Set("Retry-After", retryAfter(quar.RetryAfter))
+			writeError(w, http.StatusServiceUnavailable, "%v", quar)
+		case errors.As(err, &pan):
+			// A contained ingest panic: the batch rolled back atomically
+			// and the breaker counted a failure; the batch is retryable.
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "ingest unavailable: %v", pan)
+		case errors.Is(err, guard.ErrStuck):
+			sess.Guard().OnCongestion()
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "ingest unavailable: %v", err)
 		case errors.Is(err, session.ErrNotDurable):
 			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusServiceUnavailable, "%v", err)
@@ -410,6 +477,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, sess *sess
 			// session's commit is atomic), so the batch is safely
 			// retryable — but the server is degraded, not the request
 			// malformed.
+			sess.Guard().OnCongestion()
 			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusServiceUnavailable, "preprocess: %v", err)
 		default:
@@ -417,6 +485,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, sess *sess
 		}
 		return
 	}
+	sess.Guard().OnSuccess()
 	writeJSON(w, http.StatusOK, IngestResponse{
 		Accepted:       st.Accepted,
 		Fragments:      st.Fragments,
@@ -482,6 +551,13 @@ func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request, sess *se
 	}
 
 	cacheKey := fmt.Sprintf("%d|%g|%d", level, cfg.Refine.Epsilon, cfg.Flow.MinCard)
+	if sess.Quarantined() {
+		// A quarantined session still answers reads, but only from its
+		// last-good state, explicitly flagged stale: the pipeline is not
+		// trusted until the breaker's probe sequence heals it.
+		s.degradeClusters(w, sess, cacheKey, fmt.Errorf("session %q quarantined", sess.Name()))
+		return
+	}
 	if hit, ok := sn.Result(cacheKey); ok {
 		sess.Metrics().CacheHits.Inc()
 		writeJSON(w, http.StatusOK, hit.(ClusterResponse))
@@ -493,12 +569,18 @@ func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request, sess *se
 	res, err := sess.RunPlan(r.Context(), plan, neat.Input{Fragments: sn.Fragments})
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || fault.IsInjected(err) {
+			if !fault.IsInjected(err) {
+				// A deadline miss under load is the AIMD congestion
+				// signal; injected faults are not load.
+				sess.Guard().OnCongestion()
+			}
 			s.degradeClusters(w, sess, cacheKey, err)
 			return
 		}
 		writeError(w, http.StatusInternalServerError, "clustering: %v", err)
 		return
 	}
+	sess.Guard().OnSuccess()
 	resp := ClusterResponse{
 		Level:        res.Level.String(),
 		BaseClusters: len(res.BaseClusters),
@@ -596,6 +678,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, sess *sessi
 		ShedTimeout:      s.shedTimeout.Load(),
 		FaultsEnabled:    sess.Injector().Enabled(),
 	}
+	gd := guardDTO(sess)
 	g := sess.Graph()
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Junctions:      g.NumNodes(),
@@ -608,6 +691,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, sess *sessi
 		Shards:         s.cfg.Shards,
 		DistCache:      dc,
 		Robustness:     rb,
+		Guard:          &gd,
 		Persistence:    persistenceDTO(sess),
 		Build:          buildDTO(),
 		Session:        sess.Name(),

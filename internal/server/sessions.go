@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"sort"
 
+	"repro/internal/fault"
+	"repro/internal/guard"
 	"repro/internal/mapgen"
 	"repro/internal/session"
 )
@@ -58,7 +60,18 @@ func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusInternalServerError, "generate network: %v", err)
 			return
 		}
-		sess, err := s.reg.Create(req.Name, g, session.CreateOptions{})
+		opts := session.CreateOptions{}
+		if req.Fault != nil {
+			points := map[fault.Point]fault.Spec{}
+			if req.Fault.IngestErrProb > 0 {
+				points[fault.Ingest] = fault.Spec{ErrProb: req.Fault.IngestErrProb, MaxErrs: req.Fault.IngestMaxErrs}
+			}
+			if req.Fault.PanicProb > 0 {
+				points[fault.IngestPanic] = fault.Spec{ErrProb: req.Fault.PanicProb, MaxErrs: req.Fault.PanicMaxErrs}
+			}
+			opts.Fault = fault.New(fault.Config{Seed: req.Fault.Seed, Points: points})
+		}
+		sess, err := s.reg.Create(req.Name, g, opts)
 		switch {
 		case err == nil:
 			writeJSON(w, http.StatusCreated, sessionDTO(sess))
@@ -101,5 +114,95 @@ func sessionDTO(sess *session.Session) SessionDTO {
 		Durable:          sess.Durable(),
 		RecoveredBatches: sess.RecoveredBatches(),
 		Degraded:         degraded,
+		Quarantined:      sess.Quarantined(),
+		BreakerState:     sess.Guard().Breaker().State().String(),
+	}
+}
+
+// handleSessionLimits is the per-session guard override endpoint:
+//
+//	GET  /v1/sessions/limits?session=<name>  current limits
+//	POST /v1/sessions/limits                 set them (body: SessionLimitsDTO)
+//
+// A POST replaces the session's whole limit set: the token buckets
+// restart full under the new rates and the AIMD window is re-bounded.
+func (s *Server) handleSessionLimits(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		sess, err := s.reg.Get(r.URL.Query().Get("session"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, limitsDTO(sess))
+	case http.MethodPost:
+		var req SessionLimitsDTO
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "decode: %v", err)
+			return
+		}
+		sess, err := s.reg.Get(req.Session)
+		if err != nil {
+			writeError(w, http.StatusNotFound, "%v", err)
+			return
+		}
+		if req.IngestQPS < 0 || req.PointsPerSec < 0 || req.IngestBurst < 0 || req.PointBurst < 0 {
+			writeError(w, http.StatusBadRequest, "limits must be non-negative")
+			return
+		}
+		sess.Guard().SetLimits(guard.Limits{
+			IngestQPS:      req.IngestQPS,
+			IngestBurst:    req.IngestBurst,
+			PointsPerSec:   req.PointsPerSec,
+			PointBurst:     req.PointBurst,
+			MaxConcurrency: req.MaxConcurrency,
+			MinConcurrency: req.MinConcurrency,
+		})
+		writeJSON(w, http.StatusOK, limitsDTO(sess))
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "GET or POST required")
+	}
+}
+
+func limitsDTO(sess *session.Session) SessionLimitsDTO {
+	l := sess.Guard().Limits()
+	return SessionLimitsDTO{
+		Session:        sess.Name(),
+		IngestQPS:      l.IngestQPS,
+		IngestBurst:    l.IngestBurst,
+		PointsPerSec:   l.PointsPerSec,
+		PointBurst:     l.PointBurst,
+		MaxConcurrency: l.MaxConcurrency,
+		MinConcurrency: l.MinConcurrency,
+	}
+}
+
+func guardDTO(sess *session.Session) GuardDTO {
+	st := sess.Guard().Snapshot()
+	return GuardDTO{
+		BreakerEnabled:      st.BreakerEnabled,
+		BreakerState:        st.BreakerState,
+		Quarantined:         st.BreakerState != "closed",
+		ConsecutiveFails:    st.ConsecutiveFails,
+		Trips:               st.Trips,
+		Heals:               st.Heals,
+		CooldownRemainingMs: float64(st.CooldownRemaining.Microseconds()) / 1000,
+		Panics:              st.Panics,
+		StuckIngests:        st.Stuck,
+		RateLimitedRequests: st.RateLimitedRequests,
+		RateLimitedPoints:   st.RateLimitedPoints,
+		Limits: SessionLimitsDTO{
+			Session:        sess.Name(),
+			IngestQPS:      st.Limits.IngestQPS,
+			IngestBurst:    st.Limits.IngestBurst,
+			PointsPerSec:   st.Limits.PointsPerSec,
+			PointBurst:     st.Limits.PointBurst,
+			MaxConcurrency: st.Limits.MaxConcurrency,
+			MinConcurrency: st.Limits.MinConcurrency,
+		},
+		ConcurrencyLimit: st.ConcurrencyLimit,
+		Inflight:         st.Inflight,
+		WindowShrinks:    st.WindowShrinks,
+		WatchdogMs:       float64(sess.Guard().Watchdog().Microseconds()) / 1000,
 	}
 }

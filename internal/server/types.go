@@ -96,6 +96,9 @@ type StatsResponse struct {
 	// Robustness reports admission-control configuration and the
 	// server's degradation state.
 	Robustness RobustnessDTO `json:"robustness"`
+	// Guard reports the session's isolation state: rate limits,
+	// adaptive concurrency window, and circuit breaker.
+	Guard *GuardDTO `json:"guard,omitempty"`
 	// Persistence reports the durability layer (WAL + checkpoints);
 	// nil when the server runs in-memory only.
 	Persistence *PersistenceDTO `json:"persistence,omitempty"`
@@ -124,6 +127,11 @@ type SessionDTO struct {
 	// into this session.
 	RecoveredBatches uint64 `json:"recovered_batches"`
 	Degraded         bool   `json:"degraded"`
+	// Quarantined is true while the session's circuit breaker rejects
+	// writes (reads serve the last-good snapshot, flagged stale);
+	// BreakerState is the full state: closed, open, or half-open.
+	Quarantined  bool   `json:"quarantined"`
+	BreakerState string `json:"breaker_state,omitempty"`
 }
 
 // SessionsResponse is the body of GET /v1/sessions; the default
@@ -141,6 +149,65 @@ type CreateSessionRequest struct {
 	Region string `json:"region,omitempty"`
 	// Scale scales the preset's junction count (0 keeps it as-is).
 	Scale float64 `json:"scale,omitempty"`
+	// Fault, when set, attaches a session-private deterministic fault
+	// injector (chaos and CI smoke testing): the session fails per the
+	// spec while every other tenant stays clean.
+	Fault *FaultSpecDTO `json:"fault,omitempty"`
+}
+
+// FaultSpecDTO configures a session-private ingest fault injector at
+// create time. With IngestMaxErrs > 0 the session fails exactly that
+// many ingests and then deterministically heals — which is how an
+// HTTP-only harness (the CI smoke test) trips and recovers a circuit
+// breaker without an in-process handle on the injector.
+type FaultSpecDTO struct {
+	Seed          int64   `json:"seed"`
+	IngestErrProb float64 `json:"ingest_err_prob"`
+	IngestMaxErrs int64   `json:"ingest_max_errs,omitempty"`
+	PanicProb     float64 `json:"ingest_panic_prob,omitempty"`
+	PanicMaxErrs  int64   `json:"ingest_panic_max_errs,omitempty"`
+}
+
+// SessionLimitsDTO is the body of GET and POST /v1/sessions/limits:
+// the per-session guard overrides. Zero rate values mean unlimited;
+// MaxConcurrency <= 0 means unbounded.
+type SessionLimitsDTO struct {
+	Session        string  `json:"session"`
+	IngestQPS      float64 `json:"ingest_qps"`
+	IngestBurst    int     `json:"ingest_burst"`
+	PointsPerSec   float64 `json:"points_per_sec"`
+	PointBurst     int     `json:"point_burst"`
+	MaxConcurrency int     `json:"max_concurrency"`
+	MinConcurrency int     `json:"min_concurrency"`
+}
+
+// GuardDTO is the guard section of GET /v1/stats: the session's
+// isolation state — limits, adaptive window, breaker lifecycle — all
+// deterministic functions of the injected clock.
+type GuardDTO struct {
+	BreakerEnabled bool   `json:"breaker_enabled"`
+	BreakerState   string `json:"breaker_state"`
+	Quarantined    bool   `json:"quarantined"`
+	// ConsecutiveFails is the current failure run while closed; Trips
+	// and Heals count lifetime transitions.
+	ConsecutiveFails    int     `json:"consecutive_fails"`
+	Trips               int64   `json:"trips"`
+	Heals               int64   `json:"heals"`
+	CooldownRemainingMs float64 `json:"cooldown_remaining_ms,omitempty"`
+	// Panics counts contained ingest panics, StuckIngests watchdog
+	// abandonments.
+	Panics       int64 `json:"panics"`
+	StuckIngests int64 `json:"stuck_ingests"`
+	// RateLimited* count requests shed by the token buckets.
+	RateLimitedRequests int64 `json:"rate_limited_requests"`
+	RateLimitedPoints   int64 `json:"rate_limited_points"`
+	// Limits echoes the configured budgets; ConcurrencyLimit and
+	// Inflight describe the live AIMD window.
+	Limits           SessionLimitsDTO `json:"limits"`
+	ConcurrencyLimit int              `json:"concurrency_limit"`
+	Inflight         int              `json:"inflight"`
+	WindowShrinks    int64            `json:"window_shrinks"`
+	WatchdogMs       float64          `json:"watchdog_ms,omitempty"`
 }
 
 // RobustnessDTO is the robustness section of GET /v1/stats: the

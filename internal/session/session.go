@@ -13,11 +13,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/distcache"
 	"repro/internal/fault"
+	"repro/internal/guard"
 	"repro/internal/neat"
 	"repro/internal/obs"
 	"repro/internal/persist"
@@ -66,8 +68,16 @@ type Config struct {
 	Shards int
 	// MaxInflight bounds concurrently served requests for this session
 	// (per-session admission; the server keeps its own global cap on
-	// top). 0 or negative disables the per-session bound.
+	// top). 0 or negative disables the per-session bound. It seeds the
+	// guard's AIMD ceiling when Guard.Limits.MaxConcurrency is unset,
+	// so existing configurations keep their static limit until the
+	// first congestion signal shrinks the window.
 	MaxInflight int
+	// Guard configures the session's isolation layer: token-bucket
+	// rate limits, adaptive concurrency, circuit breaker, watchdog.
+	// The zero value admits everything (no breaker, no limits), which
+	// is the exact pre-guard behavior.
+	Guard guard.Config
 	// CacheEntries sizes the session's junction-pair distance cache: 0
 	// selects the default budget, negative disables the cache.
 	CacheEntries int
@@ -115,6 +125,15 @@ type Metrics struct {
 	IngestFrags    *obs.Counter
 	IngestRejected *obs.Counter
 	StaleServed    *obs.Counter
+
+	// Per-tenant shed series: neat_shed_requests_total with a reason
+	// and the session's capped label, so /metrics distinguishes which
+	// tenant was shed and why (the server's global queue_full/timeout
+	// series carry no session label and are unchanged).
+	ShedSessionSlot *obs.Counter
+	ShedRateLimit   *obs.Counter
+	ShedPointBudget *obs.Counter
+	ShedQuarantined *obs.Counter
 }
 
 // IngestStats reports what one committed ingest produced.
@@ -162,9 +181,10 @@ type Session struct {
 	pipeSem  chan struct{}
 	pipeline *neat.Pipeline
 
-	// inflight is the per-session admission semaphore; nil when
-	// Config.MaxInflight <= 0.
-	inflight chan struct{}
+	// guard is the session's isolation layer: rate limits, AIMD
+	// admission (the successor of the static inflight semaphore),
+	// circuit breaker, and watchdog. Never nil.
+	guard *guard.Guard
 
 	// distCache memoizes junction-pair network distances across this
 	// session's clustering requests; nil when CacheEntries < 0.
@@ -199,9 +219,14 @@ func New(name string, g *roadnet.Graph, cfg Config) (*Session, error) {
 		pipeSem:  make(chan struct{}, 1),
 	}
 	s.snap.Store(&Snapshot{})
-	if cfg.MaxInflight > 0 {
-		s.inflight = make(chan struct{}, cfg.MaxInflight)
+	gcfg := cfg.Guard
+	if gcfg.Limits.MaxConcurrency == 0 {
+		// Back-compat: the static per-session inflight cap becomes the
+		// AIMD ceiling (<= 0 stays unbounded, as before).
+		gcfg.Limits.MaxConcurrency = cfg.MaxInflight
 	}
+	s.guard = guard.New(gcfg)
+	s.guard.Instrument(cfg.Obs, cfg.Label)
 	for i := 0; i < cfg.DataNodes; i++ {
 		s.nodes <- traj.NewPartitioner(g, shortest.New(g, nil))
 	}
@@ -220,6 +245,11 @@ func New(name string, g *roadnet.Graph, cfg Config) (*Session, error) {
 		IngestFrags:    cfg.Obs.Counter("server_ingest_fragments_total", cfg.Label),
 		IngestRejected: cfg.Obs.Counter("server_ingest_rejected_total", cfg.Label),
 		StaleServed:    cfg.Obs.Counter("server_stale_served_total", cfg.Label),
+
+		ShedSessionSlot: cfg.Obs.Counter("neat_shed_requests_total", cfg.Label, obs.L("reason", "session_slot")),
+		ShedRateLimit:   cfg.Obs.Counter("neat_shed_requests_total", cfg.Label, obs.L("reason", "rate_limit")),
+		ShedPointBudget: cfg.Obs.Counter("neat_shed_requests_total", cfg.Label, obs.L("reason", "point_budget")),
+		ShedQuarantined: cfg.Obs.Counter("neat_shed_requests_total", cfg.Label, obs.L("reason", "quarantined")),
 	}
 	if cfg.Persist != nil {
 		o := *cfg.Persist
@@ -272,27 +302,29 @@ func (s *Session) Shards() int { return s.cfg.Shards }
 // the empty snapshot (Version 0).
 func (s *Session) Current() *Snapshot { return s.snap.Load() }
 
-// Acquire takes a per-session admission slot, giving up when ctx
-// expires (false = shed this request). A no-op true when the session
-// has no per-session bound. Pair with Release.
+// Acquire takes a per-session admission slot from the guard's AIMD
+// window, giving up when ctx expires (false = shed this request). A
+// shed is a congestion signal: the window halves, so a tenant whose
+// requests keep timing out in the queue shrinks its own footprint
+// instead of monopolizing the shared inflight budget. A no-op true
+// when the session has no concurrency bound. Pair with Release.
 func (s *Session) Acquire(ctx context.Context) bool {
-	if s.inflight == nil {
-		return true
-	}
-	select {
-	case s.inflight <- struct{}{}:
-		return true
-	case <-ctx.Done():
+	if err := s.guard.Acquire(ctx); err != nil {
+		s.guard.OnCongestion()
 		return false
 	}
+	return true
 }
 
 // Release returns the slot taken by a successful Acquire.
-func (s *Session) Release() {
-	if s.inflight != nil {
-		<-s.inflight
-	}
-}
+func (s *Session) Release() { s.guard.Release() }
+
+// Guard exposes the session's isolation layer (never nil).
+func (s *Session) Guard() *guard.Guard { return s.guard }
+
+// Quarantined reports whether the session's breaker currently rejects
+// writes (reads are still served, flagged stale).
+func (s *Session) Quarantined() bool { return s.guard.Breaker().Quarantined() }
 
 // RunPlan executes plan over in on the session's single-flight
 // pipeline. Waiting for the pipeline observes ctx, so a request whose
@@ -316,11 +348,100 @@ func (s *Session) RunPlan(ctx context.Context, plan *neat.Plan, in neat.Input) (
 // and publish nothing. On success the new snapshot is visible to
 // readers before Ingest returns.
 func (s *Session) Ingest(ctx context.Context, ids []traj.ID, convert func(int) (traj.Trajectory, error)) (IngestStats, error) {
+	br := s.guard.Breaker()
+	decision, retry := br.Allow()
+	if decision == guard.Reject {
+		return IngestStats{}, &guard.QuarantinedError{Session: s.name, RetryAfter: retry}
+	}
+	st, err := s.ingestContained(ctx, ids, convert)
+	if err != nil {
+		s.m.IngestRejected.Inc()
+	}
+	if breakerFailure(err) {
+		br.Failure()
+	} else if br.Success() {
+		// The breaker just closed after its probe sequence: rebuild the
+		// session from checkpoint + WAL replay so whatever a fault storm
+		// left behind in memory is discarded and the healed state is
+		// byte-identical to a never-faulted run over the same log.
+		s.healFromWAL()
+	}
+	return st, err
+}
+
+// breakerFailure classifies an ingest error for the circuit breaker:
+// infrastructure faults (injected failures, contained panics, watchdog
+// abandonment, a WAL that will not accept writes) count toward the
+// trip threshold; client mistakes (duplicates, validation errors) and
+// the client's own context expiry say nothing about session health and
+// instead count as successes, clearing the consecutive-failure run.
+func breakerFailure(err error) bool {
+	if err == nil {
+		return false
+	}
+	var pe *guard.PanicError
+	return fault.IsInjected(err) ||
+		errors.As(err, &pe) ||
+		errors.Is(err, guard.ErrStuck) ||
+		errors.Is(err, ErrNotDurable)
+}
+
+// ingestContained runs one locked ingest under the guard's containment
+// layer: a panic anywhere in the ingest path is recovered, the
+// partially applied batch rolled back, and the panic converted into a
+// typed *guard.PanicError; a watchdog deadline (when configured)
+// bounds how long the pipeline may stall while the client still waits.
+func (s *Session) ingestContained(ctx context.Context, ids []traj.ID, convert func(int) (traj.Trajectory, error)) (st IngestStats, err error) {
 	s.ingestMu.Lock()
 	defer s.ingestMu.Unlock()
-	st, err := s.ingestLocked(ctx, ids, convert)
-	if err != nil && !s.recovering {
-		s.m.IngestRejected.Inc()
+
+	wctx := ctx
+	if d := s.guard.Watchdog(); d > 0 {
+		var cancel context.CancelFunc
+		wctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+
+	// Rollback bookkeeping for panic containment. wasSeen records which
+	// ids were already present at entry: a panic can fire before the
+	// duplicate check, so blind deletion would unregister trajectories
+	// committed by earlier batches.
+	savedVersion := s.version
+	savedFrags, savedTrajs := len(s.fragments), len(s.trajs)
+	wasSeen := make([]bool, len(ids))
+	for i, id := range ids {
+		_, wasSeen[i] = s.seenIDs[id]
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		s.guard.NotePanic()
+		// If the batch already published (the panic fired after the
+		// commit completed), the state is consistent and durable: keep
+		// it. Otherwise roll back every partial mutation.
+		if s.snap.Load().Version == savedVersion {
+			for i, id := range ids {
+				if !wasSeen[i] {
+					delete(s.seenIDs, id)
+				}
+			}
+			s.fragments = s.fragments[:savedFrags]
+			s.trajs = s.trajs[:savedTrajs]
+			s.version = savedVersion
+		}
+		st = IngestStats{}
+		err = &guard.PanicError{Value: r, Stack: debug.Stack()}
+		s.setIngestHealth(err)
+	}()
+
+	st, err = s.ingestLocked(wctx, ids, convert)
+	if err != nil && wctx.Err() != nil && ctx.Err() == nil {
+		// The watchdog expired, not the client: the ingest was stuck.
+		s.guard.NoteStuck()
+		err = fmt.Errorf("%w: %v", guard.ErrStuck, err)
+		s.setIngestHealth(err)
 	}
 	return st, err
 }
@@ -336,6 +457,14 @@ func (s *Session) ingestLocked(ctx context.Context, ids []traj.ID, convert func(
 		if err := s.cfg.Fault.Inject(fault.Ingest); err != nil {
 			s.setIngestHealth(err)
 			return IngestStats{}, err
+		}
+		if s.cfg.Fault.Hit(fault.IngestPanic) {
+			// Deliberately a raw panic: the containment layer in
+			// ingestContained must catch it, roll back, and convert it
+			// into a typed error. (Hit consumes no rng draws unless the
+			// point is configured, so existing seeded scenarios see an
+			// unchanged decision stream.)
+			panic(fmt.Sprintf("fault: injected %s", fault.IngestPanic))
 		}
 	}
 	// Reject duplicate trajectory ids up front: downstream structures
@@ -439,6 +568,14 @@ func (s *Session) preprocess(ctx context.Context, n int, convert func(int) (traj
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			defer func() {
+				// A panic in a data-node worker (a hostile convert, a
+				// corrupt trajectory) must not kill the process: contain
+				// it to this trajectory's slot as a typed error.
+				if r := recover(); r != nil {
+					results[i] = result{err: &guard.PanicError{Value: r, Stack: debug.Stack()}}
+				}
+			}()
 			node := <-sem
 			defer func() { sem <- node }()
 			if err := ctx.Err(); err != nil {
@@ -480,7 +617,21 @@ func (s *Session) preprocess(ctx context.Context, n int, convert func(int) (traj
 func (s *Session) recover() error {
 	s.ingestMu.Lock()
 	defer s.ingestMu.Unlock()
-	if seq, payload, ok := s.store.Checkpoint(); ok {
+	return s.recoverLocked(false)
+}
+
+// recoverLocked rebuilds the dataset from checkpoint + WAL with
+// ingestMu held. reload selects the checkpoint source: false reads the
+// payload cached at Open (boot-time recovery), true re-reads the
+// newest checkpoint from disk (a mid-life heal, where Open's payload
+// has long been superseded by periodic checkpoints that compacted the
+// WAL under it).
+func (s *Session) recoverLocked(reload bool) error {
+	ckpt := s.store.Checkpoint
+	if reload {
+		ckpt = s.store.ReloadCheckpoint
+	}
+	if seq, payload, ok := ckpt(); ok {
 		st, err := persist.DecodeServerState(payload)
 		if err != nil {
 			return fmt.Errorf("checkpoint seq %d: %w", seq, err)
@@ -516,6 +667,35 @@ func (s *Session) recover() error {
 	s.recovered = s.version
 	s.publishLocked()
 	return nil
+}
+
+// healFromWAL rebuilds the session's entire in-memory state from its
+// newest checkpoint plus full WAL replay. The breaker calls this once
+// its probe sequence closes it: whatever inconsistency a fault storm,
+// panic, or stuck pipeline left in memory is discarded wholesale, and
+// because every acknowledged batch is in the log (and only
+// acknowledged batches are — failed appends roll back before the ack),
+// the rebuilt state is byte-identical to a session that never faulted.
+// In-memory sessions have no log to heal from and keep their state. A
+// failed rebuild restores the pre-heal state rather than losing
+// acknowledged data, and leaves the error in the health block.
+func (s *Session) healFromWAL() {
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	if s.store == nil || s.closed {
+		return
+	}
+	oldSeen, oldFrags, oldTrajs := s.seenIDs, s.fragments, s.trajs
+	oldVersion, oldCkpt := s.version, s.lastCkpt
+	s.seenIDs = make(map[traj.ID]struct{})
+	s.fragments, s.trajs = nil, nil
+	s.version, s.lastCkpt = 0, 0
+	if err := s.recoverLocked(true); err != nil {
+		s.seenIDs, s.fragments, s.trajs = oldSeen, oldFrags, oldTrajs
+		s.version, s.lastCkpt = oldVersion, oldCkpt
+		s.publishLocked()
+		s.setIngestHealth(fmt.Errorf("heal replay failed, serving pre-heal state: %v", err))
+	}
 }
 
 // checkpointLocked persists the full dataset as of the current batch

@@ -1,0 +1,188 @@
+package stream
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/guard"
+	"repro/internal/persist"
+)
+
+// TestStreamPanicContainedAndRolledBack pins the containment boundary:
+// an injected mid-ingest panic surfaces as a typed *guard.PanicError,
+// commits nothing, and the same batch retries to output byte-identical
+// to a never-faulted control.
+func TestStreamPanicContainedAndRolledBack(t *testing.T) {
+	g, ds := streamSetup(t)
+	cfg := streamConfig()
+	control, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := fault.New(fault.Config{Seed: 11, Points: map[fault.Point]fault.Spec{
+		fault.IngestPanic: {ErrProb: 1},
+	}})
+	fcfg := cfg
+	fcfg.Fault = in
+	faulty, err := New(g, fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := batches(ds, 2)
+
+	_, err = faulty.Ingest(bs[0])
+	var pe *guard.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("panicked ingest returned %v, want *guard.PanicError", err)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("PanicError carries no stack")
+	}
+	if faulty.Batches() != 0 || len(faulty.StandingFlows()) != 0 || faulty.Current() != nil {
+		t.Fatalf("panic leaked state: batches=%d standing=%d", faulty.Batches(), len(faulty.StandingFlows()))
+	}
+
+	in.SetEnabled(false)
+	want, err := control.Ingest(bs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := faulty.Ingest(bs[0])
+	if err != nil {
+		t.Fatalf("retry after contained panic: %v", err)
+	}
+	if renderClusters(got.Clusters) != renderClusters(want.Clusters) {
+		t.Fatal("post-panic retry diverged from the never-faulted control")
+	}
+}
+
+// TestStreamBreakerTripsAndHeals drives the ingest breaker through its
+// full lifecycle on an injected clock: trip on consecutive injected
+// failures, reject with *guard.QuarantinedError while open (reads keep
+// serving the last committed snapshot), then heal through a probe batch
+// — after which the clustering matches a never-faulted control's.
+func TestStreamBreakerTripsAndHeals(t *testing.T) {
+	g, ds := streamSetup(t)
+	clk := guard.NewManualClock(time.Unix(1_700_000_000, 0))
+	cfg := streamConfig()
+	control, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := fault.New(fault.Config{Seed: 13, Points: map[fault.Point]fault.Spec{
+		fault.Ingest: {ErrProb: 1},
+	}})
+	in.SetEnabled(false)
+	fcfg := cfg
+	fcfg.Fault = in
+	fcfg.Breaker = guard.BreakerConfig{TripAfter: 2, Cooldown: 10 * time.Second}
+	fcfg.Now = clk.Now
+	faulty, err := New(g, fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := batches(ds, 2)
+
+	if _, err := faulty.Ingest(bs[0]); err != nil {
+		t.Fatal(err)
+	}
+	in.SetEnabled(true)
+	for i := 0; i < 2; i++ {
+		if _, err := faulty.Ingest(bs[1]); !fault.IsInjected(err) {
+			t.Fatalf("faulted ingest %d returned %v, want injected error", i, err)
+		}
+	}
+	if !faulty.Quarantined() {
+		t.Fatal("2 consecutive injected failures must quarantine (TripAfter=2)")
+	}
+	var qe *guard.QuarantinedError
+	if _, err := faulty.Ingest(bs[1]); !errors.As(err, &qe) {
+		t.Fatalf("quarantined ingest returned %v, want *guard.QuarantinedError", err)
+	}
+	if qe.RetryAfter <= 0 {
+		t.Fatalf("QuarantinedError.RetryAfter = %v, want > 0", qe.RetryAfter)
+	}
+	// Reads stay up on the last committed snapshot.
+	if cur := faulty.Current(); cur == nil || cur.Batch != 0 {
+		t.Fatalf("quarantine took down reads: %+v", faulty.Current())
+	}
+	// Frozen clock: the cooldown cannot elapse on its own.
+	if _, err := faulty.Ingest(bs[1]); !errors.As(err, &qe) {
+		t.Fatal("cooldown expired without the clock advancing")
+	}
+
+	in.SetEnabled(false)
+	clk.Advance(10 * time.Second)
+	got, err := faulty.Ingest(bs[1]) // half-open probe
+	if err != nil {
+		t.Fatalf("probe ingest: %v", err)
+	}
+	if faulty.Quarantined() {
+		t.Fatal("successful probe must close the breaker")
+	}
+	if faulty.Breaker().Trips() != 1 || faulty.Breaker().Heals() != 1 {
+		t.Fatalf("trips/heals = %d/%d, want 1/1", faulty.Breaker().Trips(), faulty.Breaker().Heals())
+	}
+
+	for _, b := range bs {
+		if _, err := control.Ingest(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := control.Current()
+	if renderClusters(got.Clusters) != renderClusters(want.Clusters) {
+		t.Fatal("healed clusterer diverged from the never-faulted control")
+	}
+	if got.StandingFlows != want.StandingFlows {
+		t.Fatalf("standing %d vs control %d", got.StandingFlows, want.StandingFlows)
+	}
+}
+
+// TestStreamRecoveryBypassesBreakerAndFaults pins the replay contract:
+// WAL replay neither draws from the fault stream nor reports to the
+// breaker, so a clusterer reopened under an armed ErrProb=1 injector
+// and an enabled breaker still recovers byte-identically.
+func TestStreamRecoveryBypassesBreakerAndFaults(t *testing.T) {
+	g, ds := streamSetup(t)
+	dir := t.TempDir()
+	cfg := streamConfig()
+	cfg.Persist = &persist.Options{Dir: dir}
+	c, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := batches(ds, 3)
+	var want string
+	for _, b := range bs {
+		snap, err := c.Ingest(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = renderClusters(snap.Clusters)
+	}
+	c.Abort() // crash: recovery must replay the whole WAL
+
+	in := fault.New(fault.Config{Seed: 17, Points: map[fault.Point]fault.Spec{
+		fault.Ingest:      {ErrProb: 1},
+		fault.IngestPanic: {ErrProb: 1},
+	}})
+	rcfg := cfg
+	rcfg.Fault = in
+	rcfg.Breaker = guard.BreakerConfig{TripAfter: 1, Cooldown: time.Hour}
+	r, err := New(g, rcfg)
+	if err != nil {
+		t.Fatalf("recovery under armed injector: %v", err)
+	}
+	defer r.Close()
+	if r.Batches() != 3 {
+		t.Fatalf("recovered %d batches, want 3", r.Batches())
+	}
+	if r.Quarantined() {
+		t.Fatal("replay reported to the breaker")
+	}
+	if got := renderClusters(r.Current().Clusters); got != want {
+		t.Fatal("recovered clustering diverged from the pre-crash state")
+	}
+}

@@ -16,11 +16,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/distcache"
 	"repro/internal/fault"
+	"repro/internal/guard"
 	"repro/internal/neat"
 	"repro/internal/obs"
 	"repro/internal/persist"
@@ -84,6 +86,17 @@ type Config struct {
 	// default) keeps the clusterer in-memory only. Persist.Obs and
 	// Persist.Fault default to Config.Obs and Config.Fault.
 	Persist *persist.Options
+	// Breaker adds a circuit breaker in front of IngestCtx: infra-class
+	// failures (injected faults, contained panics) in consecutive
+	// ingests trip it open, after which ingests are rejected with a
+	// *guard.QuarantinedError until the cooldown elapses and a probe
+	// batch succeeds. Reads (Current, StandingFlows) are unaffected —
+	// every failed ingest rolls back fully, so the last committed state
+	// stays servable. The zero value (TripAfter 0) disables it.
+	Breaker guard.BreakerConfig
+	// Now is the clock the breaker reads; nil uses time.Now. Injected
+	// in tests so trip/cooldown decisions are deterministic.
+	Now guard.Clock
 }
 
 // Snapshot is the state of the clustering after an ingestion.
@@ -144,6 +157,10 @@ type Clusterer struct {
 	// after each commit so concurrent readers observe the clustering
 	// without synchronizing with Ingest (see Current).
 	current atomic.Pointer[Snapshot]
+
+	// breaker guards the ingest path (nil unless Config.Breaker is
+	// enabled); replayed WAL batches bypass it — they were committed.
+	breaker *guard.Breaker
 
 	batch    int
 	standing []flowEntry
@@ -231,6 +248,9 @@ func New(g *roadnet.Graph, cfg Config) (*Clusterer, error) {
 			standing:  cfg.Obs.Gauge("stream_standing_flows"),
 			ingest:    cfg.Obs.Histogram("stream_ingest_seconds", ingestBuckets),
 		},
+	}
+	if cfg.Breaker.TripAfter > 0 {
+		c.breaker = guard.NewBreaker(cfg.Breaker, cfg.Now)
 	}
 	if cfg.Persist != nil {
 		o := *cfg.Persist
@@ -321,16 +341,70 @@ func (c *Clusterer) Ingest(batch traj.Dataset) (Snapshot, error) {
 
 // IngestCtx is Ingest with cooperative cancellation: the context is
 // threaded through the batch run and the standing-set merge. On any
-// failure — cancellation, deadline, or an injected fault — the
-// clusterer's state is exactly as it was before the call (nothing is
-// committed, the batch index does not advance), so the same batch can
-// be retried; a later successful retry produces output byte-identical
-// to a never-failed run.
+// failure — cancellation, deadline, an injected fault, or a contained
+// panic — the clusterer's state is exactly as it was before the call
+// (nothing is committed, the batch index does not advance), so the
+// same batch can be retried; a later successful retry produces output
+// byte-identical to a never-failed run.
+//
+// With Config.Breaker enabled, consecutive infra-class failures
+// (injected faults, panics) trip the breaker: further calls fail fast
+// with a *guard.QuarantinedError until the cooldown elapses and a
+// probe batch succeeds. Cancellation and validation failures never
+// trip it — they are the caller's condition, not the pipeline's.
 func (c *Clusterer) IngestCtx(ctx context.Context, batch traj.Dataset) (Snapshot, error) {
 	if c.closed {
 		return Snapshot{}, fmt.Errorf("stream: batch %d: %w", c.batch, ErrClosed)
 	}
+	if c.breaker != nil && !c.recovering {
+		if d, retry := c.breaker.Allow(); d == guard.Reject {
+			return Snapshot{}, fmt.Errorf("stream: batch %d: %w", c.batch,
+				&guard.QuarantinedError{Session: "stream", RetryAfter: retry})
+		}
+	}
+	snap, err := c.ingest(ctx, batch)
+	if c.breaker != nil && !c.recovering {
+		var pe *guard.PanicError
+		if fault.IsInjected(err) || errors.As(err, &pe) {
+			c.breaker.Failure()
+		} else {
+			// Success and caller-class failures alike clear the run: only
+			// infra faults may trip, and a pending probe slot must always
+			// resolve so the breaker cannot wedge half-open.
+			c.breaker.Success()
+		}
+	}
+	return snap, err
+}
+
+// Quarantined reports whether the breaker currently rejects ingests.
+func (c *Clusterer) Quarantined() bool {
+	return c.breaker != nil && c.breaker.Quarantined()
+}
+
+// Breaker exposes the ingest circuit breaker; nil when disabled.
+func (c *Clusterer) Breaker() *guard.Breaker { return c.breaker }
+
+// ingest is the containment boundary: a panic anywhere in the batch
+// run, merge, or durability path is caught here, the pre-batch state
+// restored (the ε-graph conservatively marked dirty — the next merge
+// rebuilds it), and the panic surfaced as a typed *guard.PanicError.
+func (c *Clusterer) ingest(ctx context.Context, batch traj.Dataset) (snap Snapshot, err error) {
 	start := time.Now()
+	prevStanding := append([]flowEntry(nil), c.standing...)
+	prevBatch := c.batch
+	defer func() {
+		if r := recover(); r != nil {
+			c.standing = prevStanding
+			c.batch = prevBatch
+			if c.eps != nil {
+				c.epsDirty = true
+			}
+			snap = Snapshot{}
+			err = fmt.Errorf("stream: batch %d: %w", prevBatch,
+				&guard.PanicError{Value: r, Stack: debug.Stack()})
+		}
+	}()
 	if !c.recovering {
 		// WAL replay must not draw from the fault stream: the replayed
 		// ingests already "happened", and skipping the draws keeps the
@@ -338,6 +412,9 @@ func (c *Clusterer) IngestCtx(ctx context.Context, batch traj.Dataset) (Snapshot
 		c.cfg.Fault.Sleep(fault.Ingest)
 		if err := c.cfg.Fault.Inject(fault.Ingest); err != nil {
 			return Snapshot{}, fmt.Errorf("stream: batch %d: %w", c.batch, err)
+		}
+		if c.cfg.Fault.Hit(fault.IngestPanic) {
+			panic(fmt.Sprintf("fault: injected %s", fault.IngestPanic))
 		}
 	}
 	var root *obs.Span
@@ -351,11 +428,9 @@ func (c *Clusterer) IngestCtx(ctx context.Context, batch traj.Dataset) (Snapshot
 		return Snapshot{}, fmt.Errorf("stream: batch %d: %w", c.batch, err)
 	}
 	root.Adopt(res.Trace)
-	snap := Snapshot{Batch: c.batch, NewFlows: len(res.Flows), Timing: res.Timing}
+	snap = Snapshot{Batch: c.batch, NewFlows: len(res.Flows), Timing: res.Timing}
 	// The merge below can fail (cancellation, injected SP faults);
-	// snapshot the pre-batch state so failure rolls everything back.
-	prevStanding := append([]flowEntry(nil), c.standing...)
-	prevBatch := c.batch
+	// prevStanding/prevBatch — captured at entry — roll everything back.
 	// Evict flows older than the window. The standing list is in batch
 	// order (each ingest appends), so the cutoff removes a prefix —
 	// which is exactly the edit the maintained ε-graph supports.
